@@ -1,0 +1,35 @@
+(* Thin wrapper over Bechamel: run a set of tests, return ns/run. *)
+
+open Bechamel
+open Toolkit
+
+let ols =
+  Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+
+let run_tests ?(quota = 1.0) (tests : Test.t list) : (string * float) list =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) () in
+  List.concat_map
+    (fun test ->
+      let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.fold
+        (fun name est acc ->
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> (name, ns) :: acc
+          | _ -> acc)
+        results []
+      |> List.sort compare)
+    tests
+
+let pp_results title results =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-');
+  List.iter
+    (fun (name, ns) ->
+      let v, unit =
+        if ns > 1e9 then (ns /. 1e9, "s")
+        else if ns > 1e6 then (ns /. 1e6, "ms")
+        else if ns > 1e3 then (ns /. 1e3, "us")
+        else (ns, "ns")
+      in
+      Printf.printf "  %-44s %10.2f %s/run\n" name v unit)
+    results

@@ -1,0 +1,542 @@
+(* The benchmark harness: regenerates every quantified table/figure/claim of
+   the paper's evaluation (see DESIGN.md's experiment index and
+   EXPERIMENTS.md for paper-vs-measured numbers).
+
+   Usage:
+     dune exec bench/main.exe            -- run every experiment
+     dune exec bench/main.exe -- fig2    -- compiler size summary (Figure 2)
+     dune exec bench/main.exe -- ag-stats  -- the section 4.1 AG statistics table
+     dune exec bench/main.exe -- speed     -- PERF-SPEED lines/minute
+     dune exec bench/main.exe -- phases    -- PERF-PHASE time breakdown
+     dune exec bench/main.exe -- config    -- PERF-CONFIG configuration units
+     dune exec bench/main.exe -- env       -- ABL-ENV list vs balanced tree
+     dune exec bench/main.exe -- cascade   -- ABL-CASCADE cascade vs united
+     dune exec bench/main.exe -- micro     -- Bechamel microbenchmarks *)
+
+(* Bechamel also has an [Analyze]; capture the front end's before opening *)
+module Front_analyze = Analyze
+
+open Bechamel
+
+let heading title = Printf.printf "\n==== %s ====\n\n" title
+
+let now () = Sys.time ()
+
+(* ------------------------------------------------------------------ *)
+(* TBL-AG *)
+
+let ag_stats () =
+  heading "TBL-AG: AG statistics (cf. paper section 4.1)";
+  let s1 = Stats.of_grammar ~name:"VHDL AG" (Main_grammar.grammar ()) in
+  let s2 = Stats.of_grammar ~name:"expr AG" (Expr_eval.grammar ()) in
+  Format.printf "%a@." Stats.pp_table [ s1; s2 ];
+  Printf.printf
+    "\npaper:  VHDL AG 503 prods / 355 syms / 3509 attrs / 8862 rules (6363 implicit) / 3 visits\n";
+  Printf.printf
+    "        expr AG 160 prods / 101 syms /  446 attrs / 2132 rules (1061 implicit) / 4 visits\n";
+  Printf.printf "\nimplicit-rule fraction (paper: \"more than half\"): %.0f%% / %.0f%%\n"
+    (100.0 *. Stats.implicit_fraction s1)
+    (100.0 *. Stats.implicit_fraction s2)
+
+(* ------------------------------------------------------------------ *)
+(* PERF-SPEED *)
+
+let compile_sources srcs =
+  let c = Vhdl_compiler.create () in
+  List.iter (fun s -> ignore (Vhdl_compiler.compile c s)) srcs;
+  c
+
+let time_compile srcs =
+  let lines = List.fold_left (fun acc s -> acc + Lexer.source_lines s) 0 srcs in
+  let start = now () in
+  let reps = 3 in
+  for _ = 1 to reps do
+    ignore (compile_sources srcs)
+  done;
+  let dt = (now () -. start) /. float_of_int reps in
+  (lines, dt, float_of_int lines /. dt *. 60.0)
+
+let speed () =
+  heading "PERF-SPEED: compilation throughput (paper: ~1000 lines/minute on an Apollo DN4000)";
+  let workloads =
+    [
+      ("behavioral FSM (20 states)", [ Workload.behavioral ~name:"B1" ~states:20 ~exprs:40 ]);
+      ("structural netlist (60 gates)", [ Workload.structural ~name:"N1" ~instances:60 ]);
+      ("expression-heavy (120 constants)", [ Workload.expression_heavy ~n:120 ]);
+      ("packages (40 functions)", [ Workload.package ~name:"P1" ~n:40 ]);
+      ( "mixed project",
+        [
+          Workload.package ~name:"P2" ~n:15;
+          Workload.behavioral ~name:"B2" ~states:10 ~exprs:20;
+          Workload.structural ~name:"N2" ~instances:25;
+        ] );
+    ]
+  in
+  Printf.printf "%-36s %8s %9s %14s\n" "workload" "lines" "seconds" "lines/minute";
+  List.iter
+    (fun (name, srcs) ->
+      let lines, dt, lpm = time_compile srcs in
+      Printf.printf "%-36s %8d %9.3f %14.0f\n" name lines dt lpm)
+    workloads
+
+(* ------------------------------------------------------------------ *)
+(* PERF-PHASE *)
+
+let phases () =
+  heading
+    "PERF-PHASE: phase breakdown (paper: VIF 40-60%, C compile 20-30%, attribute evaluation 'a very small percent')";
+  let dir = Filename.temp_file "vhdlbench" "" in
+  Sys.remove dir;
+  let c = Vhdl_compiler.create ~work_dir:dir () in
+  let n_packages = 8 in
+  for i = 1 to n_packages do
+    ignore (Vhdl_compiler.compile c (Workload.package ~name:(Printf.sprintf "LIB%d" i) ~n:40))
+  done;
+  let c2 = Vhdl_compiler.create ~work_dir:dir () in
+  let uses =
+    String.concat ""
+      (List.init n_packages (fun i -> Printf.sprintf "use work.lib%d.all;\n" (i + 1)))
+  in
+  (* several user units; the library cache is dropped between units so each
+     compilation re-reads its foreign VIF, as each compiler invocation did
+     in the original system *)
+  List.iter
+    (fun src ->
+      Library.clear_cache (Vhdl_compiler.work_library c2);
+      ignore (Vhdl_compiler.compile c2 src))
+    [
+      uses ^ Workload.behavioral ~name:"TOP1" ~states:15 ~exprs:30;
+      uses ^ Workload.behavioral ~name:"TOP2" ~states:10 ~exprs:20;
+      uses ^ Workload.expression_heavy ~n:30;
+      Workload.structural ~name:"NET" ~instances:25;
+    ];
+  let sim = Vhdl_compiler.elaborate ~trace:false c2 ~top:"NET" () in
+  let _ = Vhdl_compiler.run c2 sim ~max_ns:100 in
+  Format.printf "%a@." Vhdl_util.Phase_timer.pp (Vhdl_compiler.timer c2);
+  Printf.printf
+    "\nnote: 'codegen+link (elaboration)' is our analog of the paper's host C\ncompilation of the generated model (their 20-30%% slot).\n"
+
+(* ------------------------------------------------------------------ *)
+(* PERF-CONFIG *)
+
+let config () =
+  heading
+    "PERF-CONFIG: configuration units (paper footnote 3: few source lines, lots of foreign VIF reading/editing)";
+  let dir = Filename.temp_file "vhdlcfg" "" in
+  Sys.remove dir;
+  let c = Vhdl_compiler.create ~work_dir:dir () in
+  ignore (Vhdl_compiler.compile c (Workload.multi_arch_library ~archs:3));
+  let netlist, config_src = Workload.config_workload ~style:`All ~instances:600 () in
+  ignore (Vhdl_compiler.compile c netlist);
+  let time_one label srcs =
+    let lines = List.fold_left (fun a s -> a + Lexer.source_lines s) 0 srcs in
+    let c2 = Vhdl_compiler.create ~work_dir:dir () in
+    let start = now () in
+    List.iter (fun s -> ignore (Vhdl_compiler.compile c2 s)) srcs;
+    let dt = now () -. start in
+    let io = Library.io_stats (Vhdl_compiler.work_library c2) in
+    Printf.printf "%-28s %6d lines  %8.4fs  %10.0f lines/min  %3d VIF reads\n" label lines
+      dt
+      (float_of_int lines /. dt *. 60.0)
+      io.Library.io_reads
+  in
+  time_one "ordinary unit (behavioral)" [ Workload.behavioral ~name:"ORD" ~states:20 ~exprs:40 ];
+  time_one "configuration unit" [ config_src ];
+  Printf.printf
+    "\nshape to check: configuration lines/minute well below the ordinary unit's,\nwith the VIF reads column explaining the difference.\n"
+
+(* ------------------------------------------------------------------ *)
+(* ABL-ENV *)
+
+let env_ablation () =
+  heading "ABL-ENV: ENV as linear list vs applicative balanced tree (paper section 4.3)";
+  let denot name =
+    Denot.Dobject
+      {
+        name;
+        cls = Denot.Cconstant;
+        ty = Std.integer;
+        mode = None;
+        slot = Denot.Sl_static (Value.Vint 1);
+      }
+  in
+  let sizes = [ 16; 64; 256; 1024 ] in
+  Printf.printf "%-10s %16s %16s %10s\n" "bindings" "list lookup(ns)" "tree lookup(ns)" "speedup";
+  List.iter
+    (fun n ->
+      let names = List.init n (fun i -> Printf.sprintf "NAME%04d" i) in
+      let list_env =
+        List.fold_left
+          (fun e name -> Env.Env_list.extend e name (denot name))
+          Env.Env_list.empty names
+      in
+      let tree_env =
+        List.fold_left
+          (fun e name -> Env.Env_tree.extend e name (denot name))
+          Env.Env_tree.empty names
+      in
+      let probe = List.filteri (fun i _ -> i mod 7 = 0) names in
+      let results =
+        Bechamel_util.run_tests ~quota:0.3
+          [
+            Test.make ~name:"list"
+              (Staged.stage (fun () ->
+                   List.iter (fun name -> ignore (Env.Env_list.lookup list_env name)) probe));
+            Test.make ~name:"tree"
+              (Staged.stage (fun () ->
+                   List.iter (fun name -> ignore (Env.Env_tree.lookup tree_env name)) probe));
+          ]
+      in
+      let get name = try List.assoc name results with Not_found -> nan in
+      let l = get "list" and t = get "tree" in
+      Printf.printf "%-10d %16.0f %16.0f %9.1fx\n" n l t (l /. t))
+    sizes;
+  Printf.printf
+    "\nshape to check: the tree wins and the gap widens with scope size (the\npaper adopted applicative balanced trees 'to make the search more efficient').\n"
+
+(* ------------------------------------------------------------------ *)
+(* ABL-CASCADE *)
+
+let cascade_inputs () =
+  let arr_ty =
+    Types.subtype
+      {
+        Types.base = "WORK.B.ARR";
+        kind = Types.Karray { index = Std.integer; elem = Std.integer };
+        constr = None;
+      }
+      ~constr:(Types.Crange (0, Types.To, 63))
+  in
+  let fsig =
+    {
+      Denot.ss_name = "F";
+      ss_mangled = "WORK.B:F/INTEGER";
+      ss_kind = `Function;
+      ss_params =
+        [
+          {
+            Denot.p_name = "X";
+            p_mode = Kir.Arg_in;
+            p_class = Denot.Cconstant;
+            p_ty = Std.integer;
+            p_default = None;
+          };
+        ];
+      ss_ret = Some Std.integer;
+      ss_builtin = false;
+    }
+  in
+  let env =
+    Env.extend_many (Std.env ())
+      [
+        ( "V",
+          Denot.Dobject
+            {
+              name = "V";
+              cls = Denot.Cvariable;
+              ty = arr_ty;
+              mode = None;
+              slot = Denot.Sl_frame { level = 0; index = 0 };
+            } );
+        ("F", Denot.Dsubprog fsig);
+        ("ARR", Denot.Dtype arr_ty);
+        ( "N",
+          Denot.Dobject
+            {
+              name = "N";
+              cls = Denot.Cconstant;
+              ty = Std.integer;
+              mode = None;
+              slot = Denot.Sl_static (Value.Vint 5);
+            } );
+      ]
+  in
+  let exprs =
+    [
+      "V(3) + F(N) * 2";
+      "V(1 to 4)";
+      "F(V(N)) + N ** 2";
+      "(N + 1) * (N - 1) mod 7";
+      "V(0) + V(1) + V(2) + V(3) + V(4) + V(5)";
+      "F(F(F(N)))";
+      "N < 10 and V(0) = 3";
+      "abs (-N) + (2 ** 8)";
+    ]
+  in
+  (env, exprs)
+
+let cascade () =
+  heading "ABL-CASCADE: cascaded evaluation vs united productions (paper section 4.1)";
+  let env, exprs = cascade_inputs () in
+  let session = Session.in_memory [] in
+  Session.with_session session (fun () ->
+      List.iter
+        (fun src ->
+          let toks = Lexer.tokenize src in
+          let united = United.eval_string ~env ~level:0 src in
+          let lef = Cascade_driver.classify_tokens ~env toks in
+          let casc = Expr_eval.eval ~level:0 ~line:1 lef in
+          if not (Types.same_base united.Pval.x_ty casc.Pval.x_ty) then
+            Printf.printf "  DISAGREE on %s: united %s vs cascade %s\n" src
+              (Types.short_name united.Pval.x_ty)
+              (Types.short_name casc.Pval.x_ty))
+        exprs);
+  let results =
+    Bechamel_util.run_tests ~quota:1.0
+      [
+        Test.make ~name:"cascade (LEF + expression AG)"
+          (Staged.stage (fun () ->
+               Session.with_session session (fun () ->
+                   List.iter
+                     (fun src ->
+                       let lef = Cascade_driver.classify_tokens ~env (Lexer.tokenize src) in
+                       ignore (Expr_eval.eval ~level:0 ~line:1 lef))
+                     exprs)));
+        Test.make ~name:"united (RD parse + post-hoc)"
+          (Staged.stage (fun () ->
+               Session.with_session session (fun () ->
+                   List.iter (fun src -> ignore (United.eval_string ~env ~level:0 src)) exprs)));
+      ]
+  in
+  Bechamel_util.pp_results "expression compilation strategies" results;
+  Printf.printf
+    "\nshape to check: comparable magnitude — the paper chose the cascade for\nmaintainability (no duplicate semantics, no parsing-conflict bookkeeping),\naccepting AG overhead of roughly this gap.\n"
+
+(* ------------------------------------------------------------------ *)
+(* SIM-THROUGHPUT: kernel event rate (the simulator half of the system;
+   the paper's companion reference [4] is "A State of the Art VHDL
+   Simulator") *)
+
+let divider_chain ~stages =
+  Printf.sprintf
+    {|
+entity tff is
+  port (clk : in bit; q : out bit);
+end tff;
+architecture behav of tff is
+  signal state : bit := '0';
+begin
+  flip : process (clk)
+  begin
+    if clk'event and clk = '0' then
+      state <= not state;
+    end if;
+  end process;
+  q <= state;
+end behav;
+
+entity chain is end chain;
+architecture t of chain is
+  component tff
+    port (clk : in bit; q : out bit);
+  end component;
+  type taps_t is array (0 to %d) of bit;
+  signal taps : taps_t;
+  signal clk : bit := '0';
+begin
+  first : tff port map (clk => clk, q => taps(0));
+  g : for i in 1 to %d generate
+    s : tff port map (clk => taps(i - 1), q => taps(i));
+  end generate;
+  clock : process
+  begin
+    clk <= not clk after 5 ns;
+    wait for 5 ns;
+  end process;
+end t;
+|}
+    stages stages
+
+let sim_throughput () =
+  heading "SIM-THROUGHPUT: kernel event rate (divider chain)";
+  Printf.printf "%-10s %10s %12s %12s %14s
+" "stages" "sim ns" "events" "proc runs" "events/sec";
+  List.iter
+    (fun stages ->
+      let c = Vhdl_compiler.create () in
+      ignore (Vhdl_compiler.compile c (divider_chain ~stages));
+      let sim = Vhdl_compiler.elaborate ~trace:false c ~top:"chain" () in
+      let start = now () in
+      let _ = Vhdl_compiler.run c sim ~max_ns:20000 in
+      let dt = now () -. start in
+      let st = Kernel.stats (Vhdl_compiler.kernel sim) in
+      Printf.printf "%-10d %10d %12d %12d %14.0f
+" stages 20000 st.Kernel.events
+        st.Kernel.process_runs
+        (float_of_int st.Kernel.events /. dt))
+    [ 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmark suite *)
+
+let micro () =
+  heading "Bechamel microbenchmarks (one Test.make per table/figure)";
+  let behav = Workload.behavioral ~name:"MB" ~states:10 ~exprs:20 in
+  let net = Workload.structural ~name:"MN" ~instances:20 in
+  let exprsrc = Workload.expression_heavy ~n:40 in
+  let multi = Workload.multi_arch_library ~archs:3 in
+  let netlist, cfg = Workload.config_workload ~instances:10 () in
+  let env, exprs = cascade_inputs () in
+  let session = Session.in_memory [] in
+  let results =
+    Bechamel_util.run_tests ~quota:1.0
+      [
+        Test.make ~name:"speed/behavioral"
+          (Staged.stage (fun () -> ignore (compile_sources [ behav ])));
+        Test.make ~name:"speed/structural"
+          (Staged.stage (fun () -> ignore (compile_sources [ net ])));
+        Test.make ~name:"speed/expressions"
+          (Staged.stage (fun () -> ignore (compile_sources [ exprsrc ])));
+        Test.make ~name:"config/configuration-unit"
+          (Staged.stage (fun () -> ignore (compile_sources [ multi; netlist; cfg ])));
+        Test.make ~name:"ag/analysis-expr-grammar"
+          (Staged.stage (fun () -> ignore (Analysis.compute (Expr_eval.grammar ()))));
+        Test.make ~name:"cascade/cascade"
+          (Staged.stage (fun () ->
+               Session.with_session session (fun () ->
+                   List.iter
+                     (fun src ->
+                       let lef = Cascade_driver.classify_tokens ~env (Lexer.tokenize src) in
+                       ignore (Expr_eval.eval ~level:0 ~line:1 lef))
+                     exprs)));
+        Test.make ~name:"cascade/united"
+          (Staged.stage (fun () ->
+               Session.with_session session (fun () ->
+                   List.iter (fun src -> ignore (United.eval_string ~env ~level:0 src)) exprs)));
+        Test.make ~name:"evaluator/demand"
+          (Staged.stage
+             (let g = Main_grammar.grammar () in
+              let parser_ = Main_grammar.parser_ () in
+              let session = Session.in_memory [] in
+              let src = Workload.behavioral ~name:"EV" ~states:8 ~exprs:15 in
+              fun () ->
+                Session.with_session session (fun () ->
+                    let tokens = Front_analyze.tokens_of_source src in
+                    let tree = Parsing.parse_list parser_ ~eof_value:Pval.Unit tokens in
+                    let ev =
+                      Evaluator.create
+                        ~token_line:(fun n -> Pval.Int n)
+                        g
+                        ~root_inherited:
+                          [
+                            ("ENV", Pval.Env Env.empty); ("LEVEL", Pval.Int (-1));
+                            ("UNITNAME", Pval.Str "WORK.X"); ("CTX", Pval.Str "arch");
+                            ("SLOTBASE", Pval.Int 0); ("SIGBASE", Pval.Int 0);
+                            ("LOOPDEPTH", Pval.Int 0); ("RETTY", Pval.Opt None);
+                            ("CTXOUT", Pval.Out Pval.out_empty); ("NLINES", Pval.Int 50);
+                          ]
+                        tree
+                    in
+                    ignore (Evaluator.goal ev "UNITS"))));
+        Test.make ~name:"evaluator/staged"
+          (Staged.stage
+             (let g = Main_grammar.grammar () in
+              let parser_ = Main_grammar.parser_ () in
+              let partitions = Analysis.visit_partitions (Analysis.compute g) in
+              let session = Session.in_memory [] in
+              let src = Workload.behavioral ~name:"EV" ~states:8 ~exprs:15 in
+              fun () ->
+                Session.with_session session (fun () ->
+                    let tokens = Front_analyze.tokens_of_source src in
+                    let tree = Parsing.parse_list parser_ ~eof_value:Pval.Unit tokens in
+                    let ev =
+                      Evaluator.create
+                        ~token_line:(fun n -> Pval.Int n)
+                        g
+                        ~root_inherited:
+                          [
+                            ("ENV", Pval.Env Env.empty); ("LEVEL", Pval.Int (-1));
+                            ("UNITNAME", Pval.Str "WORK.X"); ("CTX", Pval.Str "arch");
+                            ("SLOTBASE", Pval.Int 0); ("SIGBASE", Pval.Int 0);
+                            ("LOOPDEPTH", Pval.Int 0); ("RETTY", Pval.Opt None);
+                            ("CTXOUT", Pval.Out Pval.out_empty); ("NLINES", Pval.Int 50);
+                          ]
+                        tree
+                    in
+                    ignore (Evaluator.evaluate_staged ev ~partitions))));
+        Test.make ~name:"fig2/lalr-table-expr-grammar"
+          (Staged.stage (fun () ->
+               ignore (Parsing.create ~name:"bench" (Expr_grammar.build ()) ~eof:"LEOF")));
+      ]
+  in
+  Bechamel_util.pp_results "microbenchmarks" results
+
+(* ------------------------------------------------------------------ *)
+
+(* ABL-VIF: the in-memory unit cache in front of the VIF files.  The paper
+   measures intermediate-file traffic at 40-60% of compilation; DESIGN.md
+   calls out the loaded_files cache as our mitigation.  This ablation
+   quantifies it: resolving every unit of a disk library with the cache
+   dropped before each run (every [find] re-reads and re-parses VIF)
+   versus with the cache warm. *)
+let vif_cache_ablation () =
+  heading "ABL-VIF: library cache off vs on (design choice in DESIGN.md)";
+  let dir = Filename.temp_file "vifcache" "" in
+  Sys.remove dir;
+  let c = Vhdl_compiler.create ~work_dir:dir () in
+  for i = 1 to 12 do
+    ignore (Vhdl_compiler.compile c (Workload.package ~name:(Printf.sprintf "LIB%d" i) ~n:30))
+  done;
+  ignore (Vhdl_compiler.compile c (Workload.multi_arch_library ~archs:4));
+  let lib = Library.create ~dir ~name:"WORK" () in
+  let keys =
+    List.map (fun (u : Unit_info.compiled_unit) -> u.Unit_info.u_key) (Library.all lib)
+  in
+  Printf.printf "library: %d units on disk
+
+" (List.length keys);
+  let resolve_all () =
+    List.iter
+      (fun key -> ignore (Library.find lib ~library:"WORK" ~key))
+      keys
+  in
+  let results =
+    Bechamel_util.run_tests ~quota:1.0
+      [
+        Test.make ~name:"cold (cache dropped per run)"
+          (Staged.stage (fun () ->
+               Library.clear_cache lib;
+               resolve_all ()));
+        Test.make ~name:"warm (cache kept)" (Staged.stage resolve_all);
+      ]
+  in
+  let get name = try List.assoc name results with Not_found -> nan in
+  let cold = get "cold (cache dropped per run)" and warm = get "warm (cache kept)" in
+  Printf.printf "  %-32s %12.1f us/run
+" "cold (cache dropped per run)" (cold /. 1e3);
+  Printf.printf "  %-32s %12.1f us/run
+" "warm (cache kept)" (warm /. 1e3);
+  Printf.printf "  cache speedup: %.0fx
+" (cold /. warm);
+  Printf.printf
+    "
+shape to check: cold resolution is orders of magnitude slower — the
+     paper's 40-60%% VIF share assumes per-invocation re-reads, which the
+     PERF-PHASE workload mirrors by clearing this cache per unit.
+"
+
+let all () =
+  Size_report.print ".";
+  ag_stats ();
+  speed ();
+  phases ();
+  config ();
+  sim_throughput ();
+  env_ablation ();
+  cascade ();
+  vif_cache_ablation ();
+  micro ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "fig2" :: _ -> Size_report.print "."
+  | _ :: "ag-stats" :: _ -> ag_stats ()
+  | _ :: "speed" :: _ -> speed ()
+  | _ :: "phases" :: _ -> phases ()
+  | _ :: "config" :: _ -> config ()
+  | _ :: "sim" :: _ -> sim_throughput ()
+  | _ :: "env" :: _ -> env_ablation ()
+  | _ :: "cascade" :: _ -> cascade ()
+  | _ :: "vif-cache" :: _ -> vif_cache_ablation ()
+  | _ :: "micro" :: _ -> micro ()
+  | _ -> all ()

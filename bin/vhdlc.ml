@@ -1,0 +1,189 @@
+(* vhdlc — the command-line VHDL compiler and simulator.
+
+   Mirrors the paper's invocation model: "The compiler accepts a file
+   containing compilation units, a list of compiler directives, a working
+   library where the successfully compiled units are placed and a reference
+   library which can be referenced in addition to the work library but which
+   can not be updated."
+
+     vhdlc compile --work ./mylib a.vhd b.vhd
+     vhdlc simulate --work ./mylib --top TB --ns 1000 --vcd out.vcd
+     vhdlc dump --work ./mylib 'arch:TB(TEST)'
+     vhdlc stats *)
+
+open Cmdliner
+
+let work_arg =
+  let doc = "Working library directory (created if missing)." in
+  Arg.(value & opt (some string) None & info [ "work" ] ~docv:"DIR" ~doc)
+
+let ref_arg =
+  let doc = "Reference library as NAME=DIR (read-only, repeatable)." in
+  Arg.(value & opt_all string [] & info [ "ref" ] ~docv:"NAME=DIR" ~doc)
+
+let make_compiler work refs =
+  let c = Vhdl_compiler.create ?work_dir:work () in
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | Some i ->
+        let name = String.uppercase_ascii (String.sub spec 0 i) in
+        let dir = String.sub spec (i + 1) (String.length spec - i - 1) in
+        Vhdl_compiler.add_reference_library c ~name ~dir
+      | None ->
+        Printf.eprintf "warning: ignoring malformed --ref %s (want NAME=DIR)\n" spec)
+    refs;
+  c
+
+let report_diags c =
+  List.iter
+    (fun d -> Format.eprintf "%a@." Diag.pp d)
+    (Vhdl_compiler.diagnostics c)
+
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"VHDL source files.")
+  in
+  let phases =
+    Arg.(value & flag & info [ "phases" ] ~doc:"Print the per-phase time breakdown.")
+  in
+  let run work refs phases files =
+    let c = make_compiler work refs in
+    let ok = ref true in
+    List.iter
+      (fun file ->
+        match Vhdl_compiler.compile_file c file with
+        | units ->
+          List.iter
+            (fun u -> Printf.printf "%s: compiled %s\n" file u.Unit_info.u_key)
+            units
+        | exception Vhdl_compiler.Compile_error msgs ->
+          ok := false;
+          List.iter (fun d -> Format.eprintf "%s: %a@." file Diag.pp d) msgs)
+      files;
+    report_diags c;
+    if phases then
+      Format.printf "%a@." Vhdl_util.Phase_timer.pp (Vhdl_compiler.timer c);
+    if !ok then 0 else 1
+  in
+  let doc = "Compile VHDL source files into the working library." in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(const run $ work_arg $ ref_arg $ phases $ files)
+
+let simulate_cmd =
+  let top =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "top" ] ~docv:"ENTITY" ~doc:"Top-level entity to elaborate.")
+  in
+  let arch =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "arch" ] ~docv:"NAME" ~doc:"Architecture (default: latest compiled).")
+  in
+  let configuration =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "configuration" ] ~docv:"NAME" ~doc:"Elaborate through a configuration unit.")
+  in
+  let ns =
+    Arg.(value & opt int 1000 & info [ "ns" ] ~docv:"N" ~doc:"Simulation horizon in ns.")
+  in
+  let vcd =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE" ~doc:"Write a VCD waveform dump.")
+  in
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Sources to compile first.")
+  in
+  let hierarchy =
+    Arg.(value & flag & info [ "hierarchy" ] ~doc:"Print the elaborated hierarchy.")
+  in
+  let run work refs top arch configuration ns vcd hierarchy files =
+    let c = make_compiler work refs in
+    try
+      List.iter (fun f -> ignore (Vhdl_compiler.compile_file c f)) files;
+      let sim = Vhdl_compiler.elaborate ?arch ?configuration c ~top () in
+      if hierarchy then
+        Format.printf "%a@." Name_server.pp (Vhdl_compiler.name_server sim);
+      let outcome = Vhdl_compiler.run c sim ~max_ns:ns in
+      List.iter
+        (fun (t, sev, msg) ->
+          Printf.printf "%-10s %s: %s\n" (Rt.format_time t) (Kernel.severity_name sev) msg)
+        (Vhdl_compiler.messages sim);
+      let st = Kernel.stats (Vhdl_compiler.kernel sim) in
+      Printf.printf
+        "simulation %s at %s: %d time steps, %d delta cycles, %d events, %d process runs\n"
+        (match outcome with
+        | Kernel.Quiescent -> "quiescent"
+        | Kernel.Time_limit -> "reached the horizon"
+        | Kernel.Stopped -> "stopped on failure")
+        (Rt.format_time (Kernel.now (Vhdl_compiler.kernel sim)))
+        st.Kernel.time_steps st.Kernel.delta_cycles st.Kernel.events st.Kernel.process_runs;
+      (match vcd with
+      | Some path ->
+        Vhdl_util.Unix_compat.write_file path
+          (Trace.to_vcd (Vhdl_compiler.trace sim) ~timescale_fs:1);
+        Printf.printf "VCD written to %s\n" path
+      | None -> ());
+      if st.Kernel.severities.Kernel.failures > 0 || st.Kernel.severities.Kernel.errors > 0
+      then 1
+      else 0
+    with
+    | Vhdl_compiler.Compile_error msgs ->
+      List.iter (fun d -> Format.eprintf "%a@." Diag.pp d) msgs;
+      1
+    | Elaborate.Elaboration_error msg ->
+      Printf.eprintf "elaboration: %s\n" msg;
+      1
+    | Rt.Simulation_error { time; msg } ->
+      Printf.eprintf "simulation error at %s: %s\n" (Rt.format_time time) msg;
+      1
+  in
+  let doc = "Compile (optionally), elaborate, and simulate a design." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ work_arg $ ref_arg $ top $ arch $ configuration $ ns $ vcd $ hierarchy
+      $ files)
+
+let dump_cmd =
+  let key =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KEY" ~doc:"Unit key, e.g. 'entity:ADDER' or 'arch:ADDER(RTL)'.")
+  in
+  let run work refs key =
+    let c = make_compiler work refs in
+    match Library.dump (Vhdl_compiler.work_library c) ~library:"WORK" ~key with
+    | Some text ->
+      print_endline text;
+      0
+    | None ->
+      Printf.eprintf "no unit %s in the working library\n" key;
+      1
+  in
+  let doc = "Print the human-readable VIF of a compiled unit." in
+  Cmd.v (Cmd.info "dump" ~doc) Term.(const run $ work_arg $ ref_arg $ key)
+
+let stats_cmd =
+  let run () =
+    let s1 = Stats.of_grammar ~name:"VHDL AG" (Main_grammar.grammar ()) in
+    let s2 = Stats.of_grammar ~name:"expr AG" (Expr_eval.grammar ()) in
+    Format.printf "%a@." Stats.pp_table [ s1; s2 ];
+    0
+  in
+  let doc = "Print the attribute-grammar statistics table." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "a VHDL compiler and simulator built from attribute grammars" in
+  let info = Cmd.info "vhdlc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ compile_cmd; simulate_cmd; dump_cmd; stats_cmd ]))

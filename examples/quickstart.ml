@@ -1,0 +1,63 @@
+(* Quickstart: compile a VHDL description, simulate it, inspect the
+   waveform.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let source =
+  {|
+entity blink is
+end blink;
+
+architecture demo of blink is
+  signal led : bit := '0';
+  signal count : integer := 0;
+begin
+  toggler : process
+  begin
+    led <= not led after 10 ns;
+    wait for 10 ns;
+  end process;
+
+  counter : process (led)
+    variable n : integer := 0;
+  begin
+    if led = '1' then
+      n := n + 1;
+      count <= n;
+    end if;
+  end process;
+end demo;
+|}
+
+let () =
+  (* 1. a compiler with an in-memory working library *)
+  let compiler = Vhdl_compiler.create () in
+
+  (* 2. analyze the source: both attribute grammars run here *)
+  let units = Vhdl_compiler.compile compiler source in
+  Printf.printf "compiled %d design units:\n" (List.length units);
+  List.iter (fun u -> Printf.printf "  %s\n" u.Unit_info.u_key) units;
+
+  (* 3. elaborate (the "link" step) and run for 100 ns *)
+  let sim = Vhdl_compiler.elaborate compiler ~top:"blink" () in
+  let outcome = Vhdl_compiler.run compiler sim ~max_ns:100 in
+  Printf.printf "\nsimulated to %s (%s)\n"
+    (Rt.format_time (Kernel.now (Vhdl_compiler.kernel sim)))
+    (match outcome with
+    | Kernel.Quiescent -> "quiescent"
+    | Kernel.Time_limit -> "time limit"
+    | Kernel.Stopped -> "stopped");
+
+  (* 4. inspect results through the name server and the trace *)
+  Printf.printf "\nled waveform:\n";
+  List.iter
+    (fun (t, v) ->
+      Printf.printf "  %-8s %s\n" (Rt.format_time t) (Value.image ~ty:Std.bit v))
+    (Vhdl_compiler.history sim ":blink:LED");
+  (match Vhdl_compiler.value sim ":blink:COUNT" with
+  | Some v -> Printf.printf "\nfinal count = %s\n" (Value.image v)
+  | None -> ());
+
+  (* 5. the phase breakdown the compiler kept while working *)
+  Printf.printf "\ncompiler phases:\n%s\n"
+    (Format.asprintf "%a" Vhdl_util.Phase_timer.pp (Vhdl_compiler.timer compiler))

@@ -1,0 +1,84 @@
+(* A parameterized ripple counter built with a for-generate of T-flip-flop
+   stages connected through indexed port actuals (element association):
+   generate statements, implicit connector processes, and per-element
+   drivers on the tap array.
+
+   Run with: dune exec examples/ripple_counter.exe *)
+
+let tff =
+  {|
+entity tff is
+  port (clk : in bit; q : out bit);
+end tff;
+
+architecture behav of tff is
+  signal state : bit := '0';
+begin
+  flip : process (clk)
+  begin
+    -- falling-edge triggered: each stage divides its input by two
+    if clk'event and clk = '0' then
+      state <= not state;
+    end if;
+  end process;
+  q <= state;
+end behav;
+|}
+
+(* stage i toggles on the falling edge of stage i-1: a divide-by-32 chain *)
+let counter =
+  {|
+entity ripple is
+  port (clk : in bit; msb : out bit);
+end ripple;
+
+architecture gen of ripple is
+  component tff
+    port (clk : in bit; q : out bit);
+  end component;
+  type tap_array is array (0 to 4) of bit;
+  signal taps : tap_array := "00000";
+begin
+  first : tff port map (clk => clk, q => taps(0));
+  chain : for i in 1 to 4 generate
+    stage : tff port map (clk => taps(i - 1), q => taps(i));
+  end generate;
+  msb <= taps(4);
+end gen;
+|}
+
+let testbench =
+  {|
+entity tb is end tb;
+architecture t of tb is
+  component ripple
+    port (clk : in bit; msb : out bit);
+  end component;
+  signal clk : bit := '0';
+  signal msb : bit;
+begin
+  dut : ripple port map (clk => clk, msb => msb);
+  clock : process
+  begin
+    clk <= not clk after 5 ns;
+    wait for 5 ns;
+  end process;
+end t;
+|}
+
+let () =
+  let c = Vhdl_compiler.create () in
+  List.iter (fun s -> ignore (Vhdl_compiler.compile c s)) [ tff; counter; testbench ];
+  let sim = Vhdl_compiler.elaborate c ~top:"tb" () in
+  (* the msb (stage 4) first rises after 16 full input periods = 160 ns *)
+  let _ = Vhdl_compiler.run c sim ~max_ns:400 in
+  Printf.printf "hierarchy (%d instances):\n%s\n"
+    (List.length (Name_server.instances (Vhdl_compiler.name_server sim)))
+    (Format.asprintf "%a" Name_server.pp (Vhdl_compiler.name_server sim));
+  Printf.printf "msb transitions (first rise at 160 ns, period 320 ns):\n";
+  List.iter
+    (fun (t, v) ->
+      Printf.printf "  %-8s %s\n" (Rt.format_time t) (Value.image ~ty:Std.bit v))
+    (Vhdl_compiler.history sim ":tb:MSB");
+  let st = Kernel.stats (Vhdl_compiler.kernel sim) in
+  Printf.printf "\n%d events, %d process runs\n" st.Kernel.events st.Kernel.process_runs

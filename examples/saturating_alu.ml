@@ -1,0 +1,104 @@
+(* Saturating arithmetic through operator overloading.
+
+   A DSP-style package defines an 8-bit saturating numeric type: its "+"
+   and "-" clamp at the rails instead of wrapping.  The package keeps the
+   rails as *deferred constants* (LRM 4.3.1.1) — the body picks the actual
+   values — and exports operator functions (`function "+"`), which user
+   code applies with plain infix syntax.
+
+   In the compiler this exercises the §4.1 cascade end to end: the
+   principal AG classifies each `+` against the environment and, seeing
+   the user overload, emits an operator token carrying the candidate
+   signatures; the expression AG resolves the overload by operand type.
+
+   Run with: dune exec examples/saturating_alu.exe *)
+
+let package_source =
+  {|
+package sat8 is
+  constant sat_min : integer;   -- deferred: the body picks the rails
+  constant sat_max : integer;
+
+  -- a distinct numeric type: its operators are separate from INTEGER's,
+  -- so the overloads below apply to sat operands only (a subtype would
+  -- make "+" apply to every integer, including inside its own body)
+  type sat is range -128 to 127;
+
+  function "+" (a, b : sat) return sat;
+  function "-" (a, b : sat) return sat;
+  function clamp (x : integer) return sat;
+end sat8;
+
+package body sat8 is
+  constant sat_min : integer := -128;
+  constant sat_max : integer := 127;
+
+  function clamp (x : integer) return sat is
+  begin
+    if x > sat_max then
+      return sat(sat_max);
+    elsif x < sat_min then
+      return sat(sat_min);
+    else
+      return sat(x);
+    end if;
+  end clamp;
+
+  function "+" (a, b : sat) return sat is
+  begin
+    return clamp(integer(a) + integer(b));
+  end;
+
+  function "-" (a, b : sat) return sat is
+  begin
+    return clamp(integer(a) - integer(b));
+  end;
+end sat8;
+|}
+
+let testbench_source =
+  {|
+use work.sat8.all;
+
+entity alu_tb is end alu_tb;
+
+architecture t of alu_tb is
+  signal acc : sat := 0;
+  signal overflowed : sat := 0;
+  signal underflowed : sat := 0;
+  signal mixed : sat := 0;
+begin
+  stimulus : process
+    variable a : sat := 100;
+    variable b : sat := 60;
+  begin
+    acc <= a + 20;                -- 120: still in range
+    overflowed <= a + b;          -- 160 clamps to 127
+    underflowed <= (0 - a) - b;   -- -160 clamps to -128
+    mixed <= (a + b) - 200;       -- 127 - 200 = -73 (post-clamp arithmetic)
+    wait;
+  end process;
+end t;
+|}
+
+let expect name got want =
+  Printf.printf "  %-12s = %4d  (expected %4d)\n" name got want;
+  if got <> want then failwith ("wrong value for " ^ name)
+
+let () =
+  let compiler = Vhdl_compiler.create () in
+  ignore (Vhdl_compiler.compile compiler package_source);
+  ignore (Vhdl_compiler.compile compiler testbench_source);
+  let sim = Vhdl_compiler.elaborate compiler ~top:"alu_tb" () in
+  ignore (Vhdl_compiler.run compiler sim ~max_ns:10);
+  let value path =
+    match Vhdl_compiler.value sim path with
+    | Some v -> Value.as_int v
+    | None -> failwith ("no signal " ^ path)
+  in
+  Printf.printf "saturating 8-bit ALU (user-defined \"+\" and \"-\"):\n";
+  expect "acc" (value ":alu_tb:ACC") 120;
+  expect "overflowed" (value ":alu_tb:OVERFLOWED") 127;
+  expect "underflowed" (value ":alu_tb:UNDERFLOWED") (-128);
+  expect "mixed" (value ":alu_tb:MIXED") (-73);
+  Printf.printf "all saturating results correct\n"

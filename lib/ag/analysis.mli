@@ -1,0 +1,39 @@
+(** Static dependency analysis: the classical machinery the paper relies on
+    Linguist for.
+
+    - per-production local dependency graphs;
+    - the IO/OI induced-dependency fixpoint giving the polynomial
+      {e strong noncircularity} test;
+    - per-symbol visit partitions, yielding the "max visits" statistic of
+      the paper's §4.1 table and driving {!Evaluator.evaluate_staged}. *)
+
+type 'v t
+
+exception
+  Circular of {
+    prod_name : string;
+    cycle : (int * string) list; (* (position, attribute) along the cycle *)
+  }
+
+exception Not_orderable of { symbol : string }
+
+val compute : 'v Grammar.t -> 'v t
+(** Run the IO/OI fixpoints.  @raise Circular if the grammar fails the
+    strong-noncircularity test (the paper's §5.2: a far-removed rule change
+    "can combine ... to produce a circularity"). *)
+
+val visit_partitions : 'v t -> (int * int) list array
+(** For each symbol id, the [(attribute id, visit number)] assignment of
+    the eager partition.  @raise Not_orderable when a symbol's combined
+    IO/OI relation is cyclic (demand evaluation may still succeed). *)
+
+val max_visits : 'v t -> int
+(** The paper's "max visits" row. *)
+
+val visits_of : 'v t -> string -> int
+(** Visits needed for one symbol, by name. *)
+
+val io_pairs : 'v t -> int -> (int * int) list
+(** IO(symbol): (inherited, synthesized) induced dependencies. *)
+
+val oi_pairs : 'v t -> int -> (int * int) list

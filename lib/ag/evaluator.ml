@@ -1,0 +1,240 @@
+(** Attribute evaluation over derivation trees.
+
+    The workhorse is a demand-driven, memoizing evaluator: asking for any
+    attribute of any node triggers exactly the semantic-rule applications its
+    value transitively depends on, each at most once.  This realizes the
+    paper's observation that the AG author "only describes what information
+    we want to know" and scheduling is the evaluator's problem.
+
+    A staged evaluator is also provided: it forces attributes pass by pass
+    following the visit partitions computed by {!Analysis}, which is how a
+    plan-based (Linguist-style) evaluator would proceed.  Both produce
+    identical values; the staged form exists for the visit statistics and
+    the evaluator-strategy bench. *)
+
+exception Cycle of { prod_name : string; attr_name : string }
+
+exception
+  Missing_rule of {
+    prod_name : string;
+    attr_name : string;
+    pos : int;
+  }
+
+type 'v node = {
+  n_prod : int; (* -1 for leaves *)
+  n_term : int; (* -1 for internal nodes *)
+  n_value : 'v option; (* token value for leaves *)
+  n_line : int;
+  n_children : 'v node array;
+  mutable n_parent : ('v node * int) option; (* parent and our index therein *)
+  n_cache : (int, 'v cell) Hashtbl.t; (* attr id -> state *)
+}
+
+and 'v cell =
+  | In_progress
+  | Done of 'v
+
+type 'v t = {
+  grammar : 'v Grammar.t;
+  root : 'v node;
+  root_inherited : (int * 'v) list;
+  token_line : (int -> 'v) option; (* injects a token's LINE into 'v *)
+  (* (production, position, attribute) -> rule, built on demand: rule lookup
+     is on every attribute evaluation, so linear scans add up *)
+  rule_index : (int * int * int, 'v Grammar.rule) Hashtbl.t;
+  mutable rule_applications : int; (* instrumentation for the benches *)
+}
+
+let rec attach grammar tree =
+  match tree with
+  | Tree.Leaf { term; value; line } ->
+    {
+      n_prod = -1;
+      n_term = term;
+      n_value = Some value;
+      n_line = line;
+      n_children = [||];
+      n_parent = None;
+      n_cache = Hashtbl.create 4;
+    }
+  | Tree.Node { prod; children } ->
+    let kids = Array.map (attach grammar) children in
+    let node =
+      {
+        n_prod = prod;
+        n_term = -1;
+        n_value = None;
+        n_line = 0;
+        n_children = kids;
+        n_parent = None;
+        n_cache = Hashtbl.create 8;
+      }
+    in
+    Array.iteri (fun i kid -> kid.n_parent <- Some (node, i)) kids;
+    node
+
+(** [create grammar ~root_inherited tree] prepares [tree] for evaluation.
+    [root_inherited] supplies the inherited attributes of the root (by
+    attribute name); [token_line] injects a token's source line into the
+    value type for rules that depend on the LINE token attribute. *)
+let create ?token_line grammar ~root_inherited tree =
+  let root = attach grammar tree in
+  let root_inherited =
+    List.map (fun (name, v) -> (Grammar.find_attr grammar name, v)) root_inherited
+  in
+  {
+    grammar;
+    root;
+    root_inherited;
+    token_line;
+    rule_index = Hashtbl.create 256;
+    rule_applications = 0;
+  }
+
+let find_rule t prod_id (target : Grammar.occurrence) =
+  let key = (prod_id, target.Grammar.pos, target.Grammar.attr) in
+  match Hashtbl.find_opt t.rule_index key with
+  | Some r -> r
+  | None ->
+    let p = Grammar.production t.grammar prod_id in
+    let rec scan i =
+      if i >= Array.length p.Grammar.rules then
+        raise
+          (Missing_rule
+             {
+               prod_name = p.Grammar.prod_name;
+               attr_name = Grammar.attr_name t.grammar target.Grammar.attr;
+               pos = target.Grammar.pos;
+             })
+      else
+        let r = p.Grammar.rules.(i) in
+        if r.Grammar.target.Grammar.pos = target.Grammar.pos
+           && r.Grammar.target.Grammar.attr = target.Grammar.attr
+        then begin
+          Hashtbl.replace t.rule_index key r;
+          r
+        end
+        else scan (i + 1)
+    in
+    scan 0
+
+(* Evaluate attribute [attr] of [node].  For synthesized attributes the
+   defining rule lives in the node's own production; for inherited ones it
+   lives in the parent's production (or in [root_inherited] at the root). *)
+let rec eval_node t node attr =
+  match Hashtbl.find_opt node.n_cache attr with
+  | Some (Done v) -> v
+  | Some In_progress ->
+    let prod_name =
+      if node.n_prod >= 0 then
+        (Grammar.production t.grammar node.n_prod).Grammar.prod_name
+      else Grammar.symbol_name t.grammar node.n_term
+    in
+    raise (Cycle { prod_name; attr_name = Grammar.attr_name t.grammar attr })
+  | None ->
+    Hashtbl.replace node.n_cache attr In_progress;
+    let v =
+      if node.n_prod < 0 then eval_token t node attr
+      else
+        match Grammar.attr_dir t.grammar attr with
+        | Grammar.Synthesized ->
+          let rule = find_rule t node.n_prod { Grammar.pos = 0; attr } in
+          apply_rule t node rule
+        | Grammar.Inherited -> (
+          match node.n_parent with
+          | Some (parent, idx) ->
+            let rule = find_rule t parent.n_prod { Grammar.pos = idx + 1; attr } in
+            apply_rule t parent rule
+          | None -> (
+            match List.assoc_opt attr t.root_inherited with
+            | Some v -> v
+            | None ->
+              invalid_arg
+                (Printf.sprintf "no value supplied for root inherited attribute %s"
+                   (Grammar.attr_name t.grammar attr))))
+    in
+    Hashtbl.replace node.n_cache attr (Done v);
+    v
+
+and eval_token t node attr =
+  if attr = t.grammar.Grammar.token_value_attr then
+    match node.n_value with
+    | Some v -> v
+    | None -> assert false
+  else if attr = t.grammar.Grammar.token_line_attr then
+    match t.token_line with
+    | Some inject -> inject node.n_line
+    | None ->
+      invalid_arg "token LINE attribute used but no token_line injection supplied"
+  else
+    invalid_arg
+      (Printf.sprintf "token %s has no attribute %s"
+         (Grammar.symbol_name t.grammar node.n_term)
+         (Grammar.attr_name t.grammar attr))
+
+and apply_rule t at_node rule =
+  let arg_of (occ : Grammar.occurrence) =
+    if occ.Grammar.pos = 0 then eval_node t at_node occ.Grammar.attr
+    else
+      let child = at_node.n_children.(occ.Grammar.pos - 1) in
+      if child.n_prod < 0 && occ.Grammar.attr = t.grammar.Grammar.token_line_attr then
+        (* token LINE is produced by the scanner, not by a semantic rule;
+           expose it through the same mechanism *)
+        eval_token t child occ.Grammar.attr
+      else eval_node t child occ.Grammar.attr
+  in
+  let args = List.map arg_of rule.Grammar.deps in
+  t.rule_applications <- t.rule_applications + 1;
+  rule.Grammar.compute args
+
+(** Value of synthesized attribute [name] at the root — the paper's "goal
+    attributes" that constitute the result of the translation. *)
+let goal t name =
+  let attr = Grammar.find_attr t.grammar name in
+  eval_node t t.root attr
+
+(** Number of semantic-rule applications so far (bench instrumentation). *)
+let rule_applications t = t.rule_applications
+
+(* ------------------------------------------------------------------ *)
+(* Staged (pass-based) evaluation *)
+
+(** Force every attribute of every node, proceeding bottom-up pass by pass
+    over partitions: partition [k] of each symbol is forced during pass [k].
+    [partitions] maps a symbol id to the list of (attr, pass) assignments as
+    computed by {!Analysis.visit_partitions}.  Returns the number of passes
+    executed. *)
+let evaluate_staged t ~partitions =
+  let max_pass = ref 1 in
+  Array.iter
+    (fun assignments ->
+      List.iter (fun (_, pass) -> if pass > !max_pass then max_pass := pass) assignments)
+    partitions;
+  for pass = 1 to !max_pass do
+    let rec walk node =
+      Array.iter walk node.n_children;
+      if node.n_prod >= 0 then begin
+        let p = Grammar.production t.grammar node.n_prod in
+        let sym = p.Grammar.lhs in
+        List.iter
+          (fun (attr, attr_pass) ->
+            if attr_pass = pass then ignore (eval_node t node attr))
+          partitions.(sym)
+      end
+    in
+    walk t.root
+  done;
+  !max_pass
+
+(** Force every declared attribute of every node (demand order). *)
+let evaluate_all t =
+  let g = t.grammar in
+  let rec walk node =
+    Array.iter walk node.n_children;
+    if node.n_prod >= 0 then begin
+      let p = Grammar.production g node.n_prod in
+      List.iter (fun attr -> ignore (eval_node t node attr)) (Grammar.attrs_of g p.Grammar.lhs)
+    end
+  in
+  walk t.root

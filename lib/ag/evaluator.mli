@@ -1,0 +1,46 @@
+(** Attribute evaluation over derivation trees.
+
+    Demand-driven and memoizing: asking for any attribute triggers exactly
+    the semantic-rule applications its value transitively depends on, each
+    at most once.  A staged (plan-based) variant forces attributes pass by
+    pass following {!Analysis.visit_partitions}, the way Linguist's
+    generated evaluators proceed. *)
+
+type 'v t
+
+exception Cycle of { prod_name : string; attr_name : string }
+(** Raised when demand evaluation encounters a genuine circularity (caught
+    statically by {!Analysis.compute} for strongly noncircular grammars). *)
+
+exception
+  Missing_rule of {
+    prod_name : string;
+    attr_name : string;
+    pos : int;
+  }
+
+val create :
+  ?token_line:(int -> 'v) ->
+  'v Grammar.t ->
+  root_inherited:(string * 'v) list ->
+  'v Tree.t ->
+  'v t
+(** Prepare a derivation tree for evaluation.  [root_inherited] supplies
+    the root's inherited attributes by name; [token_line] injects a token's
+    source line into the value type for rules depending on the LINE token
+    attribute. *)
+
+val goal : 'v t -> string -> 'v
+(** Value of a synthesized attribute at the root — the paper's "goal
+    attributes", the results of the translation. *)
+
+val rule_applications : 'v t -> int
+(** Semantic-rule applications so far (bench instrumentation). *)
+
+val evaluate_staged : 'v t -> partitions:(int * int) list array -> int
+(** Force every attribute pass by pass following per-symbol visit
+    partitions; returns the number of passes run.  Values agree with demand
+    evaluation. *)
+
+val evaluate_all : 'v t -> unit
+(** Force every declared attribute of every node (demand order). *)

@@ -1,0 +1,488 @@
+(** Attribute grammars: symbols, attributes, productions, semantic rules.
+
+    This is the formalism of the paper's Linguist system: a context-free
+    grammar whose nonterminals carry inherited and synthesized attributes
+    defined by semantic rules attached to productions, extended with
+    *attribute classes* (paper §4.2) whose missing rules are completed
+    implicitly by copy / unit-element / merge-function defaults.
+
+    The module is polymorphic in the attribute-value type ['v]: the engine
+    never inspects values, it only moves them through semantic functions
+    (the paper's "undistinguished, user-declared attributes"). *)
+
+module Interner = Vhdl_util.Interner
+
+type direction =
+  | Inherited
+  | Synthesized
+
+let pp_direction fmt = function
+  | Inherited -> Format.pp_print_string fmt "inherited"
+  | Synthesized -> Format.pp_print_string fmt "synthesized"
+
+(** An attribute occurrence inside a production: position 0 is the left-hand
+    side, positions 1..n are the right-hand-side symbols in order. *)
+type occurrence = { pos : int; attr : int }
+
+(** Implicit-rule policy of an attribute class (paper §4.2): [Copy] threads a
+    value unchanged, [Const u] supplies the unit element [u], and
+    [Merge (m, u)] folds an associative dyadic [m] over all right-hand-side
+    occurrences (with unit [u] when there are none). *)
+type 'v default =
+  | Copy
+  | Const of 'v
+  | Merge of ('v -> 'v -> 'v) * 'v
+
+type 'v attr_decl = {
+  attr_name : string;
+  attr_id : int;
+  dir : direction;
+  default : 'v default option; (* Some _ iff the attribute is a class *)
+}
+
+type provenance =
+  | Explicit
+  | Implicit (* supplied by attribute-class completion *)
+
+type 'v rule = {
+  target : occurrence;
+  deps : occurrence list;
+  compute : 'v list -> 'v;
+  provenance : provenance;
+}
+
+type 'v production = {
+  prod_id : int;
+  prod_name : string;
+  lhs : int;
+  rhs : int array;
+  rules : 'v rule array;
+}
+
+type 'v t = {
+  symbols : Interner.t; (* terminals and nonterminals share one id space *)
+  attrs : 'v attr_decl array;
+  attr_ids : (string, int) Hashtbl.t;
+  is_terminal : bool array;
+  (* attributes declared on each symbol, by symbol id *)
+  sym_attrs : int list array;
+  productions : 'v production array;
+  (* productions with a given lhs, by symbol id *)
+  prods_of : int list array;
+  start : int;
+  token_value_attr : int; (* the implicit VAL attribute of every terminal *)
+  token_line_attr : int; (* the implicit LINE attribute of every terminal *)
+}
+
+let symbol_name g id = Interner.name g.symbols id
+let attr_name g id = g.attrs.(id).attr_name
+let attr_dir g id = g.attrs.(id).dir
+let is_terminal g id = g.is_terminal.(id)
+let production g id = g.productions.(id)
+let n_symbols g = Interner.count g.symbols
+let n_productions g = Array.length g.productions
+let attrs_of g sym = g.sym_attrs.(sym)
+let productions_of g sym = g.prods_of.(sym)
+
+let find_symbol g name =
+  match Interner.find_opt g.symbols name with
+  | Some id -> id
+  | None -> invalid_arg (Printf.sprintf "Grammar.find_symbol: unknown symbol %s" name)
+
+let find_attr g name =
+  match Hashtbl.find_opt g.attr_ids name with
+  | Some id -> id
+  | None -> invalid_arg (Printf.sprintf "Grammar.find_attr: unknown attribute %s" name)
+
+(** Name of the implicit token-value attribute carried by every terminal
+    (the mechanism the paper uses to attach symbol-table entries to LEF
+    tokens). *)
+let token_value_name = "VAL"
+
+let token_line_name = "LINE"
+
+type 'v grammar = 'v t
+(* alias so Builder's signature can name the sealed grammar type *)
+
+exception Ill_formed of string
+
+let ill_formed fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Builder *)
+
+module Builder = struct
+  type 'v rule_spec = {
+    s_target : int * string;
+    s_deps : (int * string) list;
+    s_fn : 'v list -> 'v;
+  }
+
+  type 'v prod_spec = {
+    p_name : string;
+    p_lhs : string;
+    p_rhs : string list;
+    p_rules : 'v rule_spec list;
+  }
+
+  type 'v b = {
+    b_symbols : Interner.t;
+    mutable b_terminals : (int, unit) Hashtbl.t;
+    mutable b_attrs : 'v attr_decl list; (* reverse order *)
+    b_attr_ids : (string, int) Hashtbl.t;
+    mutable b_next_attr : int;
+    (* symbol id -> attr ids *)
+    b_sym_attrs : (int, int list ref) Hashtbl.t;
+    mutable b_prods : 'v prod_spec list; (* reverse order *)
+  }
+
+  type 'v t = 'v b
+
+  let create () =
+    let b =
+      {
+        b_symbols = Interner.create ();
+        b_terminals = Hashtbl.create 64;
+        b_attrs = [];
+        b_attr_ids = Hashtbl.create 64;
+        b_next_attr = 0;
+        b_sym_attrs = Hashtbl.create 64;
+        b_prods = [];
+      }
+    in
+    b
+
+  let declare_attr b ~name ~dir ~default =
+    match Hashtbl.find_opt b.b_attr_ids name with
+    | Some id ->
+      let existing = List.find (fun a -> a.attr_id = id) b.b_attrs in
+      if existing.dir <> dir then
+        ill_formed "attribute %s redeclared with a different direction" name;
+      id
+    | None ->
+      let id = b.b_next_attr in
+      b.b_next_attr <- id + 1;
+      Hashtbl.add b.b_attr_ids name id;
+      b.b_attrs <- { attr_name = name; attr_id = id; dir; default } :: b.b_attrs;
+      id
+
+  let terminal b name =
+    let id = Interner.intern b.b_symbols name in
+    Hashtbl.replace b.b_terminals id ();
+    id
+
+  let nonterminal b name = Interner.intern b.b_symbols name
+
+  (** Declare a plain attribute [name] on symbol [sym]. *)
+  let attr b ~sym ~name ~dir =
+    let sym_id = nonterminal b sym in
+    let attr_id = declare_attr b ~name ~dir ~default:None in
+    let cell =
+      match Hashtbl.find_opt b.b_sym_attrs sym_id with
+      | Some c -> c
+      | None ->
+        let c = ref [] in
+        Hashtbl.add b.b_sym_attrs sym_id c;
+        c
+    in
+    if not (List.mem attr_id !cell) then cell := attr_id :: !cell
+
+  (** Declare an attribute class (paper §4.2).  Associating it with symbols
+      is done with {!attr_member}. *)
+  let attr_class b ~name ~dir ~default =
+    ignore (declare_attr b ~name ~dir ~default:(Some default))
+
+  (** Associate the class [cls] with symbol [sym]. *)
+  let attr_member b ~sym ~cls =
+    let sym_id = nonterminal b sym in
+    let attr_id =
+      match Hashtbl.find_opt b.b_attr_ids cls with
+      | Some id -> id
+      | None -> ill_formed "attr_member: unknown attribute class %s" cls
+    in
+    let cell =
+      match Hashtbl.find_opt b.b_sym_attrs sym_id with
+      | Some c -> c
+      | None ->
+        let c = ref [] in
+        Hashtbl.add b.b_sym_attrs sym_id c;
+        c
+    in
+    if not (List.mem attr_id !cell) then cell := attr_id :: !cell
+
+  let rule ~target ~deps fn = { s_target = target; s_deps = deps; s_fn = fn }
+
+  (** A rule with no dependencies (a constant). *)
+  let const ~target v = rule ~target ~deps:[] (fun _ -> v)
+
+  (** A copy rule. *)
+  let copy ~target ~from =
+    rule ~target ~deps:[ from ]
+      (function
+        | [ v ] -> v
+        | _ -> assert false)
+
+  let production b ~name ~lhs ~rhs ~rules =
+    ignore (nonterminal b lhs);
+    List.iter (fun s -> ignore (Interner.intern b.b_symbols s)) rhs;
+    b.b_prods <- { p_name = name; p_lhs = lhs; p_rhs = rhs; p_rules = rules } :: b.b_prods
+
+  (* ---- completion: implicit rules per attribute class (paper §4.2) ---- *)
+
+  let freeze b ~start =
+    let n_syms = Interner.count b.b_symbols in
+    let is_terminal = Array.make n_syms false in
+    Hashtbl.iter (fun id () -> is_terminal.(id) <- true) b.b_terminals;
+    let attrs_list = List.rev b.b_attrs in
+    (* add the implicit token attributes *)
+    let token_value_attr = b.b_next_attr in
+    let token_line_attr = b.b_next_attr + 1 in
+    let attrs =
+      Array.of_list
+        (attrs_list
+        @ [
+            {
+              attr_name = token_value_name;
+              attr_id = token_value_attr;
+              dir = Synthesized;
+              default = None;
+            };
+            {
+              attr_name = token_line_name;
+              attr_id = token_line_attr;
+              dir = Synthesized;
+              default = None;
+            };
+          ])
+    in
+    Hashtbl.replace b.b_attr_ids token_value_name token_value_attr;
+    Hashtbl.replace b.b_attr_ids token_line_name token_line_attr;
+    let sym_attrs = Array.make n_syms [] in
+    Hashtbl.iter (fun sym cell -> sym_attrs.(sym) <- List.rev !cell) b.b_sym_attrs;
+    for sym = 0 to n_syms - 1 do
+      if is_terminal.(sym) then begin
+        if sym_attrs.(sym) <> [] then
+          ill_formed "terminal %s may not declare attributes" (Interner.name b.b_symbols sym);
+        sym_attrs.(sym) <- [ token_value_attr; token_line_attr ]
+      end
+    done;
+    let has_attr sym a = List.mem a sym_attrs.(sym) in
+    let resolve_attr name =
+      match Hashtbl.find_opt b.b_attr_ids name with
+      | Some id -> id
+      | None -> ill_formed "rule references unknown attribute %s" name
+    in
+    let specs = Array.of_list (List.rev b.b_prods) in
+    let productions =
+      Array.mapi
+        (fun prod_id spec ->
+          let lhs = Interner.intern b.b_symbols spec.p_lhs in
+          if is_terminal.(lhs) then ill_formed "terminal %s used as lhs" spec.p_lhs;
+          let rhs = Array.of_list (List.map (Interner.intern b.b_symbols) spec.p_rhs) in
+          let arity = Array.length rhs in
+          let occ_sym pos = if pos = 0 then lhs else rhs.(pos - 1) in
+          let check_occ ~what { pos; attr } =
+            if pos < 0 || pos > arity then
+              ill_formed "%s: position %d out of range in production %s" what pos spec.p_name;
+            let sym = occ_sym pos in
+            if not (has_attr sym attr) then
+              ill_formed "%s: symbol %s has no attribute %s (production %s)" what
+                (Interner.name b.b_symbols sym)
+                attrs.(attr).attr_name spec.p_name
+          in
+          let mk_rule s =
+            let target = { pos = fst s.s_target; attr = resolve_attr (snd s.s_target) } in
+            let deps =
+              List.map (fun (pos, a) -> { pos; attr = resolve_attr a }) s.s_deps
+            in
+            check_occ ~what:"rule target" target;
+            List.iter (check_occ ~what:"rule dependency") deps;
+            (* well-formedness: targets are syn(lhs) or inh(rhs);
+               dependencies are inh(lhs), syn(rhs), or token values *)
+            let tdir = attrs.(target.attr).dir in
+            (match (target.pos, tdir) with
+            | 0, Synthesized -> ()
+            | 0, Inherited ->
+              ill_formed "rule may not define inherited attribute of the lhs (%s in %s)"
+                attrs.(target.attr).attr_name spec.p_name
+            | _, Inherited -> ()
+            | p, Synthesized ->
+              if is_terminal.(rhs.(p - 1)) then
+                ill_formed "rule may not define token attribute (%s in %s)"
+                  attrs.(target.attr).attr_name spec.p_name
+              else
+                ill_formed
+                  "rule may not define synthesized attribute of an rhs symbol (%s in %s)"
+                  attrs.(target.attr).attr_name spec.p_name);
+            (* Dependencies may reference any occurrence: inh(lhs) and
+               syn(rhs) are the classical ones; syn(lhs) and inh(rhs) give
+               local attribute chaining (all are computable within the
+               production; circularity is caught by analysis/evaluation). *)
+            { target; deps; compute = s.s_fn; provenance = Explicit }
+          in
+          let explicit = List.map mk_rule spec.p_rules in
+          (* duplicate-definition check *)
+          let seen = Hashtbl.create 16 in
+          List.iter
+            (fun r ->
+              let key = (r.target.pos, r.target.attr) in
+              if Hashtbl.mem seen key then
+                ill_formed "attribute %s at position %d defined twice in production %s"
+                  attrs.(r.target.attr).attr_name r.target.pos spec.p_name;
+              Hashtbl.add seen key ())
+            explicit;
+          (* required targets: syn attrs of lhs, inh attrs of each rhs nonterminal *)
+          let required = ref [] in
+          List.iter
+            (fun a -> if attrs.(a).dir = Synthesized then required := { pos = 0; attr = a } :: !required)
+            sym_attrs.(lhs);
+          Array.iteri
+            (fun i sym ->
+              if not is_terminal.(sym) then
+                List.iter
+                  (fun a ->
+                    if attrs.(a).dir = Inherited then
+                      required := { pos = i + 1; attr = a } :: !required)
+                  sym_attrs.(sym))
+            rhs;
+          let implicit =
+            List.filter_map
+              (fun occ ->
+                if Hashtbl.mem seen (occ.pos, occ.attr) then None
+                else begin
+                  let decl = attrs.(occ.attr) in
+                  let other_occurrences () =
+                    (* occurrences of the same attribute elsewhere in the
+                       production that a copy/merge rule may read from *)
+                    let occs = ref [] in
+                    (* rhs occurrences, synthesized only (valid deps) *)
+                    for i = arity downto 1 do
+                      let sym = rhs.(i - 1) in
+                      if (not is_terminal.(sym)) && has_attr sym occ.attr
+                         && decl.dir = Synthesized
+                      then occs := { pos = i; attr = occ.attr } :: !occs
+                    done;
+                    (* lhs occurrence, inherited only *)
+                    if decl.dir = Inherited && has_attr lhs occ.attr && occ.pos <> 0 then
+                      occs := { pos = 0; attr = occ.attr } :: !occs;
+                    !occs
+                  in
+                  match decl.default with
+                  | None ->
+                    ill_formed "production %s: no rule for %s of %s at position %d"
+                      spec.p_name decl.attr_name
+                      (Interner.name b.b_symbols (occ_sym occ.pos))
+                      occ.pos
+                  | Some Copy -> (
+                    match other_occurrences () with
+                    | src :: _ ->
+                      Some
+                        {
+                          target = occ;
+                          deps = [ src ];
+                          compute =
+                            (function
+                              | [ v ] -> v
+                              | _ -> assert false);
+                          provenance = Implicit;
+                        }
+                    | [] ->
+                      ill_formed
+                        "production %s: copy class %s has no source occurrence for %s"
+                        spec.p_name decl.attr_name
+                        (Interner.name b.b_symbols (occ_sym occ.pos)))
+                  | Some (Const u) ->
+                    Some { target = occ; deps = []; compute = (fun _ -> u); provenance = Implicit }
+                  | Some (Merge (m, u)) ->
+                    if decl.dir = Inherited then (
+                      (* inherited merge class behaves as copy-down *)
+                      match other_occurrences () with
+                      | src :: _ ->
+                        Some
+                          {
+                            target = occ;
+                            deps = [ src ];
+                            compute =
+                              (function
+                                | [ v ] -> v
+                                | _ -> assert false);
+                            provenance = Implicit;
+                          }
+                      | [] ->
+                        Some
+                          { target = occ; deps = []; compute = (fun _ -> u); provenance = Implicit })
+                    else begin
+                      let sources =
+                        List.filter (fun o -> o.pos > 0) (other_occurrences ())
+                      in
+                      match sources with
+                      | [] ->
+                        Some
+                          { target = occ; deps = []; compute = (fun _ -> u); provenance = Implicit }
+                      | deps ->
+                        Some
+                          {
+                            target = occ;
+                            deps;
+                            compute =
+                              (function
+                                | [] -> u
+                                | v :: vs -> List.fold_left m v vs);
+                            provenance = Implicit;
+                          }
+                    end
+                end)
+              (List.rev !required)
+          in
+          {
+            prod_id;
+            prod_name = spec.p_name;
+            lhs;
+            rhs;
+            rules = Array.of_list (explicit @ implicit);
+          })
+        specs
+    in
+    let prods_of = Array.make n_syms [] in
+    Array.iter
+      (fun p -> prods_of.(p.lhs) <- p.prod_id :: prods_of.(p.lhs))
+      productions;
+    Array.iteri (fun i l -> prods_of.(i) <- List.rev l) prods_of;
+    let start =
+      match Interner.find_opt b.b_symbols start with
+      | Some id when not is_terminal.(id) -> id
+      | Some _ -> ill_formed "start symbol %s is a terminal" start
+      | None -> ill_formed "start symbol %s is not defined" start
+    in
+    (* every nonterminal must have a production *)
+    for sym = 0 to n_syms - 1 do
+      if (not is_terminal.(sym)) && prods_of.(sym) = [] then
+        ill_formed "nonterminal %s has no productions" (Interner.name b.b_symbols sym)
+    done;
+    {
+      symbols = b.b_symbols;
+      attrs;
+      attr_ids = b.b_attr_ids;
+      is_terminal;
+      sym_attrs;
+      productions;
+      prods_of;
+      start;
+      token_value_attr;
+      token_line_attr;
+    }
+end
+
+let pp_production g fmt p =
+  Format.fprintf fmt "%s ::= %s" (symbol_name g p.lhs)
+    (if Array.length p.rhs = 0 then "<empty>"
+     else String.concat " " (Array.to_list (Array.map (symbol_name g) p.rhs)))
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>";
+  Array.iter
+    (fun p ->
+      Format.fprintf fmt "[%d] %a  (%d rules)@," p.prod_id (pp_production g) p
+        (Array.length p.rules))
+    g.productions;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,132 @@
+(** Attribute grammars: symbols, attributes, productions, semantic rules.
+
+    The formalism of the paper's Linguist system: a context-free grammar
+    whose nonterminals carry inherited and synthesized attributes defined by
+    semantic rules attached to productions, extended with *attribute
+    classes* (paper §4.2) whose missing rules are completed implicitly by
+    copy / unit-element / merge-function defaults.
+
+    Polymorphic in the attribute-value type ['v]: the engine never inspects
+    values, only moves them through semantic functions. *)
+
+module Interner = Vhdl_util.Interner
+
+type direction =
+  | Inherited
+  | Synthesized
+
+val pp_direction : Format.formatter -> direction -> unit
+
+(** An attribute occurrence inside a production: position 0 is the
+    left-hand side, positions 1..n the right-hand-side symbols in order. *)
+type occurrence = { pos : int; attr : int }
+
+(** Implicit-rule policy of an attribute class: [Copy] threads a value
+    unchanged, [Const u] supplies the unit element, [Merge (m, u)] folds an
+    associative dyadic [m] over the right-hand-side occurrences. *)
+type 'v default =
+  | Copy
+  | Const of 'v
+  | Merge of ('v -> 'v -> 'v) * 'v
+
+type 'v attr_decl = {
+  attr_name : string;
+  attr_id : int;
+  dir : direction;
+  default : 'v default option; (* Some _ iff the attribute is a class *)
+}
+
+type provenance =
+  | Explicit
+  | Implicit (* supplied by attribute-class completion *)
+
+type 'v rule = {
+  target : occurrence;
+  deps : occurrence list;
+  compute : 'v list -> 'v;
+  provenance : provenance;
+}
+
+type 'v production = {
+  prod_id : int;
+  prod_name : string;
+  lhs : int;
+  rhs : int array;
+  rules : 'v rule array;
+}
+
+type 'v t = {
+  symbols : Interner.t;
+  attrs : 'v attr_decl array;
+  attr_ids : (string, int) Hashtbl.t;
+  is_terminal : bool array;
+  sym_attrs : int list array;
+  productions : 'v production array;
+  prods_of : int list array;
+  start : int;
+  token_value_attr : int; (* the implicit VAL attribute of every terminal *)
+  token_line_attr : int; (* the implicit LINE attribute of every terminal *)
+}
+
+val symbol_name : 'v t -> int -> string
+val attr_name : 'v t -> int -> string
+val attr_dir : 'v t -> int -> direction
+val is_terminal : 'v t -> int -> bool
+val production : 'v t -> int -> 'v production
+val n_symbols : 'v t -> int
+val n_productions : 'v t -> int
+val attrs_of : 'v t -> int -> int list
+val productions_of : 'v t -> int -> int list
+val find_symbol : 'v t -> string -> int
+val find_attr : 'v t -> string -> int
+
+val token_value_name : string
+(** Name of the implicit token-value attribute of every terminal — the
+    mechanism the paper uses to attach symbol-table entries to LEF tokens. *)
+
+val token_line_name : string
+
+type 'v grammar = 'v t
+
+exception Ill_formed of string
+(** Raised at {!Builder.freeze} for malformed grammars: missing or
+    duplicate rules, bad positions, terminals with attributes, etc. *)
+
+module Builder : sig
+  type 'v rule_spec
+  type 'v t
+
+  val create : unit -> 'v t
+  val terminal : 'v t -> string -> int
+  val nonterminal : 'v t -> string -> int
+
+  val attr : 'v t -> sym:string -> name:string -> dir:direction -> unit
+  (** Declare a plain attribute on a symbol: every production of (or
+      around) the symbol must define it explicitly. *)
+
+  val attr_class : 'v t -> name:string -> dir:direction -> default:'v default -> unit
+  (** Declare an attribute class (paper §4.2): missing rules are completed
+      per [default] at freeze time. *)
+
+  val attr_member : 'v t -> sym:string -> cls:string -> unit
+
+  val rule :
+    target:int * string -> deps:(int * string) list -> ('v list -> 'v) -> 'v rule_spec
+  (** A semantic rule: [target] receives the result of applying the
+      function to the dependency values, in order.  Targets must be
+      synthesized-of-LHS or inherited-of-RHS; dependencies may reference
+      any occurrence (local chaining included). *)
+
+  val const : target:int * string -> 'v -> 'v rule_spec
+  val copy : target:int * string -> from:int * string -> 'v rule_spec
+
+  val production :
+    'v t -> name:string -> lhs:string -> rhs:string list -> rules:'v rule_spec list -> unit
+
+  val freeze : 'v t -> start:string -> 'v grammar
+  (** Validate, complete implicit rules, and seal the grammar.
+      @raise Ill_formed on any inconsistency. *)
+end
+
+val pp_production : 'v t -> Format.formatter -> 'v production -> unit
+val pp : Format.formatter -> 'v t -> unit

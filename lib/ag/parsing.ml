@@ -1,0 +1,76 @@
+(** From attribute grammar to LALR(1) parser.
+
+    The paper's Linguist generates an LALR parser from the AG's underlying
+    context-free grammar and an attribute evaluator from its semantic rules;
+    this module is that first half.  The same machinery serves both the
+    principal VHDL grammar (tokens from the file scanner) and the expression
+    grammar (tokens from a LEF list). *)
+
+module Cfg = Vhdl_lalr.Cfg
+module Table = Vhdl_lalr.Table
+module Driver = Vhdl_lalr.Driver
+
+type 'v t = {
+  grammar : 'v Grammar.t;
+  table : Table.t;
+  eof : int;
+}
+
+exception
+  Conflicts of {
+    grammar_name : string;
+    report : string;
+  }
+
+(** Underlying CFG of an attribute grammar.  [eof] names a declared terminal
+    that the lexer emits at end of input. *)
+let cfg_of_grammar (g : 'v Grammar.t) ~eof =
+  let eof_id = Grammar.find_symbol g eof in
+  let n = Grammar.n_symbols g in
+  let is_terminal = Array.init n (Grammar.is_terminal g) in
+  let productions =
+    Array.init (Grammar.n_productions g) (fun id ->
+        let p = Grammar.production g id in
+        { Cfg.id; lhs = p.Grammar.lhs; rhs = p.Grammar.rhs })
+  in
+  Cfg.create ~n_symbols:n ~is_terminal ~productions ~start:g.Grammar.start ~eof:eof_id
+    ~symbol_name:(Grammar.symbol_name g)
+
+(** Build the parser.  By default any LALR conflict is an error (the AG
+    author must resolve it by restructuring, per the paper's discussion);
+    pass [~allow_conflicts:true] to accept the yacc-style resolution. *)
+let create ?(allow_conflicts = false) ?(name = "grammar") (g : 'v Grammar.t) ~eof =
+  let cfg = cfg_of_grammar g ~eof in
+  let table = Table.build cfg in
+  if (not allow_conflicts) && table.Table.conflicts <> [] then begin
+    let report =
+      Format.asprintf "@[<v>%a@]"
+        (Format.pp_print_list (Table.pp_conflict table))
+        table.Table.conflicts
+    in
+    raise (Conflicts { grammar_name = name; report })
+  end;
+  { grammar = g; table; eof = Grammar.find_symbol g eof }
+
+let conflicts t = t.table.Table.conflicts
+
+(** Parse a token stream into a derivation tree of the AG. *)
+let parse t ~lexer =
+  Driver.parse t.table ~lexer
+    ~shift:(fun term value line -> Tree.leaf ~term ~value ~line)
+    ~reduce:(fun prod children -> Tree.node prod children)
+
+(** Parse a pre-materialized token list (the LEF case: the scanner "just
+    takes the next LEF token off the front of the list"). *)
+let parse_list t ~eof_value tokens =
+  let remaining = ref tokens in
+  let last_line = ref 0 in
+  let lexer () =
+    match !remaining with
+    | tok :: rest ->
+      remaining := rest;
+      last_line := tok.Driver.t_line;
+      tok
+    | [] -> { Driver.t_sym = t.eof; t_value = eof_value; t_line = !last_line }
+  in
+  parse t ~lexer

@@ -1,0 +1,35 @@
+(** From attribute grammar to LALR(1) parser (Linguist's parser half).
+
+    The same machinery serves the principal VHDL grammar (tokens from the
+    file scanner) and the expression grammar (tokens from a LEF list fed by
+    the trivial list scanner of cascaded evaluation). *)
+
+type 'v t = {
+  grammar : 'v Grammar.t;
+  table : Vhdl_lalr.Table.t;
+  eof : int;
+}
+
+exception
+  Conflicts of {
+    grammar_name : string;
+    report : string;
+  }
+
+val cfg_of_grammar : 'v Grammar.t -> eof:string -> Vhdl_lalr.Cfg.t
+(** The underlying context-free grammar; [eof] names a declared terminal
+    the lexer emits at end of input. *)
+
+val create : ?allow_conflicts:bool -> ?name:string -> 'v Grammar.t -> eof:string -> 'v t
+(** Build the LALR(1) tables.  @raise Conflicts unless [allow_conflicts]
+    (the paper's authors had to track conflict resolution by hand when
+    uniting productions; we reject instead). *)
+
+val conflicts : 'v t -> Vhdl_lalr.Table.conflict list
+
+val parse : 'v t -> lexer:(unit -> 'v Vhdl_lalr.Driver.token) -> 'v Tree.t
+(** Parse a token stream into a derivation tree. *)
+
+val parse_list : 'v t -> eof_value:'v -> 'v Vhdl_lalr.Driver.token list -> 'v Tree.t
+(** Parse a pre-materialized token list (the LEF case: the scanner "just
+    takes the next LEF token off the front of the list"). *)

@@ -1,0 +1,81 @@
+(** Grammar statistics in the shape of the paper's §4.1 table:
+
+    {v
+                     VHDL AG   expr AG
+    productions        503       160
+    symbols            355       101
+    attributes        3509       446
+    rules(implicit)   8862(6...) 2132(1061)
+    max visits           3         4
+    v} *)
+
+type t = {
+  name : string;
+  productions : int;
+  symbols : int;
+  attributes : int; (* attribute instances summed over symbols *)
+  rules_total : int;
+  rules_implicit : int;
+  max_visits : int; (* -1 when the AG is not orderable by a fixed plan *)
+}
+
+let of_grammar ~name g =
+  let productions = Grammar.n_productions g in
+  let symbols = Grammar.n_symbols g in
+  let attributes =
+    let total = ref 0 in
+    for sym = 0 to symbols - 1 do
+      if not (Grammar.is_terminal g sym) then
+        total := !total + List.length (Grammar.attrs_of g sym)
+    done;
+    !total
+  in
+  let rules_total = ref 0 and rules_implicit = ref 0 in
+  for pid = 0 to productions - 1 do
+    let p = Grammar.production g pid in
+    Array.iter
+      (fun r ->
+        incr rules_total;
+        match r.Grammar.provenance with
+        | Grammar.Implicit -> incr rules_implicit
+        | Grammar.Explicit -> ())
+      p.Grammar.rules
+  done;
+  let max_visits =
+    match Analysis.visit_partitions (Analysis.compute g) with
+    | parts ->
+      Array.fold_left
+        (fun acc l -> List.fold_left (fun acc (_, v) -> max acc v) acc l)
+        1 parts
+    | exception Analysis.Not_orderable _ -> -1
+  in
+  {
+    name;
+    productions;
+    symbols;
+    attributes;
+    rules_total = !rules_total;
+    rules_implicit = !rules_implicit;
+    max_visits;
+  }
+
+let implicit_fraction t =
+  if t.rules_total = 0 then 0.0
+  else float_of_int t.rules_implicit /. float_of_int t.rules_total
+
+let pp_table fmt stats =
+  let columns = List.map (fun s -> s.name) stats in
+  Format.fprintf fmt "@[<v>%-18s" "";
+  List.iter (fun c -> Format.fprintf fmt " %12s" c) columns;
+  Format.fprintf fmt "@,";
+  let row label f =
+    Format.fprintf fmt "%-18s" label;
+    List.iter (fun s -> Format.fprintf fmt " %12s" (f s)) stats;
+    Format.fprintf fmt "@,"
+  in
+  row "productions" (fun s -> string_of_int s.productions);
+  row "symbols" (fun s -> string_of_int s.symbols);
+  row "attributes" (fun s -> string_of_int s.attributes);
+  row "rules(implicit)" (fun s -> Printf.sprintf "%d(%d)" s.rules_total s.rules_implicit);
+  row "max visits" (fun s -> if s.max_visits < 0 then "n/a" else string_of_int s.max_visits);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,21 @@
+(** Grammar statistics in the shape of the paper's §4.1 table
+    (productions / symbols / attributes / rules (implicit) / max visits). *)
+
+type t = {
+  name : string;
+  productions : int;
+  symbols : int;
+  attributes : int; (* attribute instances summed over symbols *)
+  rules_total : int;
+  rules_implicit : int;
+  max_visits : int; (* -1 when the AG is not orderable by a fixed plan *)
+}
+
+val of_grammar : name:string -> 'v Grammar.t -> t
+
+val implicit_fraction : t -> float
+(** Fraction of rules supplied by attribute-class completion — the §4.2
+    "more than half of all the rules" claim. *)
+
+val pp_table : Format.formatter -> t list -> unit
+(** Print several grammars side by side, like the paper's table. *)

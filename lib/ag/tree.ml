@@ -1,0 +1,46 @@
+(** Derivation trees of an attribute grammar.
+
+    The LALR driver ({!Vhdl_lalr.Driver}) produces these; the evaluator
+    ({!Evaluator}) decorates them.  Leaves carry the token value — the
+    mechanism the paper uses to attach symbol-table entries to LEF tokens. *)
+
+type 'v t =
+  | Node of { prod : int; children : 'v t array }
+  | Leaf of { term : int; value : 'v; line : int }
+
+let node prod children = Node { prod; children = Array.of_list children }
+let leaf ~term ~value ~line = Leaf { term; value; line }
+
+let rec size = function
+  | Leaf _ -> 1
+  | Node { children; _ } -> Array.fold_left (fun acc c -> acc + size c) 1 children
+
+let rec depth = function
+  | Leaf _ -> 1
+  | Node { children; _ } ->
+    1 + Array.fold_left (fun acc c -> max acc (depth c)) 0 children
+
+(** First token line in the subtree, if any: used for error positions. *)
+let rec first_line = function
+  | Leaf { line; _ } -> Some line
+  | Node { children; _ } ->
+    let rec scan i =
+      if i >= Array.length children then None
+      else
+        match first_line children.(i) with
+        | Some _ as l -> l
+        | None -> scan (i + 1)
+    in
+    scan 0
+
+let pp grammar fmt tree =
+  let rec go fmt = function
+    | Leaf { term; line; _ } ->
+      Format.fprintf fmt "%s@%d" (Grammar.symbol_name grammar term) line
+    | Node { prod; children } ->
+      let p = Grammar.production grammar prod in
+      Format.fprintf fmt "@[<v 2>(%s" p.Grammar.prod_name;
+      Array.iter (fun c -> Format.fprintf fmt "@,%a" go c) children;
+      Format.fprintf fmt ")@]"
+  in
+  go fmt tree

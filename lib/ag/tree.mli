@@ -1,0 +1,17 @@
+(** Derivation trees of an attribute grammar: produced by the LALR driver,
+    decorated by the evaluator.  Leaves carry token values — the paper's
+    mechanism for attaching symbol-table entries to LEF tokens. *)
+
+type 'v t =
+  | Node of { prod : int; children : 'v t array }
+  | Leaf of { term : int; value : 'v; line : int }
+
+val node : int -> 'v t list -> 'v t
+val leaf : term:int -> value:'v -> line:int -> 'v t
+val size : 'v t -> int
+val depth : 'v t -> int
+
+val first_line : 'v t -> int option
+(** First token line in the subtree, for error positions. *)
+
+val pp : 'v Grammar.t -> Format.formatter -> 'v t -> unit

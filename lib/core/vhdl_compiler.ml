@@ -1,0 +1,189 @@
+(** The public compiler facade.
+
+    Ties the pieces together exactly as Figure 1 of the paper organizes
+    them: scanner and LALR parser feed the attribute evaluator generated
+    from the principal AG; [exprEval] cascades into the expression AG;
+    foreign references go through the VIF library manager; the "link" step
+    (our analog of compiling the generated C) elaborates the design against
+    the simulation kernel.
+
+    {[
+      let c = Vhdl_compiler.create () in
+      let _ = Vhdl_compiler.compile c source in
+      let sim = Vhdl_compiler.elaborate c ~top:"TB" () in
+      let _ = Vhdl_compiler.run sim ~max_ns:1000 in
+      Vhdl_compiler.history sim ":tb:Q"
+    ]} *)
+
+module Timer = Vhdl_util.Phase_timer
+
+type t = {
+  work : Library.t;
+  timer : Timer.t;
+  mutable compiled_units : int;
+  mutable compiled_lines : int;
+  mutable diagnostics : Diag.t list; (* newest first *)
+}
+
+exception Compile_error of Diag.t list
+
+(** Create a compiler.  [work_dir] makes the working library disk-backed
+    (separate compilation across compiler instances); without it, the
+    library lives in memory. *)
+let create ?work_dir () =
+  {
+    work = Library.create ?dir:work_dir ~name:"WORK" ();
+    timer = Timer.create ();
+    compiled_units = 0;
+    compiled_lines = 0;
+    diagnostics = [];
+  }
+
+(** Attach a read-only reference library (the paper's second library
+    argument). *)
+let add_reference_library t ~name ~dir =
+  let lib = Library.create ~dir ~name () in
+  Library.add_reference t.work ~as_name:name lib
+
+let session t : Session.t =
+  {
+    Session.work_library = "WORK";
+    find_unit = (fun ~library ~key -> Library.find t.work ~library ~key);
+    insert = (fun u -> Library.insert t.work u);
+    known_library =
+      (fun lib -> lib = "WORK" || lib = "STD" || Library.resolve_library t.work lib <> None);
+    subprogs = Hashtbl.create 64;
+  }
+
+let work_library t = t.work
+let timer t = t.timer
+let diagnostics t = List.rev t.diagnostics
+
+(** Compile one source text into the working library.  Phases are timed
+    individually for the PERF-PHASE experiment.  Returns the compiled
+    units; diagnostics accumulate on the compiler ([diagnostics]).
+    Raises {!Compile_error} on syntax errors or when [fail_on_error] (the
+    default) and semantic errors exist. *)
+let compile ?(fail_on_error = true) t source : Unit_info.compiled_unit list =
+  let session = session t in
+  Session.with_session session (fun () ->
+      let grammar = Main_grammar.grammar () in
+      let parser_ = Main_grammar.parser_ () in
+      let source_lines = Lexer.source_lines source in
+      (* phase 1: scanning *)
+      let tokens =
+        Timer.time t.timer "scanner" (fun () ->
+            try Analyze.tokens_of_source source
+            with Lexer.Lex_error { line; msg } ->
+              raise (Compile_error [ Diag.error ~line "%s" msg ]))
+      in
+      (* phase 2: LALR parsing *)
+      let tree =
+        Timer.time t.timer "parser" (fun () ->
+            try Parsing.parse_list parser_ ~eof_value:Pval.Unit tokens
+            with Vhdl_lalr.Driver.Syntax_error { line; found; _ } ->
+              raise (Compile_error [ Diag.error ~line "syntax error: unexpected %s" found ]))
+      in
+      (* phases 3+4: attribute evaluation, with the expression-AG cascade
+         accounted separately *)
+      Expr_eval.reset_counters ();
+      Library.reset_io_stats t.work;
+      let ev =
+        Evaluator.create
+          ~token_line:(fun n -> Pval.Int n)
+          grammar
+          ~root_inherited:
+            [
+              ("ENV", Pval.Env Env.empty);
+              ("LEVEL", Pval.Int (-1));
+              ("UNITNAME", Pval.Str "WORK.%FILE%");
+              ("CTX", Pval.Str "arch");
+              ("SLOTBASE", Pval.Int 0);
+              ("SIGBASE", Pval.Int 0);
+              ("LOOPDEPTH", Pval.Int 0);
+              ("RETTY", Pval.Opt None);
+              ("CTXOUT", Pval.Out Pval.out_empty);
+              ("NLINES", Pval.Int source_lines);
+            ]
+          tree
+      in
+      let units, msgs =
+        Timer.time t.timer "attribute evaluation" (fun () ->
+            let units = Pval.as_units (Evaluator.goal ev "UNITS") in
+            let msgs = Pval.as_msgs (Evaluator.goal ev "MSGS") in
+            (units, msgs))
+      in
+      (* carve the cascade and the VIF I/O out of the evaluation phase *)
+      Timer.add t.timer "attribute evaluation" (-.(!Expr_eval.seconds));
+      Timer.add t.timer "expression evaluation (cascade)" !Expr_eval.seconds;
+      let io = Library.io_stats t.work in
+      Timer.add t.timer "attribute evaluation"
+        (-.(io.Library.io_read_seconds +. io.Library.io_write_seconds));
+      Timer.add t.timer "VIF read" io.Library.io_read_seconds;
+      Timer.add t.timer "VIF write" io.Library.io_write_seconds;
+      t.compiled_units <- t.compiled_units + List.length units;
+      t.compiled_lines <- t.compiled_lines + source_lines;
+      t.diagnostics <- List.rev_append msgs t.diagnostics;
+      if fail_on_error && Diag.has_errors msgs then
+        raise (Compile_error (List.filter Diag.is_error msgs));
+      units)
+
+let compile_file ?fail_on_error t path =
+  compile ?fail_on_error t (Vhdl_util.Unix_compat.read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration and simulation *)
+
+type simulation = {
+  model : Elaborate.model;
+  mutable messages : (Rt.time * int * string) list; (* newest first *)
+}
+
+let library_view t : Elaborate.library_view =
+  {
+    Elaborate.lv_find = (fun ~library ~key -> Library.find t.work ~library ~key);
+    lv_all = (fun () -> Library.all t.work);
+  }
+
+(** Elaborate [top] (an entity name, optionally with [~arch], or
+    [~configuration]) — the paper's link step, timed as "codegen+link". *)
+let elaborate ?arch ?configuration ?(trace = true) t ~top () : simulation =
+  let target =
+    match configuration with
+    | Some c -> Elaborate.Top_configuration c
+    | None -> Elaborate.Top_entity { entity = String.uppercase_ascii top; arch }
+  in
+  Library.reset_io_stats t.work;
+  let model =
+    Timer.time t.timer "codegen+link (elaboration)" (fun () ->
+        Elaborate.elaborate ~trace_signals:trace (library_view t) target)
+  in
+  (* elaboration's own foreign-reference reads belong to the VIF phase *)
+  let io = Library.io_stats t.work in
+  Timer.add t.timer "codegen+link (elaboration)" (-.io.Library.io_read_seconds);
+  Timer.add t.timer "VIF read" io.Library.io_read_seconds;
+  let sim = { model; messages = [] } in
+  Kernel.set_message_handler model.Elaborate.m_kernel (fun time ~severity msg ->
+      sim.messages <- (time, severity, msg) :: sim.messages);
+  sim
+
+(** Run the simulation for [max_ns] nanoseconds of simulated time. *)
+let run t sim ~max_ns =
+  Timer.time t.timer "simulation" (fun () ->
+      Kernel.run sim.model.Elaborate.m_kernel ~max_time:(max_ns * Rt.ns))
+
+let kernel sim = sim.model.Elaborate.m_kernel
+let name_server sim = sim.model.Elaborate.m_ns
+let trace sim = sim.model.Elaborate.m_trace
+
+(** assert/report messages so far, oldest first: (time, severity, text). *)
+let messages sim = List.rev sim.messages
+
+(** Signal-change history by hierarchical path, e.g. [":tb:Q"]. *)
+let history sim path = Trace.history sim.model.Elaborate.m_trace ~path
+
+(** Current value of a signal by path. *)
+let value sim path =
+  Option.map (fun s -> s.Rt.current) (Name_server.find_signal sim.model.Elaborate.m_ns path)
+
+let stats t = (t.compiled_units, t.compiled_lines)

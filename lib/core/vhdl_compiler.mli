@@ -1,0 +1,88 @@
+(** The public compiler and simulator API.
+
+    Mirrors Figure 1 of the paper: source text flows through the scanner,
+    the LALR parser, and the attribute evaluator generated from the
+    principal AG (with [exprEval] cascading into the expression AG); the
+    resulting design units are placed in the working library as VIF;
+    elaboration links them against the simulation kernel.
+
+    {[
+      let c = Vhdl_compiler.create () in
+      ignore (Vhdl_compiler.compile c source);
+      let sim = Vhdl_compiler.elaborate c ~top:"tb" () in
+      ignore (Vhdl_compiler.run c sim ~max_ns:1000);
+      Vhdl_compiler.history sim ":tb:Q"
+    ]} *)
+
+type t
+(** A compiler instance: a working library plus phase instrumentation. *)
+
+exception Compile_error of Diag.t list
+(** Raised on syntax errors, and on semantic errors unless
+    [~fail_on_error:false]. *)
+
+val create : ?work_dir:string -> unit -> t
+(** Create a compiler.  With [work_dir] the working library is disk-backed
+    (one VIF file per unit, shared across compiler instances); without it
+    the library lives in memory. *)
+
+val add_reference_library : t -> name:string -> dir:string -> unit
+(** Attach a read-only reference library under logical [name] (the paper's
+    second library argument). *)
+
+val compile : ?fail_on_error:bool -> t -> string -> Unit_info.compiled_unit list
+(** Compile one source text (possibly several design units) into the
+    working library.  Diagnostics accumulate on the compiler. *)
+
+val compile_file : ?fail_on_error:bool -> t -> string -> Unit_info.compiled_unit list
+
+val diagnostics : t -> Diag.t list
+(** All diagnostics so far, oldest first. *)
+
+val session : t -> Session.t
+(** The session view the semantic rules use to reach foreign units. *)
+
+val work_library : t -> Library.t
+
+val timer : t -> Vhdl_util.Phase_timer.t
+(** Per-phase wall-clock accounting (the PERF-PHASE experiment). *)
+
+val library_view : t -> Elaborate.library_view
+
+(** {1 Elaboration and simulation} *)
+
+type simulation = {
+  model : Elaborate.model;
+  mutable messages : (Rt.time * int * string) list; (* newest first *)
+}
+
+val elaborate :
+  ?arch:string ->
+  ?configuration:string ->
+  ?trace:bool ->
+  t ->
+  top:string ->
+  unit ->
+  simulation
+(** Elaborate entity [top] (with [?arch], defaulting to the latest compiled
+    architecture — the paper's §3.3 rule) or a [?configuration] unit.
+    [?trace:false] disables the waveform observers. *)
+
+val run : t -> simulation -> max_ns:int -> Kernel.outcome
+(** Run the simulation up to [max_ns] nanoseconds of simulated time. *)
+
+val kernel : simulation -> Kernel.t
+val name_server : simulation -> Name_server.t
+val trace : simulation -> Trace.t
+
+val messages : simulation -> (Rt.time * int * string) list
+(** assert/report output so far, oldest first: (time, severity, text). *)
+
+val history : simulation -> string -> (Rt.time * Value.t) list
+(** Signal-change history by hierarchical path, e.g. [":tb:Q"]. *)
+
+val value : simulation -> string -> Value.t option
+(** Current value of a signal by path. *)
+
+val stats : t -> int * int
+(** (units compiled, source lines compiled) so far. *)

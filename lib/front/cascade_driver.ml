@@ -1,0 +1,80 @@
+(** Standalone cascade driver: classify a raw token stream into LEF.
+
+    This performs, as a plain function, the identifier resolution the
+    principal AG's name productions do with ENV — so a single expression can
+    be pushed through the cascade without building a whole design unit.
+    Used by the ABL-CASCADE bench and the expression-level tests. *)
+
+let keyword_ops = [ "and"; "or"; "nand"; "nor"; "xor"; "abs"; "not"; "mod"; "rem" ]
+
+let punct_ops = [ "="; "/="; "<"; "<="; ">"; ">="; "+"; "-"; "&"; "*"; "/"; "**" ]
+
+(** Translate [tokens] (from {!Lexer.tokenize}) to LEF under [env].
+    Handles the expression subset: names with selection and attribute marks,
+    literals (including physical literals), operators, and aggregate
+    punctuation. *)
+let classify_tokens ~env (tokens : (Token.t * int) list) : Lef.tok list =
+  let rec go acc prev_base toks =
+    match toks with
+    | [] | (Token.Teof, _) :: _ -> List.rev acc
+    | (Token.Tpunct ";", _) :: rest -> go acc prev_base rest
+    | (Token.Tid id, line) :: rest ->
+      let lef, _ = Decl_sem.classify ~env ~line id in
+      go (List.rev_append lef acc) (Some id) rest
+    | (Token.Tint n, line) :: (Token.Tid unit_name, _) :: rest ->
+      let lef, _ = Decl_sem.classify_physical ~env ~line ~abstract:(`Int n) unit_name in
+      go (List.rev_append lef acc) None rest
+    | (Token.Treal x, line) :: (Token.Tid unit_name, _) :: rest ->
+      let lef, _ = Decl_sem.classify_physical ~env ~line ~abstract:(`Real x) unit_name in
+      go (List.rev_append lef acc) None rest
+    | (Token.Tint n, line) :: rest ->
+      go ({ Lef.l_kind = Lef.Kint n; l_line = line } :: acc) None rest
+    | (Token.Treal x, line) :: rest ->
+      go ({ Lef.l_kind = Lef.Kreal x; l_line = line } :: acc) None rest
+    | (Token.Tstring s, line) :: rest ->
+      go ({ Lef.l_kind = Lef.Kstr s; l_line = line } :: acc) None rest
+    | (Token.Tbitstr s, line) :: rest ->
+      go ({ Lef.l_kind = Lef.Kbitstr s; l_line = line } :: acc) None rest
+    | (Token.Tchar image, line) :: rest ->
+      let enums =
+        List.filter_map
+          (function
+            | Denot.Denum_lit { ty; pos; image } -> Some (ty, pos, image)
+            | _ -> None)
+          (Env.lookup env image)
+      in
+      let kind =
+        match enums with
+        | [] -> Lef.Kident image
+        | _ -> Lef.Kenum enums
+      in
+      go ({ Lef.l_kind = kind; l_line = line } :: acc) None rest
+    | (Token.Tpunct ".", line) :: (Token.Tid id, _) :: rest -> (
+      (* selected name: prefix is the most recent LEF token *)
+      match acc with
+      | prefix :: acc' ->
+        let lef, _ = Decl_sem.classify_selected ~env ~line [ prefix ] id in
+        go (List.rev_append lef acc') (Some id) rest
+      | [] -> go ({ Lef.l_kind = Lef.Kident id; l_line = line } :: acc) None rest)
+    | (Token.Tpunct "'", line) :: (Token.Tid id, _) :: rest -> (
+      match (acc, prev_base) with
+      | prefix :: acc', Some base ->
+        let lef, _ = Decl_sem.classify_attribute ~env ~line ~base [ prefix ] id in
+        go (List.rev_append lef acc') (Some base) rest
+      | _ ->
+        go
+          ({ Lef.l_kind = Lef.Kattr id; l_line = line } :: Lef.punct ~line "'" :: acc)
+          prev_base rest)
+    | (Token.Tkw kw, line) :: rest when List.mem kw keyword_ops ->
+      go (Decl_sem.classify_op ~env ~line kw :: acc) None rest
+    | (Token.Tkw (("to" | "downto" | "others" | "open") as kw), line) :: rest ->
+      go (Lef.punct ~line kw :: acc) None rest
+    | (Token.Tpunct p, line) :: rest when List.mem p punct_ops ->
+      go (Decl_sem.classify_op ~env ~line p :: acc) None rest
+    | (Token.Tpunct (("(" | ")" | "," | "=>" | "|") as p), line) :: rest ->
+      go (Lef.punct ~line p :: acc) None rest
+    | (t, line) :: rest ->
+      ignore t;
+      go (Lef.punct ~line "(" :: acc) None rest (* unreachable for well-formed input *)
+  in
+  go [] None tokens

@@ -1,0 +1,13 @@
+(** Standalone entry to the cascaded expression evaluator (paper §4.1).
+
+    The principal AG normally produces LEF token lists as the value of its
+    LEF attribute; this module provides the same classification directly
+    from scanner output, so expressions can be pushed through the second
+    (expression) AG without a surrounding design unit — used by the
+    cascade example, the REPL-style tests, and the ABL-CASCADE bench. *)
+
+val classify_tokens : env:Env.t -> (Token.t * int) list -> Lef.tok list
+(** Classify scanner tokens against an environment: identifiers become
+    the classified LEF terminals (variable, signal, type, function, ...)
+    carrying their denotations; literals and operators pass through.
+    Mirrors what the principal AG's name productions do. *)

@@ -1,0 +1,117 @@
+(** [exprEval] — the cascade point between the two AGs (paper §4.1).
+
+    "The out-of-line function exprEval is itself a parser and attribute
+    evaluator generated from the expression AG...  The expression evaluator
+    is fed tokens by a trivial scanner that just takes the next LEF token
+    off the front of the list."
+
+    The expression grammar and its parse tables are built once, lazily, just
+    as Linguist generates its evaluator once. *)
+
+type t = {
+  grammar : Pval.t Grammar.t;
+  parser_ : Pval.t Parsing.t;
+}
+
+let instance = lazy (
+  let grammar = Expr_grammar.build () in
+  let parser_ = Parsing.create ~name:"expression AG" grammar ~eof:"LEOF" in
+  { grammar; parser_ })
+
+let grammar () = (Lazy.force instance).grammar
+let parser_ () = (Lazy.force instance).parser_
+
+(* instrumentation for the PERF-PHASE experiment *)
+let evaluations = ref 0
+let seconds = ref 0.0
+
+let reset_counters () =
+  evaluations := 0;
+  seconds := 0.0
+
+let timed f =
+  let start = Vhdl_util.Unix_compat.now () in
+  Fun.protect ~finally:(fun () -> seconds := !seconds +. (Vhdl_util.Unix_compat.now () -. start)) f
+
+let driver_tokens t lef =
+  List.map
+    (fun tok ->
+      {
+        Vhdl_lalr.Driver.t_sym = Grammar.find_symbol t.grammar (Lef.terminal_name tok);
+        t_value = Pval.Ltok tok;
+        t_line = tok.Lef.l_line;
+      })
+    lef
+
+(** Evaluate one maximal expression.
+
+    @param expected the type required by context, if known
+    @param level subprogram nesting level of the occurrence
+    @param line source line, for diagnostics *)
+let eval ?expected ~level ~line (lef : Lef.tok list) : Pval.xres =
+  let t = Lazy.force instance in
+  incr evaluations;
+  timed @@ fun () ->
+  if lef = [] then
+    {
+      Pval.x_ty = Expr_sem.error_ty;
+      x_code = Kir.Elit (Value.Vint 0);
+      x_static = None;
+      x_msgs = [ Diag.error ~line "missing expression" ];
+    }
+  else begin
+    let tokens = driver_tokens t lef in
+    match Parsing.parse_list t.parser_ ~eof_value:Pval.Unit tokens with
+    | exception Vhdl_lalr.Driver.Syntax_error { line = eline; found; _ } ->
+      {
+        Pval.x_ty = Expr_sem.error_ty;
+        x_code = Kir.Elit (Value.Vint 0);
+        x_static = None;
+        x_msgs =
+          [
+            Diag.error ~line:(if eline = 0 then line else eline)
+              "cannot parse expression (unexpected %s)"
+              (match
+                 List.find_opt
+                   (fun tok -> Lef.terminal_name tok = found)
+                   lef
+               with
+              | Some tok -> Lef.describe tok
+              | None -> found);
+          ];
+      }
+    | tree ->
+      let ev =
+        Evaluator.create t.grammar
+          ~token_line:(fun n -> Pval.Int n)
+          ~root_inherited:[ ("XLEVEL", Pval.Int level) ]
+          tree
+      in
+      let cands = Pval.as_cands (Evaluator.goal ev "CANDS") in
+      let msgs = Pval.as_msgs (Evaluator.goal ev "MSGS") in
+      Expr_sem.select ~line ~expected cands msgs
+  end
+
+(** Evaluate a discrete range (for loops, type ranges, slices written as
+    ranges).  Accepts either an explicit [l to r] LEF sequence (the caller
+    splits it) or an attribute range. *)
+let eval_range ~level ~line (lef : Lef.tok list) :
+    (Kir.expr * Types.dir * Kir.expr) * Types.t option * Diag.t list =
+  let t = Lazy.force instance in
+  incr evaluations;
+  let tokens = driver_tokens t lef in
+  match Parsing.parse_list t.parser_ ~eof_value:Pval.Unit tokens with
+  | exception Vhdl_lalr.Driver.Syntax_error _ ->
+    ( (Kir.Elit (Value.Vint 0), Types.To, Kir.Elit (Value.Vint 0)),
+      None,
+      [ Diag.error ~line "cannot parse range" ] )
+  | tree ->
+    let ev =
+      Evaluator.create t.grammar
+        ~token_line:(fun n -> Pval.Int n)
+        ~root_inherited:[ ("XLEVEL", Pval.Int level) ]
+        tree
+    in
+    let cands = Pval.as_cands (Evaluator.goal ev "CANDS") in
+    let msgs = Pval.as_msgs (Evaluator.goal ev "MSGS") in
+    Expr_sem.select_range ~line cands msgs

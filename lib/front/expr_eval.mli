@@ -1,0 +1,30 @@
+(** [exprEval] — the cascade point between the two AGs (paper §4.1): a
+    parser and attribute evaluator generated from the expression AG, fed by
+    the trivial scanner that "takes the next LEF token off the front of the
+    list". *)
+
+val grammar : unit -> Pval.t Grammar.t
+(** The expression attribute grammar (built once, lazily). *)
+
+val parser_ : unit -> Pval.t Parsing.t
+
+val evaluations : int ref
+(** How many maximal expressions have been evaluated (instrumentation). *)
+
+val seconds : float ref
+(** Cumulative time in the cascade (the PERF-PHASE expression slot). *)
+
+val reset_counters : unit -> unit
+
+val eval :
+  ?expected:Types.t -> level:int -> line:int -> Lef.tok list -> Pval.xres
+(** Evaluate one maximal expression.  [expected] is the type required by
+    context; [level] the subprogram nesting level of the occurrence (both
+    are arguments of the paper's [exprEval]). *)
+
+val eval_range :
+  level:int ->
+  line:int ->
+  Lef.tok list ->
+  (Kir.expr * Types.dir * Kir.expr) * Types.t option * Diag.t list
+(** Evaluate a discrete range (attribute ranges included). *)

@@ -1,0 +1,1051 @@
+(** Principal AG, declaration region. *)
+
+open Pval
+open Gram_util
+module B = Grammar.Builder
+
+let nonterminals =
+  [
+    "decl_items"; "decl_item"; "type_decl"; "type_def"; "enum_lits"; "enum_lit";
+    "index_spec"; "index_specs"; "record_elems"; "record_elem"; "subtype_decl"; "subtype_ind";
+    "units_part"; "unit_decls";
+    "constant_decl"; "signal_decl"; "variable_decl"; "sig_kind_opt"; "id_list";
+    "init_opt"; "subprog_spec"; "params_opt"; "iface_list"; "iface_elem";
+    "class_opt"; "mode_opt"; "subprog_decl"; "subprog_body"; "component_decl";
+    "disconnect_spec";
+    "generic_clause_opt"; "port_clause_opt"; "attribute_decl"; "attribute_spec";
+    "entity_class"; "alias_decl"; "use_clause"; "use_names"; "use_name";
+    "config_spec1"; "inst_spec"; "binding_ind"; "arch_opt"; "opt_id";
+  ]
+
+let dummy_sres = rule ~target:(0, "SRES") ~deps:[] (fun _ -> Unit)
+
+let add b =
+  List.iter (fun n -> ignore (B.nonterminal b n)) nonterminals;
+  let prod = B.production b in
+
+  (* ---- shared small pieces ---- *)
+  prod ~name:"id_list_one" ~lhs:"id_list" ~rhs:[ "ID" ]
+    ~rules:
+      [
+        rule ~target:(0, "IDS") ~deps:[ (1, "VAL"); (1, "LINE") ] (function
+          | [ v; line ] -> Ids [ (tok_id v, as_int line) ]
+          | _ -> internal "id_list_one");
+      ];
+  prod ~name:"id_list_more" ~lhs:"id_list" ~rhs:[ "id_list"; ","; "ID" ]
+    ~rules:
+      [
+        rule ~target:(0, "IDS") ~deps:[ (1, "IDS"); (3, "VAL"); (3, "LINE") ] (function
+          | [ ids; v; line ] -> Ids (as_ids ids @ [ (tok_id v, as_int line) ])
+          | _ -> internal "id_list_more");
+      ];
+  prod ~name:"opt_id_none" ~lhs:"opt_id" ~rhs:[]
+    ~rules:[ rule ~target:(0, "OID") ~deps:[] (fun _ -> Opt None) ];
+  prod ~name:"opt_id_some" ~lhs:"opt_id" ~rhs:[ "ID" ]
+    ~rules:
+      [
+        rule ~target:(0, "OID") ~deps:[ (1, "VAL") ] (function
+          | [ v ] -> Opt (Some (Str (tok_id v)))
+          | _ -> internal "opt_id_some");
+      ];
+  prod ~name:"init_opt_none" ~lhs:"init_opt" ~rhs:[]
+    ~rules:[ rule ~target:(0, "OLEF") ~deps:[] (fun _ -> Opt None) ];
+  prod ~name:"init_opt_some" ~lhs:"init_opt" ~rhs:[ ":="; "expr" ]
+    ~rules:
+      [
+        rule ~target:(0, "OLEF") ~deps:[ (2, "LEF") ] (function
+          | [ l ] -> Opt (Some l)
+          | _ -> internal "init_opt_some");
+      ];
+
+  (* ---- declaration item threading ---- *)
+  prod ~name:"decl_items_empty" ~lhs:"decl_items" ~rhs:[] ~rules:[];
+  prod ~name:"decl_items_more" ~lhs:"decl_items" ~rhs:[ "decl_items"; "decl_item" ]
+    ~rules:
+      [
+        rule ~target:(2, "ENV") ~deps:[ (0, "ENV"); (1, "OUT") ] (function
+          | [ env; out ] -> Env (Env.extend_many (as_env env) (as_out out).o_binds)
+          | _ -> internal "decl env");
+        (* homographs: redeclaring a non-overloadable name in the same
+           declarative region is an error (LRM 10.3) *)
+        rule ~target:(0, "MSGS")
+          ~deps:[ (1, "MSGS"); (2, "MSGS"); (1, "OUT"); (2, "OUT") ]
+          (function
+            | [ m1; m2; prev; latest ] ->
+              let prev_binds = (as_out prev).o_binds in
+              let dups =
+                List.filter_map
+                  (fun (n, d) ->
+                    match List.assoc_opt n prev_binds with
+                    | Some d' when (not (Denot.overloadable d)) || not (Denot.overloadable d') ->
+                      Some
+                        (Diag.error ~line:0 "%s is already declared in this region" n)
+                    | _ -> None)
+                  (as_out latest).o_binds
+              in
+              Msgs (as_msgs m1 @ as_msgs m2 @ dups)
+            | _ -> internal "decl msgs");
+        rule ~target:(2, "SLOTBASE") ~deps:[ (0, "SLOTBASE"); (1, "OUT") ] (function
+          | [ base; out ] -> Int (as_int base + List.length (as_out out).o_locals)
+          | _ -> internal "decl slotbase");
+        rule ~target:(2, "SIGBASE") ~deps:[ (0, "SIGBASE"); (1, "OUT") ] (function
+          | [ base; out ] -> Int (as_int base + List.length (as_out out).o_signals)
+          | _ -> internal "decl sigbase");
+      ];
+  List.iter
+    (fun alt ->
+      prod ~name:("decl_item_" ^ alt) ~lhs:"decl_item" ~rhs:[ alt ] ~rules:[])
+    [
+      "type_decl"; "subtype_decl"; "constant_decl"; "signal_decl"; "variable_decl";
+      "subprog_decl"; "subprog_body"; "component_decl"; "attribute_decl";
+      "attribute_spec"; "alias_decl"; "use_clause"; "config_spec1";
+      "disconnect_spec";
+    ];
+
+  (* disconnection specification: disconnect s1, s2 : type after expr ; *)
+  prod ~name:"disconnect_spec" ~lhs:"disconnect_spec"
+    ~rhs:[ "disconnect"; "name_list"; ":"; "name"; "after"; "expr"; ";" ]
+    ~rules:
+      (out_rules
+         ~deps:[ (0, "LEVEL"); (1, "LINE"); (2, "LEFS"); (6, "LEF") ]
+         ~msg_deps:[ 2; 4; 6 ]
+         (function
+           | [ level; line; names; after ] ->
+             Decl_sem.disconnect_spec ~level:(as_int level) ~line:(as_int line)
+               (as_lefs names) (as_lef after)
+           | _ -> internal "disconnect_spec"));
+
+  (* ---- types ---- *)
+  prod ~name:"type_decl" ~lhs:"type_decl" ~rhs:[ "type"; "ID"; "is"; "type_def"; ";" ]
+    ~rules:
+      (out_rules ~deps:[ (2, "VAL"); (4, "TYDEF") ] ~msg_deps:[ 4 ] (function
+        | [ v; tydef ] ->
+          let name = tok_id v in
+          let ty, extra_binds = (as_tydef tydef) name in
+          ({ out_empty with o_binds = ((name, Denot.Dtype ty) :: extra_binds) }, [])
+        | _ -> internal "type_decl"));
+  prod ~name:"type_def_enum" ~lhs:"type_def" ~rhs:[ "("; "enum_lits"; ")" ]
+    ~rules:
+      [
+        rule ~target:(0, "TYDEF") ~deps:[ (0, "UNITNAME"); (2, "IDS") ] (function
+          | [ unit_name; lits ] ->
+            Decl_sem.enum_type_def ~unit_name:(as_str unit_name) (as_ids lits)
+          | _ -> internal "type_def_enum");
+      ];
+  prod ~name:"type_def_range" ~lhs:"type_def"
+    ~rhs:[ "range"; "simpleexpr"; "direction"; "simpleexpr" ]
+    ~rules:
+      [
+        rule ~target:(0, "TYDEF")
+          ~deps:[ (0, "UNITNAME"); (0, "LEVEL"); (1, "LINE"); (2, "LEF"); (3, "DIR"); (4, "LEF") ]
+          (function
+            | [ unit_name; level; line; lo; d; hi ] ->
+              let unit_name = as_str unit_name in
+              let level = as_int level in
+              let line = as_int line in
+              let dir = if as_str d = "to" then Types.To else Types.Downto in
+              let lo_lef = as_lef lo and hi_lef = as_lef hi in
+              Tydef
+                (fun name ->
+                  let probe = Expr_eval.eval ~level ~line lo_lef in
+                  let base_name = Decl_sem.qualify ~unit_name name in
+                  match probe.x_ty.Types.kind with
+                  | Types.Kfloat ->
+                    let evf lef =
+                      match (Expr_eval.eval ~expected:Std.real ~level ~line lef).x_static with
+                      | Some v -> Value.as_float v
+                      | None -> 0.0
+                    in
+                    ( {
+                        Types.base = base_name;
+                        kind = Types.Kfloat;
+                        constr = Some (Types.Cfloat_range (evf lo_lef, dir, evf hi_lef));
+                      },
+                      [] )
+                  | _ ->
+                    let evi lef =
+                      match
+                        (Expr_eval.eval ~expected:Std.integer ~level ~line lef).x_static
+                      with
+                      | Some v -> Value.as_int v
+                      | None -> 0
+                    in
+                    ( {
+                        Types.base = base_name;
+                        kind = Types.Kint;
+                        constr = Some (Types.Crange (evi lo_lef, dir, evi hi_lef));
+                      },
+                      [] ))
+            | _ -> internal "type_def_range");
+      ];
+  (* user-defined physical types: range constraint + units declarations *)
+  prod ~name:"type_def_physical" ~lhs:"type_def"
+    ~rhs:[ "range"; "simpleexpr"; "direction"; "simpleexpr"; "units_part" ]
+    ~rules:
+      [
+        rule ~target:(0, "TYDEF")
+          ~deps:
+            [
+              (0, "UNITNAME"); (0, "LEVEL"); (1, "LINE"); (2, "LEF"); (3, "DIR");
+              (4, "LEF"); (5, "PUNITS");
+            ]
+          (function
+            | [ unit_name; level; line; lo; d; hi; punits ] ->
+              let unit_name = as_str unit_name in
+              let level = as_int level in
+              let line = as_int line in
+              let dir = if as_str d = "to" then Types.To else Types.Downto in
+              let lo_lef = as_lef lo and hi_lef = as_lef hi in
+              let decls = as_phys_units punits in
+              Tydef
+                (fun name ->
+                  let evi lef =
+                    match
+                      (Expr_eval.eval ~expected:Std.integer ~level ~line lef).x_static
+                    with
+                    | Some v -> Value.as_int v
+                    | None -> 0
+                  in
+                  (* resolve secondary units left to right *)
+                  let scales = Hashtbl.create 8 in
+                  let units =
+                    List.map
+                      (fun (uname, mult, base, _uline) ->
+                        let scale =
+                          match base with
+                          | None -> 1 (* the primary unit *)
+                          | Some b -> (
+                            match Hashtbl.find_opt scales b with
+                            | Some s -> mult * s
+                            | None -> mult)
+                        in
+                        Hashtbl.replace scales uname scale;
+                        (uname, scale))
+                      decls
+                  in
+                  let ty =
+                    {
+                      Types.base = Decl_sem.qualify ~unit_name name;
+                      kind = Types.Kphys units;
+                      constr = Some (Types.Crange (evi lo_lef, dir, evi hi_lef));
+                    }
+                  in
+                  let binds =
+                    List.map
+                      (fun (uname, scale) ->
+                        (uname, Denot.Dphys_unit { ty; scale; image = uname }))
+                      units
+                  in
+                  (ty, binds))
+            | _ -> internal "type_def_physical");
+      ];
+  prod ~name:"units_part" ~lhs:"units_part" ~rhs:[ "units"; "unit_decls"; "end"; "units" ]
+    ~rules:[ copy ~target:(0, "PUNITS") ~from:(2, "PUNITS") ];
+  prod ~name:"unit_decls_primary" ~lhs:"unit_decls" ~rhs:[ "ID"; ";" ]
+    ~rules:
+      [
+        rule ~target:(0, "PUNITS") ~deps:[ (1, "VAL"); (1, "LINE") ] (function
+          | [ v; line ] -> Phys_units [ (tok_id v, 1, None, as_int line) ]
+          | _ -> internal "unit_decls_primary");
+      ];
+  prod ~name:"unit_decls_secondary" ~lhs:"unit_decls"
+    ~rhs:[ "unit_decls"; "ID"; "="; "INT"; "ID"; ";" ]
+    ~rules:
+      [
+        rule ~target:(0, "PUNITS")
+          ~deps:[ (1, "PUNITS"); (2, "VAL"); (2, "LINE"); (4, "VAL"); (5, "VAL") ]
+          (function
+            | [ prev; name_v; line; mult_v; base_v ] ->
+              let mult =
+                match as_tok mult_v with
+                | Token.Tint n -> n
+                | _ -> internal "unit multiplier"
+              in
+              Phys_units
+                (as_phys_units prev
+                @ [ (tok_id name_v, mult, Some (tok_id base_v), as_int line) ])
+            | _ -> internal "unit_decls_secondary");
+      ];
+
+  prod ~name:"type_def_array" ~lhs:"type_def"
+    ~rhs:[ "array"; "("; "index_specs"; ")"; "of"; "subtype_ind" ]
+    ~rules:
+      [
+        rule ~target:(0, "TYDEF")
+          ~deps:[ (0, "UNITNAME"); (0, "LEVEL"); (1, "LINE"); (3, "IXS"); (6, "STY") ]
+          (function
+            | [ unit_name; level; line; ixs; sty ] ->
+              let unit_name = as_str unit_name in
+              let level = as_int level in
+              let line = as_int line in
+              let elem_ty, _ = as_sty sty in
+              Tydef
+                (fun name ->
+                  let base_name = Decl_sem.qualify ~unit_name name in
+                  let one_dim ~base_name elem_ty spec =
+                    match as_pair spec with
+                    | Str "unconstrained", Lef mark_lef ->
+                      let rs = Decl_sem.resolve_subtype ~level ~line mark_lef in
+                      {
+                        Types.base = base_name;
+                        kind = Types.Karray { index = rs.Decl_sem.rs_ty; elem = elem_ty };
+                        constr = None;
+                      }
+                    | Str "constrained", Rng rng ->
+                      let (lo, d, hi), ity, _ =
+                        match rng with
+                        | `Bounds (lo_lef, d, hi_lef) ->
+                          let lo = Expr_eval.eval ~level ~line lo_lef in
+                          let hi = Expr_eval.eval ~level ~line hi_lef in
+                          ((lo.x_code, d, hi.x_code), Some lo.x_ty, [])
+                        | `Lef lef -> Expr_eval.eval_range ~level ~line lef
+                      in
+                      let static e =
+                        match Const_eval.eval_opt Const_eval.empty e with
+                        | Some v -> Value.as_int v
+                        | None -> 0
+                      in
+                      let index_ty = Option.value ity ~default:Std.integer in
+                      {
+                        Types.base = base_name;
+                        kind = Types.Karray { index = index_ty; elem = elem_ty };
+                        constr = Some (Types.Crange (static lo, d, static hi));
+                      }
+                    | _ -> internal "type_def_array ixs"
+                  in
+                  match as_plist ixs with
+                  | [ single ] -> (one_dim ~base_name elem_ty single, [])
+                  | specs ->
+                    (* multi-dimensional arrays lower to nested arrays:
+                       m(i, j) becomes m(i)(j); inner dimensions get
+                       distinct anonymous base names for type identity *)
+                    let n = List.length specs in
+                    let ty, _ =
+                      List.fold_right
+                        (fun spec (elem, dim) ->
+                          let base_name =
+                            if dim = 1 then base_name
+                            else Printf.sprintf "%s%%DIM%d%%" base_name dim
+                          in
+                          (one_dim ~base_name elem spec, dim - 1))
+                        specs (elem_ty, n)
+                    in
+                    (ty, []))
+            | _ -> internal "type_def_array");
+      ];
+  (* access type: type ptr is access T (LRM 3.3) *)
+  prod ~name:"type_def_access" ~lhs:"type_def" ~rhs:[ "access"; "subtype_ind" ]
+    ~rules:
+      [
+        rule ~target:(0, "TYDEF") ~deps:[ (0, "UNITNAME"); (2, "STY") ] (function
+          | [ unit_name; sty ] ->
+            let designated, _ = as_sty sty in
+            Tydef
+              (fun name ->
+                ( {
+                    Types.base = Decl_sem.qualify ~unit_name:(as_str unit_name) name;
+                    kind = Types.Kaccess designated;
+                    constr = None;
+                  },
+                  [] ))
+          | _ -> internal "type_def_access");
+      ];
+  prod ~name:"type_def_record" ~lhs:"type_def" ~rhs:[ "record"; "record_elems"; "end"; "record" ]
+    ~rules:
+      [
+        rule ~target:(0, "TYDEF") ~deps:[ (0, "UNITNAME"); (2, "IFACES") ] (function
+          | [ unit_name; ifaces ] ->
+            let fields =
+              List.concat_map
+                (fun i -> List.map (fun (n, _) -> (n, i.if_ty)) i.if_names)
+                (as_ifaces ifaces)
+            in
+            Decl_sem.record_type_def ~unit_name:(as_str unit_name) ~fields
+          | _ -> internal "type_def_record");
+      ];
+  prod ~name:"index_specs_one" ~lhs:"index_specs" ~rhs:[ "index_spec" ]
+    ~rules:
+      [
+        rule ~target:(0, "IXS") ~deps:[ (1, "IXS") ] (function
+          | [ x ] -> Plist [ x ]
+          | _ -> internal "index_specs_one");
+      ];
+  prod ~name:"index_specs_more" ~lhs:"index_specs"
+    ~rhs:[ "index_specs"; ","; "index_spec" ]
+    ~rules:
+      [
+        rule ~target:(0, "IXS") ~deps:[ (1, "IXS"); (3, "IXS") ] (function
+          | [ xs; x ] -> Plist (as_plist xs @ [ x ])
+          | _ -> internal "index_specs_more");
+      ];
+  prod ~name:"index_spec_range" ~lhs:"index_spec" ~rhs:[ "discrete_range" ]
+    ~rules:
+      [
+        rule ~target:(0, "IXS") ~deps:[ (1, "RNG") ] (function
+          | [ r ] -> Pair (Str "constrained", r)
+          | _ -> internal "index_spec_range");
+      ];
+  prod ~name:"index_spec_box" ~lhs:"index_spec" ~rhs:[ "name"; "range"; "<>" ]
+    ~rules:
+      [
+        rule ~target:(0, "IXS") ~deps:[ (1, "LEF") ] (function
+          | [ l ] -> Pair (Str "unconstrained", Lef (as_lef l))
+          | _ -> internal "index_spec_box");
+      ];
+  prod ~name:"record_elems_one" ~lhs:"record_elems" ~rhs:[ "record_elem" ] ~rules:[];
+  prod ~name:"record_elems_more" ~lhs:"record_elems" ~rhs:[ "record_elems"; "record_elem" ]
+    ~rules:
+      [
+        rule ~target:(0, "IFACES") ~deps:[ (1, "IFACES"); (2, "IFACES") ] (function
+          | [ a; c ] -> Ifaces (as_ifaces a @ as_ifaces c)
+          | _ -> internal "record_elems_more");
+      ];
+  prod ~name:"record_elem" ~lhs:"record_elem" ~rhs:[ "id_list"; ":"; "subtype_ind"; ";" ]
+    ~rules:
+      [
+        rule ~target:(0, "IFACES") ~deps:[ (1, "IDS"); (3, "STY") ] (function
+          | [ ids; sty ] ->
+            let ty, _ = as_sty sty in
+            Ifaces
+              [
+                {
+                  if_names = as_ids ids;
+                  if_class = None;
+                  if_mode = None;
+                  if_ty = ty;
+                  if_resolution = None;
+                  if_default = None;
+                  if_bus = false;
+                };
+              ]
+          | _ -> internal "record_elem");
+      ];
+  prod ~name:"enum_lits_one" ~lhs:"enum_lits" ~rhs:[ "enum_lit" ] ~rules:[];
+  prod ~name:"enum_lits_more" ~lhs:"enum_lits" ~rhs:[ "enum_lits"; ","; "enum_lit" ]
+    ~rules:
+      [
+        rule ~target:(0, "IDS") ~deps:[ (1, "IDS"); (3, "IDS") ] (function
+          | [ a; c ] -> Ids (as_ids a @ as_ids c)
+          | _ -> internal "enum_lits_more");
+      ];
+  prod ~name:"enum_lit_id" ~lhs:"enum_lit" ~rhs:[ "ID" ]
+    ~rules:
+      [
+        rule ~target:(0, "IDS") ~deps:[ (1, "VAL"); (1, "LINE") ] (function
+          | [ v; line ] -> Ids [ (tok_id v, as_int line) ]
+          | _ -> internal "enum_lit_id");
+      ];
+  prod ~name:"enum_lit_char" ~lhs:"enum_lit" ~rhs:[ "CHAR" ]
+    ~rules:
+      [
+        rule ~target:(0, "IDS") ~deps:[ (1, "VAL"); (1, "LINE") ] (function
+          | [ v; line ] -> (
+            match as_tok v with
+            | Token.Tchar image -> Ids [ (image, as_int line) ]
+            | _ -> internal "CHAR token")
+          | _ -> internal "enum_lit_char");
+      ];
+
+  (* ---- subtypes ---- *)
+  prod ~name:"subtype_decl" ~lhs:"subtype_decl" ~rhs:[ "subtype"; "ID"; "is"; "subtype_ind"; ";" ]
+    ~rules:
+      (out_rules ~deps:[ (2, "VAL"); (4, "STY") ] ~msg_deps:[ 4 ] (function
+        | [ v; sty ] ->
+          let name = tok_id v in
+          let ty, _ = as_sty sty in
+          ({ out_empty with o_binds = [ (name, Denot.Dsubtype ty) ] }, [])
+        | _ -> internal "subtype_decl"));
+  let sty_rules ~deps ~msg_deps f =
+    [
+      rule ~target:(0, "SRES") ~deps (fun vs ->
+          let rs = f vs in
+          Pair
+            ( Sty { ty = rs.Decl_sem.rs_ty; resolution = rs.Decl_sem.rs_resolution },
+              Msgs rs.Decl_sem.rs_msgs ));
+      rule ~target:(0, "STY") ~deps:[ (0, "SRES") ] fst_of;
+      rule ~target:(0, "MSGS")
+        ~deps:((0, "SRES") :: List.map (fun p -> (p, "MSGS")) msg_deps)
+        snd_plus_msgs;
+    ]
+  in
+  let lef_line lef = match lef with t :: _ -> t.Lef.l_line | [] -> 0 in
+  prod ~name:"subtype_ind_mark" ~lhs:"subtype_ind" ~rhs:[ "name" ]
+    ~rules:
+      (sty_rules ~deps:[ (0, "LEVEL"); (1, "LEF") ] ~msg_deps:[ 1 ] (function
+        | [ level; lef ] ->
+          let lef = as_lef lef in
+          Decl_sem.resolve_subtype ~level:(as_int level) ~line:(lef_line lef) lef
+        | _ -> internal "subtype_ind_mark"));
+  prod ~name:"subtype_ind_resolved" ~lhs:"subtype_ind" ~rhs:[ "name"; "name" ]
+    ~rules:
+      (sty_rules
+         ~deps:[ (0, "LEVEL"); (1, "LEF"); (2, "LEF") ]
+         ~msg_deps:[ 1; 2 ]
+         (function
+           | [ level; rlef; mark_lef ] ->
+             let lef = as_lef rlef @ as_lef mark_lef in
+             Decl_sem.resolve_subtype ~level:(as_int level) ~line:(lef_line lef) lef
+           | _ -> internal "subtype_ind_resolved"));
+  prod ~name:"subtype_ind_range" ~lhs:"subtype_ind"
+    ~rhs:[ "name"; "range"; "simpleexpr"; "direction"; "simpleexpr" ]
+    ~rules:
+      (sty_rules
+         ~deps:[ (0, "LEVEL"); (1, "LEF"); (3, "LEF"); (4, "DIR"); (5, "LEF") ]
+         ~msg_deps:[ 1; 3; 5 ]
+         (function
+           | [ level; mark; lo; d; hi ] ->
+             let dir = if as_str d = "to" then Types.To else Types.Downto in
+             Decl_sem.resolve_range_subtype ~level:(as_int level)
+               ~line:(lef_line (as_lef mark)) (as_lef mark) (as_lef lo) dir (as_lef hi)
+           | _ -> internal "subtype_ind_range"));
+
+  (* ---- objects ---- *)
+  prod ~name:"constant_decl" ~lhs:"constant_decl"
+    ~rhs:[ "constant"; "id_list"; ":"; "subtype_ind"; "init_opt"; ";" ]
+    ~rules:
+      (out_rules
+         ~deps:(ctx_deps @ [ (1, "LINE"); (2, "IDS"); (4, "STY"); (5, "OLEF") ])
+         ~msg_deps:[ 4 ]
+         (fun vs ->
+           let cx, rest = ctx_of vs in
+           match rest with
+           | [ line; ids; sty; init ] ->
+             let ty, _ = as_sty sty in
+             let init_lef =
+               match as_opt init with
+               | Some l -> as_lef l
+               | None -> []
+             in
+             Decl_sem.constant_decl (object_context cx) ~line:(as_int line) (as_ids ids) ty
+               init_lef
+           | _ -> internal "constant_decl"));
+  prod ~name:"signal_decl" ~lhs:"signal_decl"
+    ~rhs:[ "signal"; "id_list"; ":"; "subtype_ind"; "sig_kind_opt"; "init_opt"; ";" ]
+    ~rules:
+      (out_rules
+         ~deps:(ctx_deps @ [ (1, "LINE"); (2, "IDS"); (4, "SRES"); (5, "SKIND"); (6, "OLEF") ])
+         ~msg_deps:[ 4 ]
+         (fun vs ->
+           let cx, rest = ctx_of vs in
+           match rest with
+           | [ line; ids; sres; skind; init ] ->
+             let sty_v, _ = as_pair sres in
+             let ty, resolution = as_sty sty_v in
+             let rs =
+               { Decl_sem.rs_ty = ty; rs_resolution = resolution; rs_msgs = [] }
+             in
+             let kind =
+               match as_str skind with
+               | "bus" -> `Bus
+               | "register" -> `Register
+               | _ -> `Plain
+             in
+             let init_lef =
+               match as_opt init with
+               | Some l -> as_lef l
+               | None -> []
+             in
+             Decl_sem.signal_decl (object_context cx) ~line:(as_int line) (as_ids ids) rs ~kind
+               init_lef
+           | _ -> internal "signal_decl"));
+  prod ~name:"sig_kind_none" ~lhs:"sig_kind_opt" ~rhs:[]
+    ~rules:[ rule ~target:(0, "SKIND") ~deps:[] (fun _ -> Str "plain") ];
+  prod ~name:"sig_kind_bus" ~lhs:"sig_kind_opt" ~rhs:[ "bus" ]
+    ~rules:[ rule ~target:(0, "SKIND") ~deps:[] (fun _ -> Str "bus") ];
+  prod ~name:"sig_kind_register" ~lhs:"sig_kind_opt" ~rhs:[ "register" ]
+    ~rules:[ rule ~target:(0, "SKIND") ~deps:[] (fun _ -> Str "register") ];
+  prod ~name:"variable_decl" ~lhs:"variable_decl"
+    ~rhs:[ "variable"; "id_list"; ":"; "subtype_ind"; "init_opt"; ";" ]
+    ~rules:
+      (out_rules
+         ~deps:(ctx_deps @ [ (1, "LINE"); (2, "IDS"); (4, "STY"); (5, "OLEF") ])
+         ~msg_deps:[ 4 ]
+         (fun vs ->
+           let cx, rest = ctx_of vs in
+           match rest with
+           | [ line; ids; sty; init ] ->
+             let ty, _ = as_sty sty in
+             let init_lef =
+               match as_opt init with
+               | Some l -> as_lef l
+               | None -> []
+             in
+             Decl_sem.variable_decl (object_context cx) ~line:(as_int line) (as_ids ids) ty
+               init_lef
+           | _ -> internal "variable_decl"));
+
+  (* ---- interfaces ---- *)
+  prod ~name:"iface_list_one" ~lhs:"iface_list" ~rhs:[ "iface_elem" ] ~rules:[];
+  prod ~name:"iface_list_more" ~lhs:"iface_list" ~rhs:[ "iface_list"; ";"; "iface_elem" ]
+    ~rules:
+      [
+        rule ~target:(0, "IFACES") ~deps:[ (1, "IFACES"); (3, "IFACES") ] (function
+          | [ a; c ] -> Ifaces (as_ifaces a @ as_ifaces c)
+          | _ -> internal "iface_list_more");
+      ];
+  prod ~name:"iface_elem" ~lhs:"iface_elem"
+    ~rhs:[ "class_opt"; "id_list"; ":"; "mode_opt"; "subtype_ind"; "init_opt" ]
+    ~rules:
+      [
+        rule ~target:(0, "IFACES")
+          ~deps:
+            [
+              (0, "LEVEL"); (1, "OCLS"); (2, "IDS"); (4, "OMODE"); (5, "SRES"); (6, "OLEF");
+            ]
+          (function
+            | [ level; ocls; ids; omode; sres; init ] ->
+              let sty_v, _ = as_pair sres in
+              let ty, resolution = as_sty sty_v in
+              let if_class =
+                match as_opt ocls with
+                | Some (Str "signal") -> Some Denot.Csignal
+                | Some (Str "constant") -> Some Denot.Cconstant
+                | Some (Str "variable") -> Some Denot.Cvariable
+                | _ -> None
+              in
+              let if_mode =
+                match as_opt omode with
+                | Some (Str "in") -> Some Kir.Arg_in
+                | Some (Str "out") | Some (Str "buffer") -> Some Kir.Arg_out
+                | Some (Str "inout") -> Some Kir.Arg_inout
+                | _ -> None
+              in
+              let ids = as_ids ids in
+              let line = match ids with (_, l) :: _ -> l | [] -> 0 in
+              let if_default, _msgs =
+                match as_opt init with
+                | Some l ->
+                  Decl_sem.eval_default ~level:(as_int level) ~line ~ty (as_lef l)
+                | None -> (None, [])
+              in
+              Ifaces
+                [
+                  {
+                    if_names = ids;
+                    if_class;
+                    if_mode;
+                    if_ty = ty;
+                    if_resolution = resolution;
+                    if_default;
+                    if_bus = false;
+                  };
+                ]
+            | _ -> internal "iface_elem");
+        rule ~target:(0, "MSGS") ~deps:[ (5, "MSGS") ] (function
+          | [ m ] -> Msgs (as_msgs m)
+          | _ -> internal "iface msgs");
+      ];
+  prod ~name:"class_opt_none" ~lhs:"class_opt" ~rhs:[]
+    ~rules:[ rule ~target:(0, "OCLS") ~deps:[] (fun _ -> Opt None) ];
+  List.iter
+    (fun kw ->
+      prod ~name:("class_opt_" ^ kw) ~lhs:"class_opt" ~rhs:[ kw ]
+        ~rules:[ rule ~target:(0, "OCLS") ~deps:[] (fun _ -> Opt (Some (Str kw))) ])
+    [ "signal"; "constant"; "variable" ];
+  prod ~name:"mode_opt_none" ~lhs:"mode_opt" ~rhs:[]
+    ~rules:[ rule ~target:(0, "OMODE") ~deps:[] (fun _ -> Opt None) ];
+  List.iter
+    (fun kw ->
+      prod ~name:("mode_opt_" ^ kw) ~lhs:"mode_opt" ~rhs:[ kw ]
+        ~rules:[ rule ~target:(0, "OMODE") ~deps:[] (fun _ -> Opt (Some (Str kw))) ])
+    [ "in"; "out"; "inout"; "buffer" ];
+
+  (* ---- subprograms ---- *)
+  prod ~name:"subprog_spec_function" ~lhs:"subprog_spec"
+    ~rhs:[ "function"; "ID"; "params_opt"; "return"; "name" ]
+    ~rules:
+      [
+        rule ~target:(0, "SPEC")
+          ~deps:[ (0, "LEVEL"); (1, "LINE"); (2, "VAL"); (3, "IFACES"); (5, "LEF") ]
+          (function
+            | [ level; line; v; params; ret_lef ] ->
+              let rs =
+                Decl_sem.resolve_subtype ~level:(as_int level) ~line:(as_int line)
+                  (as_lef ret_lef)
+              in
+              Spec
+                {
+                  sp_kind = `Function;
+                  sp_name = tok_id v;
+                  sp_line = as_int line;
+                  sp_params = as_ifaces params;
+                  sp_ret = Some rs.Decl_sem.rs_ty;
+                }
+            | _ -> internal "subprog_spec_function");
+      ];
+  (* operator functions: [function "+" (a, b : vec) return vec] (LRM 2.1) *)
+  prod ~name:"subprog_spec_op_function" ~lhs:"subprog_spec"
+    ~rhs:[ "function"; "STRING"; "params_opt"; "return"; "name" ]
+    ~rules:
+      [
+        rule ~target:(0, "SPEC")
+          ~deps:[ (0, "LEVEL"); (2, "LINE"); (2, "VAL"); (3, "IFACES"); (5, "LEF") ]
+          (function
+            | [ level; line; v; params; ret_lef ] ->
+              let sym =
+                match as_tok v with
+                | Token.Tstring s -> s
+                | _ -> internal "STRING token"
+              in
+              let rs =
+                Decl_sem.resolve_subtype ~level:(as_int level) ~line:(as_int line)
+                  (as_lef ret_lef)
+              in
+              Spec
+                {
+                  sp_kind = `Function;
+                  sp_name = Lef.operator_key sym;
+                  sp_line = as_int line;
+                  sp_params = as_ifaces params;
+                  sp_ret = Some rs.Decl_sem.rs_ty;
+                }
+            | _ -> internal "subprog_spec_op_function");
+        rule ~target:(0, "MSGS")
+          ~deps:[ (2, "VAL"); (2, "LINE"); (3, "IFACES"); (3, "MSGS"); (5, "MSGS") ]
+          (function
+            | [ v; line; params; m1; m2 ] ->
+              let line = as_int line in
+              let sym =
+                match as_tok v with
+                | Token.Tstring s -> String.lowercase_ascii s
+                | _ -> internal "STRING token"
+              in
+              let arity =
+                List.fold_left
+                  (fun n (i : Pval.iface) -> n + List.length i.Pval.if_names)
+                  0 (as_ifaces params)
+              in
+              let own =
+                if not (List.mem sym Lef.operator_symbols) then
+                  [ Diag.error ~line "\"%s\" is not an operator symbol" sym ]
+                else begin
+                  let unary_ok = List.mem sym [ "+"; "-"; "abs"; "not" ] in
+                  let binary_ok = not (List.mem sym [ "abs"; "not" ]) in
+                  if (arity = 1 && unary_ok) || (arity = 2 && binary_ok) then []
+                  else
+                    [
+                      Diag.error ~line
+                        "operator \"%s\" cannot be declared with %d parameter%s" sym
+                        arity
+                        (if arity = 1 then "" else "s");
+                    ]
+                end
+              in
+              Msgs (as_msgs m1 @ as_msgs m2 @ own)
+            | _ -> internal "subprog_spec_op_function MSGS");
+      ];
+  prod ~name:"subprog_spec_procedure" ~lhs:"subprog_spec"
+    ~rhs:[ "procedure"; "ID"; "params_opt" ]
+    ~rules:
+      [
+        rule ~target:(0, "SPEC") ~deps:[ (1, "LINE"); (2, "VAL"); (3, "IFACES") ] (function
+          | [ line; v; params ] ->
+            Spec
+              {
+                sp_kind = `Procedure;
+                sp_name = tok_id v;
+                sp_line = as_int line;
+                sp_params = as_ifaces params;
+                sp_ret = None;
+              }
+          | _ -> internal "subprog_spec_procedure");
+      ];
+  prod ~name:"params_opt_none" ~lhs:"params_opt" ~rhs:[]
+    ~rules:[ rule ~target:(0, "IFACES") ~deps:[] (fun _ -> Ifaces []) ];
+  prod ~name:"params_opt_some" ~lhs:"params_opt" ~rhs:[ "("; "iface_list"; ")" ] ~rules:[];
+  prod ~name:"subprog_decl" ~lhs:"subprog_decl" ~rhs:[ "subprog_spec"; ";" ]
+    ~rules:
+      (out_rules ~deps:[ (0, "UNITNAME"); (1, "SPEC") ] ~msg_deps:[ 1 ] (function
+        | [ unit_name; spec ] ->
+          let spec = as_spec spec in
+          let s = Decl_sem.subprog_sig ~unit_name:(as_str unit_name) spec in
+          ( { out_empty with o_binds = [ (s.Denot.ss_name, Denot.Dsubprog s) ] },
+            Decl_sem.validate_spec ~line:spec.sp_line s )
+        | _ -> internal "subprog_decl"));
+  prod ~name:"subprog_body" ~lhs:"subprog_body"
+    ~rhs:[ "subprog_spec"; "is"; "decl_items"; "begin"; "stmts"; "end"; "opt_id"; ";" ]
+    ~rules:
+      [
+        (* inner environment: own signature (recursion) + parameters *)
+        rule ~target:(3, "ENV")
+          ~deps:[ (0, "ENV"); (0, "LEVEL"); (0, "UNITNAME"); (1, "SPEC") ]
+          (function
+            | [ env; level; unit_name; spec ] ->
+              let s = Decl_sem.subprog_sig ~unit_name:(as_str unit_name) (as_spec spec) in
+              let env = Env.extend (as_env env) s.Denot.ss_name (Denot.Dsubprog s) in
+              Env (Env.extend_many env (Decl_sem.param_binds ~level:(as_int level + 1) s))
+            | _ -> internal "subprog env");
+        rule ~target:(3, "LEVEL") ~deps:[ (0, "LEVEL") ] (function
+          | [ l ] -> Int (as_int l + 1)
+          | _ -> internal "subprog level");
+        rule ~target:(3, "SLOTBASE") ~deps:[ (1, "SPEC") ] (function
+          | [ spec ] ->
+            Int
+              (List.fold_left
+                 (fun n i -> n + List.length i.if_names)
+                 0 (as_spec spec).sp_params)
+          | _ -> internal "subprog slotbase");
+        rule ~target:(3, "CTX") ~deps:[] (fun _ -> Str "subprog");
+        rule ~target:(5, "ENV") ~deps:[ (3, "ENV"); (3, "OUT") ] (function
+          | [ env; out ] -> Env (Env.extend_many (as_env env) (as_out out).o_binds)
+          | _ -> internal "subprog stmt env");
+        rule ~target:(5, "LEVEL") ~deps:[ (3, "LEVEL") ] (function
+          | [ l ] -> l
+          | _ -> internal "subprog stmt level");
+        rule ~target:(5, "CTX") ~deps:[] (fun _ -> Str "subprog");
+        rule ~target:(5, "LOOPDEPTH") ~deps:[] (fun _ -> Int 0);
+        rule ~target:(5, "RETTY") ~deps:[ (1, "SPEC") ] (function
+          | [ spec ] -> (
+            match (as_spec spec).sp_ret with
+            | Some ty -> Opt (Some (Sty { ty; resolution = None }))
+            | None -> Opt None)
+          | _ -> internal "subprog retty");
+        rule ~target:(0, "OUT")
+          ~deps:[ (0, "UNITNAME"); (0, "LEVEL"); (1, "SPEC"); (3, "OUT"); (5, "CODE") ]
+          (function
+            | [ unit_name; level; spec; out; code ] ->
+              let spec = as_spec spec in
+              let s = Decl_sem.subprog_sig ~unit_name:(as_str unit_name) spec in
+              let out = as_out out in
+              let params =
+                List.map
+                  (fun (p : Denot.param) ->
+                    { Kir.l_name = p.Denot.p_name; l_ty = p.Denot.p_ty; l_init = p.Denot.p_default })
+                  s.Denot.ss_params
+              in
+              let subp =
+                {
+                  Kir.sub_name = s.Denot.ss_mangled;
+                  sub_kind = spec.sp_kind;
+                  sub_params = params;
+                  sub_param_modes = List.map (fun (p : Denot.param) -> p.Denot.p_mode) s.Denot.ss_params;
+                  sub_locals = out.o_locals;
+                  sub_ret = spec.sp_ret;
+                  sub_level = as_int level + 1;
+                  sub_body = as_stmts code;
+                }
+              in
+              Out
+                {
+                  out_empty with
+                  o_binds = [ (s.Denot.ss_name, Denot.Dsubprog s) ];
+                  o_subprograms = out.o_subprograms @ [ subp ];
+                  o_deps = out.o_deps;
+                }
+            | _ -> internal "subprog out");
+        rule ~target:(0, "MSGS")
+          ~deps:
+            [ (0, "UNITNAME"); (1, "SPEC"); (1, "MSGS"); (3, "MSGS"); (5, "MSGS"); (7, "MSGS") ]
+          (function
+            | [ unit_name; spec; m1; m3; m5; m7 ] ->
+              let spec = as_spec spec in
+              let s = Decl_sem.subprog_sig ~unit_name:(as_str unit_name) spec in
+              Msgs
+                (as_msgs m1 @ as_msgs m3 @ as_msgs m5 @ as_msgs m7
+                @ Decl_sem.validate_spec ~line:spec.sp_line s)
+            | _ -> internal "subprog body msgs");
+      ];
+
+  (* ---- components, attributes, aliases ---- *)
+  prod ~name:"generic_clause_none" ~lhs:"generic_clause_opt" ~rhs:[]
+    ~rules:[ rule ~target:(0, "IFACES") ~deps:[] (fun _ -> Ifaces []) ];
+  prod ~name:"generic_clause_some" ~lhs:"generic_clause_opt"
+    ~rhs:[ "generic"; "("; "iface_list"; ")"; ";" ]
+    ~rules:[];
+  prod ~name:"port_clause_none" ~lhs:"port_clause_opt" ~rhs:[]
+    ~rules:[ rule ~target:(0, "IFACES") ~deps:[] (fun _ -> Ifaces []) ];
+  prod ~name:"port_clause_some" ~lhs:"port_clause_opt"
+    ~rhs:[ "port"; "("; "iface_list"; ")"; ";" ]
+    ~rules:[];
+  prod ~name:"component_decl" ~lhs:"component_decl"
+    ~rhs:[ "component"; "ID"; "generic_clause_opt"; "port_clause_opt"; "end"; "component"; ";" ]
+    ~rules:
+      (out_rules
+         ~deps:[ (1, "LINE"); (2, "VAL"); (3, "IFACES"); (4, "IFACES") ]
+         ~msg_deps:[ 3; 4 ]
+         (function
+           | [ line; v; generics; ports ] ->
+             Decl_sem.component_decl ~line:(as_int line) ~name:(tok_id v)
+               ~generics:(as_ifaces generics) ~ports:(as_ifaces ports)
+           | _ -> internal "component_decl"));
+  prod ~name:"attribute_decl" ~lhs:"attribute_decl"
+    ~rhs:[ "attribute"; "ID"; ":"; "name"; ";" ]
+    ~rules:
+      (out_rules
+         ~deps:[ (0, "LEVEL"); (1, "LINE"); (2, "VAL"); (4, "LEF") ]
+         ~msg_deps:[ 4 ]
+         (function
+           | [ level; line; v; ty_lef ] ->
+             Decl_sem.attribute_decl ~line:(as_int line) ~name:(tok_id v) (as_lef ty_lef)
+               ~level:(as_int level)
+           | _ -> internal "attribute_decl"));
+  prod ~name:"attribute_spec" ~lhs:"attribute_spec"
+    ~rhs:[ "attribute"; "ID"; "of"; "ID"; ":"; "entity_class"; "is"; "expr"; ";" ]
+    ~rules:
+      (out_rules
+         ~deps:[ (0, "ENV"); (0, "LEVEL"); (1, "LINE"); (2, "VAL"); (4, "VAL"); (8, "LEF") ]
+         ~msg_deps:[ 8 ]
+         (function
+           | [ env; level; line; attr_v; of_v; value_lef ] ->
+             Decl_sem.attribute_spec ~env:(as_env env) ~line:(as_int line)
+               ~attr:(tok_id attr_v) ~of_name:(tok_id of_v) (as_lef value_lef)
+               ~level:(as_int level)
+           | _ -> internal "attribute_spec"));
+  List.iter
+    (fun kw -> prod ~name:("entity_class_" ^ kw) ~lhs:"entity_class" ~rhs:[ kw ] ~rules:[])
+    [ "signal"; "constant"; "variable"; "type"; "entity"; "architecture"; "label"; "component" ];
+  prod ~name:"alias_decl" ~lhs:"alias_decl"
+    ~rhs:[ "alias"; "ID"; ":"; "subtype_ind"; "is"; "name"; ";" ]
+    ~rules:
+      (out_rules
+         ~deps:[ (0, "ENV"); (1, "LINE"); (2, "VAL"); (6, "BASE"); (6, "LEF") ]
+         ~msg_deps:[ 4; 6 ]
+         (function
+           | [ env; line; v; target_base; target_lef ] ->
+             Decl_sem.alias_decl ~env:(as_env env) ~line:(as_int line) ~name:(tok_id v)
+               ~target:(as_str target_base) ~target_lef:(as_lef target_lef)
+           | _ -> internal "alias_decl"));
+
+  (* ---- use / library clauses ---- *)
+  prod ~name:"use_clause" ~lhs:"use_clause" ~rhs:[ "use"; "use_names"; ";" ] ~rules:[];
+  prod ~name:"use_names_one" ~lhs:"use_names" ~rhs:[ "use_name" ]
+    ~rules:
+      (out_rules ~deps:[ (1, "UPARTS"); (1, "LINE1") ] ~msg_deps:[] (function
+        | [ parts; line ] -> (
+          match as_pair parts with
+          | Ids ids, Bool all ->
+            Decl_sem.resolve_use ~line:(as_int line) (List.map fst ids) ~all
+          | _ -> internal "use parts")
+        | _ -> internal "use_names_one"));
+  prod ~name:"use_names_more" ~lhs:"use_names" ~rhs:[ "use_names"; ","; "use_name" ]
+    ~rules:
+      (out_rules
+         ~deps:[ (1, "OUT"); (3, "UPARTS"); (3, "LINE1") ]
+         ~msg_deps:[ 1 ]
+         (function
+           | [ prev; parts; line ] -> (
+             match as_pair parts with
+             | Ids ids, Bool all ->
+               let out, msgs =
+                 Decl_sem.resolve_use ~line:(as_int line) (List.map fst ids) ~all
+               in
+               (out_append (as_out prev) out, msgs)
+             | _ -> internal "use parts")
+           | _ -> internal "use_names_more"));
+  prod ~name:"use_name_id" ~lhs:"use_name" ~rhs:[ "ID" ]
+    ~rules:
+      [
+        rule ~target:(0, "UPARTS") ~deps:[ (1, "VAL"); (1, "LINE") ] (function
+          | [ v; line ] -> Pair (Ids [ (tok_id v, as_int line) ], Bool false)
+          | _ -> internal "use_name_id");
+        rule ~target:(0, "LINE1") ~deps:[ (1, "LINE") ] (function
+          | [ l ] -> l
+          | _ -> internal "use line");
+      ];
+  prod ~name:"use_name_sel" ~lhs:"use_name" ~rhs:[ "use_name"; "."; "ID" ]
+    ~rules:
+      [
+        rule ~target:(0, "UPARTS") ~deps:[ (1, "UPARTS"); (3, "VAL"); (3, "LINE") ] (function
+          | [ parts; v; line ] -> (
+            match as_pair parts with
+            | Ids ids, Bool _ -> Pair (Ids (ids @ [ (tok_id v, as_int line) ]), Bool false)
+            | _ -> internal "use parts")
+          | _ -> internal "use_name_sel");
+        rule ~target:(0, "LINE1") ~deps:[ (1, "LINE1") ] (function
+          | [ l ] -> l
+          | _ -> internal "use line");
+      ];
+  (* selective import of an operator function: use work.pkg."+" *)
+  prod ~name:"use_name_op" ~lhs:"use_name" ~rhs:[ "use_name"; "."; "STRING" ]
+    ~rules:
+      [
+        rule ~target:(0, "UPARTS") ~deps:[ (1, "UPARTS"); (3, "VAL"); (3, "LINE") ] (function
+          | [ parts; v; line ] -> (
+            let key =
+              match as_tok v with
+              | Token.Tstring sym -> Lef.operator_key sym
+              | _ -> internal "STRING token"
+            in
+            match as_pair parts with
+            | Ids ids, Bool _ -> Pair (Ids (ids @ [ (key, as_int line) ]), Bool false)
+            | _ -> internal "use parts")
+          | _ -> internal "use_name_op");
+        rule ~target:(0, "LINE1") ~deps:[ (1, "LINE1") ] (function
+          | [ l ] -> l
+          | _ -> internal "use line");
+      ];
+  prod ~name:"use_name_all" ~lhs:"use_name" ~rhs:[ "use_name"; "."; "all" ]
+    ~rules:
+      [
+        rule ~target:(0, "UPARTS") ~deps:[ (1, "UPARTS") ] (function
+          | [ parts ] -> (
+            match as_pair parts with
+            | Ids ids, Bool _ -> Pair (Ids ids, Bool true)
+            | _ -> internal "use parts")
+          | _ -> internal "use_name_all");
+        rule ~target:(0, "LINE1") ~deps:[ (1, "LINE1") ] (function
+          | [ l ] -> l
+          | _ -> internal "use line");
+      ];
+
+  (* ---- configuration specifications ---- *)
+  prod ~name:"config_spec1" ~lhs:"config_spec1"
+    ~rhs:[ "for"; "inst_spec"; ":"; "ID"; "binding_ind"; ";" ]
+    ~rules:
+      (out_rules
+         ~deps:[ (1, "LINE"); (2, "ISPEC"); (4, "VAL"); (5, "BIND") ]
+         ~msg_deps:[]
+         (function
+           | [ line; ispec; comp_v; bind ] ->
+             let scope =
+               match as_pair ispec with
+               | Str "labels", Ids ids -> `Labels (List.map fst ids)
+               | Str "all", _ -> `All
+               | _ -> `Others
+             in
+             let binding =
+               match as_opt bind with
+               | Some (Pair (Ids parts, oarch)) ->
+                 Some
+                   ( List.map fst parts,
+                     match oarch with
+                     | Opt (Some (Str a)) -> Some a
+                     | _ -> None )
+               | _ -> None
+             in
+             let specs, msgs =
+               Unit_sem.config_spec ~line:(as_int line) ~scope ~component:(tok_id comp_v)
+                 ~binding
+             in
+             ({ out_empty with o_config_specs = specs }, msgs)
+           | _ -> internal "config_spec1"));
+  prod ~name:"inst_spec_labels" ~lhs:"inst_spec" ~rhs:[ "id_list" ]
+    ~rules:
+      [
+        rule ~target:(0, "ISPEC") ~deps:[ (1, "IDS") ] (function
+          | [ ids ] -> Pair (Str "labels", ids)
+          | _ -> internal "inst_spec_labels");
+      ];
+  prod ~name:"inst_spec_all" ~lhs:"inst_spec" ~rhs:[ "all" ]
+    ~rules:[ rule ~target:(0, "ISPEC") ~deps:[] (fun _ -> Pair (Str "all", Ids [])) ];
+  prod ~name:"inst_spec_others" ~lhs:"inst_spec" ~rhs:[ "others" ]
+    ~rules:[ rule ~target:(0, "ISPEC") ~deps:[] (fun _ -> Pair (Str "others", Ids [])) ];
+  prod ~name:"binding_ind" ~lhs:"binding_ind" ~rhs:[ "use"; "entity"; "use_name"; "arch_opt" ]
+    ~rules:
+      [
+        rule ~target:(0, "BIND") ~deps:[ (3, "UPARTS"); (4, "OID") ] (function
+          | [ parts; oid ] -> (
+            match as_pair parts with
+            | Ids ids, _ -> Opt (Some (Pair (Ids ids, Opt (as_opt oid))))
+            | _ -> internal "binding parts")
+          | _ -> internal "binding_ind");
+      ];
+  prod ~name:"arch_opt_none" ~lhs:"arch_opt" ~rhs:[]
+    ~rules:[ rule ~target:(0, "OID") ~deps:[] (fun _ -> Opt None) ];
+  prod ~name:"arch_opt_some" ~lhs:"arch_opt" ~rhs:[ "("; "ID"; ")" ]
+    ~rules:
+      [
+        rule ~target:(0, "OID") ~deps:[ (2, "VAL") ] (function
+          | [ v ] -> Opt (Some (Str (tok_id v)))
+          | _ -> internal "arch_opt_some");
+      ]

@@ -1,0 +1,454 @@
+(** Principal AG, expression region.
+
+    "The principal AG does not contain semantic rules for most of the
+    aspects of compiling expressions; instead it merely synthesizes a
+    simplified list of tokens" — these productions give expressions their
+    natural phrase structure and emit LEF.  Identifier classification
+    consults ENV here; everything else is token plumbing, mostly via the
+    implicit merge rules of the LEF class. *)
+
+open Pval
+open Gram_util
+module B = Grammar.Builder
+
+let nonterminals =
+  [
+    "expr"; "relation"; "simpleexpr"; "term"; "factor"; "primary"; "name";
+    "agg_items"; "agg_item"; "chlist"; "chitem"; "logop"; "relop"; "addop";
+    "mulop"; "sign"; "direction"; "name_list"; "discrete_range"; "expr_opt";
+  ]
+
+(* hidden-pair rule set for name productions: (LEF, BASE, MSGS) *)
+let name_rules ~deps ~msg_deps f =
+  [
+    rule ~target:(0, "SRES") ~deps (fun vs ->
+        let lef, base, msgs = f vs in
+        Pair (Pair (Lef lef, Str base), Msgs msgs));
+    rule ~target:(0, "LEF") ~deps:[ (0, "SRES") ] (function
+      | [ v ] -> fst (as_pair (fst (as_pair v)))
+      | _ -> internal "name LEF");
+    rule ~target:(0, "BASE") ~deps:[ (0, "SRES") ] (function
+      | [ v ] -> snd (as_pair (fst (as_pair v)))
+      | _ -> internal "name BASE");
+    rule ~target:(0, "MSGS")
+      ~deps:((0, "SRES") :: List.map (fun p -> (p, "MSGS")) msg_deps)
+      (fun vs ->
+        match vs with
+        | res :: children ->
+          let _, m = as_pair res in
+          Msgs (List.concat_map as_msgs children @ as_msgs m)
+        | [] -> internal "name MSGS");
+  ]
+
+(* plain LEF+MSGS hidden pair (primary with classification) *)
+let lef_rules ~deps ~msg_deps f =
+  [
+    rule ~target:(0, "SRES") ~deps (fun vs ->
+        let lef, msgs = f vs in
+        Pair (Lef lef, Msgs msgs));
+    rule ~target:(0, "LEF") ~deps:[ (0, "SRES") ] fst_of;
+    rule ~target:(0, "MSGS")
+      ~deps:((0, "SRES") :: List.map (fun p -> (p, "MSGS")) msg_deps)
+      snd_plus_msgs;
+  ]
+
+let dummy_sres = rule ~target:(0, "SRES") ~deps:[] (fun _ -> Unit)
+
+(* explicit LEF rule splicing terminal punctuation between child LEFs:
+   spec is a list of [`C pos] (child LEF) / [`P (pos, text)] (punct token at
+   position pos, for its line) / [`Op (pos, op)] *)
+let splice_lef spec =
+  let deps =
+    (0, "ENV")
+    :: List.map
+         (function
+           | `C pos -> (pos, "LEF")
+           | `P (pos, _) -> (pos, "LINE")
+           | `Op (pos, _) -> (pos, "LINE"))
+         spec
+  in
+  rule ~target:(0, "LEF") ~deps (function
+    | env :: vs ->
+      let env = as_env env in
+      let parts =
+        List.map2
+          (fun part v ->
+            match part with
+            | `C _ -> as_lef v
+            | `P (_, text) -> [ Lef.punct ~line:(as_int v) text ]
+            | `Op (_, op) -> [ Decl_sem.classify_op ~env ~line:(as_int v) op ])
+          spec vs
+      in
+      Lef (List.concat parts)
+    | [] -> internal "splice_lef")
+
+let add b =
+  List.iter (fun n -> ignore (B.nonterminal b n)) nonterminals;
+  let prod = B.production b in
+
+  (* operator wrapper nonterminals *)
+  let op_wrapper lhs tokens =
+    List.iter
+      (fun (term, op) ->
+        prod ~name:(lhs ^ "_" ^ op) ~lhs ~rhs:[ term ]
+          ~rules:
+            [
+              rule ~target:(0, "LEF") ~deps:[ (0, "ENV"); (1, "LINE") ] (function
+                | [ env; line ] ->
+                  Lef [ Decl_sem.classify_op ~env:(as_env env) ~line:(as_int line) op ]
+                | _ -> internal "op wrapper");
+            ])
+      tokens
+  in
+  op_wrapper "logop" [ ("and", "and"); ("or", "or"); ("nand", "nand"); ("nor", "nor"); ("xor", "xor") ];
+  op_wrapper "relop"
+    [ ("=", "="); ("/=", "/="); ("<", "<"); ("<=", "<="); (">", ">"); (">=", ">=") ];
+  op_wrapper "addop" [ ("+", "+"); ("-", "-"); ("&", "&") ];
+  op_wrapper "mulop" [ ("*", "*"); ("/", "/"); ("mod", "mod"); ("rem", "rem") ];
+  op_wrapper "sign" [ ("+", "+"); ("-", "-") ];
+
+  prod ~name:"direction_to" ~lhs:"direction" ~rhs:[ "to" ]
+    ~rules:[ rule ~target:(0, "DIR") ~deps:[] (fun _ -> Str "to") ];
+  prod ~name:"direction_downto" ~lhs:"direction" ~rhs:[ "downto" ]
+    ~rules:[ rule ~target:(0, "DIR") ~deps:[] (fun _ -> Str "downto") ];
+
+  (* precedence chain; implicit LEF merges everywhere no terminal appears *)
+  prod ~name:"expr_relation" ~lhs:"expr" ~rhs:[ "relation" ] ~rules:[];
+  prod ~name:"expr_logop" ~lhs:"expr" ~rhs:[ "expr"; "logop"; "relation" ] ~rules:[];
+  prod ~name:"relation_simple" ~lhs:"relation" ~rhs:[ "simpleexpr" ] ~rules:[];
+  prod ~name:"relation_rel" ~lhs:"relation" ~rhs:[ "simpleexpr"; "relop"; "simpleexpr" ]
+    ~rules:[];
+  prod ~name:"simple_term" ~lhs:"simpleexpr" ~rhs:[ "term" ] ~rules:[];
+  prod ~name:"simple_sign" ~lhs:"simpleexpr" ~rhs:[ "sign"; "term" ] ~rules:[];
+  prod ~name:"simple_add" ~lhs:"simpleexpr" ~rhs:[ "simpleexpr"; "addop"; "term" ] ~rules:[];
+  prod ~name:"term_factor" ~lhs:"term" ~rhs:[ "factor" ] ~rules:[];
+  prod ~name:"term_mul" ~lhs:"term" ~rhs:[ "term"; "mulop"; "factor" ] ~rules:[];
+  prod ~name:"factor_primary" ~lhs:"factor" ~rhs:[ "primary" ] ~rules:[];
+  prod ~name:"factor_exp" ~lhs:"factor" ~rhs:[ "primary"; "**"; "primary" ]
+    ~rules:[ splice_lef [ `C 1; `Op (2, "**"); `C 3 ] ];
+  prod ~name:"factor_abs" ~lhs:"factor" ~rhs:[ "abs"; "primary" ]
+    ~rules:[ splice_lef [ `Op (1, "abs"); `C 2 ] ];
+  prod ~name:"factor_not" ~lhs:"factor" ~rhs:[ "not"; "primary" ]
+    ~rules:[ splice_lef [ `Op (1, "not"); `C 2 ] ];
+
+  (* primaries *)
+  prod ~name:"primary_name" ~lhs:"primary" ~rhs:[ "name" ] ~rules:[ dummy_sres ];
+  prod ~name:"primary_int" ~lhs:"primary" ~rhs:[ "INT" ]
+    ~rules:
+      [
+        dummy_sres;
+        rule ~target:(0, "LEF") ~deps:[ (1, "VAL"); (1, "LINE") ] (function
+          | [ v; line ] -> (
+            match as_tok v with
+            | Token.Tint n -> lef1 (Lef.Kint n) (as_int line)
+            | _ -> internal "INT token")
+          | _ -> internal "primary_int");
+      ];
+  prod ~name:"primary_real" ~lhs:"primary" ~rhs:[ "REAL" ]
+    ~rules:
+      [
+        dummy_sres;
+        rule ~target:(0, "LEF") ~deps:[ (1, "VAL"); (1, "LINE") ] (function
+          | [ v; line ] -> (
+            match as_tok v with
+            | Token.Treal x -> lef1 (Lef.Kreal x) (as_int line)
+            | _ -> internal "REAL token")
+          | _ -> internal "primary_real");
+      ];
+  (* physical literals: INT unit / REAL unit *)
+  let physical name term conv =
+    prod ~name ~lhs:"primary" ~rhs:[ term; "ID" ]
+      ~rules:
+        (lef_rules
+           ~deps:[ (0, "ENV"); (1, "VAL"); (2, "VAL"); (2, "LINE") ]
+           ~msg_deps:[]
+           (function
+             | [ env; v; unit_v; line ] ->
+               Decl_sem.classify_physical ~env:(as_env env) ~line:(as_int line)
+                 ~abstract:(conv (as_tok v)) (tok_id unit_v)
+             | _ -> internal "physical"))
+  in
+  physical "primary_phys_int" "INT" (function
+    | Token.Tint n -> `Int n
+    | _ -> internal "INT token");
+  physical "primary_phys_real" "REAL" (function
+    | Token.Treal x -> `Real x
+    | _ -> internal "REAL token");
+  prod ~name:"primary_char" ~lhs:"primary" ~rhs:[ "CHAR" ]
+    ~rules:
+      (lef_rules ~deps:[ (0, "ENV"); (1, "VAL"); (1, "LINE") ] ~msg_deps:[] (function
+        | [ env; v; line ] -> (
+          match as_tok v with
+          | Token.Tchar image -> (
+            let line = as_int line in
+            let denots = Env.lookup (as_env env) image in
+            let enums =
+              List.filter_map
+                (function
+                  | Denot.Denum_lit { ty; pos; image } -> Some (ty, pos, image)
+                  | _ -> None)
+                denots
+            in
+            match enums with
+            | [] ->
+              ( [ { Lef.l_kind = Lef.Kident image; l_line = line } ],
+                [ Diag.error ~line "character literal %s is not declared" image ] )
+            | _ -> ([ { Lef.l_kind = Lef.Kenum enums; l_line = line } ], []))
+          | _ -> internal "CHAR token")
+        | _ -> internal "primary_char"));
+  prod ~name:"primary_string" ~lhs:"primary" ~rhs:[ "STRING" ]
+    ~rules:
+      [
+        dummy_sres;
+        rule ~target:(0, "LEF") ~deps:[ (1, "VAL"); (1, "LINE") ] (function
+          | [ v; line ] -> (
+            match as_tok v with
+            | Token.Tstring s -> lef1 (Lef.Kstr s) (as_int line)
+            | _ -> internal "STRING token")
+          | _ -> internal "primary_string");
+      ];
+  prod ~name:"primary_bitstr" ~lhs:"primary" ~rhs:[ "BITSTR" ]
+    ~rules:
+      [
+        dummy_sres;
+        rule ~target:(0, "LEF") ~deps:[ (1, "VAL"); (1, "LINE") ] (function
+          | [ v; line ] -> (
+            match as_tok v with
+            | Token.Tbitstr s -> lef1 (Lef.Kbitstr s) (as_int line)
+            | _ -> internal "BITSTR token")
+          | _ -> internal "primary_bitstr");
+      ];
+  prod ~name:"primary_paren" ~lhs:"primary" ~rhs:[ "("; "agg_items"; ")" ]
+    ~rules:[ dummy_sres; splice_lef [ `P (1, "("); `C 2; `P (3, ")") ] ];
+
+  (* names *)
+  prod ~name:"name_id" ~lhs:"name" ~rhs:[ "ID" ]
+    ~rules:
+      (name_rules ~deps:[ (0, "ENV"); (1, "VAL"); (1, "LINE") ] ~msg_deps:[] (function
+        | [ env; v; line ] ->
+          let id = tok_id v in
+          let lef, msgs = Decl_sem.classify ~env:(as_env env) ~line:(as_int line) id in
+          (lef, id, msgs)
+        | _ -> internal "name_id"));
+  prod ~name:"name_selected" ~lhs:"name" ~rhs:[ "name"; "."; "ID" ]
+    ~rules:
+      (name_rules
+         ~deps:[ (0, "ENV"); (1, "LEF"); (1, "BASE"); (3, "VAL"); (3, "LINE") ]
+         ~msg_deps:[ 1 ]
+         (function
+           | [ env; plef; pbase; v; line ] ->
+             let id = tok_id v in
+             let lef, msgs =
+               Decl_sem.classify_selected ~env:(as_env env) ~line:(as_int line) (as_lef plef) id
+             in
+             (lef, as_str pbase ^ "." ^ id, msgs)
+           | _ -> internal "name_selected"));
+  prod ~name:"name_args" ~lhs:"name" ~rhs:[ "name"; "("; "agg_items"; ")" ]
+    ~rules:
+      (name_rules
+         ~deps:[ (1, "LEF"); (1, "BASE"); (2, "LINE"); (3, "LEF"); (4, "LINE") ]
+         ~msg_deps:[ 1; 3 ]
+         (function
+           | [ plef; pbase; lp; items; rp ] ->
+             ( as_lef plef
+               @ [ Lef.punct ~line:(as_int lp) "(" ]
+               @ as_lef items
+               @ [ Lef.punct ~line:(as_int rp) ")" ],
+               as_str pbase,
+               [] )
+           | _ -> internal "name_args"));
+  prod ~name:"name_attr" ~lhs:"name" ~rhs:[ "name"; "'"; "ID" ]
+    ~rules:
+      (name_rules
+         ~deps:[ (0, "ENV"); (1, "LEF"); (1, "BASE"); (3, "VAL"); (3, "LINE") ]
+         ~msg_deps:[ 1 ]
+         (function
+           | [ env; plef; pbase; v; line ] ->
+             let id = tok_id v in
+             let base = as_str pbase in
+             let lef, msgs =
+               Decl_sem.classify_attribute ~env:(as_env env) ~line:(as_int line) ~base
+                 (as_lef plef) id
+             in
+             (lef, base, msgs)
+           | _ -> internal "name_attr"));
+  (* allocators: new T / new T'(e) — the name covers both via the
+     qualified-expression production *)
+  prod ~name:"primary_new" ~lhs:"primary" ~rhs:[ "new"; "name" ]
+    ~rules:
+      (lef_rules ~deps:[ (1, "LINE"); (2, "LEF") ] ~msg_deps:[ 2 ] (function
+        | [ line; name_lef ] ->
+          ({ Lef.l_kind = Lef.Knew; l_line = as_int line } :: as_lef name_lef, [])
+        | _ -> internal "primary_new"));
+  (* the null access literal *)
+  prod ~name:"primary_null" ~lhs:"primary" ~rhs:[ "null" ]
+    ~rules:
+      (lef_rules ~deps:[ (1, "LINE") ] ~msg_deps:[] (function
+        | [ line ] -> ([ { Lef.l_kind = Lef.Knull; l_line = as_int line } ], [])
+        | _ -> internal "primary_null"));
+
+  (* qualified expression / attribute function argument: name ' ( items ) *)
+  prod ~name:"name_qualified" ~lhs:"name" ~rhs:[ "name"; "'"; "("; "agg_items"; ")" ]
+    ~rules:
+      (name_rules
+         ~deps:[ (1, "LEF"); (1, "BASE"); (2, "LINE"); (4, "LEF"); (5, "LINE") ]
+         ~msg_deps:[ 1; 4 ]
+         (function
+           | [ plef; pbase; tick_line; items; rp ] ->
+             ( as_lef plef
+               @ [
+                   Lef.punct ~line:(as_int tick_line) "'";
+                   Lef.punct ~line:(as_int tick_line) "(";
+                 ]
+               @ as_lef items
+               @ [ Lef.punct ~line:(as_int rp) ")" ],
+               as_str pbase,
+               [] )
+           | _ -> internal "name_qualified"));
+  (* dereference: p.all *)
+  prod ~name:"name_all_deref" ~lhs:"name" ~rhs:[ "name"; "."; "all" ]
+    ~rules:
+      (name_rules
+         ~deps:[ (1, "LEF"); (1, "BASE"); (2, "LINE"); (3, "LINE") ]
+         ~msg_deps:[ 1 ]
+         (function
+           | [ plef; pbase; dot_line; all_line ] ->
+             ( as_lef plef
+               @ [
+                   Lef.punct ~line:(as_int dot_line) ".";
+                   Lef.punct ~line:(as_int all_line) "all";
+                 ],
+               as_str pbase,
+               [] )
+           | _ -> internal "name_all_deref"));
+  prod ~name:"name_attr_range" ~lhs:"name" ~rhs:[ "name"; "'"; "range" ]
+    ~rules:
+      (name_rules ~deps:[ (1, "LEF"); (1, "BASE"); (3, "LINE") ] ~msg_deps:[ 1 ] (function
+        | [ plef; pbase; line ] ->
+          let line = as_int line in
+          ( as_lef plef
+            @ [ Lef.punct ~line "'"; { Lef.l_kind = Lef.Kattr "RANGE"; l_line = line } ],
+            as_str pbase,
+            [] )
+        | _ -> internal "name_attr_range"));
+
+  (* aggregate / argument items *)
+  prod ~name:"agg_items_one" ~lhs:"agg_items" ~rhs:[ "agg_item" ] ~rules:[];
+  prod ~name:"agg_items_more" ~lhs:"agg_items" ~rhs:[ "agg_items"; ","; "agg_item" ]
+    ~rules:[ splice_lef [ `C 1; `P (2, ","); `C 3 ] ];
+  prod ~name:"agg_item_expr" ~lhs:"agg_item" ~rhs:[ "expr" ] ~rules:[];
+  prod ~name:"agg_item_range" ~lhs:"agg_item" ~rhs:[ "simpleexpr"; "direction"; "simpleexpr" ]
+    ~rules:
+      [
+        rule ~target:(0, "LEF")
+          ~deps:[ (1, "LEF"); (2, "DIR"); (3, "LEF") ]
+          (function
+            | [ lo; d; hi ] ->
+              let lo = as_lef lo and hi = as_lef hi in
+              let line = match lo with t :: _ -> t.Lef.l_line | [] -> 0 in
+              Lef (lo @ [ Lef.punct ~line (as_str d) ] @ hi)
+            | _ -> internal "agg_item_range");
+      ];
+  prod ~name:"agg_item_named" ~lhs:"agg_item" ~rhs:[ "chlist"; "=>"; "expr" ]
+    ~rules:[ splice_lef [ `C 1; `P (2, "=>"); `C 3 ] ];
+  prod ~name:"agg_item_open" ~lhs:"agg_item" ~rhs:[ "chlist"; "=>"; "open" ]
+    ~rules:[ splice_lef [ `C 1; `P (2, "=>"); `P (3, "open") ] ];
+
+  (* choices: dual LEF (for aggregates) and CHS (for case statements) *)
+  prod ~name:"chlist_one" ~lhs:"chlist" ~rhs:[ "chitem" ]
+    ~rules:
+      [
+        rule ~target:(0, "CHS") ~deps:[ (1, "CHS") ] (function
+          | [ c ] -> c
+          | _ -> internal "chlist_one");
+      ];
+  prod ~name:"chlist_more" ~lhs:"chlist" ~rhs:[ "chlist"; "|"; "chitem" ]
+    ~rules:
+      [
+        splice_lef [ `C 1; `P (2, "|"); `C 3 ];
+        rule ~target:(0, "CHS") ~deps:[ (1, "CHS"); (3, "CHS") ] (function
+          | [ a; c ] -> Choices (as_choices a @ as_choices c)
+          | _ -> internal "chlist_more");
+      ];
+  prod ~name:"chitem_expr" ~lhs:"chitem" ~rhs:[ "simpleexpr" ]
+    ~rules:
+      [
+        rule ~target:(0, "CHS") ~deps:[ (1, "LEF") ] (function
+          | [ lef ] -> Choices [ CSlef (as_lef lef) ]
+          | _ -> internal "chitem_expr");
+      ];
+  prod ~name:"chitem_range" ~lhs:"chitem" ~rhs:[ "simpleexpr"; "direction"; "simpleexpr" ]
+    ~rules:
+      [
+        rule ~target:(0, "LEF")
+          ~deps:[ (1, "LEF"); (2, "DIR"); (3, "LEF") ]
+          (function
+            | [ lo; d; hi ] ->
+              let lo = as_lef lo and hi = as_lef hi in
+              let line = match lo with t :: _ -> t.Lef.l_line | [] -> 0 in
+              Lef (lo @ [ Lef.punct ~line (as_str d) ] @ hi)
+            | _ -> internal "chitem_range lef");
+        rule ~target:(0, "CHS")
+          ~deps:[ (1, "LEF"); (2, "DIR"); (3, "LEF") ]
+          (function
+            | [ lo; d; hi ] ->
+              let dir = if as_str d = "to" then Types.To else Types.Downto in
+              Choices [ CSrange (as_lef lo, dir, as_lef hi) ]
+            | _ -> internal "chitem_range chs");
+      ];
+  prod ~name:"chitem_others" ~lhs:"chitem" ~rhs:[ "others" ]
+    ~rules:
+      [
+        rule ~target:(0, "LEF") ~deps:[ (1, "LINE") ] (function
+          | [ line ] -> Lef [ Lef.punct ~line:(as_int line) "others" ]
+          | _ -> internal "chitem_others lef");
+        rule ~target:(0, "CHS") ~deps:[] (fun _ -> Choices [ CSothers ]);
+      ];
+
+  (* name lists (sensitivity lists, wait on) *)
+  prod ~name:"name_list_one" ~lhs:"name_list" ~rhs:[ "name" ]
+    ~rules:
+      [
+        rule ~target:(0, "LEFS") ~deps:[ (1, "LEF") ] (function
+          | [ l ] -> Lefs [ as_lef l ]
+          | _ -> internal "name_list_one");
+      ];
+  prod ~name:"name_list_more" ~lhs:"name_list" ~rhs:[ "name_list"; ","; "name" ]
+    ~rules:
+      [
+        rule ~target:(0, "LEFS") ~deps:[ (1, "LEFS"); (3, "LEF") ] (function
+          | [ ls; l ] -> Lefs (as_lefs ls @ [ as_lef l ])
+          | _ -> internal "name_list_more");
+      ];
+
+  (* discrete ranges (for loops, array index specs) *)
+  prod ~name:"discrete_range_expr" ~lhs:"discrete_range" ~rhs:[ "expr" ]
+    ~rules:
+      [
+        rule ~target:(0, "RNG") ~deps:[ (1, "LEF") ] (function
+          | [ lef ] -> Rng (`Lef (as_lef lef))
+          | _ -> internal "discrete_range_expr");
+      ];
+  prod ~name:"discrete_range_bounds" ~lhs:"discrete_range"
+    ~rhs:[ "simpleexpr"; "direction"; "simpleexpr" ]
+    ~rules:
+      [
+        rule ~target:(0, "RNG")
+          ~deps:[ (1, "LEF"); (2, "DIR"); (3, "LEF") ]
+          (function
+            | [ lo; d; hi ] ->
+              let dir = if as_str d = "to" then Types.To else Types.Downto in
+              Rng (`Bounds (as_lef lo, dir, as_lef hi))
+            | _ -> internal "discrete_range_bounds");
+      ];
+
+  (* optional expression *)
+  prod ~name:"expr_opt_none" ~lhs:"expr_opt" ~rhs:[]
+    ~rules:[ rule ~target:(0, "OLEF") ~deps:[] (fun _ -> Opt None) ];
+  prod ~name:"expr_opt_some" ~lhs:"expr_opt" ~rhs:[ "expr" ]
+    ~rules:
+      [
+        rule ~target:(0, "OLEF") ~deps:[ (1, "LEF") ] (function
+          | [ l ] -> Opt (Some l)
+          | _ -> internal "expr_opt_some");
+      ]

@@ -1,0 +1,316 @@
+(** VHDL scanner (IEEE 1076-1987 lexical rules).
+
+    Identifiers are case-insensitive and normalized to upper case; reserved
+    words to lower case.  Abstract literals support underscores, based
+    notation (16#FF#) and exponents.  The tick character is disambiguated
+    between character literals and attribute/qualified-expression marks by
+    the previous token, as in conventional VHDL scanners. *)
+
+exception Lex_error of { line : int; msg : string }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable prev : Token.t; (* previous significant token, for tick rule *)
+}
+
+let make src = { src; pos = 0; line = 1; prev = Token.Teof }
+
+let error st fmt =
+  Format.kasprintf (fun msg -> raise (Lex_error { line = st.line; msg })) fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let peek3 st =
+  if st.pos + 2 < String.length st.src then Some st.src.[st.pos + 2] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' -> st.line <- st.line + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_letter c || is_digit c || c = '_'
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '-' when peek2 st = Some '-' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let scan_identifier st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let raw = String.sub st.src start (st.pos - start) in
+  let lower = String.lowercase_ascii raw in
+  if Token.is_reserved lower then Token.Tkw lower else Token.Tid (String.uppercase_ascii raw)
+
+(* digits with optional underscores; returns the digit string *)
+let scan_digits st =
+  let buf = Buffer.create 8 in
+  let rec go () =
+    match peek st with
+    | Some c when is_digit c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+    | Some '_' ->
+      advance st;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+let scan_based st base_digits =
+  (* we are just past the '#'; base_digits is the base *)
+  let base =
+    match int_of_string_opt base_digits with
+    | Some b when b >= 2 && b <= 16 -> b
+    | _ -> error st "invalid base %s" base_digits
+  in
+  let digit_value c =
+    if is_digit c then Char.code c - Char.code '0'
+    else if c >= 'a' && c <= 'f' then 10 + Char.code c - Char.code 'a'
+    else if c >= 'A' && c <= 'F' then 10 + Char.code c - Char.code 'A'
+    else -1
+  in
+  let value = ref 0 in
+  let any = ref false in
+  let rec go () =
+    match peek st with
+    | Some '_' ->
+      advance st;
+      go ()
+    | Some c when digit_value c >= 0 && digit_value c < base ->
+      value := (!value * base) + digit_value c;
+      any := true;
+      advance st;
+      go ()
+    | Some '#' -> advance st
+    | Some c -> error st "invalid character %c in based literal" c
+    | None -> error st "unterminated based literal"
+  in
+  go ();
+  if not !any then error st "empty based literal";
+  Token.Tint !value
+
+let scan_number st =
+  let int_part = scan_digits st in
+  match peek st with
+  | Some '#' ->
+    advance st;
+    scan_based st int_part
+  | Some '.' when (match peek2 st with Some c -> is_digit c | None -> false) ->
+    advance st;
+    let frac = scan_digits st in
+    let exp =
+      match peek st with
+      | Some ('e' | 'E') ->
+        advance st;
+        let sign =
+          match peek st with
+          | Some '-' ->
+            advance st;
+            "-"
+          | Some '+' ->
+            advance st;
+            ""
+          | _ -> ""
+        in
+        "e" ^ sign ^ scan_digits st
+      | _ -> ""
+    in
+    Token.Treal (float_of_string (int_part ^ "." ^ frac ^ exp))
+  | Some ('e' | 'E') ->
+    (* integer with exponent: 1E6 *)
+    advance st;
+    let sign =
+      match peek st with
+      | Some '+' ->
+        advance st;
+        1
+      | Some '-' -> error st "negative exponent in integer literal"
+      | _ -> 1
+    in
+    ignore sign;
+    let e = int_of_string (scan_digits st) in
+    let rec pow10 acc n = if n = 0 then acc else pow10 (acc * 10) (n - 1) in
+    Token.Tint (int_of_string int_part * pow10 1 e)
+  | _ -> Token.Tint (int_of_string int_part)
+
+let scan_string st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '"' when peek2 st = Some '"' ->
+      Buffer.add_char buf '"';
+      advance st;
+      advance st;
+      go ()
+    | Some '"' -> advance st
+    | Some '\n' -> error st "string literal crosses a line boundary"
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Token.Tstring (Buffer.contents buf)
+
+let scan_bit_string st base_char =
+  advance st (* base char *);
+  advance st (* opening quote *);
+  let bits_per, digit_bits =
+    match Char.lowercase_ascii base_char with
+    | 'b' -> (1, fun c -> if c = '0' then Some "0" else if c = '1' then Some "1" else None)
+    | 'o' ->
+      ( 3,
+        fun c ->
+          if c >= '0' && c <= '7' then begin
+            let v = Char.code c - Char.code '0' in
+            Some (Printf.sprintf "%d%d%d" ((v lsr 2) land 1) ((v lsr 1) land 1) (v land 1))
+          end
+          else None )
+    | 'x' ->
+      ( 4,
+        fun c ->
+          let v =
+            if is_digit c then Some (Char.code c - Char.code '0')
+            else if c >= 'a' && c <= 'f' then Some (10 + Char.code c - Char.code 'a')
+            else if c >= 'A' && c <= 'F' then Some (10 + Char.code c - Char.code 'A')
+            else None
+          in
+          Option.map
+            (fun v ->
+              String.concat ""
+                (List.init 4 (fun i -> string_of_int ((v lsr (3 - i)) land 1))))
+            v )
+    | _ -> error st "invalid bit-string base %c" base_char
+  in
+  ignore bits_per;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated bit-string literal"
+    | Some '"' -> advance st
+    | Some '_' ->
+      advance st;
+      go ()
+    | Some c -> (
+      match digit_bits c with
+      | Some bits ->
+        Buffer.add_string buf bits;
+        advance st;
+        go ()
+      | None -> error st "invalid character %c in bit-string literal" c)
+  in
+  go ();
+  Token.Tbitstr (Buffer.contents buf)
+
+(* A tick starts a character literal iff it is followed by <char>' and the
+   previous token cannot end a name or an expression (in which case the tick
+   is an attribute mark or qualified-expression mark). *)
+let tick_is_char_literal st =
+  peek3 st = Some '\''
+  &&
+  match st.prev with
+  | Token.Tid _ | Token.Tpunct ")" | Token.Tpunct "]" -> false
+  | Token.Tkw "all" -> false
+  | _ -> true
+
+let scan_punct st =
+  let two c1 c2 = peek st = Some c1 && peek2 st = Some c2 in
+  let take2 p =
+    advance st;
+    advance st;
+    Token.Tpunct p
+  in
+  let take1 p =
+    advance st;
+    Token.Tpunct p
+  in
+  if two '*' '*' then take2 "**"
+  else if two ':' '=' then take2 ":="
+  else if two '<' '=' then take2 "<="
+  else if two '>' '=' then take2 ">="
+  else if two '=' '>' then take2 "=>"
+  else if two '/' '=' then take2 "/="
+  else if two '<' '>' then take2 "<>"
+  else
+    match peek st with
+    | Some (( '(' | ')' | ',' | ';' | ':' | '.' | '&' | '\'' | '|' | '+' | '-' | '*'
+            | '/' | '=' | '<' | '>' ) as c) ->
+      take1 (String.make 1 c)
+    | Some c -> error st "unexpected character %c" c
+    | None -> Token.Teof
+
+(** Next token with its source line. *)
+let next st =
+  skip_trivia st;
+  let line = st.line in
+  let tok =
+    match peek st with
+    | None -> Token.Teof
+    | Some c when is_letter c ->
+      (* bit-string literal B"0101" looks like an identifier first *)
+      if (c = 'b' || c = 'B' || c = 'o' || c = 'O' || c = 'x' || c = 'X')
+         && peek2 st = Some '"'
+      then scan_bit_string st c
+      else scan_identifier st
+    | Some c when is_digit c -> scan_number st
+    | Some '"' -> scan_string st
+    | Some '\'' ->
+      if tick_is_char_literal st then begin
+        advance st;
+        let c =
+          match peek st with
+          | Some c -> c
+          | None -> error st "unterminated character literal"
+        in
+        advance st;
+        (match peek st with
+        | Some '\'' -> advance st
+        | _ -> error st "unterminated character literal");
+        Token.Tchar (Printf.sprintf "'%c'" c)
+      end
+      else scan_punct st
+    | Some _ -> scan_punct st
+  in
+  st.prev <- tok;
+  (tok, line)
+
+(** Scan a whole source text. *)
+let tokenize src =
+  let st = make src in
+  let rec go acc =
+    match next st with
+    | Token.Teof, line -> List.rev ((Token.Teof, line) :: acc)
+    | tok -> go (tok :: acc)
+  in
+  go []
+
+(** Stripped source-line count, VHDL comment convention (Figure 2's "text
+    that has been stripped of blank lines and comments"). *)
+let source_lines src = Vhdl_util.Unix_compat.stripped_line_count ~comment_prefixes:[ "--" ] src

@@ -1,0 +1,22 @@
+(** VHDL scanner (IEEE 1076-1987 lexical rules).
+
+    Identifiers are case-insensitive and normalized to upper case, reserved
+    words to lower case.  The tick character is disambiguated between
+    character literals and attribute/qualified-expression marks by the
+    previous token. *)
+
+exception Lex_error of { line : int; msg : string }
+
+type state
+
+val make : string -> state
+val next : state -> Token.t * int
+(** Next token with its source line; [Token.Teof] at end. *)
+
+val tokenize : string -> (Token.t * int) list
+(** Scan a whole source text, ending with [Teof].
+    @raise Lex_error on malformed lexical elements. *)
+
+val source_lines : string -> int
+(** Stripped line count (blank lines and [--] comments removed) — the
+    convention of the paper's Figure 2. *)

@@ -1,0 +1,221 @@
+(** Attribute values of the two VHDL attribute grammars.
+
+    One sum type serves both the principal AG and the expression AG: the AG
+    engine is polymorphic in the value type and never inspects these.  The
+    accessors ([as_*]) raise {!Internal} on a constructor mismatch, which
+    indicates a bug in the grammar's semantic rules, never a user error. *)
+
+exception Internal of string
+
+let internal fmt = Format.kasprintf (fun s -> raise (Internal s)) fmt
+
+(** An expression candidate: one possible meaning of an expression, before
+    overload resolution picks the survivor.
+
+    [Cagg] defers an aggregate until the context supplies its type (VHDL
+    aggregates are typed top-down); [Crng] is a range (from [A'RANGE] or
+    [l to r]) usable as a slice bound or discrete range but not as a
+    value. *)
+type cand =
+  | Cv of { ty : Types.t; code : Kir.expr; static : Value.t option }
+  | Cagg of aitem list
+  | Cstr of string (* string/bit-string literal awaiting its array type *)
+  | Crng of (Kir.expr * Types.dir * Kir.expr) * Types.t option
+
+(** Aggregate/argument-list items of the expression AG. *)
+and aitem =
+  | Ipos of cand list (* positional element (candidate set) *)
+  | Inamed of achoice list * cand list (* choices => expr *)
+
+and achoice =
+  | Cident of string (* formal name / record field *)
+  | Cexpr of cand list
+  | Cchoice_range of cand list * Types.dir * cand list
+  | Cothers
+
+(** Result of evaluating one maximal expression (the return value of the
+    paper's [exprEval]). *)
+type xres = {
+  x_ty : Types.t;
+  x_code : Kir.expr;
+  x_static : Value.t option;
+  x_msgs : Diag.t list;
+}
+
+(** What a declarative region contributes; a monoid merged upward by the
+    OUT attribute class. *)
+type decl_out = {
+  o_binds : (string * Denot.t) list; (* oldest first *)
+  o_signals : Kir.signal_decl list;
+  o_locals : Kir.local list;
+  o_subprograms : Kir.subprogram list;
+  o_components : (string * Kir.generic_decl list * Kir.port_decl list) list;
+  o_config_specs : Unit_info.config_spec list;
+  o_deps : (string * string) list; (* foreign references: (library, key) *)
+  o_deferred : (string * Value.t) list;
+  o_disconnects : (string * Kir.expr) list;
+      (* disconnection specifications: signal name -> delay expression *)
+      (* package constants with their static values, qualified "PKG.NAME";
+         a package body exports these so deferred constants (LRM 4.3.1.1)
+         resolve at elaboration *)
+}
+
+let out_empty =
+  {
+    o_binds = [];
+    o_signals = [];
+    o_locals = [];
+    o_subprograms = [];
+    o_components = [];
+    o_config_specs = [];
+    o_deps = [];
+    o_deferred = [];
+    o_disconnects = [];
+  }
+
+let out_append a b =
+  {
+    o_binds = a.o_binds @ b.o_binds;
+    o_signals = a.o_signals @ b.o_signals;
+    o_locals = a.o_locals @ b.o_locals;
+    o_deferred = a.o_deferred @ b.o_deferred;
+    o_disconnects = a.o_disconnects @ b.o_disconnects;
+    o_subprograms = a.o_subprograms @ b.o_subprograms;
+    o_components = a.o_components @ b.o_components;
+    o_config_specs = a.o_config_specs @ b.o_config_specs;
+    o_deps = a.o_deps @ b.o_deps;
+  }
+
+(** Interface element (ports, generics, subprogram parameters). *)
+type iface = {
+  if_names : (string * int) list; (* (name, line) *)
+  if_class : Denot.obj_class option;
+  if_mode : Kir.arg_mode option;
+  if_ty : Types.t;
+  if_resolution : Denot.subprog_sig option;
+  if_default : Kir.expr option;
+  if_bus : bool;
+}
+
+(** Waveform element, unevaluated (LEF) until the target type is known. *)
+type wave_src = {
+  w_value : Lef.tok list;
+  w_after : Lef.tok list option;
+  w_line : int;
+}
+
+(** Choice as collected by the principal AG (case alternatives, selected
+    assignments). *)
+type choice_src =
+  | CSlef of Lef.tok list
+  | CSrange of Lef.tok list * Types.dir * Lef.tok list
+  | CSothers
+
+(** Association-list element of generic/port maps. *)
+type assoc_src = {
+  a_formal : Lef.tok list option;
+  a_actual : [ `Lef of Lef.tok list | `Open ];
+  a_line : int;
+}
+
+type subprog_spec = {
+  sp_kind : [ `Function | `Procedure ];
+  sp_name : string;
+  sp_line : int;
+  sp_params : iface list;
+  sp_ret : Types.t option;
+}
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Tok of Token.t (* principal-grammar token value *)
+  | Ltok of Lef.tok (* expression-grammar token value *)
+  | Msgs of Diag.t list
+  | Env of Env.t
+  | Lef of Lef.tok list
+  | Lefs of Lef.tok list list (* name lists (sensitivity etc.) *)
+  | Ids of (string * int) list
+  | Cands of cand list
+  | Xres of xres
+  | Aitems of aitem list
+  | Achoices of achoice list
+  | Out of decl_out
+  | Ifaces of iface list
+  | Sty of { ty : Types.t; resolution : Denot.subprog_sig option }
+  | Tydef of (string -> Types.t * (string * Denot.t) list)
+      (* type definition awaiting its name: returns the type and extra
+         bindings (enumeration literals, physical units) *)
+  | Stmts of Kir.stmt list
+  | Waves of wave_src list
+  | Choices of choice_src list
+  | Assocs of assoc_src list
+  | Concs of Kir.concurrent list
+  | Spec of subprog_spec
+  | Units of Unit_info.compiled_unit list
+  | Arms of (Lef.tok list * Kir.stmt list) list (* elsif chains *)
+  | Cwaves of (wave_src list * Lef.tok list option) list (* conditional waveforms *)
+  | Swaves of (wave_src list * choice_src list) list (* selected waveforms *)
+  | Alts of (choice_src list * Kir.stmt list) list (* case alternatives *)
+  | Rng of [ `Bounds of Lef.tok list * Types.dir * Lef.tok list | `Lef of Lef.tok list ]
+      (* discrete range, unevaluated *)
+  | Phys_units of (string * int * string option * int) list
+      (* physical-type units: (name, multiplier, base unit, line) *)
+  | Opt of t option
+  | Pair of t * t
+  | Plist of t list
+
+let as_bool = function Bool b -> b | _ -> internal "expected Bool"
+let as_plist = function Plist l -> l | _ -> internal "expected Plist"
+let as_int = function Int n -> n | _ -> internal "expected Int"
+let as_str = function Str s -> s | _ -> internal "expected Str"
+let as_tok = function Tok t -> t | _ -> internal "expected Tok"
+let as_ltok = function Ltok t -> t | _ -> internal "expected Ltok"
+let as_msgs = function Msgs m -> m | _ -> internal "expected Msgs"
+let as_env = function Env e -> e | _ -> internal "expected Env"
+let as_lef = function Lef l -> l | _ -> internal "expected Lef"
+let as_lefs = function Lefs l -> l | _ -> internal "expected Lefs"
+let as_ids = function Ids l -> l | _ -> internal "expected Ids"
+let as_cands = function Cands c -> c | _ -> internal "expected Cands"
+let as_xres = function Xres x -> x | _ -> internal "expected Xres"
+let as_aitems = function Aitems l -> l | _ -> internal "expected Aitems"
+let as_achoices = function Achoices l -> l | _ -> internal "expected Achoices"
+let as_out = function Out o -> o | _ -> internal "expected Out"
+let as_ifaces = function Ifaces l -> l | _ -> internal "expected Ifaces"
+
+let as_sty = function
+  | Sty { ty; resolution } -> (ty, resolution)
+  | _ -> internal "expected Sty"
+
+let as_tydef = function Tydef f -> f | _ -> internal "expected Tydef"
+let as_stmts = function Stmts s -> s | _ -> internal "expected Stmts"
+let as_waves = function Waves w -> w | _ -> internal "expected Waves"
+let as_choices = function Choices c -> c | _ -> internal "expected Choices"
+let as_assocs = function Assocs a -> a | _ -> internal "expected Assocs"
+let as_concs = function Concs c -> c | _ -> internal "expected Concs"
+let as_spec = function Spec s -> s | _ -> internal "expected Spec"
+let as_units = function Units u -> u | _ -> internal "expected Units"
+let as_rng = function Rng r -> r | _ -> internal "expected Rng"
+let as_arms = function Arms a -> a | _ -> internal "expected Arms"
+let as_phys_units = function Phys_units u -> u | _ -> internal "expected Phys_units"
+let as_cwaves = function Cwaves c -> c | _ -> internal "expected Cwaves"
+let as_swaves = function Swaves s -> s | _ -> internal "expected Swaves"
+let as_alts = function Alts a -> a | _ -> internal "expected Alts"
+let as_opt = function Opt o -> o | _ -> internal "expected Opt"
+let as_pair = function Pair (a, b) -> (a, b) | _ -> internal "expected Pair"
+
+(* Token-payload accessors used all over the semantic rules. *)
+let tok_id v =
+  match as_tok v with
+  | Token.Tid s -> s
+  | t -> internal "expected identifier token, got %s" (Token.describe t)
+
+(* merge functions for the attribute classes *)
+let merge_msgs a b = Msgs (as_msgs a @ as_msgs b)
+let merge_lef a b = Lef (as_lef a @ as_lef b)
+let merge_stmts a b = Stmts (as_stmts a @ as_stmts b)
+let merge_out a b = Out (out_append (as_out a) (as_out b))
+let merge_concs a b = Concs (as_concs a @ as_concs b)
+let merge_units a b = Units (as_units a @ as_units b)

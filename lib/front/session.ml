@@ -1,0 +1,57 @@
+(** Compilation session: how the analyzer reaches foreign compilation units.
+
+    The paper's compiler takes "a working library where the successfully
+    compiled units are placed and a reference library which can be
+    referenced... but not updated"; semantic rules resolve foreign
+    references through this interface.  The VIF library manager implements
+    it; tests may supply an in-memory map.
+
+    The active session is installed by the pipeline around attribute
+    evaluation (the compiler is single-threaded, as was the original). *)
+
+type t = {
+  work_library : string; (* logical name of the working library, e.g. WORK *)
+  find_unit : library:string -> key:string -> Unit_info.compiled_unit option;
+  insert : Unit_info.compiled_unit -> unit;
+      (* called as each unit finishes analysis, so later units in the same
+         file can reference it (the separate-compilation order rule) *)
+  known_library : string -> bool;
+  (* every subprogram signature seen during this session, by mangled name:
+     procedure-call statements need parameter modes for copy-back *)
+  subprogs : (string, Denot.subprog_sig) Hashtbl.t;
+}
+
+let in_memory ?(work = "WORK") units =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (u : Unit_info.compiled_unit) -> Hashtbl.replace tbl (u.Unit_info.u_library, u.Unit_info.u_key) u) units;
+  {
+    work_library = work;
+    find_unit = (fun ~library ~key -> Hashtbl.find_opt tbl (library, key));
+    insert =
+      (fun u -> Hashtbl.replace tbl (u.Unit_info.u_library, u.Unit_info.u_key) u);
+    known_library = (fun lib -> lib = work || lib = "STD");
+    subprogs = Hashtbl.create 64;
+  }
+
+let current : t option ref = ref None
+
+let with_session session f =
+  let saved = !current in
+  current := Some session;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let get () =
+  match !current with
+  | Some s -> s
+  | None -> Pval.internal "no active compilation session"
+
+let find_unit ~library ~key = (get ()).find_unit ~library ~key
+let work () = (get ()).work_library
+let known_library lib = lib = "STD" || (get ()).known_library lib
+
+let insert_unit u = (get ()).insert u
+
+let register_subprog (s : Denot.subprog_sig) =
+  Hashtbl.replace (get ()).subprogs s.Denot.ss_mangled s
+
+let find_subprog mangled = Hashtbl.find_opt (get ()).subprogs mangled

@@ -1,0 +1,64 @@
+(** VHDL tokens (IEEE 1076-1987 lexical elements). *)
+
+type t =
+  | Tid of string (* identifier, normalized to upper case *)
+  | Tkw of string (* reserved word, lower case *)
+  | Tint of int
+  | Treal of float
+  | Tchar of string (* image including the quotes: "'a'" *)
+  | Tstring of string (* contents, quotes stripped, "" unescaped *)
+  | Tbitstr of string (* expanded to binary digits *)
+  | Tpunct of string
+  | Teof
+
+(* VHDL-87 reserved words. *)
+let reserved_words =
+  [
+    "abs"; "access"; "after"; "alias"; "all"; "and"; "architecture"; "array";
+    "assert"; "attribute"; "begin"; "block"; "body"; "buffer"; "bus"; "case";
+    "component"; "configuration"; "constant"; "disconnect"; "downto"; "else";
+    "elsif"; "end"; "entity"; "exit"; "file"; "for"; "function"; "generate";
+    "generic"; "guarded"; "if"; "in"; "inout"; "is"; "label"; "library";
+    "linkage"; "loop"; "map"; "mod"; "nand"; "new"; "next"; "nor"; "not";
+    "null"; "of"; "on"; "open"; "or"; "others"; "out"; "package"; "port";
+    "procedure"; "process"; "range"; "record"; "register"; "rem"; "report";
+    "return"; "select"; "severity"; "signal"; "subtype"; "then"; "to";
+    "transport"; "type"; "units"; "until"; "use"; "variable"; "wait"; "when";
+    "while"; "with"; "xor";
+  ]
+
+let reserved = Hashtbl.create 101
+
+let () = List.iter (fun w -> Hashtbl.replace reserved w ()) reserved_words
+
+let is_reserved w = Hashtbl.mem reserved w
+
+(** Terminal-symbol name used in the principal grammar for this token. *)
+let terminal_name = function
+  | Tid _ -> "ID"
+  | Tkw kw -> kw
+  | Tint _ -> "INT"
+  | Treal _ -> "REAL"
+  | Tchar _ -> "CHAR"
+  | Tstring _ -> "STRING"
+  | Tbitstr _ -> "BITSTR"
+  | Tpunct p -> p
+  | Teof -> "EOF"
+
+(** All punctuation terminals of the grammar. *)
+let punct_terminals =
+  [
+    "("; ")"; ","; ";"; ":"; "."; "&"; "'"; "|"; "+"; "-"; "*"; "/"; "=";
+    "<"; ">"; "**"; ":="; "<="; ">="; "=>"; "/="; "<>";
+  ]
+
+let describe = function
+  | Tid s -> Printf.sprintf "identifier %s" s
+  | Tkw kw -> Printf.sprintf "keyword %s" kw
+  | Tint n -> Printf.sprintf "integer literal %d" n
+  | Treal x -> Printf.sprintf "real literal %g" x
+  | Tchar c -> Printf.sprintf "character literal %s" c
+  | Tstring s -> Printf.sprintf "string literal \"%s\"" s
+  | Tbitstr s -> Printf.sprintf "bit-string literal %s" s
+  | Tpunct p -> Printf.sprintf "'%s'" p
+  | Teof -> "end of file"

@@ -1,0 +1,527 @@
+(** The *united productions* alternative (ABL-CASCADE ablation).
+
+    Before settling on cascaded evaluation, the paper's authors "originally
+    tried ... uniting several conflicting productions into one and using
+    semantic rules to distinguish between them" (§4.1).  This module is that
+    road not taken, hand-coded: a recursive-descent parser over the raw
+    expression tokens builds a deliberately ambiguous shape ([Eapply] covers
+    call, index, slice, and conversion alike), and a post-hoc pass
+    distinguishes the cases by consulting the symbol table — the
+    "duplicate semantics" the paper complains about, here shared through
+    {!Expr_sem}.
+
+    It produces the same {!Pval.xres} as the cascade, so the bench can
+    compare the two strategies head to head on identical inputs. *)
+
+open Pval
+
+type ast =
+  | Uid of string * int (* identifier, unresolved *)
+  | Ulit of Token.t * int
+  | Uphys of Token.t * string * int (* abstract literal + unit name *)
+  | Ubin of string * ast * ast * int
+  | Uun of string * ast * int
+  | Uapply of ast * uarg list * int (* name ( args ): call/index/slice/conversion *)
+  | Uselect of ast * string * int (* prefix . id : package item or record field *)
+  | Uattr of ast * string * int (* prefix ' id *)
+  | Uqualified of ast * uarg list * int (* type ' ( expr ) *)
+  | Uparen of uarg list * int (* parenthesized expr or aggregate *)
+
+and uarg =
+  | Apos of ast
+  | Anamed of uchoice list * ast option (* choices => expr / open *)
+  | Arange of ast * Types.dir * ast
+
+and uchoice =
+  | Uc_expr of ast
+  | Uc_range of ast * Types.dir * ast
+  | Uc_others
+
+exception Parse_failed of int
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parser over raw tokens *)
+
+type stream = {
+  mutable toks : (Token.t * int) list;
+}
+
+let peek st =
+  match st.toks with
+  | (t, l) :: _ -> (t, l)
+  | [] -> (Token.Teof, 0)
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let expect st p =
+  match peek st with
+  | Token.Tpunct q, _ when q = p -> advance st
+  | _, l -> raise (Parse_failed l)
+
+let is_kw st kw =
+  match peek st with
+  | Token.Tkw k, _ -> k = kw
+  | _ -> false
+
+let rec parse_expr st =
+  let left = parse_relation st in
+  match peek st with
+  | Token.Tkw (("and" | "or" | "nand" | "nor" | "xor") as op), l ->
+    advance st;
+    let right = parse_relation st in
+    parse_expr_tail st (Ubin (op, left, right, l))
+  | _ -> left
+
+and parse_expr_tail st acc =
+  match peek st with
+  | Token.Tkw (("and" | "or" | "nand" | "nor" | "xor") as op), l ->
+    advance st;
+    let right = parse_relation st in
+    parse_expr_tail st (Ubin (op, acc, right, l))
+  | _ -> acc
+
+and parse_relation st =
+  let left = parse_simple st in
+  match peek st with
+  | Token.Tpunct (("=" | "/=" | "<" | "<=" | ">" | ">=") as op), l ->
+    advance st;
+    let right = parse_simple st in
+    Ubin (op, left, right, l)
+  | _ -> left
+
+and parse_simple st =
+  let first =
+    match peek st with
+    | Token.Tpunct (("+" | "-") as sign), l ->
+      advance st;
+      let t = parse_term st in
+      Uun (sign, t, l)
+    | _ -> parse_term st
+  in
+  let rec tail acc =
+    match peek st with
+    | Token.Tpunct (("+" | "-" | "&") as op), l ->
+      advance st;
+      let t = parse_term st in
+      tail (Ubin (op, acc, t, l))
+    | _ -> acc
+  in
+  tail first
+
+and parse_term st =
+  let first = parse_factor st in
+  let rec tail acc =
+    match peek st with
+    | Token.Tpunct (("*" | "/") as op), l ->
+      advance st;
+      tail (Ubin (op, acc, parse_factor st, l))
+    | Token.Tkw (("mod" | "rem") as op), l ->
+      advance st;
+      tail (Ubin (op, acc, parse_factor st, l))
+    | _ -> acc
+  in
+  tail first
+
+and parse_factor st =
+  match peek st with
+  | Token.Tkw "abs", l ->
+    advance st;
+    Uun ("abs", parse_primary st, l)
+  | Token.Tkw "not", l ->
+    advance st;
+    Uun ("not", parse_primary st, l)
+  | _ -> (
+    let p = parse_primary st in
+    match peek st with
+    | Token.Tpunct "**", l ->
+      advance st;
+      Ubin ("**", p, parse_primary st, l)
+    | _ -> p)
+
+and parse_primary st =
+  let head =
+    match peek st with
+    | Token.Tid id, l ->
+      advance st;
+      Uid (id, l)
+    | (Token.Tint _ as t), l -> (
+      advance st;
+      (* physical literal: abstract literal followed by an identifier *)
+      match peek st with
+      | Token.Tid unit_name, _ ->
+        advance st;
+        Uphys (t, unit_name, l)
+      | _ -> Ulit (t, l))
+    | (Token.Treal _ as t), l -> (
+      advance st;
+      match peek st with
+      | Token.Tid unit_name, _ ->
+        advance st;
+        Uphys (t, unit_name, l)
+      | _ -> Ulit (t, l))
+    | ((Token.Tchar _ | Token.Tstring _ | Token.Tbitstr _) as t), l ->
+      advance st;
+      Ulit (t, l)
+    | Token.Tpunct "(", l ->
+      advance st;
+      let args = parse_args st in
+      expect st ")";
+      Uparen (args, l)
+    | _, l -> raise (Parse_failed l)
+  in
+  parse_suffixes st head
+
+and parse_suffixes st head =
+  match peek st with
+  | Token.Tpunct "(", l ->
+    advance st;
+    let args = parse_args st in
+    expect st ")";
+    parse_suffixes st (Uapply (head, args, l))
+  | Token.Tpunct ".", l -> (
+    advance st;
+    match peek st with
+    | Token.Tid id, _ ->
+      advance st;
+      parse_suffixes st (Uselect (head, id, l))
+    | _ -> raise (Parse_failed l))
+  | Token.Tpunct "'", l -> (
+    advance st;
+    match peek st with
+    | Token.Tid id, _ ->
+      advance st;
+      parse_suffixes st (Uattr (head, id, l))
+    | Token.Tkw "range", _ ->
+      advance st;
+      parse_suffixes st (Uattr (head, "RANGE", l))
+    | Token.Tpunct "(", _ ->
+      advance st;
+      let args = parse_args st in
+      expect st ")";
+      parse_suffixes st (Uqualified (head, args, l))
+    | _ -> raise (Parse_failed l))
+  | _ -> head
+
+and parse_args st =
+  let arg () =
+    if is_kw st "others" then begin
+      advance st;
+      (match peek st with
+      | Token.Tpunct "=>", _ -> advance st
+      | _, l -> raise (Parse_failed l));
+      Anamed ([ Uc_others ], Some (parse_expr st))
+    end
+    else begin
+      let e = parse_expr st in
+      match peek st with
+      | Token.Tkw (("to" | "downto") as d), _ ->
+        advance st;
+        let hi = parse_expr st in
+        let dir = if d = "to" then Types.To else Types.Downto in
+        (* may still be a named range choice: (1 to 3 => x) *)
+        (match peek st with
+        | Token.Tpunct "=>", _ ->
+          advance st;
+          Anamed ([ Uc_range (e, dir, hi) ], Some (parse_expr st))
+        | _ -> Arange (e, dir, hi))
+      | Token.Tpunct "=>", _ ->
+        advance st;
+        (match peek st with
+        | Token.Tkw "open", _ ->
+          advance st;
+          Anamed ([ Uc_expr e ], None)
+        | _ -> Anamed ([ Uc_expr e ], Some (parse_expr st)))
+      | Token.Tpunct "|", _ ->
+        let rec more acc =
+          match peek st with
+          | Token.Tpunct "|", _ ->
+            advance st;
+            let c =
+              if is_kw st "others" then begin
+                advance st;
+                Uc_others
+              end
+              else Uc_expr (parse_expr st)
+            in
+            more (c :: acc)
+          | _ -> List.rev acc
+        in
+        let choices = more [ Uc_expr e ] in
+        (match peek st with
+        | Token.Tpunct "=>", _ -> advance st
+        | _, l -> raise (Parse_failed l));
+        Anamed (choices, Some (parse_expr st))
+      | _ -> Apos e
+    end
+  in
+  let rec loop acc =
+    let a = arg () in
+    match peek st with
+    | Token.Tpunct ",", _ ->
+      advance st;
+      loop (a :: acc)
+    | _ -> List.rev (a :: acc)
+  in
+  loop []
+
+(** Parse an expression from raw tokens; the list must be exactly one
+    expression. *)
+let parse (tokens : (Token.t * int) list) : ast =
+  let st = { toks = tokens } in
+  let e = parse_expr st in
+  match peek st with
+  | Token.Teof, _ | Token.Tpunct ";", _ -> e
+  | _, l -> raise (Parse_failed l)
+
+(* ------------------------------------------------------------------ *)
+(* Post-hoc disambiguation: the "duplicate semantics" *)
+
+(* the united path resolves operators against the symbol table directly
+   (no LEF token to carry candidates) *)
+let user_operators ~env op =
+  List.filter_map
+    (function Denot.Dsubprog sg -> Some sg | _ -> None)
+    (Env.lookup env (Lef.operator_key op))
+
+let rec analyze ~env ~level (e : ast) : cand list * Diag.t list =
+  match e with
+  | Uid (id, line) -> (
+    (* here the symbol table is consulted AFTER parsing *)
+    let lef, msgs = Decl_sem.classify ~env ~line id in
+    match lef with
+    | [ tok ] -> (
+      match tok.Lef.l_kind with
+      | Lef.Kenum _ -> (Expr_sem.literal_cands tok, msgs)
+      | Lef.Kfunc sigs ->
+        let c, m = Expr_sem.func_cands ~line sigs in
+        (c, msgs @ m)
+      | Lef.Ktype _ -> ([ Expr_sem.error_cand ], msgs)
+      | Lef.Kident _ ->
+        ( [ Expr_sem.error_cand ],
+          msgs @ [ Diag.error ~line "%s is not declared" id ] )
+      | _ -> (Expr_sem.head_cands ~level tok, msgs))
+    | _ -> ([ Expr_sem.error_cand ], msgs))
+  | Ulit (t, line) -> (
+    let mk kind = { Lef.l_kind = kind; l_line = line } in
+    match t with
+    | Token.Tint n -> (Expr_sem.literal_cands (mk (Lef.Kint n)), [])
+    | Token.Treal x -> (Expr_sem.literal_cands (mk (Lef.Kreal x)), [])
+    | Token.Tstring s -> (Expr_sem.literal_cands (mk (Lef.Kstr s)), [])
+    | Token.Tbitstr s -> (Expr_sem.literal_cands (mk (Lef.Kbitstr s)), [])
+    | Token.Tchar image -> (
+      let denots = Env.lookup env image in
+      let enums =
+        List.filter_map
+          (function
+            | Denot.Denum_lit { ty; pos; image } -> Some (ty, pos, image)
+            | _ -> None)
+          denots
+      in
+      match enums with
+      | [] ->
+        ( [ Expr_sem.error_cand ],
+          [ Diag.error ~line "character literal %s is not declared" image ] )
+      | _ -> (Expr_sem.literal_cands (mk (Lef.Kenum enums)), []))
+    | _ -> ([ Expr_sem.error_cand ], []))
+  | Uphys (t, unit_name, line) -> (
+    let abstract =
+      match t with
+      | Token.Tint n -> `Int n
+      | Token.Treal x -> `Real x
+      | _ -> `Int 0
+    in
+    let lef, msgs = Decl_sem.classify_physical ~env ~line ~abstract unit_name in
+    match lef with
+    | [ tok ] -> (Expr_sem.literal_cands tok, msgs)
+    | _ -> ([ Expr_sem.error_cand ], msgs))
+  | Ubin (op, a, b, line) ->
+    let ca, ma = analyze ~env ~level a in
+    let cb, mb = analyze ~env ~level b in
+    let user = user_operators ~env op in
+    let c, m = Expr_sem.apply_binop ~line ~user op ca cb in
+    (c, ma @ mb @ m)
+  | Uun (op, a, line) ->
+    let ca, ma = analyze ~env ~level a in
+    let user = user_operators ~env op in
+    let c, m = Expr_sem.apply_unop ~line ~user op ca in
+    (c, ma @ m)
+  | Uparen (args, line) -> (
+    let items, msgs = analyze_args ~env ~level args in
+    match items with
+    | [ Ipos cands ] -> (cands, msgs)
+    | items -> (
+      ignore line;
+      ([ Cagg items ], msgs)))
+  | Uapply (head, args, line) -> (
+    (* the united case: is the head a function, an array, or a type? *)
+    match head with
+    | Uid (id, hline) -> (
+      let lef, head_msgs = Decl_sem.classify ~env ~line:hline id in
+      match lef with
+      | [ ({ Lef.l_kind = Lef.Ktype ty; _ } as _tok) ] -> (
+        (* conversion *)
+        let items, m1 = analyze_args ~env ~level args in
+        match items with
+        | [ Ipos cands ] ->
+          let c, m2 = Expr_sem.conversion ~line ty cands in
+          (c, head_msgs @ m1 @ m2)
+        | _ ->
+          ( [ Expr_sem.error_cand ],
+            head_msgs @ m1 @ [ Diag.error ~line "type conversion takes one expression" ] ))
+      | [ tok ] ->
+        let head_cands =
+          match tok.Lef.l_kind with
+          | Lef.Kfunc _ | Lef.Kproc _ -> []
+          | _ -> Expr_sem.head_cands ~level tok
+        in
+        let head_tok =
+          match tok.Lef.l_kind with
+          | Lef.Kfunc _ | Lef.Kproc _ -> Some tok
+          | _ -> None
+        in
+        let items, m1 = analyze_args ~env ~level args in
+        let c, m2 = Expr_sem.apply_args ~line head_tok head_cands items in
+        (c, head_msgs @ m1 @ m2)
+      | _ -> ([ Expr_sem.error_cand ], head_msgs))
+    | _ ->
+      let head_cands, m0 = analyze ~env ~level head in
+      let items, m1 = analyze_args ~env ~level args in
+      let c, m2 = Expr_sem.apply_args ~line None head_cands items in
+      (c, m0 @ m1 @ m2))
+  | Uselect (prefix, id, line) -> (
+    (* package item or record field *)
+    match prefix with
+    | Uid (pid, pline) -> (
+      let plef, m0 = Decl_sem.classify ~env ~line:pline pid in
+      match plef with
+      | [ { Lef.l_kind = Lef.Kscope _; _ } ] -> (
+        let lef, m1 = Decl_sem.classify_selected ~env ~line plef id in
+        match lef with
+        | [ ({ Lef.l_kind = Lef.Kenum _ | Lef.Kfunc _; _ } as tok) ] -> (
+          match tok.Lef.l_kind with
+          | Lef.Kenum _ -> (Expr_sem.literal_cands tok, m0 @ m1)
+          | Lef.Kfunc sigs ->
+            let c, m2 = Expr_sem.func_cands ~line sigs in
+            (c, m0 @ m1 @ m2)
+          | _ -> assert false)
+        | [ tok ] -> (Expr_sem.head_cands ~level tok, m0 @ m1)
+        | _ -> ([ Expr_sem.error_cand ], m0 @ m1))
+      | _ ->
+        ignore m0;
+        let pc, m1 = analyze ~env ~level prefix in
+        let c, m2 = Expr_sem.select_field ~line pc id in
+        (c, m1 @ m2))
+    | _ ->
+      let pc, m1 = analyze ~env ~level prefix in
+      let c, m2 = Expr_sem.select_field ~line pc id in
+      (c, m1 @ m2))
+  | Uattr (prefix, id, line) -> (
+    (* user-defined attribute value, type attribute, or signal attribute *)
+    let base =
+      match prefix with
+      | Uid (pid, _) -> Some pid
+      | _ -> None
+    in
+    match Option.map (fun b -> Env.lookup env (b ^ "'" ^ id)) base with
+    | Some (Denot.Dattr_value { value; ty; _ } :: _) ->
+      ([ Cv { ty; code = Kir.Elit value; static = Some value } ], [])
+    | _ -> (
+      match prefix with
+      | Uid (pid, pline) -> (
+        match Env.lookup env pid with
+        | (Denot.Dtype ty | Denot.Dsubtype ty) :: _ ->
+          Expr_sem.scalar_type_attr ~line ty id
+        | _ ->
+          let pc, m1 = analyze ~env ~level (Uid (pid, pline)) in
+          let c, m2 = Expr_sem.apply_name_attr ~line pc id in
+          (c, m1 @ m2))
+      | _ ->
+        let pc, m1 = analyze ~env ~level prefix in
+        let c, m2 = Expr_sem.apply_name_attr ~line pc id in
+        (c, m1 @ m2)))
+  | Uqualified (head, args, line) -> (
+    match head with
+    | Uid (id, _) -> (
+      match Env.lookup env id with
+      | (Denot.Dtype ty | Denot.Dsubtype ty) :: _ -> (
+        let items, m1 = analyze_args ~env ~level args in
+        match items with
+        | [ Ipos cands ] ->
+          let c, m2 = Expr_sem.qualified ~line ty cands in
+          (c, m1 @ m2)
+        | items ->
+          let c, m2 = Expr_sem.qualified ~line ty [ Cagg items ] in
+          (c, m1 @ m2))
+      | _ -> ([ Expr_sem.error_cand ], [ Diag.error ~line "qualified expression requires a type mark" ]))
+    | Uattr (Uid (tid, _), attr, aline) -> (
+      (* T'ATTR(x): attribute functions *)
+      match Env.lookup env tid with
+      | (Denot.Dtype ty | Denot.Dsubtype ty) :: _ ->
+        let items, m1 = analyze_args ~env ~level args in
+        let c, m2 = Expr_sem.apply_type_attr_args ~line:aline ty attr items in
+        (c, m1 @ m2)
+      | _ -> ([ Expr_sem.error_cand ], [ Diag.error ~line "unknown attribute prefix" ]))
+    | _ -> ([ Expr_sem.error_cand ], [ Diag.error ~line "invalid qualified expression" ]))
+
+and analyze_args ~env ~level (args : uarg list) : aitem list * Diag.t list =
+  List.fold_left
+    (fun (items, msgs) arg ->
+      match arg with
+      | Apos e ->
+        let c, m = analyze ~env ~level e in
+        (items @ [ Ipos c ], msgs @ m)
+      | Arange (lo, d, hi) ->
+        let cl, ml = analyze ~env ~level lo in
+        let ch, mh = analyze ~env ~level hi in
+        let pick cands = List.find_map (function Cv { code; _ } -> Some code | _ -> None) cands in
+        (match (pick cl, pick ch) with
+        | Some l, Some h -> (items @ [ Ipos [ Crng ((l, d, h), None) ] ], msgs @ ml @ mh)
+        | _ -> (items @ [ Ipos [ Expr_sem.error_cand ] ], msgs @ ml @ mh))
+      | Anamed (choices, value) ->
+        let achoices, ms =
+          List.fold_left
+            (fun (cs, ms) c ->
+              match c with
+              | Uc_others -> (cs @ [ Cothers ], ms)
+              | Uc_expr (Uid (id, _)) when Env.lookup env id = [] ->
+                (cs @ [ Cident id ], ms)
+              | Uc_expr e ->
+                let cands, m = analyze ~env ~level e in
+                (cs @ [ Cexpr cands ], ms @ m)
+              | Uc_range (lo, d, hi) ->
+                let cl, ml = analyze ~env ~level lo in
+                let ch, mh = analyze ~env ~level hi in
+                (cs @ [ Cchoice_range (cl, d, ch) ], ms @ ml @ mh))
+            ([], []) choices
+        in
+        let vcands, vm =
+          match value with
+          | Some e -> analyze ~env ~level e
+          | None -> ([], [])
+        in
+        (items @ [ Inamed (achoices, vcands) ], msgs @ ms @ vm))
+    ([], []) args
+
+(** Evaluate one expression from raw source tokens the united way. *)
+let eval ?expected ~env ~level ~line (tokens : (Token.t * int) list) : xres =
+  match parse tokens with
+  | exception Parse_failed l ->
+    {
+      x_ty = Expr_sem.error_ty;
+      x_code = Kir.Elit (Value.Vint 0);
+      x_static = None;
+      x_msgs = [ Diag.error ~line:(if l = 0 then line else l) "cannot parse expression" ];
+    }
+  | ast ->
+    let cands, msgs = analyze ~env ~level ast in
+    Expr_sem.select ~line ~expected cands msgs
+
+(** Convenience: evaluate an expression given as source text. *)
+let eval_string ?expected ~env ~level source : xres =
+  let tokens =
+    Lexer.tokenize source |> List.filter (fun (t, _) -> t <> Token.Teof)
+  in
+  eval ?expected ~env ~level ~line:1 (tokens @ [ (Token.Teof, 99) ])

@@ -1,0 +1,22 @@
+(** The *united productions* alternative (ABL-CASCADE ablation).
+
+    The road the paper's authors abandoned (§4.1): a recursive-descent
+    parser over raw expression tokens builds a deliberately ambiguous shape
+    ([Uapply] covers call, index, slice, and conversion alike), and a
+    post-hoc pass distinguishes the cases by consulting the symbol table.
+    Produces the same {!Pval.xres} as the cascade, so the bench compares
+    the strategies on identical inputs. *)
+
+exception Parse_failed of int
+
+val eval :
+  ?expected:Types.t ->
+  env:Env.t ->
+  level:int ->
+  line:int ->
+  (Token.t * int) list ->
+  Pval.xres
+(** Evaluate one expression from raw source tokens the united way. *)
+
+val eval_string : ?expected:Types.t -> env:Env.t -> level:int -> string -> Pval.xres
+(** Convenience wrapper over {!Lexer.tokenize}. *)

@@ -1,0 +1,41 @@
+(** Context-free grammars for the LALR(1) generator.
+
+    Symbols are dense integer ids supplied by the caller (the AG layer shares
+    its interner).  The grammar is augmented internally: production [-1] is
+    the virtual [S' ::= start] and [eof] is a distinguished terminal that the
+    caller's lexer must emit at end of input. *)
+
+type production = {
+  id : int;
+  lhs : int;
+  rhs : int array;
+}
+
+type t = {
+  n_symbols : int;
+  is_terminal : bool array;
+  productions : production array;
+  prods_of : int list array; (* productions by lhs *)
+  start : int;
+  eof : int;
+  symbol_name : int -> string;
+}
+
+let create ~n_symbols ~is_terminal ~productions ~start ~eof ~symbol_name =
+  if not is_terminal.(eof) then invalid_arg "Cfg.create: eof must be a terminal";
+  if is_terminal.(start) then invalid_arg "Cfg.create: start must be a nonterminal";
+  let prods_of = Array.make n_symbols [] in
+  Array.iter (fun p -> prods_of.(p.lhs) <- p.id :: prods_of.(p.lhs)) productions;
+  Array.iteri (fun i l -> prods_of.(i) <- List.rev l) prods_of;
+  { n_symbols; is_terminal; productions; prods_of; start; eof; symbol_name }
+
+let production g id = g.productions.(id)
+let n_productions g = Array.length g.productions
+
+let pp_production g fmt (p : production) =
+  Format.fprintf fmt "%s ::=%s" (g.symbol_name p.lhs)
+    (if Array.length p.rhs = 0 then " <empty>"
+     else
+       Array.to_list p.rhs
+       |> List.map (fun s -> " " ^ g.symbol_name s)
+       |> String.concat "")

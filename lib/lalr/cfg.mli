@@ -1,0 +1,32 @@
+(** Context-free grammars for the LALR(1) generator.  Symbols are dense
+    integer ids supplied by the caller (the AG layer shares its interner);
+    [eof] is a distinguished terminal the lexer emits at end of input. *)
+
+type production = {
+  id : int;
+  lhs : int;
+  rhs : int array;
+}
+
+type t = {
+  n_symbols : int;
+  is_terminal : bool array;
+  productions : production array;
+  prods_of : int list array;
+  start : int;
+  eof : int;
+  symbol_name : int -> string;
+}
+
+val create :
+  n_symbols:int ->
+  is_terminal:bool array ->
+  productions:production array ->
+  start:int ->
+  eof:int ->
+  symbol_name:(int -> string) ->
+  t
+
+val production : t -> int -> production
+val n_productions : t -> int
+val pp_production : t -> Format.formatter -> production -> unit

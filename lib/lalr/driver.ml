@@ -1,0 +1,77 @@
+(** Table-driven LALR(1) parser.
+
+    The driver is agnostic to what it builds: [shift] turns a token into a
+    semantic node, [reduce] combines children.  The AG layer instantiates
+    these with {!Vhdl_ag_engine.Tree} constructors, so the same driver parses
+    both VHDL source (fed by the file scanner) and LEF token lists (fed by
+    the trivial list scanner of the cascaded expression evaluator — the
+    paper's [scanner(){ X = car(L); L = cdr(L); return X; }]). *)
+
+type 'v token = {
+  t_sym : int;
+  t_value : 'v;
+  t_line : int;
+}
+
+exception
+  Syntax_error of {
+    line : int;
+    found : string;
+    expected : string list;
+  }
+
+let parse (tbl : Table.t) ~(lexer : unit -> 'v token)
+    ~(shift : int -> 'v -> int -> 'n) ~(reduce : int -> 'n list -> 'n) : 'n =
+  let cfg = tbl.Table.cfg in
+  let states = ref [ 0 ] in
+  let values : 'n list ref = ref [] in
+  let lookahead = ref (lexer ()) in
+  let rec loop () =
+    let state = List.hd !states in
+    let tok = !lookahead in
+    match tbl.Table.action.(state).(tok.t_sym) with
+    | Table.Shift st' ->
+      states := st' :: !states;
+      values := shift tok.t_sym tok.t_value tok.t_line :: !values;
+      lookahead := lexer ();
+      loop ()
+    | Table.Reduce prod_id ->
+      let p = Cfg.production cfg prod_id in
+      let arity = Array.length p.Cfg.rhs in
+      (* pop [arity] states and values; children come out in source order *)
+      let pop_n n =
+        let children = ref [] in
+        for _ = 1 to n do
+          (match !values with
+          | v :: vs ->
+            children := v :: !children;
+            values := vs
+          | [] -> assert false);
+          match !states with
+          | _ :: sts -> states := sts
+          | [] -> assert false
+        done;
+        !children
+      in
+      let children = pop_n arity in
+      let node = reduce prod_id children in
+      let state' = List.hd !states in
+      let goto = tbl.Table.goto.(state').(p.Cfg.lhs) in
+      if goto < 0 then assert false;
+      states := goto :: !states;
+      values := node :: !values;
+      loop ()
+    | Table.Accept -> (
+      match !values with
+      | [ v ] -> v
+      | _ -> assert false)
+    | Table.Error ->
+      raise
+        (Syntax_error
+           {
+             line = tok.t_line;
+             found = cfg.Cfg.symbol_name tok.t_sym;
+             expected = Table.expected_terminals tbl state;
+           })
+  in
+  loop ()

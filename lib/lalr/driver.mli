@@ -1,0 +1,29 @@
+(** Table-driven LALR(1) parser, agnostic to what it builds.
+
+    The AG layer instantiates [shift]/[reduce] with derivation-tree
+    constructors, so the same driver parses VHDL source (fed by the file
+    scanner) and LEF token lists (fed by the trivial list scanner of
+    cascaded evaluation). *)
+
+type 'v token = {
+  t_sym : int;
+  t_value : 'v;
+  t_line : int;
+}
+
+exception
+  Syntax_error of {
+    line : int;
+    found : string;
+    expected : string list;
+  }
+
+val parse :
+  Table.t ->
+  lexer:(unit -> 'v token) ->
+  shift:(int -> 'v -> int -> 'n) ->
+  reduce:(int -> 'n list -> 'n) ->
+  'n
+(** [parse tbl ~lexer ~shift ~reduce] runs the automaton: [shift sym value
+    line] builds a leaf, [reduce prod children] a node (children in source
+    order). *)

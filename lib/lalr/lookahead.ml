@@ -1,0 +1,141 @@
+(** LALR(1) lookahead sets via the DeRemer–Pennello relations
+    (reads / includes / lookback) and the digraph algorithm.
+
+    This is the efficient construction a production table builder (like the
+    one inside the paper's Linguist) would use, rather than merging canonical
+    LR(1) states. *)
+
+type t = {
+  lr0 : Lr0.t;
+  (* one entry per nonterminal transition *)
+  nt_trans : (int * int) array; (* (state, nonterminal) *)
+  follow : Bitset.t array; (* indexed like nt_trans *)
+  (* (state, production) -> lookahead terminals *)
+  la : (int * int, Bitset.t) Hashtbl.t;
+}
+
+(* Generic digraph algorithm (DeRemer & Pennello 1982).  [edges x] lists the
+   nodes whose sets flow into [x]'s; [init] gives each node's initial set,
+   which is mutated in place to become the result. *)
+let digraph ~n ~edges ~(init : Bitset.t array) =
+  let mark = Array.make n 0 in
+  let stack = ref [] in
+  let depth = ref 0 in
+  let rec traverse x =
+    stack := x :: !stack;
+    incr depth;
+    let d = !depth in
+    mark.(x) <- d;
+    List.iter
+      (fun y ->
+        if mark.(y) = 0 then traverse y;
+        if mark.(y) < mark.(x) then mark.(x) <- mark.(y);
+        ignore (Bitset.union_into ~into:init.(x) init.(y)))
+      (edges x);
+    if mark.(x) = d then begin
+      let rec pop () =
+        match !stack with
+        | [] -> assert false
+        | top :: rest ->
+          stack := rest;
+          decr depth;
+          mark.(top) <- max_int;
+          if top <> x then begin
+            ignore (Bitset.union_into ~into:init.(top) init.(x));
+            pop ()
+          end
+      in
+      pop ()
+    end
+  in
+  for x = 0 to n - 1 do
+    if mark.(x) = 0 then traverse x
+  done;
+  init
+
+let compute (lr0 : Lr0.t) (fi : First.t) =
+  let cfg = lr0.Lr0.cfg in
+  let width = cfg.Cfg.n_symbols in
+  (* enumerate nonterminal transitions *)
+  let nt_trans = ref [] in
+  for st = lr0.Lr0.n_states - 1 downto 0 do
+    List.iter
+      (fun (sym, _) -> if not cfg.Cfg.is_terminal.(sym) then nt_trans := (st, sym) :: !nt_trans)
+      lr0.Lr0.transitions.(st)
+  done;
+  let nt_trans = Array.of_list !nt_trans in
+  let n = Array.length nt_trans in
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i key -> Hashtbl.replace index key i) nt_trans;
+  (* DR: terminals readable directly after the transition *)
+  let dr =
+    Array.map
+      (fun (st, a) ->
+        let set = Bitset.create width in
+        (* the augmented production is S' ::= start, so end-of-input is
+           readable after the initial transition on the start symbol *)
+        if st = 0 && a = cfg.Cfg.start then Bitset.add set cfg.Cfg.eof;
+        (match Lr0.goto lr0 st a with
+        | None -> assert false
+        | Some r ->
+          List.iter
+            (fun (sym, _) -> if cfg.Cfg.is_terminal.(sym) then Bitset.add set sym)
+            lr0.Lr0.transitions.(r));
+        set)
+      nt_trans
+  in
+  (* reads *)
+  let reads i =
+    let st, a = nt_trans.(i) in
+    match Lr0.goto lr0 st a with
+    | None -> []
+    | Some r ->
+      List.filter_map
+        (fun (sym, _) ->
+          if (not cfg.Cfg.is_terminal.(sym)) && fi.First.nullable.(sym) then
+            Hashtbl.find_opt index (r, sym)
+          else None)
+        lr0.Lr0.transitions.(r)
+  in
+  let read_sets = digraph ~n ~edges:reads ~init:(Array.map Bitset.copy dr) in
+  (* includes and lookback, computed by walking each production from each
+     transition on its lhs *)
+  let includes = Array.make n [] in
+  let lookback : (int * int, int list) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun ti (p_state, b) ->
+      List.iter
+        (fun pid ->
+          let rhs = (Cfg.production cfg pid).Cfg.rhs in
+          let state = ref p_state in
+          Array.iteri
+            (fun i sym ->
+              if (not cfg.Cfg.is_terminal.(sym)) && First.nullable_seq fi rhs (i + 1) then begin
+                match Hashtbl.find_opt index (!state, sym) with
+                | Some si -> includes.(si) <- ti :: includes.(si)
+                | None -> ()
+              end;
+              match Lr0.goto lr0 !state sym with
+              | Some next -> state := next
+              | None -> invalid_arg "Lookahead.compute: automaton is missing a transition")
+            rhs;
+          let key = (!state, pid) in
+          let prev = Option.value (Hashtbl.find_opt lookback key) ~default:[] in
+          Hashtbl.replace lookback key (ti :: prev))
+        cfg.Cfg.prods_of.(b))
+    nt_trans;
+  let follow = digraph ~n ~edges:(fun i -> includes.(i)) ~init:read_sets in
+  let la = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun key tis ->
+      let set = Bitset.create width in
+      List.iter (fun ti -> ignore (Bitset.union_into ~into:set follow.(ti))) tis;
+      Hashtbl.replace la key set)
+    lookback;
+  { lr0; nt_trans; follow; la }
+
+(** Lookahead terminals of reduction [prod] in [state]. *)
+let la t ~state ~prod =
+  match Hashtbl.find_opt t.la (state, prod) with
+  | Some set -> Bitset.elements set
+  | None -> []

@@ -1,0 +1,16 @@
+(** LALR(1) lookahead sets via the DeRemer–Pennello relations
+    (reads / includes / lookback) and the digraph algorithm — the efficient
+    construction a production table builder uses, rather than merging
+    canonical LR(1) states. *)
+
+type t
+
+val digraph : n:int -> edges:(int -> int list) -> init:Bitset.t array -> Bitset.t array
+(** The generic digraph algorithm (DeRemer & Pennello 1982): propagate the
+    [init] sets along [edges], handling cycles as SCCs.  [init] is mutated
+    in place and returned. *)
+
+val compute : Lr0.t -> First.t -> t
+
+val la : t -> state:int -> prod:int -> int list
+(** Lookahead terminals of reduction [prod] in [state]. *)

@@ -1,0 +1,95 @@
+(** LALR(1) parse tables with conflict reporting.
+
+    Conflicts are resolved yacc-style (shift over reduce; earlier production
+    for reduce/reduce) and recorded, so grammar authors can inspect them —
+    the paper's §4.1 complains precisely about having to "keep track of the
+    parsing conflicts and ensure they were resolved correctly" when uniting
+    productions, which is what the LEF cascade avoids. *)
+
+type action =
+  | Shift of int
+  | Reduce of int
+  | Accept
+  | Error
+
+type conflict = {
+  c_state : int;
+  c_terminal : int;
+  c_kind : [ `Shift_reduce of int (* losing production *) | `Reduce_reduce of int * int ];
+}
+
+type t = {
+  cfg : Cfg.t;
+  action : action array array; (* state x symbol (terminals used) *)
+  goto : int array array; (* state x symbol (nonterminals used), -1 = none *)
+  conflicts : conflict list;
+  n_states : int;
+}
+
+let build (cfg : Cfg.t) =
+  let lr0 = Lr0.build cfg in
+  let fi = First.compute cfg in
+  let look = Lookahead.compute lr0 fi in
+  let n_states = lr0.Lr0.n_states in
+  let n_symbols = cfg.Cfg.n_symbols in
+  let action = Array.init n_states (fun _ -> Array.make n_symbols Error) in
+  let goto = Array.init n_states (fun _ -> Array.make n_symbols (-1)) in
+  let conflicts = ref [] in
+  for st = 0 to n_states - 1 do
+    List.iter
+      (fun (sym, st') ->
+        if cfg.Cfg.is_terminal.(sym) then action.(st).(sym) <- Shift st'
+        else goto.(st).(sym) <- st')
+      lr0.Lr0.transitions.(st);
+    (* accept: item [S' ::= start .] *)
+    let accepts =
+      Array.exists
+        (fun it ->
+          Lr0.item_prod ~stride:lr0.Lr0.stride it = lr0.Lr0.aug_prod
+          && Lr0.item_dot ~stride:lr0.Lr0.stride it = 1)
+        lr0.Lr0.states.(st)
+    in
+    if accepts then action.(st).(cfg.Cfg.eof) <- Accept;
+    List.iter
+      (fun prod ->
+        if prod <> lr0.Lr0.aug_prod then
+          List.iter
+            (fun t ->
+              match action.(st).(t) with
+              | Error -> action.(st).(t) <- Reduce prod
+              | Shift _ ->
+                (* keep the shift *)
+                conflicts :=
+                  { c_state = st; c_terminal = t; c_kind = `Shift_reduce prod } :: !conflicts
+              | Reduce other ->
+                let keep = min other prod and lose = max other prod in
+                action.(st).(t) <- Reduce keep;
+                conflicts :=
+                  { c_state = st; c_terminal = t; c_kind = `Reduce_reduce (keep, lose) }
+                  :: !conflicts
+              | Accept -> ())
+            (Lookahead.la look ~state:st ~prod))
+      (Lr0.reductions lr0 st)
+  done;
+  { cfg; action; goto; conflicts = List.rev !conflicts; n_states }
+
+let expected_terminals t state =
+  let acc = ref [] in
+  for sym = t.cfg.Cfg.n_symbols - 1 downto 0 do
+    if t.cfg.Cfg.is_terminal.(sym) then
+      match t.action.(state).(sym) with
+      | Error -> ()
+      | Shift _ | Reduce _ | Accept -> acc := t.cfg.Cfg.symbol_name sym :: !acc
+  done;
+  !acc
+
+let pp_conflict t fmt c =
+  let term = t.cfg.Cfg.symbol_name c.c_terminal in
+  match c.c_kind with
+  | `Shift_reduce prod ->
+    Format.fprintf fmt "state %d on %s: shift/reduce (reduce %a loses)" c.c_state term
+      (Cfg.pp_production t.cfg) (Cfg.production t.cfg prod)
+  | `Reduce_reduce (keep, lose) ->
+    Format.fprintf fmt "state %d on %s: reduce/reduce (%a wins over %a)" c.c_state term
+      (Cfg.pp_production t.cfg) (Cfg.production t.cfg keep) (Cfg.pp_production t.cfg)
+      (Cfg.production t.cfg lose)

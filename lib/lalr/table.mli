@@ -1,0 +1,33 @@
+(** LALR(1) parse tables with conflict reporting.
+
+    Conflicts are resolved yacc-style (shift over reduce; earlier production
+    for reduce/reduce) and recorded for the grammar author — the paper's
+    §4.1 complains about exactly this bookkeeping when uniting
+    productions. *)
+
+type action =
+  | Shift of int
+  | Reduce of int
+  | Accept
+  | Error
+
+type conflict = {
+  c_state : int;
+  c_terminal : int;
+  c_kind : [ `Shift_reduce of int (* losing production *) | `Reduce_reduce of int * int ];
+}
+
+type t = {
+  cfg : Cfg.t;
+  action : action array array; (* state x symbol (terminals used) *)
+  goto : int array array; (* state x symbol (nonterminals used), -1 = none *)
+  conflicts : conflict list;
+  n_states : int;
+}
+
+val build : Cfg.t -> t
+
+val expected_terminals : t -> int -> string list
+(** Terminal names with a non-error action in a state (error messages). *)
+
+val pp_conflict : t -> Format.formatter -> conflict -> unit

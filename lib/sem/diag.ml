@@ -1,0 +1,37 @@
+(** Compiler diagnostics — the values of the ubiquitous MSGS attribute.
+
+    In the paper, messages "must be concatenated with other messages and
+    propagated to the root of the semantic tree", which is exactly how the
+    MSGS merge class uses {!merge}. *)
+
+type severity =
+  | Note
+  | Warning
+  | Error
+
+type t = {
+  line : int;
+  severity : severity;
+  message : string;
+}
+
+let make ?(severity = Error) ~line fmt =
+  Format.kasprintf (fun message -> { line; severity; message }) fmt
+
+let error ~line fmt = make ~severity:Error ~line fmt
+let warning ~line fmt = make ~severity:Warning ~line fmt
+
+let is_error d = d.severity = Error
+
+let severity_string = function
+  | Note -> "note"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let pp fmt d =
+  Format.fprintf fmt "line %d: %s: %s" d.line (severity_string d.severity) d.message
+
+let pp_list fmt ds =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp fmt ds
+
+let has_errors ds = List.exists is_error ds

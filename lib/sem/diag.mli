@@ -1,0 +1,23 @@
+(** Compiler diagnostics — the values of the ubiquitous MSGS attribute,
+    "concatenated with other messages and propagated to the root of the
+    semantic tree" by the MSGS merge class. *)
+
+type severity =
+  | Note
+  | Warning
+  | Error
+
+type t = {
+  line : int;
+  severity : severity;
+  message : string;
+}
+
+val make : ?severity:severity -> line:int -> ('a, Format.formatter, unit, t) format4 -> 'a
+val error : line:int -> ('a, Format.formatter, unit, t) format4 -> 'a
+val warning : line:int -> ('a, Format.formatter, unit, t) format4 -> 'a
+val is_error : t -> bool
+val severity_string : severity -> string
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit
+val has_errors : t list -> bool

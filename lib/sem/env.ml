@@ -1,0 +1,85 @@
+(** Applicative environments (the paper's ENV attribute, §4.3).
+
+    "To build a new ENV value that binds ID to some other object(s) we
+    create a new ENV node and insert it at the front of the tree so that it
+    will be found first by the search rule, but so that the old ENV value is
+    not changed."
+
+    Two implementations behind one signature:
+
+    - {!Env_list} — the paper's simple variant: a linked list searched
+      linearly, extension is consing.
+    - {!Env_tree} — the "applicative forms of balanced trees" variant
+      (Myers 1984 in the paper); we use the stdlib's persistent AVL map.
+
+    Lookup returns the denotations visible for a name: the most recent
+    non-overloadable binding hides older ones; overloadable bindings
+    (subprograms, enumeration literals) accumulate. *)
+
+module type S = sig
+  type t
+
+  val empty : t
+  val extend : t -> string -> Denot.t -> t
+  val extend_many : t -> (string * Denot.t) list -> t
+  val lookup : t -> string -> Denot.t list
+  val mem : t -> string -> bool
+
+  (** All bindings, most recent first (diagnostics, VIF export). *)
+  val bindings : t -> (string * Denot.t) list
+end
+
+(* Shared visibility rule: given candidate denotations newest-first,
+   keep overloadables until the first non-overloadable (inclusive). *)
+let visible newest_first =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | d :: rest ->
+      if Denot.overloadable d then go (d :: acc) rest
+      else List.rev (d :: acc)
+  in
+  go [] newest_first
+
+module Env_list : S = struct
+  type t = (string * Denot.t) list (* newest first *)
+
+  let empty = []
+  let extend t name d = (name, d) :: t
+  let extend_many t binds = List.fold_left (fun t (n, d) -> extend t n d) t binds
+
+  let lookup t name =
+    List.filter_map (fun (n, d) -> if String.equal n name then Some d else None) t
+    |> visible
+
+  let mem t name = List.exists (fun (n, _) -> String.equal n name) t
+  let bindings t = t
+end
+
+module Env_tree : S = struct
+  module M = Map.Make (String)
+
+  type t = {
+    map : Denot.t list M.t; (* newest first per name *)
+    order : (string * Denot.t) list; (* newest first, for [bindings] *)
+  }
+
+  let empty = { map = M.empty; order = [] }
+
+  let extend t name d =
+    let existing = Option.value (M.find_opt name t.map) ~default:[] in
+    { map = M.add name (d :: existing) t.map; order = (name, d) :: t.order }
+
+  let extend_many t binds = List.fold_left (fun t (n, d) -> extend t n d) t binds
+
+  let lookup t name =
+    match M.find_opt name t.map with
+    | None -> []
+    | Some ds -> visible ds
+
+  let mem t name = M.mem name t.map
+  let bindings t = t.order
+end
+
+(* The front end uses the balanced-tree form by default; Env_list exists for
+   the ABL-ENV experiment. *)
+include Env_tree

@@ -1,0 +1,33 @@
+(** Applicative environments — the paper's ENV attribute (§4.3).
+
+    "To build a new ENV value that binds ID to some other object(s) we
+    create a new ENV node and insert it at the front ... so that the old
+    ENV value is not changed."
+
+    Lookup returns the visible denotations: the most recent
+    non-overloadable binding hides older ones; overloadable bindings
+    (subprograms, enumeration literals) accumulate. *)
+
+module type S = sig
+  type t
+
+  val empty : t
+  val extend : t -> string -> Denot.t -> t
+  val extend_many : t -> (string * Denot.t) list -> t
+  val lookup : t -> string -> Denot.t list
+  val mem : t -> string -> bool
+
+  val bindings : t -> (string * Denot.t) list
+  (** All bindings, most recent first (diagnostics, VIF export). *)
+end
+
+module Env_list : S
+(** The paper's simple variant: a linked list searched linearly. *)
+
+module Env_tree : S
+(** The "applicative forms of balanced trees" variant (Myers 1984 in the
+    paper's references): a persistent balanced map. *)
+
+(** The front end uses the balanced-tree form; {!Env_list} exists for the
+    ABL-ENV experiment. *)
+include S with type t = Env_tree.t

@@ -1,0 +1,45 @@
+(** KIR traversals shared by the front end and the elaborator. *)
+
+(** {1 Signal usage} *)
+
+val signals_read_expr : Kir.expr -> Kir.sig_ref list
+(** Signals an expression reads, in first-occurrence order — the implicit
+    sensitivity of concurrent signal assignments and until-clauses. *)
+
+val signals_read_exprs : Kir.expr list -> Kir.sig_ref list
+
+val signals_read_expr_acc : Kir.sig_ref list -> Kir.expr -> Kir.sig_ref list
+(** Accumulating form (reverse order, deduplicated) for callers folding
+    over several expressions. *)
+
+val driven_signals : Kir.stmt list -> Kir.sig_ref list
+(** Root signals assigned anywhere in a process body.  The kernel creates
+    one driver per (process, signal) pair (LRM 12). *)
+
+(** {1 Elaboration-time substitution}
+
+    Generics and unit constants are replaced by their per-instance values
+    when the code is "linked" with the kernel. *)
+
+type subst = {
+  generic : int -> Value.t option;
+  unit_const : string -> Value.t option;
+}
+
+val subst_expr : subst -> Kir.expr -> Kir.expr
+val subst_stmt : subst -> Kir.stmt -> Kir.stmt
+val subst_stmts : subst -> Kir.stmt list -> Kir.stmt list
+
+(** {1 Shape queries} *)
+
+val loop_depth : Kir.stmt list -> int
+(** Maximum for-loop nesting depth: sizes the loop-variable stack of a
+    frame (loop variables live at negative frame indices). *)
+
+val has_wait : Kir.stmt list -> bool
+(** Whether a body contains a wait statement (process legality: a process
+    has either a sensitivity list or waits, never both). *)
+
+val may_wait : Kir.stmt list -> bool
+(** Conservative form of {!has_wait}: procedure calls count, since the
+    callee may wait. *)

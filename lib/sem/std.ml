@@ -1,0 +1,154 @@
+(** The predefined STD.STANDARD package.
+
+    Every VHDL design unit has the implicit context [LIBRARY STD, WORK;
+    USE STD.STANDARD.ALL;] (the paper's footnote 4 notes the WORK half).
+    This module defines the STANDARD types and the environment bindings
+    they contribute. *)
+
+let q name = "STD.STANDARD." ^ name
+
+let boolean : Types.t =
+  { Types.base = q "BOOLEAN"; kind = Types.Kenum [| "FALSE"; "TRUE" |]; constr = None }
+
+let bit : Types.t =
+  { Types.base = q "BIT"; kind = Types.Kenum [| "'0'"; "'1'" |]; constr = None }
+
+let severity_level : Types.t =
+  {
+    Types.base = q "SEVERITY_LEVEL";
+    kind = Types.Kenum [| "NOTE"; "WARNING"; "ERROR"; "FAILURE" |];
+    constr = None;
+  }
+
+(* ASCII character set; control characters use their standard names,
+   graphic characters the quoted form. *)
+let character_literals =
+  let controls =
+    [|
+      "NUL"; "SOH"; "STX"; "ETX"; "EOT"; "ENQ"; "ACK"; "BEL"; "BS"; "HT"; "LF";
+      "VT"; "FF"; "CR"; "SO"; "SI"; "DLE"; "DC1"; "DC2"; "DC3"; "DC4"; "NAK";
+      "SYN"; "ETB"; "CAN"; "EM"; "SUB"; "ESC"; "FSP"; "GSP"; "RSP"; "USP";
+    |]
+  in
+  Array.init 128 (fun i ->
+      if i < 32 then controls.(i)
+      else if i = 127 then "DEL"
+      else Printf.sprintf "'%c'" (Char.chr i))
+
+let character : Types.t =
+  { Types.base = q "CHARACTER"; kind = Types.Kenum character_literals; constr = None }
+
+let integer : Types.t =
+  {
+    Types.base = q "INTEGER";
+    kind = Types.Kint;
+    constr = Some (Types.Crange (min_int + 1, Types.To, max_int));
+  }
+
+let natural : Types.t = { integer with constr = Some (Types.Crange (0, Types.To, max_int)) }
+
+let positive : Types.t = { integer with constr = Some (Types.Crange (1, Types.To, max_int)) }
+
+let real : Types.t = { Types.base = q "REAL"; kind = Types.Kfloat; constr = None }
+
+(* TIME in femtoseconds. *)
+let time_units =
+  [
+    ("FS", 1);
+    ("PS", 1_000);
+    ("NS", 1_000_000);
+    ("US", 1_000_000_000);
+    ("MS", 1_000_000_000_000);
+    ("SEC", 1_000_000_000_000_000);
+    ("MIN", 60_000_000_000_000_000);
+    ("HR", 3_600_000_000_000_000_000);
+  ]
+
+let time : Types.t =
+  {
+    Types.base = q "TIME";
+    kind = Types.Kphys time_units;
+    constr = Some (Types.Crange (min_int + 1, Types.To, max_int));
+  }
+
+let string_ty : Types.t =
+  {
+    Types.base = q "STRING";
+    kind = Types.Karray { index = positive; elem = character };
+    constr = None;
+  }
+
+let bit_vector : Types.t =
+  {
+    Types.base = q "BIT_VECTOR";
+    kind = Types.Karray { index = natural; elem = bit };
+    constr = None;
+  }
+
+let all_types =
+  [
+    ("BOOLEAN", boolean);
+    ("BIT", bit);
+    ("CHARACTER", character);
+    ("SEVERITY_LEVEL", severity_level);
+    ("INTEGER", integer);
+    ("REAL", real);
+    ("TIME", time);
+    ("STRING", string_ty);
+    ("BIT_VECTOR", bit_vector);
+  ]
+
+let enum_literal_bindings (ty : Types.t) =
+  match Types.enum_literals ty with
+  | None -> []
+  | Some lits ->
+    List.init (Array.length lits) (fun pos ->
+        let image = lits.(pos) in
+        (image, Denot.Denum_lit { ty; pos; image }))
+
+(** Environment with everything STANDARD makes visible. *)
+let env () =
+  let binds =
+    List.concat
+      [
+        List.map (fun (n, t) -> (n, Denot.Dtype t)) all_types;
+        [ ("NATURAL", Denot.Dsubtype natural); ("POSITIVE", Denot.Dsubtype positive) ];
+        enum_literal_bindings boolean;
+        enum_literal_bindings bit;
+        enum_literal_bindings severity_level;
+        enum_literal_bindings character;
+        List.map
+          (fun (u, scale) -> (u, Denot.Dphys_unit { ty = time; scale; image = u }))
+          time_units;
+      ]
+  in
+  (* oldest binding first so nothing here hides anything else unexpectedly *)
+  Env.extend_many Env.empty (List.rev binds)
+
+(** Convert a string to a STANDARD.STRING value (1 to n). *)
+let string_value s =
+  Value.Varray
+    {
+      bounds = (1, Types.To, String.length s);
+      elems = Array.init (String.length s) (fun i -> Value.Venum (Char.code s.[i]));
+    }
+
+(** Convert a STANDARD.STRING value back to an OCaml string. *)
+let value_string = function
+  | Value.Varray { elems; _ } ->
+    String.init (Array.length elems)
+      (fun i ->
+        match elems.(i) with
+        | Value.Venum c when c >= 0 && c < 256 -> Char.chr c
+        | _ -> '?')
+  | _ -> invalid_arg "Std.value_string"
+
+(** A bit-string literal as a BIT_VECTOR value. *)
+let bit_vector_value bits =
+  Value.Varray
+    {
+      bounds = (0, Types.To, String.length bits - 1);
+      elems =
+        Array.init (String.length bits) (fun i ->
+            Value.Venum (if bits.[i] = '1' then 1 else 0));
+    }

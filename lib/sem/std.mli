@@ -1,0 +1,50 @@
+(** Package STD.STANDARD: the predefined types, their literals, and the
+    environment every design unit starts from (LRM 14.2).
+
+    The paper's compiler reads STANDARD like any other package from the
+    STD design library; here it is built-in, but it flows through the
+    same [Env] and [Denot] machinery as user packages. *)
+
+(** {1 Predefined types} *)
+
+val boolean : Types.t
+val bit : Types.t
+val character : Types.t
+val severity_level : Types.t
+val integer : Types.t
+val natural : Types.t
+val positive : Types.t
+val real : Types.t
+val time : Types.t
+val string_ty : Types.t
+val bit_vector : Types.t
+
+val all_types : (string * Types.t) list
+(** Name -> type for every type STANDARD declares (subtypes excluded). *)
+
+val time_units : (string * int) list
+(** Physical units of TIME with their scale in femtoseconds (the primary
+    unit, so TIME values span about 2.5 hours in a 63-bit int). *)
+
+(** {1 The initial environment} *)
+
+val env : unit -> Env.t
+(** Everything STANDARD makes visible: types, subtypes, enumeration
+    literals, and the units of TIME. *)
+
+val enum_literal_bindings : Types.t -> (string * Denot.t) list
+(** The literal bindings an enumeration type declaration introduces. *)
+
+(** {1 Value conversions} *)
+
+val string_value : string -> Value.t
+(** An OCaml string as a STANDARD.STRING value (bounds 1 to n). *)
+
+val value_string : Value.t -> string
+(** Inverse of {!string_value}; non-character elements print as ['?']. *)
+
+val bit_vector_value : string -> Value.t
+(** A bit-string literal ("0101") as a BIT_VECTOR value. *)
+
+val character_literals : string array
+(** The 128 CHARACTER literal images, indexed by position. *)

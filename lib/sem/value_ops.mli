@@ -1,0 +1,52 @@
+(** Runtime support: the predefined VHDL operations.
+
+    This is the paper's "runtime support functions [that] perform all the
+    predefined VHDL operations" — one of the four modules of the target
+    virtual machine.  Both the constant folder ({!Const_eval}) and the
+    simulation kernel evaluate KIR operators through this module. *)
+
+exception Runtime_error of string
+(** Raised by every operation on a dynamic error: division by zero,
+    out-of-bounds index, constraint violation, shape mismatch. *)
+
+(** {1 Integer arithmetic with VHDL semantics} *)
+
+val vhdl_mod : int -> int -> int
+(** LRM 7.2.4: the result has the sign of the divisor. *)
+
+val vhdl_rem : int -> int -> int
+(** LRM 7.2.4: the result has the sign of the dividend. *)
+
+val int_pow : int -> int -> int
+(** [int_pow base exp] by repeated squaring; negative exponents raise. *)
+
+(** {1 Operator dispatch} *)
+
+val binop : Kir.binop -> Value.t -> Value.t -> Value.t
+(** Apply a binary operator: arithmetic, logical (on BOOLEAN/BIT and
+    one-dimensional arrays thereof), ordering (lexicographic on arrays),
+    equality, and concatenation. *)
+
+val unop : Kir.unop -> Value.t -> Value.t
+
+val concat : Value.t -> Value.t -> Value.t
+(** Array concatenation; the result keeps the left operand's left bound
+    and direction (LRM 7.2.3). *)
+
+(** {1 Composite access} *)
+
+val index : Value.t -> int -> Value.t
+val slice : Value.t -> int * Value.dir * int -> Value.t
+val field : Value.t -> string -> Value.t
+
+(** {1 Functional update (assignment to parts of composites)} *)
+
+val update_index : Value.t -> int -> Value.t -> Value.t
+val update_slice : Value.t -> int * Value.dir * int -> Value.t -> Value.t
+val update_field : Value.t -> string -> Value.t -> Value.t
+
+(** {1 Constraint checks} *)
+
+val check_constraint : Types.t -> Value.t -> unit
+(** Range check on assignment (LRM 3); raises {!Runtime_error} when the
+    value lies outside the subtype's constraint. *)

@@ -1,0 +1,286 @@
+(** The simulation kernel: IEEE 1076 simulation-cycle semantics.
+
+    Event-driven scheduler with delta cycles: advance time to the next
+    transaction or timeout, update signals (resolve drivers, detect events),
+    resume processes whose wait conditions are met, repeat until quiescent
+    at the current time, then advance again.  Processes are OCaml-5 effect
+    fibers suspended on the {!Interp.Wait} effect. *)
+
+type severity_counts = {
+  mutable notes : int;
+  mutable warnings : int;
+  mutable errors : int;
+  mutable failures : int;
+}
+
+type stats = {
+  mutable delta_cycles : int;
+  mutable time_steps : int;
+  mutable events : int;
+  mutable transactions : int;
+  mutable process_runs : int;
+  severities : severity_counts;
+}
+
+type t = {
+  mutable now : Rt.time;
+  mutable signals : Rt.signal list;
+  mutable processes : Rt.proc list;
+  mutable next_proc_id : int;
+  stats : stats;
+  mutable on_message : Rt.time -> severity:int -> string -> unit;
+  mutable delta_limit : int;
+  mutable stopped : bool;
+}
+
+exception Failure_severity of { time : Rt.time; msg : string }
+
+let severity_name = function
+  | 0 -> "note"
+  | 1 -> "warning"
+  | 2 -> "error"
+  | _ -> "failure"
+
+let create ?(delta_limit = 5000) () =
+  {
+    now = 0;
+    signals = [];
+    processes = [];
+    next_proc_id = 0;
+    stats =
+      {
+        delta_cycles = 0;
+        time_steps = 0;
+        events = 0;
+        transactions = 0;
+        process_runs = 0;
+        severities = { notes = 0; warnings = 0; errors = 0; failures = 0 };
+      };
+    on_message =
+      (fun time ~severity msg ->
+        Printf.eprintf "%s: %s: %s\n%!" (Rt.format_time time) (severity_name severity) msg);
+    delta_limit;
+    stopped = false;
+  }
+
+let now k = k.now
+let stats k = k.stats
+
+let set_message_handler k f = k.on_message <- f
+
+let register_signal k s = k.signals <- s :: k.signals
+
+let fresh_proc_id k =
+  let id = k.next_proc_id in
+  k.next_proc_id <- id + 1;
+  id
+
+(** Record an assertion/report message; FAILURE stops the simulation. *)
+let emit k ~severity ~line:_ msg =
+  (match severity with
+  | 0 -> k.stats.severities.notes <- k.stats.severities.notes + 1
+  | 1 -> k.stats.severities.warnings <- k.stats.severities.warnings + 1
+  | 2 -> k.stats.severities.errors <- k.stats.severities.errors + 1
+  | _ -> k.stats.severities.failures <- k.stats.severities.failures + 1);
+  k.on_message k.now ~severity msg;
+  if severity >= 3 then raise (Failure_severity { time = k.now; msg })
+
+(** Register a process.  [body] runs the statement list once; the kernel
+    restarts it forever, appending the implicit wait when [sensitivity] is
+    given (LRM 9.2).  [has_wait] tells us whether a sensitivity-free body
+    can suspend at all; if not, it runs once and terminates. *)
+let add_process k ~name ~(sensitivity : Rt.signal list) ~has_wait ~(body : unit -> unit) =
+  let proc =
+    {
+      Rt.proc_id = fresh_proc_id k;
+      proc_name = name;
+      proc_state = Rt.Ready;
+      resume = (fun () -> ());
+      wake_signals = [];
+      wake_until = None;
+      wake_at = None;
+    }
+  in
+  let open Effect.Deep in
+  let fiber () =
+    if sensitivity = [] && not has_wait then body ()
+    else begin
+      while true do
+        body ();
+        if sensitivity <> [] then
+          Effect.perform
+            (Interp.Wait { Interp.wr_on = sensitivity; wr_until = None; wr_for = None })
+      done
+    end
+  in
+  let handler =
+    {
+      retc = (fun () -> proc.Rt.proc_state <- Rt.Terminated);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Interp.Wait req ->
+            Some
+              (fun (cont : (a, _) continuation) ->
+                proc.Rt.wake_signals <- req.Interp.wr_on;
+                proc.Rt.wake_until <- req.Interp.wr_until;
+                proc.Rt.wake_at <- req.Interp.wr_for;
+                proc.Rt.proc_state <- Rt.Waiting;
+                proc.Rt.resume <- (fun () -> continue cont ()))
+          | _ -> None);
+    }
+  in
+  proc.Rt.resume <- (fun () -> match_with fiber () handler);
+  k.processes <- k.processes @ [ proc ];
+  proc
+
+let run_ready k =
+  let any = ref false in
+  List.iter
+    (fun p ->
+      if p.Rt.proc_state = Rt.Ready then begin
+        any := true;
+        p.Rt.proc_state <- Rt.Waiting;
+        (* default: if the body doesn't set wake conditions it waits forever *)
+        p.Rt.wake_signals <- [];
+        p.Rt.wake_until <- None;
+        p.Rt.wake_at <- None;
+        k.stats.process_runs <- k.stats.process_runs + 1;
+        p.Rt.resume ()
+      end)
+    k.processes;
+  !any
+
+(* earliest point of interest: driver transactions and process timeouts *)
+let next_event_time k =
+  let mins = ref None in
+  let consider t =
+    match !mins with
+    | None -> mins := Some t
+    | Some m -> if t < m then mins := Some t
+  in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun d ->
+          match Rt.next_transaction_time d with
+          | Some t -> consider t
+          | None -> ())
+        s.Rt.drivers)
+    k.signals;
+  List.iter
+    (fun p ->
+      if p.Rt.proc_state = Rt.Waiting then
+        match p.Rt.wake_at with
+        | Some t -> consider t
+        | None -> ())
+    k.processes;
+  !mins
+
+(* apply all transactions due at [now]; returns signals that became active *)
+let apply_transactions k =
+  let touched = ref [] in
+  List.iter
+    (fun s ->
+      let any = ref false in
+      List.iter
+        (fun d ->
+          let rec pop () =
+            match d.Rt.drv_wave with
+            | (t, v) :: rest when t <= k.now ->
+              (match v with
+              | Some v ->
+                d.Rt.drv_value <- v;
+                d.Rt.drv_connected <- true
+              | None -> d.Rt.drv_connected <- false);
+              d.Rt.drv_wave <- rest;
+              any := true;
+              k.stats.transactions <- k.stats.transactions + 1;
+              pop ()
+            | _ -> ()
+          in
+          pop ())
+        s.Rt.drivers;
+      if !any then touched := s :: !touched)
+    k.signals;
+  List.iter
+    (fun s -> if Rt.update_signal ~now:k.now s then k.stats.events <- k.stats.events + 1)
+    !touched;
+  !touched <> []
+
+let wake_processes k =
+  let any = ref false in
+  List.iter
+    (fun p ->
+      if p.Rt.proc_state = Rt.Waiting then begin
+        let timeout =
+          match p.Rt.wake_at with
+          | Some t -> t <= k.now
+          | None -> false
+        in
+        let sig_event = List.exists (fun s -> s.Rt.event) p.Rt.wake_signals in
+        let cond_ok =
+          match p.Rt.wake_until with
+          | None -> true
+          | Some f -> ( try f () with _ -> false)
+        in
+        if timeout || (sig_event && cond_ok) then begin
+          p.Rt.proc_state <- Rt.Ready;
+          any := true
+        end
+      end)
+    k.processes;
+  !any
+
+let clear_flags k =
+  List.iter
+    (fun s ->
+      s.Rt.active <- false;
+      s.Rt.event <- false)
+    k.signals
+
+type outcome =
+  | Quiescent (* no more events scheduled *)
+  | Time_limit (* reached max_time *)
+  | Stopped (* a FAILURE assertion or explicit stop *)
+
+(** Run the simulation until [max_time] (inclusive).  The initialization
+    phase runs every process once, then the cycle loop proceeds. *)
+let run k ~max_time =
+  let outcome = ref Quiescent in
+  (try
+     (* initialization: every process executes until its first wait *)
+     ignore (run_ready k);
+     (* handle transactions scheduled at time 0 by initialization *)
+     let continue_sim = ref true in
+     let deltas_here = ref 0 in
+     while !continue_sim && not k.stopped do
+       match next_event_time k with
+       | None -> continue_sim := false
+       | Some t when t > max_time ->
+         k.now <- max_time;
+         outcome := Time_limit;
+         continue_sim := false
+       | Some t ->
+         if t = k.now then begin
+           incr deltas_here;
+           k.stats.delta_cycles <- k.stats.delta_cycles + 1;
+           if !deltas_here > k.delta_limit then
+             Rt.sim_error ~time:k.now "delta-cycle limit exceeded (combinational loop?)"
+         end
+         else begin
+           deltas_here := 0;
+           k.stats.time_steps <- k.stats.time_steps + 1;
+           k.now <- t
+         end;
+         clear_flags k;
+         let _had_events = apply_transactions k in
+         let woke = wake_processes k in
+         if woke then ignore (run_ready k)
+     done
+   with Failure_severity _ -> outcome := Stopped);
+  !outcome
+
+(** Force a stop from a message handler or observer. *)
+let stop k = k.stopped <- true

@@ -1,0 +1,67 @@
+(** The simulation kernel: IEEE 1076 simulation-cycle semantics.
+
+    Event-driven scheduler with delta cycles; processes are OCaml-5 effect
+    fibers suspended on the {!Interp.Wait} effect. *)
+
+type severity_counts = {
+  mutable notes : int;
+  mutable warnings : int;
+  mutable errors : int;
+  mutable failures : int;
+}
+
+type stats = {
+  mutable delta_cycles : int;
+  mutable time_steps : int;
+  mutable events : int;
+  mutable transactions : int;
+  mutable process_runs : int;
+  severities : severity_counts;
+}
+
+type t
+
+exception Failure_severity of { time : Rt.time; msg : string }
+
+val severity_name : int -> string
+(** 0 = note, 1 = warning, 2 = error, 3+ = failure. *)
+
+val create : ?delta_limit:int -> unit -> t
+(** A fresh kernel.  [delta_limit] bounds delta cycles per simulated instant
+    (combinational-loop detection). *)
+
+val now : t -> Rt.time
+val stats : t -> stats
+
+val set_message_handler : t -> (Rt.time -> severity:int -> string -> unit) -> unit
+(** Where assert/report messages go (default: stderr). *)
+
+val register_signal : t -> Rt.signal -> unit
+
+val emit : t -> severity:int -> line:int -> string -> unit
+(** Record an assertion/report message; severity >= 3 (FAILURE) stops the
+    simulation by raising {!Failure_severity}. *)
+
+val add_process :
+  t ->
+  name:string ->
+  sensitivity:Rt.signal list ->
+  has_wait:bool ->
+  body:(unit -> unit) ->
+  Rt.proc
+(** Register a process.  [body] runs the statement list once; the kernel
+    restarts it forever, appending the implicit wait when [sensitivity] is
+    non-empty (LRM 9.2).  A sensitivity-free body without waits runs once
+    and terminates. *)
+
+type outcome =
+  | Quiescent (* no more events scheduled *)
+  | Time_limit (* reached max_time *)
+  | Stopped (* a FAILURE assertion or explicit stop *)
+
+val run : t -> max_time:Rt.time -> outcome
+(** Initialization phase (every process runs to its first wait), then the
+    cycle loop up to [max_time] inclusive. *)
+
+val stop : t -> unit
+(** Request a stop from a message handler or observer. *)

@@ -1,0 +1,107 @@
+(** Waveform tracing: change-dump observers attached to signals.
+
+    Provides both an in-memory change log (used by tests and examples) and a
+    VCD-style textual dump — the VHDL-I/O role of the paper's virtual
+    machine, alongside assert/report output. *)
+
+type change = {
+  c_time : Rt.time;
+  c_path : string;
+  c_value : Value.t;
+}
+
+type t = {
+  mutable changes : change list; (* newest first *)
+  mutable watched : (string * Rt.signal) list;
+}
+
+let create () = { changes = []; watched = [] }
+
+(** Observe [s]; records every event (and the initial value at time 0). *)
+let watch t path (s : Rt.signal) =
+  t.watched <- t.watched @ [ (path, s) ];
+  t.changes <- { c_time = 0; c_path = path; c_value = s.Rt.current } :: t.changes;
+  s.Rt.observers <-
+    (fun time s -> t.changes <- { c_time = time; c_path = path; c_value = s.Rt.current } :: t.changes)
+    :: s.Rt.observers
+
+let changes t = List.rev t.changes
+
+(** Value of [path] at [time] according to the log. *)
+let value_at t ~path ~time =
+  List.fold_left
+    (fun acc c ->
+      if c.c_path = path && c.c_time <= time then
+        match acc with
+        | Some prev when prev.c_time > c.c_time -> acc
+        | _ -> Some c
+      else acc)
+    None t.changes
+  |> Option.map (fun c -> c.c_value)
+
+(** History of one signal: (time, value) pairs in time order. *)
+let history t ~path =
+  changes t |> List.filter_map (fun c -> if c.c_path = path then Some (c.c_time, c.c_value) else None)
+
+let vcd_id i =
+  (* printable short id *)
+  let chars = "!#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ" in
+  let n = String.length chars in
+  if i < n then String.make 1 chars.[i]
+  else Printf.sprintf "%c%c" chars.[i mod n] chars.[(i / n) mod n]
+
+let vcd_value v =
+  match v with
+  | Value.Venum n -> Printf.sprintf "b%d" n
+  | Value.Vint n -> Printf.sprintf "b%s" (if n = 0 then "0" else Printf.sprintf "%x" n)
+  | Value.Vphys n -> Printf.sprintf "b%x" n
+  | Value.Vfloat x -> Printf.sprintf "r%g" x
+  | Value.Varray { elems; _ } ->
+    "b"
+    ^ String.concat ""
+        (Array.to_list
+           (Array.map
+              (function
+                | Value.Venum n -> string_of_int (n land 1)
+                | _ -> "x")
+              elems))
+  | Value.Vrecord _ | Value.Vnull | Value.Vaccess _ -> "bx"
+
+(** Render the full change log as a VCD document. *)
+let to_vcd t ~timescale_fs:_ =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "$timescale 1 fs $end\n$scope module top $end\n";
+  List.iteri
+    (fun i (path, s) ->
+      let width =
+        match s.Rt.sig_ty.Types.kind with
+        | Types.Karray _ -> (
+          match s.Rt.current with
+          | Value.Varray { elems; _ } -> Array.length elems
+          | _ -> 1)
+        | _ -> 1
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire %d %s %s $end\n" width (vcd_id i)
+           (String.map (fun c -> if c = ':' then '.' else c) path)))
+    t.watched;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let ids = List.mapi (fun i (path, _) -> (path, vcd_id i)) t.watched in
+  let by_time = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let cell = Option.value (Hashtbl.find_opt by_time c.c_time) ~default:[] in
+      Hashtbl.replace by_time c.c_time (c :: cell))
+    t.changes;
+  let times = List.sort_uniq compare (Hashtbl.fold (fun t _ acc -> t :: acc) by_time []) in
+  List.iter
+    (fun time ->
+      Buffer.add_string buf (Printf.sprintf "#%d\n" time);
+      List.iter
+        (fun c ->
+          match List.assoc_opt c.c_path ids with
+          | Some id -> Buffer.add_string buf (Printf.sprintf "%s %s\n" (vcd_value c.c_value) id)
+          | None -> ())
+        (List.rev (Option.value (Hashtbl.find_opt by_time time) ~default:[])))
+    times;
+  Buffer.contents buf

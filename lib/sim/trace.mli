@@ -1,0 +1,28 @@
+(** Waveform tracing: change-dump observers attached to signals, with an
+    in-memory change log and a VCD rendering (the VHDL-I/O role of the
+    paper's virtual machine alongside assert/report output). *)
+
+type change = {
+  c_time : Rt.time;
+  c_path : string;
+  c_value : Value.t;
+}
+
+type t
+
+val create : unit -> t
+
+val watch : t -> string -> Rt.signal -> unit
+(** Observe a signal: records the initial value and every event. *)
+
+val changes : t -> change list
+(** All recorded changes, oldest first. *)
+
+val value_at : t -> path:string -> time:Rt.time -> Value.t option
+(** Value of [path] at [time] according to the log. *)
+
+val history : t -> path:string -> (Rt.time * Value.t) list
+(** One signal's (time, value) pairs in time order. *)
+
+val to_vcd : t -> timescale_fs:int -> string
+(** Render the change log as a VCD document. *)

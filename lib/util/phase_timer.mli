@@ -1,0 +1,21 @@
+(** Per-phase wall-clock accounting, for the paper's §2.2 phase-breakdown
+    experiment (PERF-PHASE). *)
+
+type t
+
+val create : unit -> t
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run a thunk, charging its duration to the named phase (re-entrant uses
+    accumulate). *)
+
+val add : t -> string -> float -> unit
+(** Adjust a phase by [seconds] (may be negative, for carving a sub-phase
+    out of its parent). *)
+
+val total : t -> float
+
+val report : t -> (string * float) list
+(** Phases in order of first use with accumulated seconds. *)
+
+val pp : Format.formatter -> t -> unit

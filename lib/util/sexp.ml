@@ -1,0 +1,227 @@
+(** Minimal self-contained s-expression library.
+
+    Used as the concrete syntax of the VIF intermediate format (see
+    [Vhdl_vif]).  We hand-roll both printer and parser because the installed
+    [sexplib0] ships only the type and printers, no reader. *)
+
+type t =
+  | Atom of string
+  | List of t list
+
+exception Parse_error of { pos : int; msg : string }
+
+let atom s = Atom s
+let list l = List l
+let int n = Atom (string_of_int n)
+let bool b = Atom (if b then "true" else "false")
+let string = atom
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' -> true
+         | _ -> false)
+       s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec to_buffer buf = function
+  | Atom s -> Buffer.add_string buf (if needs_quoting s then quote s else s)
+  | List l ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ' ';
+        to_buffer buf x)
+      l;
+    Buffer.add_char buf ')'
+
+let to_string sexp =
+  let buf = Buffer.create 256 in
+  to_buffer buf sexp;
+  Buffer.contents buf
+
+(* Indented printer: used for the human-readable VIF dump the paper mentions
+   as a debugging/documentation aid. *)
+let rec pp_indented fmt = function
+  | Atom _ as a -> Format.pp_print_string fmt (to_string a)
+  | List l when List.for_all (function Atom _ -> true | List _ -> false) l ->
+    Format.pp_print_string fmt (to_string (List l))
+  | List l ->
+    Format.fprintf fmt "@[<v 1>(";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Format.pp_print_cut fmt ();
+        pp_indented fmt x)
+      l;
+    Format.fprintf fmt ")@]"
+
+let to_string_indented sexp = Format.asprintf "%a" pp_indented sexp
+
+type parser_state = { src : string; mutable pos : int }
+
+let error st msg = raise (Parse_error { pos = st.pos; msg })
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | Some ';' ->
+    (* comment to end of line *)
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_ws st
+  | Some _ | None -> ()
+
+let parse_quoted st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some c -> Buffer.add_char buf c
+      | None -> error st "unterminated escape");
+      advance st;
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  Atom (Buffer.contents buf)
+
+let parse_bare st =
+  let start = st.pos in
+  let rec loop () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';') | None -> ()
+    | Some _ ->
+      advance st;
+      loop ()
+  in
+  loop ();
+  if st.pos = start then error st "empty atom";
+  Atom (String.sub st.src start (st.pos - start))
+
+let rec parse_one st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '(' ->
+    advance st;
+    let rec items acc =
+      skip_ws st;
+      match peek st with
+      | Some ')' ->
+        advance st;
+        List (List.rev acc)
+      | None -> error st "unterminated list"
+      | Some _ -> items (parse_one st :: acc)
+    in
+    items []
+  | Some ')' -> error st "unexpected ')'"
+  | Some '"' -> parse_quoted st
+  | Some _ -> parse_bare st
+
+let of_string src =
+  let st = { src; pos = 0 } in
+  let sexp = parse_one st in
+  skip_ws st;
+  (match peek st with
+  | None -> ()
+  | Some _ -> error st "trailing input");
+  sexp
+
+let of_string_many src =
+  let st = { src; pos = 0 } in
+  let rec loop acc =
+    skip_ws st;
+    match peek st with
+    | None -> List.rev acc
+    | Some _ -> loop (parse_one st :: acc)
+  in
+  loop []
+
+(* Accessors with descriptive failures: VIF decoding uses these. *)
+
+exception Decode_error of string
+
+let decode_error fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
+
+let to_atom = function
+  | Atom s -> s
+  | List _ as l -> decode_error "expected atom, got %s" (to_string l)
+
+let to_list = function
+  | List l -> l
+  | Atom _ as a -> decode_error "expected list, got %s" (to_string a)
+
+let to_int sexp =
+  let s = to_atom sexp in
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> decode_error "expected integer, got %s" s
+
+let to_bool sexp =
+  match to_atom sexp with
+  | "true" -> true
+  | "false" -> false
+  | s -> decode_error "expected bool, got %s" s
+
+(* A tagged record form: (tag (field value) ...) *)
+let record tag fields = List (Atom tag :: List.map (fun (k, v) -> List [ Atom k; v ]) fields)
+
+let untag = function
+  | List (Atom tag :: rest) -> (tag, rest)
+  | s -> decode_error "expected tagged list, got %s" (to_string s)
+
+let field name fields =
+  let rec find = function
+    | [] -> decode_error "missing field %s" name
+    | List [ Atom k; v ] :: _ when k = name -> v
+    | _ :: rest -> find rest
+  in
+  find fields
+
+let field_opt name fields =
+  let rec find = function
+    | [] -> None
+    | List [ Atom k; v ] :: _ when k = name -> Some v
+    | _ :: rest -> find rest
+  in
+  find fields

@@ -1,0 +1,40 @@
+(** Minimal self-contained s-expressions — the concrete syntax of the VIF.
+    Hand-rolled reader and printers (the installed sexplib0 has no
+    parser). *)
+
+type t =
+  | Atom of string
+  | List of t list
+
+exception Parse_error of { pos : int; msg : string }
+exception Decode_error of string
+
+val atom : string -> t
+val list : t list -> t
+val int : int -> t
+val bool : bool -> t
+val string : string -> t
+
+val to_string : t -> string
+val to_string_indented : t -> string
+(** Multi-line indented form — the paper's human-readable VIF dump. *)
+
+val pp_indented : Format.formatter -> t -> unit
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input (line comments with [;] are
+    skipped). *)
+
+val of_string_many : string -> t list
+
+val to_atom : t -> string
+val to_list : t -> t list
+val to_int : t -> int
+val to_bool : t -> bool
+
+val record : string -> (string * t) list -> t
+(** [(tag (field value) ...)] *)
+
+val untag : t -> string * t list
+val field : string -> t list -> t
+val field_opt : string -> t list -> t option

@@ -1,0 +1,49 @@
+(** Small portability shims so the libraries depend only on the stdlib.
+
+    We avoid a [unix] dependency in the core libraries; monotonic-ish time
+    comes from [Sys.time]-independent [Unix.gettimeofday] equivalents where
+    available, falling back to the GC clock. *)
+
+(* Wall-clock seconds.  [Sys.time] is CPU time, which is what the paper's
+   throughput discussion is really about for a single-threaded compiler, but
+   for phase percentages we want something monotone and cheap; the float
+   epoch from [Stdlib] suffices. *)
+let now () = Sys.time ()
+
+(** Create a directory (and parents) if missing. *)
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    (try Sys.mkdir path 0o755 with Sys_error _ -> ())
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(** Stripped line count: blank lines and pure comment lines removed, the
+    convention Figure 2 of the paper uses ("stripped of blank lines and
+    comments").  [comment_prefixes] are line-comment markers. *)
+let stripped_line_count ?(comment_prefixes = [ "(*"; "--"; ";" ]) contents =
+  let is_blank_or_comment line =
+    let line = String.trim line in
+    line = ""
+    || List.exists
+         (fun p ->
+           String.length line >= String.length p
+           && String.sub line 0 (String.length p) = p)
+         comment_prefixes
+  in
+  String.split_on_char '\n' contents
+  |> List.filter (fun l -> not (is_blank_or_comment l))
+  |> List.length

@@ -1,0 +1,16 @@
+(** Small filesystem and timing helpers (no [unix] dependency). *)
+
+val now : unit -> float
+(** Processor time in seconds — the phase timer's clock. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and its missing parents. *)
+
+val read_file : string -> string
+
+val write_file : string -> string -> unit
+(** Write atomically enough for our purposes (truncate + write). *)
+
+val stripped_line_count : ?comment_prefixes:string list -> string -> int
+(** Non-blank lines that do not start with a comment prefix — the line
+    discipline of the paper's Figure 2 size counts. *)

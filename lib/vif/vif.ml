@@ -1,0 +1,604 @@
+(** VIF — the VHDL Intermediate Format (paper §2.2, §4.3).
+
+    "Our compiler supports a machine-readable intermediate language that is
+    generated for each separately-compilable unit and read in when that unit
+    is referenced from another."
+
+    The concrete syntax is s-expressions; {!to_string_indented} provides the
+    paper's "human-readable form of the VIF (used for both debugging and
+    documentation)".  Like the original, VIF values are applicative: they
+    are built by attribute evaluation and never mutated. *)
+
+module S = Vhdl_util.Sexp
+
+exception Vif_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Vif_error s)) fmt
+
+let wrap_decode f sexp =
+  try f sexp with
+  | S.Decode_error m -> fail "VIF decode error: %s" m
+  | Failure m -> fail "VIF decode error: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let rec sexp_of_ty (t : Types.t) =
+  let kind =
+    match t.Types.kind with
+    | Types.Kint -> S.List [ S.Atom "int" ]
+    | Types.Kfloat -> S.List [ S.Atom "float" ]
+    | Types.Kenum lits ->
+      S.List (S.Atom "enum" :: List.map S.atom (Array.to_list lits))
+    | Types.Kphys units ->
+      S.List
+        (S.Atom "phys"
+        :: List.map (fun (u, scale) -> S.List [ S.Atom u; S.int scale ]) units)
+    | Types.Karray { index; elem } ->
+      S.List [ S.Atom "array"; sexp_of_ty index; sexp_of_ty elem ]
+    | Types.Krecord fields ->
+      S.List
+        (S.Atom "record"
+        :: List.map (fun (n, ft) -> S.List [ S.Atom n; sexp_of_ty ft ]) fields)
+    | Types.Kaccess designated -> S.List [ S.Atom "access"; sexp_of_ty designated ]
+  in
+  let constr =
+    match t.Types.constr with
+    | None -> []
+    | Some (Types.Crange (l, d, r)) ->
+      [ S.List [ S.Atom "range"; S.int l; sexp_of_dir d; S.int r ] ]
+    | Some (Types.Cfloat_range (l, d, r)) ->
+      [
+        S.List
+          [
+            S.Atom "frange"; S.Atom (string_of_float l); sexp_of_dir d;
+            S.Atom (string_of_float r);
+          ];
+      ]
+  in
+  S.List ((S.Atom t.Types.base :: kind :: constr))
+
+and sexp_of_dir = function
+  | Types.To -> S.Atom "to"
+  | Types.Downto -> S.Atom "downto"
+
+let dir_of_sexp s =
+  match S.to_atom s with
+  | "to" -> Types.To
+  | "downto" -> Types.Downto
+  | d -> fail "bad direction %s" d
+
+let rec ty_of_sexp sexp =
+  match sexp with
+  | S.List (S.Atom base :: kind :: rest) ->
+    let k =
+      match kind with
+      | S.List [ S.Atom "int" ] -> Types.Kint
+      | S.List [ S.Atom "float" ] -> Types.Kfloat
+      | S.List (S.Atom "enum" :: lits) ->
+        Types.Kenum (Array.of_list (List.map S.to_atom lits))
+      | S.List (S.Atom "phys" :: units) ->
+        Types.Kphys
+          (List.map
+             (fun u ->
+               match u with
+               | S.List [ S.Atom name; scale ] -> (name, S.to_int scale)
+               | _ -> fail "bad physical unit")
+             units)
+      | S.List [ S.Atom "array"; index; elem ] ->
+        Types.Karray { index = ty_of_sexp index; elem = ty_of_sexp elem }
+      | S.List [ S.Atom "access"; designated ] -> Types.Kaccess (ty_of_sexp designated)
+      | S.List (S.Atom "record" :: fields) ->
+        Types.Krecord
+          (List.map
+             (fun f ->
+               match f with
+               | S.List [ S.Atom n; ft ] -> (n, ty_of_sexp ft)
+               | _ -> fail "bad record field")
+             fields)
+      | _ -> fail "bad type kind"
+    in
+    let constr =
+      match rest with
+      | [] -> None
+      | [ S.List [ S.Atom "range"; l; d; r ] ] ->
+        Some (Types.Crange (S.to_int l, dir_of_sexp d, S.to_int r))
+      | [ S.List [ S.Atom "frange"; S.Atom l; d; S.Atom r ] ] ->
+        Some (Types.Cfloat_range (float_of_string l, dir_of_sexp d, float_of_string r))
+      | _ -> fail "bad type constraint"
+    in
+    { Types.base; kind = k; constr }
+  | _ -> fail "bad type"
+
+(* ------------------------------------------------------------------ *)
+(* Values *)
+
+let rec sexp_of_value (v : Value.t) =
+  match v with
+  | Value.Vint n -> S.List [ S.Atom "i"; S.int n ]
+  | Value.Vfloat x -> S.List [ S.Atom "f"; S.Atom (string_of_float x) ]
+  | Value.Venum n -> S.List [ S.Atom "e"; S.int n ]
+  | Value.Vphys n -> S.List [ S.Atom "p"; S.int n ]
+  | Value.Varray { bounds = l, d, r; elems } ->
+    S.List
+      (S.Atom "a" :: S.int l :: sexp_of_dir d :: S.int r
+      :: List.map sexp_of_value (Array.to_list elems))
+  | Value.Vrecord fields ->
+    S.List
+      (S.Atom "r"
+      :: List.map (fun (n, fv) -> S.List [ S.Atom n; sexp_of_value fv ]) fields)
+  | Value.Vnull -> S.Atom "null"
+  | Value.Vaccess _ ->
+    (* access values are variable-local and never reach the VIF; a constant
+       folded to one would be a front-end bug *)
+    failwith "Vif: access values are not serializable"
+
+let rec value_of_sexp sexp =
+  match sexp with
+  | S.Atom "null" -> Value.Vnull
+  | S.List [ S.Atom "i"; n ] -> Value.Vint (S.to_int n)
+  | S.List [ S.Atom "f"; S.Atom x ] -> Value.Vfloat (float_of_string x)
+  | S.List [ S.Atom "e"; n ] -> Value.Venum (S.to_int n)
+  | S.List [ S.Atom "p"; n ] -> Value.Vphys (S.to_int n)
+  | S.List (S.Atom "a" :: l :: d :: r :: elems) ->
+    Value.Varray
+      {
+        bounds = (S.to_int l, dir_of_sexp d, S.to_int r);
+        elems = Array.of_list (List.map value_of_sexp elems);
+      }
+  | S.List (S.Atom "r" :: fields) ->
+    Value.Vrecord
+      (List.map
+         (fun f ->
+           match f with
+           | S.List [ S.Atom n; fv ] -> (n, value_of_sexp fv)
+           | _ -> fail "bad record value field")
+         fields)
+  | _ -> fail "bad value"
+
+(* ------------------------------------------------------------------ *)
+(* KIR expressions and statements *)
+
+let sexp_of_sref = function
+  | Kir.Sig_local i -> S.List [ S.Atom "local"; S.int i ]
+  | Kir.Sig_guard -> S.Atom "guard"
+  | Kir.Sig_global { package; name } -> S.List [ S.Atom "global"; S.Atom package; S.Atom name ]
+  | Kir.Sig_param i -> S.List [ S.Atom "param"; S.int i ]
+
+let sref_of_sexp = function
+  | S.List [ S.Atom "local"; i ] -> Kir.Sig_local (S.to_int i)
+  | S.Atom "guard" -> Kir.Sig_guard
+  | S.List [ S.Atom "param"; i ] -> Kir.Sig_param (S.to_int i)
+  | S.List [ S.Atom "global"; S.Atom package; S.Atom name ] ->
+    Kir.Sig_global { package; name }
+  | _ -> fail "bad signal reference"
+
+let binop_names =
+  [
+    (Kir.Band, "and"); (Kir.Bor, "or"); (Kir.Bnand, "nand"); (Kir.Bnor, "nor");
+    (Kir.Bxor, "xor"); (Kir.Beq, "eq"); (Kir.Bneq, "neq"); (Kir.Blt, "lt");
+    (Kir.Ble, "le"); (Kir.Bgt, "gt"); (Kir.Bge, "ge"); (Kir.Badd, "add");
+    (Kir.Bsub, "sub"); (Kir.Bconcat, "concat"); (Kir.Bmul, "mul"); (Kir.Bdiv, "div");
+    (Kir.Bmod, "mod"); (Kir.Brem, "rem"); (Kir.Bexp, "exp");
+  ]
+
+let binop_of_name n =
+  match List.find_opt (fun (_, s) -> s = n) binop_names with
+  | Some (op, _) -> op
+  | None -> fail "bad binop %s" n
+
+let unop_names = [ (Kir.Uneg, "neg"); (Kir.Uplus, "plus"); (Kir.Uabs, "abs"); (Kir.Unot, "not") ]
+
+let sattr_names =
+  [ (Kir.Sa_event, "event"); (Kir.Sa_active, "active"); (Kir.Sa_last_value, "last_value");
+    (Kir.Sa_stable, "stable"); (Kir.Sa_last_event, "last_event") ]
+
+let aattr_names =
+  [ (Kir.At_left, "left"); (Kir.At_right, "right"); (Kir.At_high, "high");
+    (Kir.At_low, "low"); (Kir.At_length, "length") ]
+
+let sexp_of_opt f = function
+  | None -> S.Atom "none"
+  | Some x -> S.List [ S.Atom "some"; f x ]
+
+let opt_of_sexp f = function
+  | S.Atom "none" -> None
+  | S.List [ S.Atom "some"; x ] -> Some (f x)
+  | _ -> fail "bad option"
+
+let rec sexp_of_expr (e : Kir.expr) =
+  match e with
+  | Kir.Elit v -> S.List [ S.Atom "lit"; sexp_of_value v ]
+  | Kir.Enull -> S.Atom "enull"
+  | Kir.Enew (ty, init) ->
+    S.List [ S.Atom "new"; sexp_of_ty ty; sexp_of_opt sexp_of_expr init ]
+  | Kir.Ederef a -> S.List [ S.Atom "deref"; sexp_of_expr a ]
+  | Kir.Evar { level; index; name } ->
+    S.List [ S.Atom "var"; S.int level; S.int index; S.Atom name ]
+  | Kir.Egeneric { index; name } -> S.List [ S.Atom "generic"; S.int index; S.Atom name ]
+  | Kir.Eunit_const { name } -> S.List [ S.Atom "uconst"; S.Atom name ]
+  | Kir.Esig sref -> S.List [ S.Atom "sig"; sexp_of_sref sref ]
+  | Kir.Esig_attr (sref, a) ->
+    S.List [ S.Atom "sattr"; sexp_of_sref sref; S.Atom (List.assoc a sattr_names) ]
+  | Kir.Ebin (op, a, b) ->
+    S.List [ S.Atom "bin"; S.Atom (List.assoc op binop_names); sexp_of_expr a; sexp_of_expr b ]
+  | Kir.Eun (op, a) -> S.List [ S.Atom "un"; S.Atom (List.assoc op unop_names); sexp_of_expr a ]
+  | Kir.Eindex (a, i) -> S.List [ S.Atom "index"; sexp_of_expr a; sexp_of_expr i ]
+  | Kir.Eslice (a, (l, d, r)) ->
+    S.List [ S.Atom "slice"; sexp_of_expr a; sexp_of_expr l; sexp_of_dir d; sexp_of_expr r ]
+  | Kir.Efield (a, f) -> S.List [ S.Atom "field"; sexp_of_expr a; S.Atom f ]
+  | Kir.Eaggregate (els, shape) ->
+    S.List
+      [
+        S.Atom "agg";
+        S.List
+          (List.map
+             (fun el ->
+               match el with
+               | Kir.Ag_pos e -> S.List [ S.Atom "pos"; sexp_of_expr e ]
+               | Kir.Ag_named (i, e) -> S.List [ S.Atom "named"; S.int i; sexp_of_expr e ]
+               | Kir.Ag_field (f, e) -> S.List [ S.Atom "fld"; S.Atom f; sexp_of_expr e ]
+               | Kir.Ag_others e -> S.List [ S.Atom "others"; sexp_of_expr e ])
+             els);
+        (match shape with
+        | Kir.Sh_array None -> S.List [ S.Atom "array" ]
+        | Kir.Sh_array (Some (l, d, r)) ->
+          S.List [ S.Atom "array"; S.int l; sexp_of_dir d; S.int r ]
+        | Kir.Sh_record fields -> S.List (S.Atom "record" :: List.map S.atom fields));
+      ]
+  | Kir.Ecall (Kir.F_user f, args) ->
+    S.List (S.Atom "call" :: S.Atom f :: List.map sexp_of_expr args)
+  | Kir.Econvert (c, a) ->
+    let cs =
+      match c with
+      | Kir.To_integer -> S.Atom "to_int"
+      | Kir.To_float -> S.Atom "to_float"
+      | Kir.To_pos -> S.Atom "to_pos"
+      | Kir.To_val ty -> S.List [ S.Atom "to_val"; sexp_of_ty ty ]
+    in
+    S.List [ S.Atom "conv"; cs; sexp_of_expr a ]
+  | Kir.Earray_attr (a, at) ->
+    S.List [ S.Atom "aattr"; sexp_of_expr a; S.Atom (List.assoc at aattr_names) ]
+
+let rec expr_of_sexp sexp : Kir.expr =
+  match sexp with
+  | S.Atom "enull" -> Kir.Enull
+  | S.List [ S.Atom "new"; ty; init ] ->
+    Kir.Enew (ty_of_sexp ty, opt_of_sexp expr_of_sexp init)
+  | S.List [ S.Atom "deref"; a ] -> Kir.Ederef (expr_of_sexp a)
+  | S.List [ S.Atom "lit"; v ] -> Kir.Elit (value_of_sexp v)
+  | S.List [ S.Atom "var"; level; index; S.Atom name ] ->
+    Kir.Evar { level = S.to_int level; index = S.to_int index; name }
+  | S.List [ S.Atom "generic"; index; S.Atom name ] ->
+    Kir.Egeneric { index = S.to_int index; name }
+  | S.List [ S.Atom "uconst"; S.Atom name ] -> Kir.Eunit_const { name }
+  | S.List [ S.Atom "sig"; sref ] -> Kir.Esig (sref_of_sexp sref)
+  | S.List [ S.Atom "sattr"; sref; S.Atom a ] ->
+    let attr =
+      match List.find_opt (fun (_, n) -> n = a) sattr_names with
+      | Some (at, _) -> at
+      | None -> fail "bad signal attribute %s" a
+    in
+    Kir.Esig_attr (sref_of_sexp sref, attr)
+  | S.List [ S.Atom "bin"; S.Atom op; a; b ] ->
+    Kir.Ebin (binop_of_name op, expr_of_sexp a, expr_of_sexp b)
+  | S.List [ S.Atom "un"; S.Atom op; a ] ->
+    let u =
+      match List.find_opt (fun (_, n) -> n = op) unop_names with
+      | Some (u, _) -> u
+      | None -> fail "bad unop %s" op
+    in
+    Kir.Eun (u, expr_of_sexp a)
+  | S.List [ S.Atom "index"; a; i ] -> Kir.Eindex (expr_of_sexp a, expr_of_sexp i)
+  | S.List [ S.Atom "slice"; a; l; d; r ] ->
+    Kir.Eslice (expr_of_sexp a, (expr_of_sexp l, dir_of_sexp d, expr_of_sexp r))
+  | S.List [ S.Atom "field"; a; S.Atom f ] -> Kir.Efield (expr_of_sexp a, f)
+  | S.List [ S.Atom "agg"; S.List els; shape ] ->
+    let els =
+      List.map
+        (fun el ->
+          match el with
+          | S.List [ S.Atom "pos"; e ] -> Kir.Ag_pos (expr_of_sexp e)
+          | S.List [ S.Atom "named"; i; e ] -> Kir.Ag_named (S.to_int i, expr_of_sexp e)
+          | S.List [ S.Atom "fld"; S.Atom f; e ] -> Kir.Ag_field (f, expr_of_sexp e)
+          | S.List [ S.Atom "others"; e ] -> Kir.Ag_others (expr_of_sexp e)
+          | _ -> fail "bad aggregate element")
+        els
+    in
+    let shape =
+      match shape with
+      | S.List [ S.Atom "array" ] -> Kir.Sh_array None
+      | S.List [ S.Atom "array"; l; d; r ] ->
+        Kir.Sh_array (Some (S.to_int l, dir_of_sexp d, S.to_int r))
+      | S.List (S.Atom "record" :: fields) -> Kir.Sh_record (List.map S.to_atom fields)
+      | _ -> fail "bad aggregate shape"
+    in
+    Kir.Eaggregate (els, shape)
+  | S.List (S.Atom "call" :: S.Atom f :: args) ->
+    Kir.Ecall (Kir.F_user f, List.map expr_of_sexp args)
+  | S.List [ S.Atom "conv"; cs; a ] ->
+    let c =
+      match cs with
+      | S.Atom "to_int" -> Kir.To_integer
+      | S.Atom "to_float" -> Kir.To_float
+      | S.Atom "to_pos" -> Kir.To_pos
+      | S.List [ S.Atom "to_val"; ty ] -> Kir.To_val (ty_of_sexp ty)
+      | _ -> fail "bad conversion"
+    in
+    Kir.Econvert (c, expr_of_sexp a)
+  | S.List [ S.Atom "aattr"; a; S.Atom at ] ->
+    let attr =
+      match List.find_opt (fun (_, n) -> n = at) aattr_names with
+      | Some (x, _) -> x
+      | None -> fail "bad array attribute %s" at
+    in
+    Kir.Earray_attr (expr_of_sexp a, attr)
+  | _ -> fail "bad expression: %s" (S.to_string sexp)
+
+let rec sexp_of_target (t : Kir.target) =
+  match t with
+  | Kir.Tvar { level; index; name } ->
+    S.List [ S.Atom "tvar"; S.int level; S.int index; S.Atom name ]
+  | Kir.Tindex (t', i) -> S.List [ S.Atom "tindex"; sexp_of_target t'; sexp_of_expr i ]
+  | Kir.Tslice (t', (l, d, r)) ->
+    S.List [ S.Atom "tslice"; sexp_of_target t'; sexp_of_expr l; sexp_of_dir d; sexp_of_expr r ]
+  | Kir.Tfield (t', f) -> S.List [ S.Atom "tfield"; sexp_of_target t'; S.Atom f ]
+  | Kir.Tderef t' -> S.List [ S.Atom "tderef"; sexp_of_target t' ]
+
+let rec target_of_sexp sexp : Kir.target =
+  match sexp with
+  | S.List [ S.Atom "tderef"; t ] -> Kir.Tderef (target_of_sexp t)
+  | S.List [ S.Atom "tvar"; level; index; S.Atom name ] ->
+    Kir.Tvar { level = S.to_int level; index = S.to_int index; name }
+  | S.List [ S.Atom "tindex"; t; i ] -> Kir.Tindex (target_of_sexp t, expr_of_sexp i)
+  | S.List [ S.Atom "tslice"; t; l; d; r ] ->
+    Kir.Tslice (target_of_sexp t, (expr_of_sexp l, dir_of_sexp d, expr_of_sexp r))
+  | S.List [ S.Atom "tfield"; t; S.Atom f ] -> Kir.Tfield (target_of_sexp t, f)
+  | _ -> fail "bad target"
+
+let rec sexp_of_sig_target (t : Kir.sig_target) =
+  match t with
+  | Kir.Ts_sig sref -> S.List [ S.Atom "ssig"; sexp_of_sref sref ]
+  | Kir.Ts_index (t', i) -> S.List [ S.Atom "sindex"; sexp_of_sig_target t'; sexp_of_expr i ]
+  | Kir.Ts_slice (t', (l, d, r)) ->
+    S.List
+      [ S.Atom "sslice"; sexp_of_sig_target t'; sexp_of_expr l; sexp_of_dir d; sexp_of_expr r ]
+  | Kir.Ts_field (t', f) -> S.List [ S.Atom "sfield"; sexp_of_sig_target t'; S.Atom f ]
+
+let rec sig_target_of_sexp sexp : Kir.sig_target =
+  match sexp with
+  | S.List [ S.Atom "ssig"; sref ] -> Kir.Ts_sig (sref_of_sexp sref)
+  | S.List [ S.Atom "sindex"; t; i ] -> Kir.Ts_index (sig_target_of_sexp t, expr_of_sexp i)
+  | S.List [ S.Atom "sslice"; t; l; d; r ] ->
+    Kir.Ts_slice (sig_target_of_sexp t, (expr_of_sexp l, dir_of_sexp d, expr_of_sexp r))
+  | S.List [ S.Atom "sfield"; t; S.Atom f ] -> Kir.Ts_field (sig_target_of_sexp t, f)
+  | _ -> fail "bad signal target"
+
+let rec sexp_of_stmt (st : Kir.stmt) =
+  match st with
+  | Kir.Snull -> S.Atom "null"
+  | Kir.Sassign (t, e, ty) ->
+    S.List [ S.Atom "assign"; sexp_of_target t; sexp_of_expr e; sexp_of_opt sexp_of_ty ty ]
+  | Kir.Ssig_assign { target; mode; waveform; guarded; line } ->
+    S.List
+      [
+        S.Atom "sassign";
+        sexp_of_sig_target target;
+        S.Atom (match mode with Kir.Inertial -> "inertial" | Kir.Transport -> "transport");
+        S.List
+          (List.map
+             (fun (w : Kir.waveform_element) ->
+               S.List
+                 [
+                   sexp_of_opt sexp_of_expr w.Kir.wv_value;
+                   sexp_of_opt sexp_of_expr w.Kir.wv_after;
+                 ])
+             waveform);
+        S.bool guarded;
+        S.int line;
+      ]
+  | Kir.Sif (arms, els) ->
+    S.List
+      [
+        S.Atom "if";
+        S.List
+          (List.map
+             (fun (c, body) -> S.List [ sexp_of_expr c; sexp_of_stmts body ])
+             arms);
+        sexp_of_stmts els;
+      ]
+  | Kir.Scase (e, alts) ->
+    S.List
+      [
+        S.Atom "case";
+        sexp_of_expr e;
+        S.List
+          (List.map
+             (fun (choices, body) ->
+               S.List
+                 [
+                   S.List
+                     (List.map
+                        (fun c ->
+                          match c with
+                          | Kir.Ch_value v -> S.List [ S.Atom "v"; sexp_of_value v ]
+                          | Kir.Ch_range (l, d, r) ->
+                            S.List [ S.Atom "rng"; S.int l; sexp_of_dir d; S.int r ]
+                          | Kir.Ch_others -> S.Atom "others")
+                        choices);
+                   sexp_of_stmts body;
+                 ])
+             alts);
+      ]
+  | Kir.Sfor { var; var_name; range = l, d, r; body; loop_label } ->
+    S.List
+      [
+        S.Atom "for"; S.int var; S.Atom var_name; sexp_of_expr l; sexp_of_dir d;
+        sexp_of_expr r; sexp_of_stmts body; sexp_of_opt S.atom loop_label;
+      ]
+  | Kir.Swhile (c, body, lbl) ->
+    S.List [ S.Atom "while"; sexp_of_expr c; sexp_of_stmts body; sexp_of_opt S.atom lbl ]
+  | Kir.Sloop (body, lbl) -> S.List [ S.Atom "loop"; sexp_of_stmts body; sexp_of_opt S.atom lbl ]
+  | Kir.Sexit { cond; label } ->
+    S.List [ S.Atom "exit"; sexp_of_opt sexp_of_expr cond; sexp_of_opt S.atom label ]
+  | Kir.Snext { cond; label } ->
+    S.List [ S.Atom "next"; sexp_of_opt sexp_of_expr cond; sexp_of_opt S.atom label ]
+  | Kir.Swait { on; until; for_; line } ->
+    S.List
+      [
+        S.Atom "wait";
+        S.List (List.map sexp_of_sref on);
+        sexp_of_opt sexp_of_expr until;
+        sexp_of_opt sexp_of_expr for_;
+        S.int line;
+      ]
+  | Kir.Sdisconnect t -> S.List [ S.Atom "disconnect"; sexp_of_sig_target t ]
+  | Kir.Sreturn e -> S.List [ S.Atom "return"; sexp_of_opt sexp_of_expr e ]
+  | Kir.Sassert { cond; report; severity; line } ->
+    S.List
+      [
+        S.Atom "assert"; sexp_of_expr cond; sexp_of_opt sexp_of_expr report;
+        sexp_of_opt sexp_of_expr severity; S.int line;
+      ]
+  | Kir.Scall (Kir.P_user p, args) ->
+    S.List
+      [
+        S.Atom "pcall";
+        S.Atom p;
+        S.List
+          (List.map
+             (fun (a : Kir.call_arg) ->
+               S.List
+                 [
+                   S.Atom
+                     (match a.Kir.ca_mode with
+                     | Kir.Arg_in -> "in"
+                     | Kir.Arg_out -> "out"
+                     | Kir.Arg_inout -> "inout");
+                   sexp_of_expr a.Kir.ca_expr;
+                   sexp_of_opt sexp_of_target a.Kir.ca_target;
+                   sexp_of_opt sexp_of_sref a.Kir.ca_signal;
+                 ])
+             args);
+      ]
+
+and sexp_of_stmts body = S.List (List.map sexp_of_stmt body)
+
+let arg_mode_of_sexp = function
+  | S.Atom "in" -> Kir.Arg_in
+  | S.Atom "out" -> Kir.Arg_out
+  | S.Atom "inout" -> Kir.Arg_inout
+  | _ -> fail "bad mode"
+
+let sexp_of_arg_mode = function
+  | Kir.Arg_in -> S.Atom "in"
+  | Kir.Arg_out -> S.Atom "out"
+  | Kir.Arg_inout -> S.Atom "inout"
+
+let rec stmt_of_sexp sexp : Kir.stmt =
+  match sexp with
+  | S.Atom "null" -> Kir.Snull
+  | S.List [ S.Atom "assign"; t; e; ty ] ->
+    Kir.Sassign (target_of_sexp t, expr_of_sexp e, opt_of_sexp ty_of_sexp ty)
+  | S.List [ S.Atom "sassign"; t; S.Atom mode; S.List waves; guarded; line ] ->
+    Kir.Ssig_assign
+      {
+        target = sig_target_of_sexp t;
+        mode = (if mode = "transport" then Kir.Transport else Kir.Inertial);
+        waveform =
+          List.map
+            (fun w ->
+              match w with
+              | S.List [ v; after ] ->
+                {
+                  Kir.wv_value = opt_of_sexp expr_of_sexp v;
+                  wv_after = opt_of_sexp expr_of_sexp after;
+                }
+              | _ -> fail "bad waveform element")
+            waves;
+        guarded = S.to_bool guarded;
+        line = S.to_int line;
+      }
+  | S.List [ S.Atom "if"; S.List arms; els ] ->
+    Kir.Sif
+      ( List.map
+          (fun arm ->
+            match arm with
+            | S.List [ c; body ] -> (expr_of_sexp c, stmts_of_sexp body)
+            | _ -> fail "bad if arm")
+          arms,
+        stmts_of_sexp els )
+  | S.List [ S.Atom "case"; e; S.List alts ] ->
+    Kir.Scase
+      ( expr_of_sexp e,
+        List.map
+          (fun alt ->
+            match alt with
+            | S.List [ S.List choices; body ] ->
+              ( List.map
+                  (fun c ->
+                    match c with
+                    | S.List [ S.Atom "v"; v ] -> Kir.Ch_value (value_of_sexp v)
+                    | S.List [ S.Atom "rng"; l; d; r ] ->
+                      Kir.Ch_range (S.to_int l, dir_of_sexp d, S.to_int r)
+                    | S.Atom "others" -> Kir.Ch_others
+                    | _ -> fail "bad choice")
+                  choices,
+                stmts_of_sexp body )
+            | _ -> fail "bad case alternative")
+          alts )
+  | S.List [ S.Atom "for"; var; S.Atom var_name; l; d; r; body; lbl ] ->
+    Kir.Sfor
+      {
+        var = S.to_int var;
+        var_name;
+        range = (expr_of_sexp l, dir_of_sexp d, expr_of_sexp r);
+        body = stmts_of_sexp body;
+        loop_label = opt_of_sexp S.to_atom lbl;
+      }
+  | S.List [ S.Atom "while"; c; body; lbl ] ->
+    Kir.Swhile (expr_of_sexp c, stmts_of_sexp body, opt_of_sexp S.to_atom lbl)
+  | S.List [ S.Atom "loop"; body; lbl ] ->
+    Kir.Sloop (stmts_of_sexp body, opt_of_sexp S.to_atom lbl)
+  | S.List [ S.Atom "exit"; c; lbl ] ->
+    Kir.Sexit { cond = opt_of_sexp expr_of_sexp c; label = opt_of_sexp S.to_atom lbl }
+  | S.List [ S.Atom "next"; c; lbl ] ->
+    Kir.Snext { cond = opt_of_sexp expr_of_sexp c; label = opt_of_sexp S.to_atom lbl }
+  | S.List [ S.Atom "wait"; S.List on; until; for_; line ] ->
+    Kir.Swait
+      {
+        on = List.map sref_of_sexp on;
+        until = opt_of_sexp expr_of_sexp until;
+        for_ = opt_of_sexp expr_of_sexp for_;
+        line = S.to_int line;
+      }
+  | S.List [ S.Atom "disconnect"; t ] -> Kir.Sdisconnect (sig_target_of_sexp t)
+  | S.List [ S.Atom "return"; e ] -> Kir.Sreturn (opt_of_sexp expr_of_sexp e)
+  | S.List [ S.Atom "assert"; c; report; severity; line ] ->
+    Kir.Sassert
+      {
+        cond = expr_of_sexp c;
+        report = opt_of_sexp expr_of_sexp report;
+        severity = opt_of_sexp expr_of_sexp severity;
+        line = S.to_int line;
+      }
+  | S.List [ S.Atom "pcall"; S.Atom p; S.List args ] ->
+    Kir.Scall
+      ( Kir.P_user p,
+        List.map
+          (fun a ->
+            match a with
+            | S.List [ mode; e; t; sg ] ->
+              {
+                Kir.ca_mode = arg_mode_of_sexp mode;
+                ca_expr = expr_of_sexp e;
+                ca_target = opt_of_sexp target_of_sexp t;
+                ca_signal = opt_of_sexp sref_of_sexp sg;
+              }
+            | _ -> fail "bad call argument")
+          args )
+  | _ -> fail "bad statement: %s" (S.to_string sexp)
+
+and stmts_of_sexp = function
+  | S.List stmts -> List.map stmt_of_sexp stmts
+  | _ -> fail "bad statement list"

@@ -1,0 +1,606 @@
+(** VIF serialization of denotations and design units. *)
+
+module S = Vhdl_util.Sexp
+open Vif
+
+(* ------------------------------------------------------------------ *)
+(* Denotations *)
+
+let sexp_of_param (p : Denot.param) =
+  S.List
+    [
+      S.Atom p.Denot.p_name;
+      sexp_of_arg_mode p.Denot.p_mode;
+      S.Atom
+        (match p.Denot.p_class with
+        | Denot.Cconstant -> "constant"
+        | Denot.Cvariable -> "variable"
+        | Denot.Csignal -> "signal");
+      sexp_of_ty p.Denot.p_ty;
+      sexp_of_opt sexp_of_expr p.Denot.p_default;
+    ]
+
+let param_of_sexp = function
+  | S.List [ S.Atom name; mode; S.Atom cls; ty; default ] ->
+    {
+      Denot.p_name = name;
+      p_mode = arg_mode_of_sexp mode;
+      p_class =
+        (match cls with
+        | "constant" -> Denot.Cconstant
+        | "variable" -> Denot.Cvariable
+        | "signal" -> Denot.Csignal
+        | _ -> fail "bad parameter class");
+      p_ty = ty_of_sexp ty;
+      p_default = opt_of_sexp expr_of_sexp default;
+    }
+  | _ -> fail "bad parameter"
+
+let sexp_of_subprog_sig (s : Denot.subprog_sig) =
+  S.record "subprog"
+    [
+      ("name", S.Atom s.Denot.ss_name);
+      ("mangled", S.Atom s.Denot.ss_mangled);
+      ("kind", S.Atom (match s.Denot.ss_kind with `Function -> "function" | `Procedure -> "procedure"));
+      ("params", S.List (List.map sexp_of_param s.Denot.ss_params));
+      ("ret", sexp_of_opt sexp_of_ty s.Denot.ss_ret);
+      ("builtin", S.bool s.Denot.ss_builtin);
+    ]
+
+let subprog_sig_of_sexp sexp =
+  let tag, fields = S.untag sexp in
+  if tag <> "subprog" then fail "expected subprog";
+  {
+    Denot.ss_name = S.to_atom (S.field "name" fields);
+    ss_mangled = S.to_atom (S.field "mangled" fields);
+    ss_kind =
+      (match S.to_atom (S.field "kind" fields) with
+      | "function" -> `Function
+      | _ -> `Procedure);
+    ss_params = List.map param_of_sexp (S.to_list (S.field "params" fields));
+    ss_ret = opt_of_sexp ty_of_sexp (S.field "ret" fields);
+    ss_builtin = S.to_bool (S.field "builtin" fields);
+  }
+
+let sexp_of_slot = function
+  | Denot.Sl_frame { level; index } -> S.List [ S.Atom "frame"; S.int level; S.int index ]
+  | Denot.Sl_signal sref -> S.List [ S.Atom "signal"; sexp_of_sref sref ]
+  | Denot.Sl_generic i -> S.List [ S.Atom "generic"; S.int i ]
+  | Denot.Sl_static v -> S.List [ S.Atom "static"; sexp_of_value v ]
+  | Denot.Sl_unit_const name -> S.List [ S.Atom "uconst"; S.Atom name ]
+
+let slot_of_sexp = function
+  | S.List [ S.Atom "frame"; level; index ] ->
+    Denot.Sl_frame { level = S.to_int level; index = S.to_int index }
+  | S.List [ S.Atom "signal"; sref ] -> Denot.Sl_signal (sref_of_sexp sref)
+  | S.List [ S.Atom "generic"; i ] -> Denot.Sl_generic (S.to_int i)
+  | S.List [ S.Atom "static"; v ] -> Denot.Sl_static (value_of_sexp v)
+  | S.List [ S.Atom "uconst"; S.Atom name ] -> Denot.Sl_unit_const name
+  | _ -> fail "bad slot"
+
+let rec sexp_of_denot (d : Denot.t) =
+  match d with
+  | Denot.Dobject { name; cls; ty; mode; slot } ->
+    S.List
+      [
+        S.Atom "object";
+        S.Atom name;
+        S.Atom
+          (match cls with
+          | Denot.Cconstant -> "constant"
+          | Denot.Cvariable -> "variable"
+          | Denot.Csignal -> "signal");
+        sexp_of_ty ty;
+        sexp_of_opt sexp_of_arg_mode mode;
+        sexp_of_slot slot;
+      ]
+  | Denot.Dtype ty -> S.List [ S.Atom "type"; sexp_of_ty ty ]
+  | Denot.Dsubtype ty -> S.List [ S.Atom "subtype"; sexp_of_ty ty ]
+  | Denot.Denum_lit { ty; pos; image } ->
+    S.List [ S.Atom "enumlit"; sexp_of_ty ty; S.int pos; S.Atom image ]
+  | Denot.Dsubprog s -> S.List [ S.Atom "subprog"; sexp_of_subprog_sig s ]
+  | Denot.Dcomponent { name; generics; ports } ->
+    S.List
+      [
+        S.Atom "component"; S.Atom name;
+        S.List (List.map sexp_of_generic generics);
+        S.List (List.map sexp_of_port ports);
+      ]
+  | Denot.Dattr_decl { name; ty } -> S.List [ S.Atom "attrdecl"; S.Atom name; sexp_of_ty ty ]
+  | Denot.Dattr_value { of_name; attr; value; ty } ->
+    S.List
+      [ S.Atom "attrval"; S.Atom of_name; S.Atom attr; sexp_of_value value; sexp_of_ty ty ]
+  | Denot.Dunit { library; unit_name } ->
+    S.List [ S.Atom "unit"; S.Atom library; S.Atom unit_name ]
+  | Denot.Dlibrary l -> S.List [ S.Atom "library"; S.Atom l ]
+  | Denot.Dlabel l -> S.List [ S.Atom "label"; S.Atom l ]
+  | Denot.Dphys_unit { ty; scale; image } ->
+    S.List [ S.Atom "physunit"; sexp_of_ty ty; S.int scale; S.Atom image ]
+
+and sexp_of_generic (g : Kir.generic_decl) =
+  S.List [ S.Atom g.Kir.gd_name; sexp_of_ty g.Kir.gd_ty; sexp_of_opt sexp_of_expr g.Kir.gd_default ]
+
+and sexp_of_port (p : Kir.port_decl) =
+  S.List
+    [
+      S.Atom p.Kir.pd_name; sexp_of_arg_mode p.Kir.pd_mode; sexp_of_ty p.Kir.pd_ty;
+      sexp_of_opt sexp_of_expr p.Kir.pd_default;
+    ]
+
+let generic_of_sexp = function
+  | S.List [ S.Atom name; ty; default ] ->
+    { Kir.gd_name = name; gd_ty = ty_of_sexp ty; gd_default = opt_of_sexp expr_of_sexp default }
+  | _ -> fail "bad generic"
+
+let port_of_sexp = function
+  | S.List [ S.Atom name; mode; ty; default ] ->
+    {
+      Kir.pd_name = name;
+      pd_mode = arg_mode_of_sexp mode;
+      pd_ty = ty_of_sexp ty;
+      pd_default = opt_of_sexp expr_of_sexp default;
+    }
+  | _ -> fail "bad port"
+
+let denot_of_sexp sexp : Denot.t =
+  match sexp with
+  | S.List [ S.Atom "object"; S.Atom name; S.Atom cls; ty; mode; slot ] ->
+    Denot.Dobject
+      {
+        name;
+        cls =
+          (match cls with
+          | "constant" -> Denot.Cconstant
+          | "variable" -> Denot.Cvariable
+          | "signal" -> Denot.Csignal
+          | _ -> fail "bad object class");
+        ty = ty_of_sexp ty;
+        mode = opt_of_sexp arg_mode_of_sexp mode;
+        slot = slot_of_sexp slot;
+      }
+  | S.List [ S.Atom "type"; ty ] -> Denot.Dtype (ty_of_sexp ty)
+  | S.List [ S.Atom "subtype"; ty ] -> Denot.Dsubtype (ty_of_sexp ty)
+  | S.List [ S.Atom "enumlit"; ty; pos; S.Atom image ] ->
+    Denot.Denum_lit { ty = ty_of_sexp ty; pos = S.to_int pos; image }
+  | S.List [ S.Atom "subprog"; s ] -> Denot.Dsubprog (subprog_sig_of_sexp s)
+  | S.List [ S.Atom "component"; S.Atom name; S.List generics; S.List ports ] ->
+    Denot.Dcomponent
+      {
+        name;
+        generics = List.map generic_of_sexp generics;
+        ports = List.map port_of_sexp ports;
+      }
+  | S.List [ S.Atom "attrdecl"; S.Atom name; ty ] ->
+    Denot.Dattr_decl { name; ty = ty_of_sexp ty }
+  | S.List [ S.Atom "attrval"; S.Atom of_name; S.Atom attr; value; ty ] ->
+    Denot.Dattr_value
+      { of_name; attr; value = value_of_sexp value; ty = ty_of_sexp ty }
+  | S.List [ S.Atom "unit"; S.Atom library; S.Atom unit_name ] ->
+    Denot.Dunit { library; unit_name }
+  | S.List [ S.Atom "library"; S.Atom l ] -> Denot.Dlibrary l
+  | S.List [ S.Atom "label"; S.Atom l ] -> Denot.Dlabel l
+  | S.List [ S.Atom "physunit"; ty; scale; S.Atom image ] ->
+    Denot.Dphys_unit { ty = ty_of_sexp ty; scale = S.to_int scale; image }
+  | _ -> fail "bad denotation: %s" (S.to_string sexp)
+
+(* ------------------------------------------------------------------ *)
+(* Unit structures *)
+
+let sexp_of_signal_decl (sd : Kir.signal_decl) =
+  S.List
+    [
+      S.Atom sd.Kir.sd_name;
+      sexp_of_ty sd.Kir.sd_ty;
+      sexp_of_opt sexp_of_expr sd.Kir.sd_init;
+      sexp_of_opt (fun (Kir.F_user f) -> S.Atom f) sd.Kir.sd_resolution;
+      S.Atom
+        (match sd.Kir.sd_kind with `Plain -> "plain" | `Bus -> "bus" | `Register -> "register");
+      sexp_of_opt sexp_of_expr sd.Kir.sd_disconnect;
+    ]
+
+let signal_decl_of_sexp = function
+  | S.List [ S.Atom name; ty; init; resolution; S.Atom kind; disc ] ->
+    {
+      Kir.sd_name = name;
+      sd_ty = ty_of_sexp ty;
+      sd_init = opt_of_sexp expr_of_sexp init;
+      sd_resolution = opt_of_sexp (fun s -> Kir.F_user (S.to_atom s)) resolution;
+      sd_kind =
+        (match kind with
+        | "bus" -> `Bus
+        | "register" -> `Register
+        | _ -> `Plain);
+      sd_disconnect = opt_of_sexp expr_of_sexp disc;
+    }
+  | _ -> fail "bad signal declaration"
+
+let sexp_of_local (l : Kir.local) =
+  S.List [ S.Atom l.Kir.l_name; sexp_of_ty l.Kir.l_ty; sexp_of_opt sexp_of_expr l.Kir.l_init ]
+
+let local_of_sexp = function
+  | S.List [ S.Atom name; ty; init ] ->
+    { Kir.l_name = name; l_ty = ty_of_sexp ty; l_init = opt_of_sexp expr_of_sexp init }
+  | _ -> fail "bad local"
+
+let sexp_of_subprogram (s : Kir.subprogram) =
+  S.record "body"
+    [
+      ("name", S.Atom s.Kir.sub_name);
+      ("kind", S.Atom (match s.Kir.sub_kind with `Function -> "function" | `Procedure -> "procedure"));
+      ("params", S.List (List.map sexp_of_local s.Kir.sub_params));
+      ("modes", S.List (List.map sexp_of_arg_mode s.Kir.sub_param_modes));
+      ("locals", S.List (List.map sexp_of_local s.Kir.sub_locals));
+      ("ret", sexp_of_opt sexp_of_ty s.Kir.sub_ret);
+      ("level", S.int s.Kir.sub_level);
+      ("body", sexp_of_stmts s.Kir.sub_body);
+    ]
+
+let subprogram_of_sexp sexp =
+  let tag, fields = S.untag sexp in
+  if tag <> "body" then fail "expected subprogram body";
+  {
+    Kir.sub_name = S.to_atom (S.field "name" fields);
+    sub_kind =
+      (match S.to_atom (S.field "kind" fields) with
+      | "function" -> `Function
+      | _ -> `Procedure);
+    sub_params = List.map local_of_sexp (S.to_list (S.field "params" fields));
+    sub_param_modes = List.map arg_mode_of_sexp (S.to_list (S.field "modes" fields));
+    sub_locals = List.map local_of_sexp (S.to_list (S.field "locals" fields));
+    sub_ret = opt_of_sexp ty_of_sexp (S.field "ret" fields);
+    sub_level = S.to_int (S.field "level" fields);
+    sub_body = stmts_of_sexp (S.field "body" fields);
+  }
+
+let sexp_of_process (p : Kir.process) =
+  S.record "process"
+    [
+      ("label", S.Atom p.Kir.proc_label);
+      ("sensitivity", S.List (List.map sexp_of_sref p.Kir.proc_sensitivity));
+      ("locals", S.List (List.map sexp_of_local p.Kir.proc_locals));
+      ("body", sexp_of_stmts p.Kir.proc_body);
+      ("postponed_wait", S.bool p.Kir.proc_postponed_wait);
+    ]
+
+let process_of_sexp sexp =
+  let tag, fields = S.untag sexp in
+  if tag <> "process" then fail "expected process";
+  {
+    Kir.proc_label = S.to_atom (S.field "label" fields);
+    proc_sensitivity = List.map sref_of_sexp (S.to_list (S.field "sensitivity" fields));
+    proc_locals = List.map local_of_sexp (S.to_list (S.field "locals" fields));
+    proc_body = stmts_of_sexp (S.field "body" fields);
+    proc_postponed_wait = S.to_bool (S.field "postponed_wait" fields);
+  }
+
+let sexp_of_actual = function
+  | Kir.Act_open -> S.Atom "open"
+  | Kir.Act_expr e -> S.List [ S.Atom "expr"; sexp_of_expr e ]
+  | Kir.Act_signal sref -> S.List [ S.Atom "signal"; sexp_of_sref sref ]
+  | Kir.Act_signal_slice (sref, (lo, d, hi)) ->
+    S.List
+      [
+        S.Atom "slice"; sexp_of_sref sref; sexp_of_expr lo;
+        S.Atom (match d with Types.To -> "to" | Types.Downto -> "downto");
+        sexp_of_expr hi;
+      ]
+  | Kir.Act_signal_index (sref, ix) ->
+    S.List [ S.Atom "sigindex"; sexp_of_sref sref; sexp_of_expr ix ]
+
+let actual_of_sexp = function
+  | S.List [ S.Atom "slice"; sref; lo; S.Atom d; hi ] ->
+    Kir.Act_signal_slice
+      ( sref_of_sexp sref,
+        ( expr_of_sexp lo,
+          (if d = "downto" then Types.Downto else Types.To),
+          expr_of_sexp hi ) )
+  | S.Atom "open" -> Kir.Act_open
+  | S.List [ S.Atom "expr"; e ] -> Kir.Act_expr (expr_of_sexp e)
+  | S.List [ S.Atom "signal"; sref ] -> Kir.Act_signal (sref_of_sexp sref)
+  | S.List [ S.Atom "sigindex"; sref; ix ] ->
+    Kir.Act_signal_index (sref_of_sexp sref, expr_of_sexp ix)
+  | _ -> fail "bad actual"
+
+let sexp_of_map m =
+  S.List (List.map (fun (f, a) -> S.List [ S.Atom f; sexp_of_actual a ]) m)
+
+let map_of_sexp = function
+  | S.List items ->
+    List.map
+      (fun i ->
+        match i with
+        | S.List [ S.Atom f; a ] -> (f, actual_of_sexp a)
+        | _ -> fail "bad association")
+      items
+  | _ -> fail "bad association list"
+
+let rec sexp_of_concurrent (c : Kir.concurrent) =
+  match c with
+  | Kir.C_process p -> S.List [ S.Atom "process"; sexp_of_process p ]
+  | Kir.C_instance i ->
+    S.List
+      [
+        S.Atom "instance"; S.Atom i.Kir.inst_label; S.Atom i.Kir.inst_component;
+        sexp_of_map i.Kir.inst_generic_map; sexp_of_map i.Kir.inst_port_map;
+      ]
+  | Kir.C_block { blk_label; blk_guard; blk_body } ->
+    S.List
+      [
+        S.Atom "block"; S.Atom blk_label; sexp_of_opt sexp_of_expr blk_guard;
+        S.List (List.map sexp_of_concurrent blk_body);
+      ]
+  | Kir.C_generate { gen_label; gen_var; gen_range = l, d, r; gen_body } ->
+    S.List
+      [
+        S.Atom "generate"; S.Atom gen_label; S.Atom gen_var; sexp_of_expr l;
+        sexp_of_dir d; sexp_of_expr r;
+        S.List (List.map sexp_of_concurrent gen_body);
+      ]
+  | Kir.C_if_generate { ig_label; ig_cond; ig_body } ->
+    S.List
+      [
+        S.Atom "ifgenerate"; S.Atom ig_label; sexp_of_expr ig_cond;
+        S.List (List.map sexp_of_concurrent ig_body);
+      ]
+
+let rec concurrent_of_sexp sexp : Kir.concurrent =
+  match sexp with
+  | S.List [ S.Atom "process"; p ] -> Kir.C_process (process_of_sexp p)
+  | S.List [ S.Atom "instance"; S.Atom label; S.Atom comp; gmap; pmap ] ->
+    Kir.C_instance
+      {
+        Kir.inst_label = label;
+        inst_component = comp;
+        inst_generic_map = map_of_sexp gmap;
+        inst_port_map = map_of_sexp pmap;
+      }
+  | S.List [ S.Atom "block"; S.Atom label; guard; S.List body ] ->
+    Kir.C_block
+      {
+        blk_label = label;
+        blk_guard = opt_of_sexp expr_of_sexp guard;
+        blk_body = List.map concurrent_of_sexp body;
+      }
+  | S.List [ S.Atom "generate"; S.Atom label; S.Atom var; l; d; r; S.List body ] ->
+    Kir.C_generate
+      {
+        gen_label = label;
+        gen_var = var;
+        gen_range = (expr_of_sexp l, dir_of_sexp d, expr_of_sexp r);
+        gen_body = List.map concurrent_of_sexp body;
+      }
+  | S.List [ S.Atom "ifgenerate"; S.Atom label; cond; S.List body ] ->
+    Kir.C_if_generate
+      {
+        ig_label = label;
+        ig_cond = expr_of_sexp cond;
+        ig_body = List.map concurrent_of_sexp body;
+      }
+  | _ -> fail "bad concurrent statement"
+
+let sexp_of_config_spec (cs : Unit_info.config_spec) =
+  S.List
+    [
+      (match cs.Unit_info.cs_scope with
+      | `Labels ls -> S.List (S.Atom "labels" :: List.map S.atom ls)
+      | `All -> S.Atom "all"
+      | `Others -> S.Atom "others");
+      S.Atom cs.Unit_info.cs_component;
+      S.Atom cs.Unit_info.cs_binding.Unit_info.b_library;
+      S.Atom cs.Unit_info.cs_binding.Unit_info.b_entity;
+      sexp_of_opt S.atom cs.Unit_info.cs_binding.Unit_info.b_arch;
+    ]
+
+let config_spec_of_sexp = function
+  | S.List [ scope; S.Atom comp; S.Atom lib; S.Atom ent; arch ] ->
+    {
+      Unit_info.cs_scope =
+        (match scope with
+        | S.List (S.Atom "labels" :: ls) -> `Labels (List.map S.to_atom ls)
+        | S.Atom "all" -> `All
+        | _ -> `Others);
+      cs_component = comp;
+      cs_binding =
+        {
+          Unit_info.b_library = lib;
+          b_entity = ent;
+          b_arch = opt_of_sexp S.to_atom arch;
+        };
+    }
+  | _ -> fail "bad configuration specification"
+
+(* ------------------------------------------------------------------ *)
+(* Design units *)
+
+let sexp_of_info (info : Unit_info.info) =
+  match info with
+  | Unit_info.Uentity en ->
+    S.record "entity"
+      [
+        ("name", S.Atom en.Unit_info.en_name);
+        ("generics", S.List (List.map sexp_of_generic en.Unit_info.en_generics));
+        ("ports", S.List (List.map sexp_of_port en.Unit_info.en_ports));
+        ( "context",
+          S.List
+            (List.map
+               (fun (n, d) -> S.List [ S.Atom n; sexp_of_denot d ])
+               en.Unit_info.en_context) );
+      ]
+  | Unit_info.Uarch ar ->
+    S.record "architecture"
+      [
+        ("name", S.Atom ar.Unit_info.ar_name);
+        ("entity", S.Atom ar.Unit_info.ar_entity);
+        ( "constants",
+          S.List
+            (List.map
+               (fun (n, ty, e) -> S.List [ S.Atom n; sexp_of_ty ty; sexp_of_expr e ])
+               ar.Unit_info.ar_constants) );
+        ("signals", S.List (List.map sexp_of_signal_decl ar.Unit_info.ar_signals));
+        ( "components",
+          S.List
+            (List.map
+               (fun (n, g, p) ->
+                 S.List
+                   [ S.Atom n; S.List (List.map sexp_of_generic g); S.List (List.map sexp_of_port p) ])
+               ar.Unit_info.ar_components) );
+        ("subprograms", S.List (List.map sexp_of_subprogram ar.Unit_info.ar_subprograms));
+        ("body", S.List (List.map sexp_of_concurrent ar.Unit_info.ar_body));
+        ("configspecs", S.List (List.map sexp_of_config_spec ar.Unit_info.ar_config_specs));
+      ]
+  | Unit_info.Upackage pk ->
+    S.record "package"
+      [
+        ("name", S.Atom pk.Unit_info.pk_name);
+        ( "exports",
+          S.List
+            (List.map
+               (fun (n, d) -> S.List [ S.Atom n; sexp_of_denot d ])
+               pk.Unit_info.pk_exports) );
+        ("signals", S.List (List.map sexp_of_signal_decl pk.Unit_info.pk_signals));
+        ( "subprogdecls",
+          S.List (List.map sexp_of_subprog_sig pk.Unit_info.pk_subprogram_decls) );
+      ]
+  | Unit_info.Upackage_body pb ->
+    S.record "packagebody"
+      [
+        ("name", S.Atom pb.Unit_info.pb_name);
+        ("subprograms", S.List (List.map sexp_of_subprogram pb.Unit_info.pb_subprograms));
+        ( "deferred",
+          S.List
+            (List.map
+               (fun (n, v) -> S.List [ S.Atom n; Vif.sexp_of_value v ])
+               pb.Unit_info.pb_deferred) );
+      ]
+  | Unit_info.Uconfig cf ->
+    S.record "configuration"
+      [
+        ("name", S.Atom cf.Unit_info.cf_name);
+        ("entity", S.Atom cf.Unit_info.cf_entity);
+        ("arch", S.Atom cf.Unit_info.cf_arch);
+        ("specs", S.List (List.map sexp_of_config_spec cf.Unit_info.cf_specs));
+      ]
+
+let info_of_sexp sexp : Unit_info.info =
+  let tag, fields = S.untag sexp in
+  match tag with
+  | "entity" ->
+    Unit_info.Uentity
+      {
+        Unit_info.en_name = S.to_atom (S.field "name" fields);
+        en_generics = List.map generic_of_sexp (S.to_list (S.field "generics" fields));
+        en_ports = List.map port_of_sexp (S.to_list (S.field "ports" fields));
+        en_context =
+          (match S.field_opt "context" fields with
+          | None -> []
+          | Some ctx ->
+            List.map
+              (fun e ->
+                match e with
+                | S.List [ S.Atom n; d ] -> (n, denot_of_sexp d)
+                | _ -> fail "bad context binding")
+              (S.to_list ctx));
+      }
+  | "architecture" ->
+    Unit_info.Uarch
+      {
+        Unit_info.ar_name = S.to_atom (S.field "name" fields);
+        ar_entity = S.to_atom (S.field "entity" fields);
+        ar_constants =
+          List.map
+            (fun c ->
+              match c with
+              | S.List [ S.Atom n; ty; e ] -> (n, ty_of_sexp ty, expr_of_sexp e)
+              | _ -> fail "bad architecture constant")
+            (S.to_list (S.field "constants" fields));
+        ar_signals = List.map signal_decl_of_sexp (S.to_list (S.field "signals" fields));
+        ar_components =
+          List.map
+            (fun c ->
+              match c with
+              | S.List [ S.Atom n; S.List g; S.List p ] ->
+                (n, List.map generic_of_sexp g, List.map port_of_sexp p)
+              | _ -> fail "bad component")
+            (S.to_list (S.field "components" fields));
+        ar_subprograms =
+          List.map subprogram_of_sexp (S.to_list (S.field "subprograms" fields));
+        ar_body = List.map concurrent_of_sexp (S.to_list (S.field "body" fields));
+        ar_config_specs =
+          List.map config_spec_of_sexp (S.to_list (S.field "configspecs" fields));
+      }
+  | "package" ->
+    Unit_info.Upackage
+      {
+        Unit_info.pk_name = S.to_atom (S.field "name" fields);
+        pk_exports =
+          List.map
+            (fun e ->
+              match e with
+              | S.List [ S.Atom n; d ] -> (n, denot_of_sexp d)
+              | _ -> fail "bad export")
+            (S.to_list (S.field "exports" fields));
+        pk_signals = List.map signal_decl_of_sexp (S.to_list (S.field "signals" fields));
+        pk_subprogram_decls =
+          List.map subprog_sig_of_sexp (S.to_list (S.field "subprogdecls" fields));
+      }
+  | "packagebody" ->
+    Unit_info.Upackage_body
+      {
+        Unit_info.pb_name = S.to_atom (S.field "name" fields);
+        pb_subprograms =
+          List.map subprogram_of_sexp (S.to_list (S.field "subprograms" fields));
+        pb_deferred =
+          List.map
+            (fun x ->
+              match S.to_list x with
+              | [ n; v ] -> (S.to_atom n, Vif.value_of_sexp v)
+              | _ -> failwith "deferred constant entry")
+            (S.to_list (S.field "deferred" fields));
+      }
+  | "configuration" ->
+    Unit_info.Uconfig
+      {
+        Unit_info.cf_name = S.to_atom (S.field "name" fields);
+        cf_entity = S.to_atom (S.field "entity" fields);
+        cf_arch = S.to_atom (S.field "arch" fields);
+        cf_specs = List.map config_spec_of_sexp (S.to_list (S.field "specs" fields));
+      }
+  | t -> fail "unknown unit tag %s" t
+
+let sexp_of_unit (u : Unit_info.compiled_unit) =
+  S.record "vif"
+    [
+      ("library", S.Atom u.Unit_info.u_library);
+      ("key", S.Atom u.Unit_info.u_key);
+      ("info", sexp_of_info u.Unit_info.u_info);
+      ( "deps",
+        S.List (List.map (fun (l, k) -> S.List [ S.Atom l; S.Atom k ]) u.Unit_info.u_deps) );
+      ("source_lines", S.int u.Unit_info.u_source_lines);
+      ("sequence", S.int u.Unit_info.u_sequence);
+    ]
+
+let unit_of_sexp sexp : Unit_info.compiled_unit =
+  let tag, fields = S.untag sexp in
+  if tag <> "vif" then fail "expected a VIF unit";
+  {
+    Unit_info.u_library = S.to_atom (S.field "library" fields);
+    u_key = S.to_atom (S.field "key" fields);
+    u_info = info_of_sexp (S.field "info" fields);
+    u_deps =
+      List.map
+        (fun d ->
+          match d with
+          | S.List [ S.Atom l; S.Atom k ] -> (l, k)
+          | _ -> fail "bad dependency")
+        (S.to_list (S.field "deps" fields));
+    u_source_lines = S.to_int (S.field "source_lines" fields);
+    u_sequence = S.to_int (S.field "sequence" fields);
+  }
+
+(** Serialize a unit to its VIF text. *)
+let to_string u = S.to_string (sexp_of_unit u)
+
+(** The paper's human-readable VIF dump. *)
+let to_string_indented u = S.to_string_indented (sexp_of_unit u)
+
+let of_string s = wrap_decode unit_of_sexp (S.of_string s)

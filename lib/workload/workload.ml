@@ -1,0 +1,141 @@
+(** Synthetic VHDL workload generators.
+
+    The paper's throughput figures come from "hundreds of thousands of lines
+    of customer's VHDL models" we do not have; these parameterized
+    generators produce the same structural shapes (behavioral processes,
+    structural netlists, expression-heavy arithmetic, packages and
+    configuration-heavy libraries) for the PERF-* experiments. *)
+
+let buf_add = Buffer.add_string
+
+(** A package of [n] constants and [n] small functions. *)
+let package ~name ~n =
+  let b = Buffer.create 1024 in
+  buf_add b (Printf.sprintf "package %s is\n" name);
+  for i = 0 to n - 1 do
+    buf_add b (Printf.sprintf "  constant C%d : integer := %d;\n" i (i * 3 + 1));
+    buf_add b (Printf.sprintf "  function F%d (x : integer) return integer;\n" i)
+  done;
+  buf_add b (Printf.sprintf "end %s;\n\n" name);
+  buf_add b (Printf.sprintf "package body %s is\n" name);
+  for i = 0 to n - 1 do
+    buf_add b
+      (Printf.sprintf "  function F%d (x : integer) return integer is\n  begin\n    return x * %d + C%d;\n  end F%d;\n"
+         i (i + 2) i i)
+  done;
+  buf_add b (Printf.sprintf "end %s;\n" name);
+  Buffer.contents b
+
+(** A behavioral entity: a state machine over an enumeration with [states]
+    states and a computation process of [exprs] expression statements. *)
+let behavioral ~name ~states ~exprs =
+  let b = Buffer.create 4096 in
+  buf_add b (Printf.sprintf "entity %s is\n  port (clk : in bit; rst : in bit; dout : out integer);\nend %s;\n\n" name name);
+  buf_add b (Printf.sprintf "architecture behav of %s is\n" name);
+  buf_add b "  type state_t is (";
+  for s = 0 to states - 1 do
+    if s > 0 then buf_add b ", ";
+    buf_add b (Printf.sprintf "S%d" s)
+  done;
+  buf_add b ");\n  signal state : state_t := S0;\n  signal acc : integer := 0;\n";
+  buf_add b "begin\n";
+  buf_add b "  fsm : process (clk)\n  begin\n    if clk'event and clk = '1' then\n      if rst = '1' then\n        state <= S0;\n      else\n        case state is\n";
+  for s = 0 to states - 1 do
+    buf_add b
+      (Printf.sprintf "          when S%d => state <= S%d;\n" s ((s + 1) mod states))
+  done;
+  buf_add b "        end case;\n      end if;\n    end if;\n  end process;\n";
+  buf_add b "  compute : process (state)\n    variable t : integer := 0;\n  begin\n";
+  for i = 0 to exprs - 1 do
+    buf_add b
+      (Printf.sprintf "    t := (t + %d) * 3 mod 9973 + %d - (t / 7);\n" (i + 1) (i * 5 + 2))
+  done;
+  buf_add b "    acc <= t;\n  end process;\n  dout <= acc;\n";
+  buf_add b "end behav;\n";
+  Buffer.contents b
+
+(** A leaf gate entity used by structural netlists. *)
+let gate_entity ~name =
+  Printf.sprintf
+    "entity %s is\n  port (a, b : in bit; y : out bit);\nend %s;\narchitecture rtl of %s is\nbegin\n  y <= a and b after 1 ns;\nend rtl;\n"
+    name name name
+
+(** A structural netlist instantiating [instances] copies of GATE in a
+    chain. *)
+let structural ~name ~instances =
+  let b = Buffer.create 4096 in
+  buf_add b (gate_entity ~name:"GATE");
+  buf_add b "\n";
+  buf_add b (Printf.sprintf "entity %s is\n  port (x : in bit; y : out bit);\nend %s;\n\n" name name);
+  buf_add b (Printf.sprintf "architecture net of %s is\n" name);
+  buf_add b "  component GATE\n    port (a, b : in bit; y : out bit);\n  end component;\n";
+  for i = 0 to instances do
+    buf_add b (Printf.sprintf "  signal w%d : bit;\n" i)
+  done;
+  buf_add b "begin\n  w0 <= x;\n";
+  for i = 1 to instances do
+    buf_add b (Printf.sprintf "  g%d : GATE port map (a => w%d, b => w%d, y => w%d);\n" i (i - 1) (i - 1) i)
+  done;
+  buf_add b (Printf.sprintf "  y <= w%d;\n" instances);
+  buf_add b "end net;\n";
+  Buffer.contents b
+
+(** Expression-heavy source: [n] constant declarations with rich arithmetic
+    (exercising the cascade / ABL-CASCADE experiment). *)
+let expression_heavy ~n =
+  let b = Buffer.create 4096 in
+  buf_add b "entity exprs is\nend exprs;\n\narchitecture a of exprs is\n";
+  for i = 0 to n - 1 do
+    buf_add b
+      (Printf.sprintf
+         "  constant K%d : integer := ((%d + 3) * 7 - %d / 2 + (%d mod 11)) * (2 ** 3) + abs (-%d);\n"
+         i i (i + 1) (i * 13) i)
+  done;
+  buf_add b "begin\nend a;\n";
+  Buffer.contents b
+
+(** Entity/arch pairs for a library the configuration workload binds
+    against: [n] alternative architectures of one entity. *)
+let multi_arch_library ~archs =
+  let b = Buffer.create 4096 in
+  buf_add b "entity CELL is\n  port (a : in bit; y : out bit);\nend CELL;\n\n";
+  for i = 0 to archs - 1 do
+    buf_add b
+      (Printf.sprintf
+         "architecture A%d of CELL is\nbegin\n  y <= not a after %d ns;\nend A%d;\n\n" i
+         (i + 1) i)
+  done;
+  Buffer.contents b
+
+(** A netlist of CELL instances plus a configuration unit binding each
+    instance explicitly: the PERF-CONFIG workload whose compilation is
+    dominated by reading foreign VIF.  [style] chooses between one spec per
+    instance and a single [for all] spec — the latter is the paper's "very
+    few source lines that cause large data structures ... to be read into
+    memory" shape. *)
+let config_workload ?(style = `Per_label) ~instances () =
+  let netlist = Buffer.create 4096 in
+  buf_add netlist "entity BOARD is\nend BOARD;\n\narchitecture net of BOARD is\n";
+  buf_add netlist "  component CELL\n    port (a : in bit; y : out bit);\n  end component;\n";
+  for i = 0 to instances do
+    buf_add netlist (Printf.sprintf "  signal n%d : bit;\n" i)
+  done;
+  buf_add netlist "begin\n";
+  for i = 1 to instances do
+    buf_add netlist
+      (Printf.sprintf "  c%d : CELL port map (a => n%d, y => n%d);\n" i (i - 1) i)
+  done;
+  buf_add netlist "end net;\n";
+  let config = Buffer.create 1024 in
+  buf_add config "configuration CFG of BOARD is\n  for net\n";
+  (match style with
+  | `Per_label ->
+    for i = 1 to instances do
+      buf_add config
+        (Printf.sprintf "    for c%d : CELL use entity WORK.CELL(A%d);\n" i (i mod 3));
+      buf_add config "    end for;\n"
+    done
+  | `All ->
+    buf_add config "    for all : CELL use entity WORK.CELL(A1);\n    end for;\n");
+  buf_add config "  end for;\nend CFG;\n";
+  (Buffer.contents netlist, Buffer.contents config)

@@ -1,0 +1,32 @@
+(** Synthetic VHDL workload generators — stand-ins for the paper's
+    "hundreds of thousands of lines of customer's VHDL models" in the
+    PERF-* experiments.  All generators produce code accepted by the
+    compiler (enforced by test/test_workload.ml). *)
+
+val package : name:string -> n:int -> string
+(** A package of [n] constants and [n] small functions, with its body. *)
+
+val behavioral : name:string -> states:int -> exprs:int -> string
+(** A clocked state machine over an [states]-literal enumeration plus a
+    computation process of [exprs] assignment statements. *)
+
+val gate_entity : name:string -> string
+(** A leaf and-gate entity/architecture pair. *)
+
+val structural : name:string -> instances:int -> string
+(** A netlist chaining [instances] GATE components. *)
+
+val expression_heavy : n:int -> string
+(** [n] constant declarations with rich arithmetic — the cascade
+    stressor. *)
+
+val multi_arch_library : archs:int -> string
+(** One entity with [archs] alternative architectures (latest-compiled
+    default-rule experiments). *)
+
+val config_workload :
+  ?style:[ `Per_label | `All ] -> instances:int -> unit -> string * string
+(** A netlist of CELL instances plus a configuration unit binding them:
+    [`Per_label] emits one component configuration per instance, [`All] a
+    single [for all] — the paper's "very few source lines that cause large
+    data structures to be read" shape.  Returns (netlist, configuration). *)

@@ -1,0 +1,417 @@
+(* The attribute-grammar engine: evaluation, attribute classes and implicit
+   rules, dependency analysis, visit partitions, circularity detection. *)
+
+
+
+
+
+
+
+module Driver = Vhdl_lalr.Driver
+
+(* Attribute values for the test grammars. *)
+type v =
+  | I of int
+  | F of float
+  | S of string
+  | L of string list
+
+let as_i = function
+  | I n -> n
+  | _ -> Alcotest.fail "expected int value"
+
+let as_f = function
+  | F x -> x
+  | I n -> float_of_int n
+  | _ -> Alcotest.fail "expected float value"
+
+let as_l = function
+  | L l -> l
+  | _ -> Alcotest.fail "expected list value"
+
+(* ------------------------------------------------------------------ *)
+(* Knuth's binary-number grammar: the canonical AG with both inherited
+   and synthesized attributes, and an inherited attribute (scale of the
+   fraction part) that depends on a synthesized one (its length). *)
+
+let binary_grammar () =
+  let open Grammar.Builder in
+  let b = create () in
+  List.iter (fun t -> ignore (terminal b t)) [ "zero"; "one"; "dot"; "$" ];
+  List.iter (fun n -> ignore (nonterminal b n)) [ "num"; "list"; "bit" ];
+  attr b ~sym:"num" ~name:"v" ~dir:Grammar.Synthesized;
+  List.iter
+    (fun sym ->
+      attr b ~sym ~name:"v" ~dir:Grammar.Synthesized;
+      attr b ~sym ~name:"scale" ~dir:Grammar.Inherited)
+    [ "list"; "bit" ];
+  attr b ~sym:"list" ~name:"len" ~dir:Grammar.Synthesized;
+  production b ~name:"num_int" ~lhs:"num" ~rhs:[ "list" ]
+    ~rules:
+      [
+        copy ~target:(0, "v") ~from:(1, "v");
+        const ~target:(1, "scale") (I 0);
+      ];
+  production b ~name:"num_frac" ~lhs:"num" ~rhs:[ "list"; "dot"; "list" ]
+    ~rules:
+      [
+        rule ~target:(0, "v") ~deps:[ (1, "v"); (3, "v") ] (function
+          | [ a; c ] -> F (as_f a +. as_f c)
+          | _ -> assert false);
+        const ~target:(1, "scale") (I 0);
+        rule ~target:(3, "scale") ~deps:[ (3, "len") ] (function
+          | [ len ] -> I (-as_i len)
+          | _ -> assert false);
+      ];
+  production b ~name:"list_one" ~lhs:"list" ~rhs:[ "bit" ]
+    ~rules:
+      [
+        copy ~target:(0, "v") ~from:(1, "v");
+        const ~target:(0, "len") (I 1);
+        copy ~target:(1, "scale") ~from:(0, "scale");
+      ];
+  production b ~name:"list_more" ~lhs:"list" ~rhs:[ "list"; "bit" ]
+    ~rules:
+      [
+        rule ~target:(0, "v") ~deps:[ (1, "v"); (2, "v") ] (function
+          | [ a; c ] -> F (as_f a +. as_f c)
+          | _ -> assert false);
+        rule ~target:(0, "len") ~deps:[ (1, "len") ] (function
+          | [ n ] -> I (as_i n + 1)
+          | _ -> assert false);
+        rule ~target:(1, "scale") ~deps:[ (0, "scale") ] (function
+          | [ s ] -> I (as_i s + 1)
+          | _ -> assert false);
+        copy ~target:(2, "scale") ~from:(0, "scale");
+      ];
+  production b ~name:"bit_zero" ~lhs:"bit" ~rhs:[ "zero" ]
+    ~rules:[ const ~target:(0, "v") (F 0.0) ];
+  production b ~name:"bit_one" ~lhs:"bit" ~rhs:[ "one" ]
+    ~rules:
+      [
+        rule ~target:(0, "v") ~deps:[ (0, "scale") ] (function
+          | [ s ] -> F (2.0 ** float_of_int (as_i s))
+          | _ -> assert false);
+      ];
+  freeze b ~start:"num"
+
+let parse_binary g input =
+  let parser_t = Parsing.create ~name:"binary" g ~eof:"$" in
+  let tokens =
+    List.map
+      (fun c ->
+        let sym =
+          match c with
+          | '0' -> "zero"
+          | '1' -> "one"
+          | '.' -> "dot"
+          | _ -> Alcotest.fail "bad input char"
+        in
+        { Driver.t_sym = Grammar.find_symbol g sym; t_value = S (String.make 1 c); t_line = 1 })
+      (List.init (String.length input) (String.get input))
+  in
+  Parsing.parse_list parser_t ~eof_value:(S "") tokens
+
+let test_binary_value () =
+  let g = binary_grammar () in
+  let check input expected =
+    let tree = parse_binary g input in
+    let ev = Evaluator.create g ~root_inherited:[] tree in
+    Alcotest.(check (float 1e-9)) input expected (as_f (Evaluator.goal ev "v"))
+  in
+  check "1101" 13.0;
+  check "0" 0.0;
+  check "1101.01" 13.25;
+  check "0.111" 0.875;
+  check "1.1" 1.5
+
+let test_binary_analysis () =
+  let g = binary_grammar () in
+  let a = Analysis.compute g in
+  (* list's fraction use makes scale depend on len: two visits *)
+  Alcotest.(check int) "list needs 2 visits" 2 (Analysis.visits_of a "list");
+  Alcotest.(check int) "bit needs 1 visit" 1 (Analysis.visits_of a "bit");
+  let stats = Stats.of_grammar ~name:"binary" g in
+  Alcotest.(check int) "max visits" 2 stats.Stats.max_visits;
+  Alcotest.(check int) "productions" 6 stats.Stats.productions
+
+let test_staged_matches_demand () =
+  let g = binary_grammar () in
+  let a = Analysis.compute g in
+  let partitions = Analysis.visit_partitions a in
+  let tree = parse_binary g "110.101" in
+  let ev1 = Evaluator.create g ~root_inherited:[] tree in
+  let v_demand = as_f (Evaluator.goal ev1 "v") in
+  let ev2 = Evaluator.create g ~root_inherited:[] tree in
+  let passes = Evaluator.evaluate_staged ev2 ~partitions in
+  Alcotest.(check bool) "at least one pass" true (passes >= 1);
+  let v_staged = as_f (Evaluator.goal ev2 "v") in
+  Alcotest.(check (float 1e-9)) "same value" v_demand v_staged
+
+let binary_property =
+  QCheck.Test.make ~name:"binary AG computes the numeric value" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 12) bool) (list_of_size (Gen.int_range 0 8) bool))
+    (fun (int_bits, frac_bits) ->
+      let g = binary_grammar () in
+      let string_of bits = String.concat "" (List.map (fun b -> if b then "1" else "0") bits) in
+      let input =
+        if frac_bits = [] then string_of int_bits
+        else string_of int_bits ^ "." ^ string_of frac_bits
+      in
+      let expected =
+        let ipart =
+          List.fold_left (fun acc b -> (acc *. 2.0) +. if b then 1.0 else 0.0) 0.0 int_bits
+        in
+        let fpart, _ =
+          List.fold_left
+            (fun (acc, scale) b -> ((acc +. if b then 2.0 ** scale else 0.0), scale -. 1.0))
+            (0.0, -1.0) frac_bits
+        in
+        ipart +. fpart
+      in
+      let tree = parse_binary g input in
+      let ev = Evaluator.create g ~root_inherited:[] tree in
+      abs_float (as_f (Evaluator.goal ev "v") -. expected) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Attribute classes: MSGS-style merge class and ENV-style copy class,
+   exactly the paper's §4.2 example shapes. *)
+
+let classes_grammar () =
+  let open Grammar.Builder in
+  let b = create () in
+  List.iter (fun t -> ignore (terminal b t)) [ "id"; "semi"; "$" ];
+  List.iter (fun n -> ignore (nonterminal b n)) [ "goal"; "stmts"; "stmt" ];
+  attr_class b ~name:"MSGS" ~dir:Grammar.Synthesized
+    ~default:(Grammar.Merge ((fun a b -> L (as_l a @ as_l b)), L []));
+  attr_class b ~name:"ENV" ~dir:Grammar.Inherited ~default:Grammar.Copy;
+  List.iter
+    (fun sym ->
+      attr_member b ~sym ~cls:"MSGS";
+      attr_member b ~sym ~cls:"ENV")
+    [ "goal"; "stmts"; "stmt" ];
+  (* goal supplies ENV itself; everything else is implicit *)
+  production b ~name:"goal" ~lhs:"goal" ~rhs:[ "stmts" ]
+    ~rules:[ const ~target:(1, "ENV") (S "initial-env") ];
+  production b ~name:"stmts_one" ~lhs:"stmts" ~rhs:[ "stmt" ] ~rules:[];
+  production b ~name:"stmts_more" ~lhs:"stmts" ~rhs:[ "stmts"; "semi"; "stmt" ] ~rules:[];
+  (* a stmt reports its identifier as a "message" to observe merge order *)
+  production b ~name:"stmt_id" ~lhs:"stmt" ~rhs:[ "id" ]
+    ~rules:
+      [
+        rule ~target:(0, "MSGS") ~deps:[ (1, "VAL") ] (function
+          | [ S s ] -> L [ s ]
+          | _ -> assert false);
+      ];
+  freeze b ~start:"goal"
+
+let parse_ids g ids =
+  let parser_t = Parsing.create ~name:"classes" g ~eof:"$" in
+  let id_sym = Grammar.find_symbol g "id" and semi = Grammar.find_symbol g "semi" in
+  let tokens =
+    List.concat_map
+      (fun name ->
+        [
+          { Driver.t_sym = id_sym; t_value = S name; t_line = 1 };
+          { Driver.t_sym = semi; t_value = S ";"; t_line = 1 };
+        ])
+      ids
+    |> fun l -> List.filteri (fun i _ -> i < (2 * List.length ids) - 1) l
+  in
+  Parsing.parse_list parser_t ~eof_value:(S "") tokens
+
+let test_merge_class () =
+  let g = classes_grammar () in
+  let tree = parse_ids g [ "a"; "b"; "c" ] in
+  let ev = Evaluator.create g ~root_inherited:[] tree in
+  Alcotest.(check (list string)) "messages merged in source order" [ "a"; "b"; "c" ]
+    (as_l (Evaluator.goal ev "MSGS"))
+
+let test_copy_class () =
+  let g = classes_grammar () in
+  let tree = parse_ids g [ "x" ] in
+  let ev = Evaluator.create g ~root_inherited:[] tree in
+  ignore (Evaluator.goal ev "MSGS");
+  (* ENV flows down without any explicit rule below goal *)
+  let stats = Stats.of_grammar ~name:"classes" g in
+  Alcotest.(check bool)
+    "implicit rules are the majority"
+    true
+    (stats.Stats.rules_implicit * 2 >= stats.Stats.rules_total)
+
+let test_implicit_counts () =
+  let g = classes_grammar () in
+  let stats = Stats.of_grammar ~name:"classes" g in
+  (* goal: MSGS(goal) merge + ENV already explicit => 1 implicit
+     stmts_one: MSGS up + ENV down => 2
+     stmts_more: MSGS up + ENV down x2 => 3
+     stmt_id: ENV unused below, no rhs nonterminal => 0; MSGS explicit *)
+  Alcotest.(check int) "implicit rule count" 6 stats.Stats.rules_implicit;
+  Alcotest.(check int) "explicit rule count" 2
+    (stats.Stats.rules_total - stats.Stats.rules_implicit)
+
+(* ------------------------------------------------------------------ *)
+(* Circularity detection *)
+
+let circular_grammar () =
+  let open Grammar.Builder in
+  let b = create () in
+  ignore (terminal b "x");
+  ignore (terminal b "$");
+  ignore (nonterminal b "a");
+  ignore (nonterminal b "goal");
+  attr b ~sym:"goal" ~name:"out" ~dir:Grammar.Synthesized;
+  attr b ~sym:"a" ~name:"i" ~dir:Grammar.Inherited;
+  attr b ~sym:"a" ~name:"s" ~dir:Grammar.Synthesized;
+  (* goal feeds a's synthesized result back as its inherited input *)
+  production b ~name:"goal" ~lhs:"goal" ~rhs:[ "a" ]
+    ~rules:
+      [
+        copy ~target:(0, "out") ~from:(1, "s");
+        copy ~target:(1, "i") ~from:(1, "s");
+      ];
+  production b ~name:"a_x" ~lhs:"a" ~rhs:[ "x" ]
+    ~rules:[ copy ~target:(0, "s") ~from:(0, "i") ];
+  freeze b ~start:"goal"
+
+let test_circularity_static () =
+  let g = circular_grammar () in
+  match Analysis.compute g with
+  | _ -> Alcotest.fail "expected Circular"
+  | exception Analysis.Circular { prod_name; _ } ->
+    Alcotest.(check string) "detected in goal production" "goal" prod_name
+
+let test_circularity_dynamic () =
+  let g = circular_grammar () in
+  let x = Grammar.find_symbol g "x" in
+  let tree =
+    Tree.node 0 [ Tree.node 1 [ Tree.leaf ~term:x ~value:(S "x") ~line:1 ] ]
+  in
+  let ev = Evaluator.create g ~root_inherited:[] tree in
+  match Evaluator.goal ev "out" with
+  | _ -> Alcotest.fail "expected Cycle"
+  | exception Evaluator.Cycle _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Builder validation *)
+
+let test_reject_bad_rule () =
+  let open Grammar.Builder in
+  let mk () =
+    let b = create () in
+    ignore (terminal b "x");
+    ignore (terminal b "$");
+    ignore (nonterminal b "g");
+    attr b ~sym:"g" ~name:"s" ~dir:Grammar.Synthesized;
+    attr b ~sym:"g" ~name:"i" ~dir:Grammar.Inherited;
+    (* illegal: defines the inherited attribute of the lhs *)
+    production b ~name:"g" ~lhs:"g" ~rhs:[ "x" ]
+      ~rules:[ const ~target:(0, "s") (I 1); const ~target:(0, "i") (I 2) ];
+    freeze b ~start:"g"
+  in
+  match mk () with
+  | _ -> Alcotest.fail "expected Ill_formed"
+  | exception Grammar.Ill_formed _ -> ()
+
+let test_reject_missing_rule () =
+  let open Grammar.Builder in
+  let mk () =
+    let b = create () in
+    ignore (terminal b "x");
+    ignore (terminal b "$");
+    ignore (nonterminal b "g");
+    attr b ~sym:"g" ~name:"s" ~dir:Grammar.Synthesized;
+    production b ~name:"g" ~lhs:"g" ~rhs:[ "x" ] ~rules:[];
+    freeze b ~start:"g"
+  in
+  match mk () with
+  | _ -> Alcotest.fail "expected Ill_formed (no rule for s)"
+  | exception Grammar.Ill_formed _ -> ()
+
+let test_reject_duplicate_rule () =
+  let open Grammar.Builder in
+  let mk () =
+    let b = create () in
+    ignore (terminal b "x");
+    ignore (terminal b "$");
+    ignore (nonterminal b "g");
+    attr b ~sym:"g" ~name:"s" ~dir:Grammar.Synthesized;
+    production b ~name:"g" ~lhs:"g" ~rhs:[ "x" ]
+      ~rules:[ const ~target:(0, "s") (I 1); const ~target:(0, "s") (I 2) ];
+    freeze b ~start:"g"
+  in
+  match mk () with
+  | _ -> Alcotest.fail "expected Ill_formed (duplicate)"
+  | exception Grammar.Ill_formed _ -> ()
+
+(* the full principal VHDL AG passes the strong-noncircularity test — the
+   paper's §5.2 worry ("a change in the dependencies of a semantic rule in
+   one production can combine with a hitherto legal dependency in some far
+   removed production to produce a circularity") *)
+let test_principal_ag_noncircular () =
+  let g = Main_grammar.grammar () in
+  let a = Analysis.compute g in
+  let parts = Analysis.visit_partitions a in
+  Alcotest.(check bool) "orderable" true (Array.length parts > 0);
+  let s = Stats.of_grammar ~name:"principal" (Main_grammar.grammar ()) in
+  Alcotest.(check bool) "implicit rules are the majority (TBL-IMPLICIT)" true
+    (Stats.implicit_fraction s > 0.5)
+
+(* staged (plan-based) evaluation of the principal AG produces the same
+   compiled units as demand evaluation *)
+let test_staged_principal () =
+  let source =
+    "entity e is\n  port (a : in bit; y : out bit);\nend e;\n\narchitecture r of e is\nbegin\n  y <= not a after 1 ns;\nend r;"
+  in
+  let compile_with forcing =
+    let session = Session.in_memory [] in
+    Session.with_session session (fun () ->
+        let g = Main_grammar.grammar () in
+        let parser_ = Main_grammar.parser_ () in
+        let tokens = Analyze.tokens_of_source source in
+        let tree = Parsing.parse_list parser_ ~eof_value:Pval.Unit tokens in
+        let ev =
+          Evaluator.create
+            ~token_line:(fun n -> Pval.Int n)
+            g
+            ~root_inherited:
+              [
+                ("ENV", Pval.Env Env.empty); ("LEVEL", Pval.Int (-1));
+                ("UNITNAME", Pval.Str "WORK.X"); ("CTX", Pval.Str "arch");
+                ("SLOTBASE", Pval.Int 0); ("SIGBASE", Pval.Int 0);
+                ("LOOPDEPTH", Pval.Int 0); ("RETTY", Pval.Opt None);
+                ("CTXOUT", Pval.Out Pval.out_empty); ("NLINES", Pval.Int 7);
+              ]
+            tree
+        in
+        forcing g ev;
+        List.map
+          (fun (u : Unit_info.compiled_unit) -> u.Unit_info.u_key)
+          (Pval.as_units (Evaluator.goal ev "UNITS")))
+  in
+  let demand = compile_with (fun _ _ -> ()) in
+  let staged =
+    compile_with (fun g ev ->
+        let partitions = Analysis.visit_partitions (Analysis.compute g) in
+        ignore (Evaluator.evaluate_staged ev ~partitions))
+  in
+  Alcotest.(check (list string)) "same units" demand staged
+
+let suite =
+  [
+    Alcotest.test_case "binary numbers evaluate" `Quick test_binary_value;
+    Alcotest.test_case "principal AG is strongly noncircular" `Quick
+      test_principal_ag_noncircular;
+    Alcotest.test_case "staged evaluation of the principal AG" `Quick test_staged_principal;
+    Alcotest.test_case "binary analysis: visits" `Quick test_binary_analysis;
+    Alcotest.test_case "staged evaluation matches demand" `Quick test_staged_matches_demand;
+    QCheck_alcotest.to_alcotest binary_property;
+    Alcotest.test_case "merge class concatenates in order" `Quick test_merge_class;
+    Alcotest.test_case "copy class threads values implicitly" `Quick test_copy_class;
+    Alcotest.test_case "implicit rule counting" `Quick test_implicit_counts;
+    Alcotest.test_case "static circularity detection" `Quick test_circularity_static;
+    Alcotest.test_case "dynamic cycle detection" `Quick test_circularity_dynamic;
+    Alcotest.test_case "reject rule for inherited lhs attribute" `Quick test_reject_bad_rule;
+    Alcotest.test_case "reject missing synthesized rule" `Quick test_reject_missing_rule;
+    Alcotest.test_case "reject duplicate rule" `Quick test_reject_duplicate_rule;
+  ]

@@ -1,0 +1,108 @@
+(* Applicative environments (paper §4.3): Env_list and Env_tree implement
+   the same signature; the ABL-ENV experiment compares their speed.  These
+   properties pin down that they are observably identical, and that both
+   are genuinely applicative (extension never mutates the old value). *)
+
+let names = [| "A"; "B"; "C"; "D"; "E" |]
+
+let variable name tag =
+  Denot.Dobject
+    {
+      name;
+      cls = Denot.Cvariable;
+      ty = Std.integer;
+      mode = None;
+      slot = Denot.Sl_frame { level = 0; index = tag };
+    }
+
+let enum_lit tag = Denot.Denum_lit { ty = Std.integer; pos = tag; image = "LIT" }
+
+(* a random binding: overloadable (enum literal) or hiding (variable) *)
+let binding_gen =
+  QCheck.Gen.(
+    map3
+      (fun i tag overload ->
+        let name = names.(i mod Array.length names) in
+        (name, if overload then enum_lit tag else variable name tag))
+      (int_range 0 (Array.length names - 1))
+      (int_range 0 99) bool)
+
+let script_gen = QCheck.Gen.(list_size (int_range 0 40) binding_gen)
+
+let script_arb =
+  QCheck.make script_gen
+    ~print:(fun script ->
+      String.concat "; "
+        (List.map
+           (fun (n, d) ->
+             match d with
+             | Denot.Denum_lit { pos; _ } -> Printf.sprintf "%s=enum%d" n pos
+             | _ -> Printf.sprintf "%s=var" n)
+           script))
+
+let build_list script =
+  List.fold_left (fun env (n, d) -> Env.Env_list.extend env n d) Env.Env_list.empty script
+
+let build (script : (string * Denot.t) list) =
+  List.fold_left (fun env (n, d) -> Env.extend env n d) Env.empty script
+
+let prop_agreement =
+  QCheck.Test.make ~name:"Env_list and Env_tree agree on every lookup" ~count:300
+    script_arb (fun script ->
+      let l = build_list script in
+      let t = build script in
+      Array.for_all
+        (fun n ->
+          Env.Env_list.lookup l n = Env.Env_tree.lookup t n
+          && Env.Env_list.mem l n = Env.Env_tree.mem t n)
+        names)
+
+let prop_persistence =
+  QCheck.Test.make ~name:"extension never changes the old environment" ~count:300
+    script_arb (fun script ->
+      let t = build script in
+      let before = List.map (fun n -> Env.lookup t n) (Array.to_list names) in
+      let _t' = Env.extend t "A" (variable "A" 12345) in
+      let _t'' = Env.extend_many t [ ("B", enum_lit 7); ("C", variable "C" 9) ] in
+      before = List.map (fun n -> Env.lookup t n) (Array.to_list names))
+
+let prop_hiding =
+  QCheck.Test.make ~name:"a variable hides everything older with its name" ~count:300
+    script_arb (fun script ->
+      let t = build script in
+      let t = Env.extend t "A" (variable "A" 777) in
+      Env.lookup t "A" = [ variable "A" 777 ])
+
+let prop_overload_accumulates =
+  QCheck.Test.make ~name:"enumeration literals accumulate, newest first" ~count:300
+    QCheck.(int_range 1 8)
+    (fun n ->
+      let t =
+        List.fold_left
+          (fun env i -> Env.extend env "A" (enum_lit i))
+          Env.empty
+          (List.init n (fun i -> i))
+      in
+      Env.lookup t "A" = List.rev_map enum_lit (List.init n (fun i -> i)))
+
+let test_empty () =
+  Alcotest.(check bool) "lookup in empty" true (Env.lookup Env.empty "X" = []);
+  Alcotest.(check bool) "mem in empty" false (Env.mem Env.empty "X")
+
+let test_bindings_order () =
+  let t =
+    Env.extend_many Env.empty [ ("A", variable "A" 1); ("B", variable "B" 2) ]
+  in
+  match Env.bindings t with
+  | (n1, _) :: _ -> Alcotest.(check string) "most recent first" "B" n1
+  | [] -> Alcotest.fail "no bindings"
+
+let suite =
+  [
+    Alcotest.test_case "empty environment" `Quick test_empty;
+    Alcotest.test_case "bindings order" `Quick test_bindings_order;
+    QCheck_alcotest.to_alcotest prop_agreement;
+    QCheck_alcotest.to_alcotest prop_persistence;
+    QCheck_alcotest.to_alcotest prop_hiding;
+    QCheck_alcotest.to_alcotest prop_overload_accumulates;
+  ]

@@ -1,0 +1,217 @@
+(* The expression AG of the cascade: parse LEF token lists and check typing,
+   overload resolution, static folding, aggregates, attributes. *)
+
+
+
+
+
+
+let line = 1
+
+let itok kind = { Lef.l_kind = kind; l_line = line }
+let int_t n = itok (Lef.Kint n)
+let op o = Lef.op ~line o
+let punct p = Lef.punct ~line p
+
+let enum_true = itok (Lef.Kenum [ (Std.boolean, 1, "TRUE") ])
+let enum_false = itok (Lef.Kenum [ (Std.boolean, 0, "FALSE") ])
+
+let eval ?expected lef = Expr_eval.eval ?expected ~level:0 ~line lef
+
+let check_static name expected_value xres =
+  Alcotest.(check bool)
+    (name ^ " has no errors")
+    false
+    (Diag.has_errors xres.Pval.x_msgs);
+  match xres.Pval.x_static with
+  | Some v -> Alcotest.(check bool) (name ^ " value") true (Value.equal v expected_value)
+  | None -> Alcotest.failf "%s: expected a static value" name
+
+let test_arith () =
+  (* 1 + 2 * 3 *)
+  let r = eval [ int_t 1; op "+"; int_t 2; op "*"; int_t 3 ] in
+  check_static "1+2*3" (Value.Vint 7) r;
+  Alcotest.(check string) "type" "STD.STANDARD.INTEGER" r.Pval.x_ty.Types.base;
+  (* (1 + 2) * 3 *)
+  let r = eval [ punct "("; int_t 1; op "+"; int_t 2; punct ")"; op "*"; int_t 3 ] in
+  check_static "(1+2)*3" (Value.Vint 9) r;
+  (* 2 ** 5 *)
+  check_static "2**5" (Value.Vint 32) (eval [ int_t 2; op "**"; int_t 5 ]);
+  (* -5 mod 3 = VHDL mod: ((-5) mod 3) = 1 *)
+  check_static "-5 mod 3" (Value.Vint (-2))
+    (eval [ op "-"; punct "("; int_t 5; op "mod"; int_t 3; punct ")" ]);
+  check_static "abs -7" (Value.Vint 7) (eval [ op "-"; int_t 7; op "+"; int_t 14 ])
+
+let test_booleans () =
+  let r = eval [ enum_true; op "and"; enum_false ] in
+  check_static "true and false" (Value.Venum 0) r;
+  Alcotest.(check string) "bool type" "STD.STANDARD.BOOLEAN" r.Pval.x_ty.Types.base;
+  check_static "not false" (Value.Venum 1) (eval [ op "not"; enum_false ]);
+  check_static "1 < 2" (Value.Venum 1) (eval [ int_t 1; op "<"; int_t 2 ]);
+  check_static "3 = 4" (Value.Venum 0) (eval [ int_t 3; op "="; int_t 4 ])
+
+(* The paper's flagship example: X (Y) means different things depending on
+   what X denotes.  Indexing when X is an array constant: *)
+let test_indexing () =
+  let arr =
+    Value.Varray
+      { bounds = (1, Types.To, 3); elems = [| Value.Vint 10; Value.Vint 20; Value.Vint 30 |] }
+  in
+  let arr_ty =
+    Types.subtype
+      {
+        Types.base = "WORK.T.ARR";
+        kind = Types.Karray { index = Std.integer; elem = Std.integer };
+        constr = None;
+      }
+      ~constr:(Types.Crange (1, Types.To, 3))
+  in
+  let x = itok (Lef.Kconst_val { name = "X"; ty = arr_ty; value = arr }) in
+  let r = eval [ x; punct "("; int_t 2; punct ")" ] in
+  check_static "X(2)" (Value.Vint 20) r;
+  (* slice X(1 to 2) *)
+  let r = eval [ x; punct "("; int_t 1; punct "to"; int_t 2; punct ")" ] in
+  Alcotest.(check bool) "slice ok" false (Diag.has_errors r.Pval.x_msgs);
+  (match r.Pval.x_static with
+  | Some (Value.Varray { elems; _ }) -> Alcotest.(check int) "slice length" 2 (Array.length elems)
+  | _ -> Alcotest.fail "expected array slice value")
+
+(* ... and a call when X is a function. *)
+let test_call () =
+  let sig_ : Denot.subprog_sig =
+    {
+      Denot.ss_name = "DOUBLE";
+      ss_mangled = "WORK.P.DOUBLE/INTEGER";
+      ss_kind = `Function;
+      ss_params =
+        [
+          {
+            Denot.p_name = "N";
+            p_mode = Kir.Arg_in;
+            p_class = Denot.Cconstant;
+            p_ty = Std.integer;
+            p_default = None;
+          };
+        ];
+      ss_ret = Some Std.integer;
+      ss_builtin = false;
+    }
+  in
+  let f = itok (Lef.Kfunc [ sig_ ]) in
+  let r = eval [ f; punct "("; int_t 21; punct ")" ] in
+  Alcotest.(check bool) "call ok" false (Diag.has_errors r.Pval.x_msgs);
+  (match r.Pval.x_code with
+  | Kir.Ecall (Kir.F_user "WORK.P.DOUBLE/INTEGER", [ Kir.Elit (Value.Vint 21) ]) -> ()
+  | _ -> Alcotest.fail "expected a call to the mangled name");
+  (* named association *)
+  let r =
+    eval [ f; punct "("; itok (Lef.Kident "N"); punct "=>"; int_t 5; punct ")" ]
+  in
+  Alcotest.(check bool) "named assoc ok" false (Diag.has_errors r.Pval.x_msgs);
+  (* wrong type *)
+  let r = eval [ f; punct "("; enum_true; punct ")" ] in
+  Alcotest.(check bool) "wrong arg type is an error" true (Diag.has_errors r.Pval.x_msgs)
+
+let test_aggregate () =
+  let bv4 = Types.subtype Std.bit_vector ~constr:(Types.Crange (0, Types.To, 3)) in
+  (* (others => '1') *)
+  let bit1 = itok (Lef.Kenum [ (Std.bit, 1, "'1'") ]) in
+  let r =
+    eval ~expected:bv4 [ punct "("; punct "others"; punct "=>"; bit1; punct ")" ]
+  in
+  Alcotest.(check bool) "aggregate ok" false (Diag.has_errors r.Pval.x_msgs);
+  (match r.Pval.x_static with
+  | Some (Value.Varray { elems; _ }) ->
+    Alcotest.(check int) "length 4" 4 (Array.length elems);
+    Array.iter
+      (fun e -> Alcotest.(check bool) "all ones" true (Value.equal e (Value.Venum 1)))
+      elems
+  | _ -> Alcotest.fail "expected static aggregate");
+  (* named index: (0 => '1', others => '0') *)
+  let bit0 = itok (Lef.Kenum [ (Std.bit, 0, "'0'") ]) in
+  let r =
+    eval ~expected:bv4
+      [
+        punct "("; int_t 0; punct "=>"; bit1; punct ","; punct "others"; punct "=>"; bit0;
+        punct ")";
+      ]
+  in
+  (match r.Pval.x_static with
+  | Some (Value.Varray { elems; _ }) ->
+    Alcotest.(check bool) "elem 0" true (Value.equal elems.(0) (Value.Venum 1));
+    Alcotest.(check bool) "elem 1" true (Value.equal elems.(1) (Value.Venum 0))
+  | _ -> Alcotest.fail "expected static aggregate")
+
+let test_string_and_concat () =
+  let r = eval [ itok (Lef.Kstr "01"); op "&"; itok (Lef.Kstr "10") ] in
+  (* both STRING and BIT_VECTOR interpretations survive: ambiguous without
+     context *)
+  Alcotest.(check bool) "ambiguous without context" true (Diag.has_errors r.Pval.x_msgs);
+  let r =
+    eval ~expected:Std.bit_vector [ itok (Lef.Kstr "01"); op "&"; itok (Lef.Kstr "10") ]
+  in
+  Alcotest.(check bool) "bit_vector context ok" false (Diag.has_errors r.Pval.x_msgs);
+  match r.Pval.x_static with
+  | Some (Value.Varray { elems; _ }) -> Alcotest.(check int) "length" 4 (Array.length elems)
+  | _ -> Alcotest.fail "expected static value"
+
+let test_type_attrs () =
+  let byte =
+    Types.subtype Std.integer ~constr:(Types.Crange (0, Types.To, 255))
+  in
+  let t = itok (Lef.Ktype byte) in
+  check_static "BYTE'HIGH" (Value.Vint 255) (eval [ t; punct "'"; itok (Lef.Kattr "HIGH") ]);
+  check_static "BYTE'LOW" (Value.Vint 0) (eval [ t; punct "'"; itok (Lef.Kattr "LOW") ]);
+  (* attribute function: BOOLEAN'POS(TRUE) *)
+  let bt = itok (Lef.Ktype Std.boolean) in
+  let r =
+    eval
+      [ bt; punct "'"; itok (Lef.Kattr "POS"); punct "("; enum_true; punct ")" ]
+  in
+  Alcotest.(check bool) "POS ok" false (Diag.has_errors r.Pval.x_msgs)
+
+let test_qualified_resolves_ambiguity () =
+  (* An enum literal visible in two types is ambiguous until qualified —
+     the paper's X'REVERSE_RANGE-style context sensitivity. *)
+  let color =
+    { Types.base = "WORK.P.COLOR"; kind = Types.Kenum [| "RED"; "GREEN" |]; constr = None }
+  in
+  let fruit =
+    { Types.base = "WORK.P.FRUIT"; kind = Types.Kenum [| "APPLE"; "RED" |]; constr = None }
+  in
+  let red = itok (Lef.Kenum [ (color, 0, "RED"); (fruit, 1, "RED") ]) in
+  let r = eval [ red ] in
+  Alcotest.(check bool) "unqualified RED ambiguous" true (Diag.has_errors r.Pval.x_msgs);
+  let r =
+    eval [ itok (Lef.Ktype fruit); punct "'"; punct "("; red; punct ")" ]
+  in
+  Alcotest.(check bool) "qualified RED ok" false (Diag.has_errors r.Pval.x_msgs);
+  Alcotest.(check string) "fruit type" "WORK.P.FRUIT" r.Pval.x_ty.Types.base
+
+let test_error_reporting () =
+  let r = eval [ enum_true; op "+"; int_t 1 ] in
+  Alcotest.(check bool) "type error reported" true (Diag.has_errors r.Pval.x_msgs);
+  let r = eval [ int_t 1; op "+" ] in
+  Alcotest.(check bool) "parse error reported" true (Diag.has_errors r.Pval.x_msgs)
+
+let test_grammar_stats () =
+  let g = Expr_eval.grammar () in
+  let stats = Stats.of_grammar ~name:"expr AG" g in
+  Alcotest.(check bool) "has a respectable size (paper: 160 productions)" true
+    (stats.Stats.productions > 30);
+  Alcotest.(check bool) "implicit rules exist" true (stats.Stats.rules_implicit > 0)
+
+let suite =
+  [
+    Alcotest.test_case "integer arithmetic folds statically" `Quick test_arith;
+    Alcotest.test_case "boolean operators" `Quick test_booleans;
+    Alcotest.test_case "X(Y) as array indexing and slicing" `Quick test_indexing;
+    Alcotest.test_case "X(Y) as function call (overloads, named assoc)" `Quick test_call;
+    Alcotest.test_case "aggregates (others, named index)" `Quick test_aggregate;
+    Alcotest.test_case "string literals and concatenation" `Quick test_string_and_concat;
+    Alcotest.test_case "type attributes" `Quick test_type_attrs;
+    Alcotest.test_case "qualified expression resolves ambiguity" `Quick
+      test_qualified_resolves_ambiguity;
+    Alcotest.test_case "errors are reported, not fatal" `Quick test_error_reporting;
+    Alcotest.test_case "expression AG statistics" `Quick test_grammar_stats;
+  ]

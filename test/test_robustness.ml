@@ -1,0 +1,203 @@
+(* Robustness: malformed programs must produce diagnostics (or structured
+   errors) — never internal failures or crashes.  The corpus covers the
+   error classes the paper's sections 3.1-3.4 worry about. *)
+
+let never_crashes src =
+  let c = Vhdl_compiler.create () in
+  match Vhdl_compiler.compile ~fail_on_error:false c src with
+  | _ -> true
+  | exception Vhdl_compiler.Compile_error _ -> true
+  | exception Pval.Internal _ -> false
+  | exception Grammar.Ill_formed _ -> false
+
+let check src = Alcotest.(check bool) ("no crash: " ^ String.escaped src) true (never_crashes src)
+
+let expect_rejected src =
+  let c = Vhdl_compiler.create () in
+  match Vhdl_compiler.compile c src with
+  | _ -> Alcotest.failf "expected rejection: %s" (String.escaped src)
+  | exception Vhdl_compiler.Compile_error _ -> ()
+
+let corpus =
+  [
+    (* syntax errors *)
+    "entity";
+    "entity x is";
+    "entity x is end y;;";
+    "architecture a of;";
+    "garbage tokens everywhere";
+    ");;((";
+    (* name errors *)
+    "entity t is end t;\narchitecture a of t is\nbegin\n  nosuch <= 1;\nend a;";
+    "entity t is end t;\narchitecture a of t is\n  signal s : missing_type;\nbegin\nend a;";
+    "architecture a of missing_entity is\nbegin\nend a;";
+    (* type errors *)
+    "entity t is end t;\narchitecture a of t is\n  signal s : bit := 42;\nbegin\nend a;";
+    "entity t is end t;\narchitecture a of t is\n  signal s : integer := '1';\nbegin\nend a;";
+    "entity t is end t;\narchitecture a of t is\n  signal s : integer;\nbegin\n  s <= true and 1;\nend a;";
+    (* structure errors *)
+    "entity t is end t;\narchitecture a of t is\n  variable v : integer;\nbegin\nend a;";
+    "entity t is end t;\narchitecture a of t is\nbegin\n  p : process (nosig)\n  begin\n  end process;\nend a;";
+    "entity t is end t;\narchitecture a of t is\nbegin\n  u : missing_component port map (x => 1);\nend a;";
+    (* subprogram errors *)
+    "entity t is end t;\narchitecture a of t is\n  function f (x : integer) return integer is\n  begin\n    return true;\n  end f;\nbegin\nend a;";
+    "entity t is end t;\narchitecture a of t is\nbegin\n  p : process\n  begin\n    return 1;\n    wait;\n  end process;\nend a;";
+    (* case/choice errors *)
+    "entity t is end t;\narchitecture a of t is\n  signal s : integer;\nbegin\n  p : process\n    variable v : integer := 0;\n  begin\n    case v is\n      when v => s <= 1;\n    end case;\n    wait;\n  end process;\nend a;";
+    (* use clause errors *)
+    "use work.nopackage.all;\nentity t is end t;\narchitecture a of t is\nbegin\nend a;";
+    "use nolib.pkg.all;\nentity t is end t;\narchitecture a of t is\nbegin\nend a;";
+    (* configuration errors *)
+    "configuration c of missing is\n  for a\n  end for;\nend c;";
+    (* homograph / redeclaration shenanigans *)
+    "entity t is end t;\narchitecture a of t is\n  signal s : bit;\n  signal s : bit;\nbegin\nend a;";
+    (* deep nesting *)
+    "entity t is end t;\narchitecture a of t is\nbegin\n  p : process\n  begin\n    if true then if true then if true then if true then\n      null;\n    end if; end if; end if; end if;\n    wait;\n  end process;\nend a;";
+    (* empty-ish inputs *)
+    "";
+    "-- just a comment\n";
+  ]
+
+let test_corpus () = List.iter check corpus
+
+let test_rejections () =
+  List.iter expect_rejected
+    [
+      "entity t is end t;\narchitecture a of t is\nbegin\n  nosuch <= 1;\nend a;";
+      "entity t is end t;\narchitecture a of t is\n  signal s : bit := 42;\nbegin\nend a;";
+      "entity t is end t;\narchitecture a of t is\n  variable v : integer;\nbegin\nend a;";
+      "entity t is end t;\narchitecture a of t is\nbegin\n  p : process\n  begin\n    return 1;\n    wait;\n  end process;\nend a;";
+    ]
+
+(* end-name mismatches are diagnosed but not fatal to unit construction *)
+let test_end_name_mismatch () =
+  let c = Vhdl_compiler.create () in
+  (match
+     Vhdl_compiler.compile ~fail_on_error:false c
+       "entity good is end wrong;\narchitecture a of good is\nbegin\nend alsowrong;"
+   with
+  | _ -> ()
+  | exception _ -> Alcotest.fail "should not be fatal");
+  let msgs = Vhdl_compiler.diagnostics c in
+  Alcotest.(check bool) "mismatch diagnosed" true
+    (List.exists (fun d -> Astring_contains.contains d.Diag.message "mismatched") msgs)
+
+(* a sensitivity-list process containing wait is illegal (LRM 9.2) *)
+(* LRM 8.x: functions may neither assign signals nor wait *)
+let test_function_purity () =
+  expect_rejected
+    "entity t is end t;\narchitecture a of t is\n  signal s : bit;\nbegin\n  p : process\n    function f return integer is\n    begin\n      s <= '1';\n      return 1;\n    end f;\n    variable v : integer;\n  begin\n    v := f;\n    wait;\n  end process;\nend a;";
+  expect_rejected
+    "entity t is end t;\narchitecture a of t is\nbegin\n  p : process\n    function f return integer is\n    begin\n      wait for 1 ns;\n      return 1;\n    end f;\n    variable v : integer;\n  begin\n    v := f;\n    wait;\n  end process;\nend a;"
+
+let test_homograph_rejected () =
+  expect_rejected
+    "entity t is end t;\narchitecture a of t is\n  signal s : bit;\n  signal s : bit;\nbegin\nend a;";
+  expect_rejected
+    "entity t is end t;\narchitecture a of t is\n  signal s : bit;\n  constant s : integer := 1;\nbegin\nend a;";
+  (* overloadable kinds may share a name *)
+  let c = Vhdl_compiler.create () in
+  (match
+     Vhdl_compiler.compile c
+       "entity t is end t;\narchitecture a of t is\n  function f (x : integer) return integer is\n  begin\n    return x;\n  end f;\n  function f (x : bit) return integer is\n  begin\n    return 0;\n  end f;\nbegin\nend a;"
+   with
+  | _ -> ()
+  | exception Vhdl_compiler.Compile_error _ ->
+    Alcotest.fail "overloaded functions must be accepted")
+
+let test_descending_waveform_rejected () =
+  expect_rejected
+    "entity t is end t;\narchitecture a of t is\n  signal s : bit;\nbegin\n  p : process\n  begin\n    s <= '1' after 20 ns, '0' after 10 ns;\n    wait;\n  end process;\nend a;"
+
+let test_sensitivity_plus_wait () =
+  expect_rejected
+    "entity t is end t;\narchitecture a of t is\n  signal s : bit;\nbegin\n  p : process (s)\n  begin\n    wait for 1 ns;\n  end process;\nend a;"
+
+(* random token soup never crashes the compiler *)
+let fuzz_tokens =
+  let words =
+    [|
+      "entity"; "architecture"; "is"; "end"; "begin"; "process"; "signal"; "of";
+      "if"; "then"; "wait"; "for"; "("; ")"; ";"; ":"; "<="; ":="; ","; "'1'";
+      "42"; "x"; "y"; "bit"; "integer"; "+"; "*"; "=>"; "when"; "case"; "loop";
+      "\"s\""; "."; "'"; "use"; "work"; "all"; "port"; "map"; "type"; "array";
+    |]
+  in
+  QCheck.Test.make ~name:"random token soup never crashes" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 60) (int_range 0 (Array.length words - 1)))
+    (fun picks ->
+      let src = String.concat " " (List.map (fun i -> words.(i)) picks) in
+      never_crashes src)
+
+(* mutation fuzz: start from a *valid* generated design, damage it with a
+   few random token-level edits (delete / duplicate / swap), and require
+   the compiler to answer with diagnostics or success — never a crash.
+   Mutations of valid programs probe much deeper paths than token soup:
+   most of the program still makes sense, so analysis proceeds far past
+   the parser before hitting the damage. *)
+let fuzz_mutations =
+  let split_words src =
+    String.split_on_char '\n' src
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.filter (fun w -> w <> "")
+  in
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun pick edits seeds -> (pick, edits, seeds))
+        (int_range 0 2)
+        (int_range 1 4)
+        (list_size (return 8) (int_range 0 1_000_000)))
+  in
+  let arb =
+    QCheck.make gen ~print:(fun (pick, edits, _) ->
+        Printf.sprintf "base %d with %d edits" pick edits)
+  in
+  QCheck.Test.make ~name:"mutated valid designs never crash" ~count:120 arb
+    (fun (pick, edits, seeds) ->
+      let base =
+        match pick with
+        | 0 -> Workload.behavioral ~name:"m0" ~states:3 ~exprs:4
+        | 1 -> Workload.package ~name:"m1" ~n:5
+        | _ -> Workload.expression_heavy ~n:4
+      in
+      let words = Array.of_list (split_words base) in
+      let words = ref (Array.to_list words) in
+      let seeds = Array.of_list seeds in
+      for k = 0 to edits - 1 do
+        let ws = Array.of_list !words in
+        let n = Array.length ws in
+        if n > 2 then begin
+          let at = seeds.(2 * k mod 8) mod n in
+          match seeds.((2 * k + 1) mod 8) mod 3 with
+          | 0 ->
+            (* delete *)
+            words := Array.to_list ws |> List.filteri (fun i _ -> i <> at)
+          | 1 ->
+            (* duplicate *)
+            words :=
+              List.concat
+                (List.mapi (fun i w -> if i = at then [ w; w ] else [ w ]) (Array.to_list ws))
+          | _ ->
+            (* swap with neighbour *)
+            let j = (at + 1) mod n in
+            let tmp = ws.(at) in
+            ws.(at) <- ws.(j);
+            ws.(j) <- tmp;
+            words := Array.to_list ws
+        end
+      done;
+      never_crashes (String.concat " " !words))
+
+let suite =
+  [
+    Alcotest.test_case "error corpus never crashes" `Quick test_corpus;
+    Alcotest.test_case "bad programs are rejected" `Quick test_rejections;
+    Alcotest.test_case "end-name mismatch is diagnosed" `Quick test_end_name_mismatch;
+    Alcotest.test_case "sensitivity list + wait rejected" `Quick test_sensitivity_plus_wait;
+    Alcotest.test_case "functions may not assign signals or wait" `Quick test_function_purity;
+    Alcotest.test_case "homographs rejected, overloads accepted" `Quick test_homograph_rejected;
+    Alcotest.test_case "descending waveforms rejected" `Quick test_descending_waveform_rejected;
+    QCheck_alcotest.to_alcotest fuzz_tokens;
+    QCheck_alcotest.to_alcotest fuzz_mutations;
+  ]

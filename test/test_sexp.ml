@@ -1,0 +1,69 @@
+(* S-expression round-trips and decoding: the concrete syntax of the VIF. *)
+
+module Sexp = Vhdl_util.Sexp
+
+let check_roundtrip name sexp =
+  Alcotest.test_case name `Quick (fun () ->
+      let s = Sexp.to_string sexp in
+      let back = Sexp.of_string s in
+      Alcotest.(check bool) (Printf.sprintf "roundtrip %s" s) true (back = sexp))
+
+let atom_roundtrip =
+  let gen =
+    QCheck.string_gen_of_size (QCheck.Gen.int_range 0 40) QCheck.Gen.printable
+  in
+  QCheck.Test.make ~name:"atom roundtrip (arbitrary strings)" ~count:500 gen (fun s ->
+      Sexp.of_string (Sexp.to_string (Sexp.Atom s)) = Sexp.Atom s)
+
+let nested_roundtrip =
+  let rec gen_sexp depth =
+    let open QCheck.Gen in
+    if depth = 0 then map (fun s -> Sexp.Atom s) (string_size ~gen:printable (int_range 0 8))
+    else
+      frequency
+        [
+          (2, map (fun s -> Sexp.Atom s) (string_size ~gen:printable (int_range 0 8)));
+          (1, map (fun l -> Sexp.List l) (list_size (int_range 0 5) (gen_sexp (depth - 1))));
+        ]
+  in
+  QCheck.Test.make
+    ~name:"nested roundtrip"
+    ~count:300
+    (QCheck.make (gen_sexp 4))
+    (fun sexp -> Sexp.of_string (Sexp.to_string sexp) = sexp)
+
+let suite =
+  [
+    check_roundtrip "atom" (Sexp.Atom "hello");
+    check_roundtrip "empty list" (Sexp.List []);
+    check_roundtrip "atom with spaces" (Sexp.Atom "two words");
+    check_roundtrip "atom with quotes" (Sexp.Atom {|she said "hi"|});
+    check_roundtrip "atom with newline" (Sexp.Atom "a\nb");
+    check_roundtrip "empty atom" (Sexp.Atom "");
+    check_roundtrip "nested"
+      Sexp.(List [ Atom "a"; List [ Atom "b"; Atom "c" ]; List []; Atom "d" ]);
+    Alcotest.test_case "comments skipped" `Quick (fun () ->
+        let s = "; header\n(a ; trailing\n b)" in
+        Alcotest.(check bool) "parsed" true (Sexp.of_string s = Sexp.(List [ Atom "a"; Atom "b" ])));
+    Alcotest.test_case "of_string_many" `Quick (fun () ->
+        let l = Sexp.of_string_many "(a) b (c d)" in
+        Alcotest.(check int) "three" 3 (List.length l));
+    Alcotest.test_case "parse error on unbalanced" `Quick (fun () ->
+        Alcotest.check_raises "unterminated"
+          (Sexp.Parse_error { pos = 2; msg = "unterminated list" })
+          (fun () -> ignore (Sexp.of_string "(a")));
+    Alcotest.test_case "record fields" `Quick (fun () ->
+        let r = Sexp.record "thing" [ ("x", Sexp.int 3); ("y", Sexp.bool true) ] in
+        let tag, fields = Sexp.untag r in
+        Alcotest.(check string) "tag" "thing" tag;
+        Alcotest.(check int) "x" 3 (Sexp.to_int (Sexp.field "x" fields));
+        Alcotest.(check bool) "y" true (Sexp.to_bool (Sexp.field "y" fields));
+        Alcotest.(check bool) "missing" true (Sexp.field_opt "z" fields = None));
+    Alcotest.test_case "indented printer reparses" `Quick (fun () ->
+        let sexp =
+          Sexp.(List [ Atom "entity"; List [ Atom "name"; Atom "adder" ]; List [ Atom "ports"; List [ Atom "a"; Atom "b" ] ] ])
+        in
+        Alcotest.(check bool) "same" true (Sexp.of_string (Sexp.to_string_indented sexp) = sexp));
+    QCheck_alcotest.to_alcotest atom_roundtrip;
+    QCheck_alcotest.to_alcotest nested_roundtrip;
+  ]

@@ -1,0 +1,201 @@
+(* ABL-CASCADE correctness: the united-productions path and the cascaded
+   AGs must agree on every expression — type, static value, and
+   diagnostics-or-not.  Includes a random expression generator. *)
+
+let arr_ty =
+  Types.subtype
+    {
+      Types.base = "WORK.B.ARR";
+      kind = Types.Karray { index = Std.integer; elem = Std.integer };
+      constr = None;
+    }
+    ~constr:(Types.Crange (0, Types.To, 63))
+
+let fsig =
+  {
+    Denot.ss_name = "F";
+    ss_mangled = "WORK.B:F/INTEGER";
+    ss_kind = `Function;
+    ss_params =
+      [
+        {
+          Denot.p_name = "X";
+          p_mode = Kir.Arg_in;
+          p_class = Denot.Cconstant;
+          p_ty = Std.integer;
+          p_default = None;
+        };
+      ];
+    ss_ret = Some Std.integer;
+    ss_builtin = false;
+  }
+
+let env =
+  Env.extend_many (Std.env ())
+    [
+      ( "V",
+        Denot.Dobject
+          {
+            name = "V";
+            cls = Denot.Cvariable;
+            ty = arr_ty;
+            mode = None;
+            slot = Denot.Sl_frame { level = 0; index = 0 };
+          } );
+      ("F", Denot.Dsubprog fsig);
+      ( "N",
+        Denot.Dobject
+          {
+            name = "N";
+            cls = Denot.Cconstant;
+            ty = Std.integer;
+            mode = None;
+            slot = Denot.Sl_static (Value.Vint 5);
+          } );
+      ( "B",
+        Denot.Dobject
+          {
+            name = "B";
+            cls = Denot.Csignal;
+            ty = Std.bit;
+            mode = None;
+            slot = Denot.Sl_signal (Kir.Sig_local 0);
+          } );
+      (* a user-defined operator: "+" on bits (half-adder sum) *)
+      ( Lef.operator_key "+",
+        Denot.Dsubprog
+          {
+            Denot.ss_name = Lef.operator_key "+";
+            ss_mangled = "WORK.TPKG:\"+\"/BIT.BIT";
+            ss_kind = `Function;
+            ss_params =
+              [
+                {
+                  Denot.p_name = "A";
+                  p_mode = Kir.Arg_in;
+                  p_class = Denot.Cconstant;
+                  p_ty = Std.bit;
+                  p_default = None;
+                };
+                {
+                  Denot.p_name = "B";
+                  p_mode = Kir.Arg_in;
+                  p_class = Denot.Cconstant;
+                  p_ty = Std.bit;
+                  p_default = None;
+                };
+              ];
+            ss_ret = Some Std.bit;
+            ss_builtin = false;
+          } );
+    ]
+
+let both src =
+  Session.with_session (Session.in_memory []) (fun () ->
+      let united = United.eval_string ~env ~level:0 src in
+      let lef = Cascade_driver.classify_tokens ~env (Lexer.tokenize src) in
+      let cascade = Expr_eval.eval ~level:0 ~line:1 lef in
+      (united, cascade))
+
+let agree src =
+  let united, cascade = both src in
+  let u_err = Diag.has_errors united.Pval.x_msgs in
+  let c_err = Diag.has_errors cascade.Pval.x_msgs in
+  if u_err <> c_err then false
+  else if u_err then true (* both reject: fine *)
+  else
+    Types.same_base united.Pval.x_ty cascade.Pval.x_ty
+    &&
+    match (united.Pval.x_static, cascade.Pval.x_static) with
+    | Some a, Some b -> Value.equal a b
+    | None, None -> true
+    | _ -> false
+
+let check_agree src =
+  Alcotest.(check bool) (Printf.sprintf "agree on %s" src) true (agree src)
+
+let check_static src expected =
+  let _, cascade = both src in
+  match cascade.Pval.x_static with
+  | Some v -> Alcotest.(check bool) src true (Value.equal v expected)
+  | None -> Alcotest.failf "%s: not static" src
+
+let test_fixed_corpus () =
+  List.iter check_agree
+    [
+      "1 + 2 * 3";
+      "N";
+      "V(3)";
+      "V(1 to 4)";
+      "F(N)";
+      "F(V(N)) + N ** 2";
+      "N mod 3 = 2";
+      "not (N < 10)";
+      "abs (-N)";
+      "B = '1'";
+      "V(0) + V(N - 5)";
+      "(1 + 2) * (3 + 4)";
+      "F(F(F(1)))";
+      "2 ** 10";
+      "V(N)";
+      (* user-defined operators resolve identically on both paths *)
+      "B + '1'";
+      "(B + B) = '0'";
+      (* error cases must be rejected by BOTH strategies *)
+      "N + B";
+      "V(B)";
+      "UNDECLARED + 1";
+      "F(1, 2)";
+    ];
+  check_static "N * 2 + 1" (Value.Vint 11);
+  check_static "N mod 3" (Value.Vint 2)
+
+(* random integer expressions over N and literals: both strategies must
+   agree with a reference interpreter *)
+let gen_int_expr =
+  let open QCheck.Gen in
+  let rec gen depth st =
+    if depth = 0 then
+      oneof [ map (fun n -> (string_of_int n, n)) (int_range 0 20); return ("N", 5) ] st
+    else
+      frequency
+        [
+          (2, gen 0);
+          ( 3,
+            map2
+              (fun ((sa, va), (sb, vb)) op ->
+                let s = Printf.sprintf "(%s %s %s)" sa op sb in
+                let v =
+                  match op with
+                  | "+" -> va + vb
+                  | "-" -> va - vb
+                  | "*" -> va * vb
+                  | _ -> assert false
+                in
+                (s, v))
+              (pair (gen (depth - 1)) (gen (depth - 1)))
+              (oneofl [ "+"; "-"; "*" ]) );
+        ]
+        st
+  in
+  gen 4
+
+let random_agreement =
+  QCheck.Test.make ~name:"united and cascade agree with a reference on random expressions"
+    ~count:150 (QCheck.make gen_int_expr) (fun (src, expected) ->
+      let united, cascade = both src in
+      (not (Diag.has_errors united.Pval.x_msgs))
+      && (not (Diag.has_errors cascade.Pval.x_msgs))
+      && (match united.Pval.x_static with
+         | Some (Value.Vint v) -> v = expected
+         | _ -> false)
+      &&
+      match cascade.Pval.x_static with
+      | Some (Value.Vint v) -> v = expected
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "fixed corpus agreement" `Quick test_fixed_corpus;
+    QCheck_alcotest.to_alcotest random_agreement;
+  ]

@@ -1,0 +1,190 @@
+(* Runtime support (Value_ops): the predefined VHDL operations.
+
+   The laws checked here are the LRM's algebraic definitions — sign rules
+   for [mod]/[rem], lexicographic array comparison, functional-update
+   framing — exercised with qcheck over random operands. *)
+
+let vint n = Value.Vint n
+
+let arr_to l elems =
+  Value.Varray
+    { bounds = (l, Value.To, l + Array.length elems - 1); elems = Array.map vint elems }
+
+let bitv bits =
+  Value.Varray
+    {
+      bounds = (0, Value.To, Array.length bits - 1);
+      elems = Array.map (fun b -> Value.Venum (if b then 1 else 0)) bits;
+    }
+
+let nonzero = QCheck.(map (fun n -> if n = 0 then 7 else n) (int_range (-1000) 1000))
+let small_int = QCheck.int_range (-1000) 1000
+
+(* --------------------------------------------------------------- *)
+(* mod / rem: LRM 7.2.4.  (a/b)*b + (a rem b) = a and rem has the sign
+   of the dividend; mod has the sign of the divisor and differs from rem
+   by a multiple of b. *)
+
+let prop_rem_identity =
+  QCheck.Test.make ~name:"(a/b)*b + (a rem b) = a" ~count:500
+    QCheck.(pair small_int nonzero)
+    (fun (a, b) -> (a / b * b) + Value_ops.vhdl_rem a b = a)
+
+let prop_rem_sign =
+  QCheck.Test.make ~name:"a rem b has the sign of a" ~count:500
+    QCheck.(pair small_int nonzero)
+    (fun (a, b) ->
+      let r = Value_ops.vhdl_rem a b in
+      r = 0 || (r < 0) = (a < 0))
+
+let prop_mod_sign_and_bound =
+  QCheck.Test.make ~name:"a mod b has the sign of b and |a mod b| < |b|" ~count:500
+    QCheck.(pair small_int nonzero)
+    (fun (a, b) ->
+      let m = Value_ops.vhdl_mod a b in
+      abs m < abs b && (m = 0 || (m < 0) = (b < 0)))
+
+let prop_mod_rem_congruent =
+  QCheck.Test.make ~name:"a mod b differs from a rem b by a multiple of b" ~count:500
+    QCheck.(pair small_int nonzero)
+    (fun (a, b) -> (Value_ops.vhdl_mod a b - Value_ops.vhdl_rem a b) mod b = 0)
+
+(* --------------------------------------------------------------- *)
+(* integer ** by squaring agrees with naive repeated multiplication *)
+
+let prop_int_pow =
+  QCheck.Test.make ~name:"x ** n = naive product" ~count:300
+    QCheck.(pair (int_range (-9) 9) (int_range 0 9))
+    (fun (base, exp) ->
+      let naive = List.fold_left (fun acc _ -> acc * base) 1 (List.init exp Fun.id) in
+      Value_ops.binop Kir.Bexp (vint base) (vint exp) = vint naive)
+
+(* --------------------------------------------------------------- *)
+(* concatenation: length adds up, elements in order, left bound kept *)
+
+let int_array_gen =
+  QCheck.(array_of_size Gen.(int_range 0 12) small_int)
+
+let prop_concat =
+  QCheck.Test.make ~name:"concat preserves length and element order" ~count:300
+    QCheck.(pair int_array_gen int_array_gen)
+    (fun (xs, ys) ->
+      match Value_ops.concat (arr_to 0 xs) (arr_to 5 ys) with
+      | Value.Varray { elems; _ } ->
+        Array.length elems = Array.length xs + Array.length ys
+        && Array.to_list elems = List.map vint (Array.to_list xs @ Array.to_list ys)
+      | _ -> false)
+
+(* --------------------------------------------------------------- *)
+(* lexicographic array comparison (LRM 7.2.2): a < b iff not (a >= b),
+   checked against OCaml's structural compare on the element lists *)
+
+let prop_array_compare =
+  QCheck.Test.make ~name:"array < matches lexicographic order" ~count:300
+    QCheck.(pair int_array_gen int_array_gen)
+    (fun (xs, ys) ->
+      let lt = Value_ops.binop Kir.Blt (arr_to 0 xs) (arr_to 0 ys) in
+      let expected = compare (Array.to_list xs) (Array.to_list ys) < 0 in
+      lt = Value.Venum (if expected then 1 else 0))
+
+(* --------------------------------------------------------------- *)
+(* De Morgan on bit vectors, through the same binop/unop dispatch the
+   kernel uses *)
+
+let bitv_gen = QCheck.(array_of_size Gen.(int_range 1 16) bool)
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"not (a and b) = (not a) or (not b) on bit vectors"
+    ~count:300 bitv_gen (fun bits ->
+      let a = bitv bits in
+      let b = bitv (Array.map not bits) in
+      Value_ops.unop Kir.Unot (Value_ops.binop Kir.Band a b)
+      = Value_ops.binop Kir.Bor (Value_ops.unop Kir.Unot a) (Value_ops.unop Kir.Unot b))
+
+(* --------------------------------------------------------------- *)
+(* functional updates: the written slot changes, every other slot is
+   untouched, and the original value is not mutated *)
+
+let prop_update_index =
+  QCheck.Test.make ~name:"update_index frames correctly" ~count:300
+    QCheck.(triple (array_of_size Gen.(int_range 1 12) small_int) small_int small_int)
+    (fun (xs, iseed, e) ->
+      let n = Array.length xs in
+      let i = (abs iseed mod n) + 3 in
+      let v = arr_to 3 xs in
+      let v' = Value_ops.update_index v i (vint e) in
+      Value_ops.index v' i = vint e
+      && List.for_all
+           (fun j -> j = i || Value_ops.index v' j = Value_ops.index v j)
+           (List.init n (fun k -> k + 3))
+      && v = arr_to 3 xs)
+
+let prop_update_slice_roundtrip =
+  QCheck.Test.make ~name:"slice of update_slice returns the written value" ~count:300
+    QCheck.(pair (array_of_size Gen.(int_range 2 12) small_int) small_int)
+    (fun (xs, seed) ->
+      let n = Array.length xs in
+      let lo = abs seed mod n and hi = n - 1 in
+      let rhs = arr_to lo (Array.init (hi - lo + 1) (fun k -> k * 2 + 1)) in
+      let v' = Value_ops.update_slice (arr_to 0 xs) (lo, Value.To, hi) rhs in
+      match Value_ops.slice v' (lo, Value.To, hi) with
+      | Value.Varray { elems; _ } ->
+        Array.to_list elems = List.init (hi - lo + 1) (fun k -> vint (k * 2 + 1))
+      | _ -> false)
+
+(* --------------------------------------------------------------- *)
+(* unit tests for the error paths and record updates *)
+
+let test_division_errors () =
+  let must_fail f =
+    match f () with
+    | exception Value_ops.Runtime_error _ -> ()
+    | _ -> Alcotest.fail "expected Runtime_error"
+  in
+  must_fail (fun () -> Value_ops.vhdl_mod 5 0);
+  must_fail (fun () -> Value_ops.vhdl_rem 5 0);
+  must_fail (fun () -> Value_ops.binop Kir.Bdiv (vint 1) (vint 0));
+  must_fail (fun () -> Value_ops.binop Kir.Bexp (vint 2) (vint (-1)))
+
+let test_record_update () =
+  let r = Value.Vrecord [ ("X", vint 1); ("Y", vint 2) ] in
+  let r' = Value_ops.update_field r "Y" (vint 9) in
+  Alcotest.(check bool) "updated" true (Value_ops.field r' "Y" = vint 9);
+  Alcotest.(check bool) "framed" true (Value_ops.field r' "X" = vint 1);
+  Alcotest.(check bool) "original intact" true (Value_ops.field r "Y" = vint 2);
+  match Value_ops.update_field r "Z" (vint 0) with
+  | exception Value_ops.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "update of a missing field must fail"
+
+let test_downto_slice () =
+  (* v(6 downto 4) of an ascending array: picks indices 6,5,4 *)
+  let v = arr_to 3 [| 30; 40; 50; 60; 70 |] in
+  match Value_ops.slice v (6, Value.Downto, 4) with
+  | Value.Varray { bounds; elems } ->
+    Alcotest.(check bool) "bounds" true (bounds = (6, Value.Downto, 4));
+    Alcotest.(check bool) "elems" true (Array.to_list elems = [ vint 60; vint 50; vint 40 ])
+  | _ -> Alcotest.fail "slice did not return an array"
+
+let test_mixed_equality () =
+  Alcotest.(check bool) "5.0 = 5.0" true
+    (Value_ops.binop Kir.Beq (Value.Vfloat 5.0) (Value.Vfloat 5.0) = Value.Venum 1);
+  Alcotest.(check bool) "arrays of different length are /=" true
+    (Value_ops.binop Kir.Bneq (arr_to 0 [| 1 |]) (arr_to 0 [| 1; 2 |]) = Value.Venum 1)
+
+let suite =
+  [
+    Alcotest.test_case "mod/rem by zero and negative ** raise" `Quick test_division_errors;
+    Alcotest.test_case "record functional update" `Quick test_record_update;
+    Alcotest.test_case "downto slice of an ascending array" `Quick test_downto_slice;
+    Alcotest.test_case "equality across shapes" `Quick test_mixed_equality;
+    QCheck_alcotest.to_alcotest prop_rem_identity;
+    QCheck_alcotest.to_alcotest prop_rem_sign;
+    QCheck_alcotest.to_alcotest prop_mod_sign_and_bound;
+    QCheck_alcotest.to_alcotest prop_mod_rem_congruent;
+    QCheck_alcotest.to_alcotest prop_int_pow;
+    QCheck_alcotest.to_alcotest prop_concat;
+    QCheck_alcotest.to_alcotest prop_array_compare;
+    QCheck_alcotest.to_alcotest prop_de_morgan;
+    QCheck_alcotest.to_alcotest prop_update_index;
+    QCheck_alcotest.to_alcotest prop_update_slice_roundtrip;
+  ]

@@ -1,0 +1,61 @@
+(* The synthetic workload generators must produce valid VHDL across their
+   parameter spaces: they stand in for the paper's customer models, so a
+   generator emitting rejected code would silently skew every PERF-*
+   experiment. *)
+
+let compiles_cleanly srcs =
+  let c = Vhdl_compiler.create () in
+  match List.iter (fun s -> ignore (Vhdl_compiler.compile c s)) srcs with
+  | () -> Option.fold ~none:true ~some:(fun _ -> false)
+            (List.find_opt Diag.is_error (Vhdl_compiler.diagnostics c))
+  | exception Vhdl_compiler.Compile_error _ -> false
+
+let check name srcs =
+  Alcotest.(check bool) name true (compiles_cleanly srcs)
+
+let test_generators () =
+  check "package n=1" [ Workload.package ~name:"W1" ~n:1 ];
+  check "package n=50" [ Workload.package ~name:"W2" ~n:50 ];
+  check "behavioral minimal" [ Workload.behavioral ~name:"W3" ~states:2 ~exprs:1 ];
+  check "behavioral large" [ Workload.behavioral ~name:"W4" ~states:40 ~exprs:80 ];
+  check "structural minimal" [ Workload.structural ~name:"W5" ~instances:1 ];
+  check "structural large" [ Workload.structural ~name:"W6" ~instances:100 ];
+  check "expression-heavy" [ Workload.expression_heavy ~n:60 ];
+  check "multi-arch library" [ Workload.multi_arch_library ~archs:5 ]
+
+let test_config_workloads () =
+  let netlist, cfg = Workload.config_workload ~instances:5 () in
+  check "per-label configuration" [ Workload.multi_arch_library ~archs:3; netlist; cfg ];
+  let netlist, cfg = Workload.config_workload ~style:`All ~instances:5 () in
+  check "for-all configuration" [ Workload.multi_arch_library ~archs:3; netlist; cfg ]
+
+(* workloads must also elaborate and simulate *)
+let test_workloads_simulate () =
+  let c = Vhdl_compiler.create () in
+  ignore (Vhdl_compiler.compile c (Workload.structural ~name:"WS" ~instances:10));
+  let sim = Vhdl_compiler.elaborate c ~top:"WS" () in
+  let _ = Vhdl_compiler.run c sim ~max_ns:50 in
+  Alcotest.(check bool) "netlist elaborates with all instances" true
+    (List.length (Name_server.instances (Vhdl_compiler.name_server sim)) = 11);
+  let c2 = Vhdl_compiler.create () in
+  ignore (Vhdl_compiler.compile c2 (Workload.behavioral ~name:"WB" ~states:5 ~exprs:10));
+  let sim2 = Vhdl_compiler.elaborate c2 ~top:"WB" () in
+  let outcome = Vhdl_compiler.run c2 sim2 ~max_ns:50 in
+  Alcotest.(check bool) "behavioral runs" true
+    (match outcome with Kernel.Quiescent | Kernel.Time_limit -> true | Kernel.Stopped -> false)
+
+let generator_fuzz =
+  QCheck.Test.make ~name:"generators are valid over random parameters" ~count:25
+    QCheck.(triple (int_range 1 12) (int_range 1 20) (int_range 1 20))
+    (fun (a, b, c) ->
+      compiles_cleanly [ Workload.package ~name:"F1" ~n:a ]
+      && compiles_cleanly [ Workload.behavioral ~name:"F2" ~states:(a + 1) ~exprs:b ]
+      && compiles_cleanly [ Workload.structural ~name:"F3" ~instances:c ])
+
+let suite =
+  [
+    Alcotest.test_case "generators compile cleanly" `Quick test_generators;
+    Alcotest.test_case "configuration workloads compile" `Quick test_config_workloads;
+    Alcotest.test_case "workloads elaborate and simulate" `Quick test_workloads_simulate;
+    QCheck_alcotest.to_alcotest generator_fuzz;
+  ]

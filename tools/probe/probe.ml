@@ -1,0 +1,28 @@
+(* Scratch pad: a tiny harness for trying VHDL snippets against the
+   compiler during development.  Edit the source below and run
+   [dune exec tools/probe/probe.exe]. *)
+
+let source =
+  {|
+entity scratch is end scratch;
+architecture a of scratch is
+  signal s : integer := 0;
+begin
+  p : process
+  begin
+    s <= 41 + 1;
+    wait;
+  end process;
+end a;
+|}
+
+let () =
+  let c = Vhdl_compiler.create () in
+  (try ignore (Vhdl_compiler.compile c source)
+   with Vhdl_compiler.Compile_error msgs ->
+     List.iter (fun d -> Format.printf "%a@." Diag.pp d) msgs);
+  let sim = Vhdl_compiler.elaborate c ~top:"scratch" () in
+  ignore (Vhdl_compiler.run c sim ~max_ns:10);
+  match Vhdl_compiler.value sim ":scratch:S" with
+  | Some v -> Format.printf "s = %a@." Value.pp v
+  | None -> print_endline "signal not found"
