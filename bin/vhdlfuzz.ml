@@ -1,0 +1,97 @@
+(* vhdlfuzz — the differential fuzzing harness.
+
+   Random VHDL designs are compiled twice (demand-driven vs staged
+   attribute evaluation), elaborated, and simulated; any divergence in
+   units, VIF, diagnostics, traces, or messages — or any evaluator escape —
+   is delta-debugged down to a small reproducer.
+
+     vhdlfuzz --smoke                          # fixed seeds, CI-sized
+     vhdlfuzz --soak --seed 1234 --count 5000  # open-ended campaign
+     vhdlfuzz --replay test/corpus/foo.vhd     # re-check one reproducer
+     vhdlfuzz --smoke --inject-fault           # prove the oracle catches bugs *)
+
+open Cmdliner
+
+let run smoke soak replay_files seed count size max_ns inject_fault corpus_dir
+    gen_only quiet =
+  let log = if quiet then fun _ -> () else fun s -> print_endline s in
+  if replay_files <> [] then begin
+    if inject_fault then Difftest_fault.arm ();
+    let bad = ref 0 in
+    List.iter
+      (fun path ->
+        let v = Difftest.replay ~inject_fault path in
+        Printf.printf "%s: %s\n" path (Difftest_oracle.describe v);
+        match v with
+        | Difftest_oracle.Agree _ -> ()
+        | _ -> incr bad)
+      replay_files;
+    if !bad = 0 then 0 else 1
+  end
+  else if gen_only then begin
+    (* print one generated design; handy when tuning the generator *)
+    let d = Difftest_gen.generate ~seed ~size in
+    Printf.printf "-- seed %d shape %s top %s max-ns %d\n%s"
+      seed
+      (Difftest_gen.shape_name ~seed)
+      (Option.value d.Difftest_gen.d_top ~default:"-")
+      d.Difftest_gen.d_max_ns d.Difftest_gen.d_source;
+    0
+  end
+  else if smoke || soak then begin
+    let seeds =
+      if smoke then Difftest.smoke_seeds
+      else List.init count (fun i -> seed + i)
+    in
+    let s =
+      Difftest.run_campaign ~inject_fault ?corpus_dir ~log ~seeds ~size ()
+    in
+    Format.printf "%a@." Difftest.pp_summary s;
+    ignore max_ns;
+    if s.Difftest.divergences = 0 && s.Difftest.crashes = 0 then 0 else 1
+  end
+  else begin
+    prerr_endline "nothing to do: pass --smoke, --soak, --gen, or --replay FILE";
+    2
+  end
+
+let cmd =
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"Deterministic CI campaign: 100 fixed seeds.")
+  in
+  let soak =
+    Arg.(value & flag & info [ "soak" ] ~doc:"Open-ended campaign from --seed, --count designs.")
+  in
+  let replay =
+    Arg.(value & opt_all file [] & info [ "replay" ] ~docv:"FILE" ~doc:"Re-run the oracle on a corpus file (repeatable).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"First seed of a soak campaign.")
+  in
+  let count =
+    Arg.(value & opt int 500 & info [ "count" ] ~docv:"N" ~doc:"Designs per soak campaign.")
+  in
+  let size =
+    Arg.(value & opt int 2 & info [ "size" ] ~docv:"N" ~doc:"Design size factor (1 = tiny).")
+  in
+  let max_ns =
+    Arg.(value & opt int 0 & info [ "max-ns" ] ~docv:"N" ~doc:"Override the simulation horizon (0 = per-design default).")
+  in
+  let inject_fault =
+    Arg.(value & flag & info [ "inject-fault" ] ~doc:"Arm the semantic-rule flip (integer literals +1 on the staged side) to validate the oracle.")
+  in
+  let corpus_dir =
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc:"Directory for shrunk reproducers (created if missing).")
+  in
+  let gen_only =
+    Arg.(value & flag & info [ "gen" ] ~doc:"Print the design for --seed and exit.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print the final summary.") in
+  let doc = "differential fuzzer: demand vs staged attribute evaluation" in
+  Cmd.v
+    (Cmd.info "vhdlfuzz" ~version:"1.0.0" ~doc)
+    Term.(
+      const run $ smoke $ soak $ replay $ seed $ count $ size $ max_ns
+      $ inject_fault $ corpus_dir $ gen_only $ quiet)
+
+let () = exit (Cmd.eval' cmd)

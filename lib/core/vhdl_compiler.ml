@@ -17,9 +17,20 @@
 
 module Timer = Vhdl_util.Phase_timer
 
+(** How the principal AG is evaluated during [compile].  [Demand] asks only
+    for the goal attributes and lets memoization pull in what they need;
+    [Staged] additionally forces every attribute pass by pass following
+    {!Analysis.visit_partitions}, the way a Linguist-generated (plan-based)
+    evaluator proceeds.  Both must produce identical results — the
+    differential fuzzer ([lib/difftest]) holds them to that. *)
+type strategy =
+  | Demand
+  | Staged
+
 type t = {
   work : Library.t;
   timer : Timer.t;
+  strategy : strategy;
   mutable compiled_units : int;
   mutable compiled_lines : int;
   mutable diagnostics : Diag.t list; (* newest first *)
@@ -27,13 +38,20 @@ type t = {
 
 exception Compile_error of Diag.t list
 
+(* The visit partitions of the principal AG, computed once per process (the
+   analysis walks every production; sharing it mirrors Linguist generating
+   the evaluator once). *)
+let principal_partitions =
+  lazy (Analysis.visit_partitions (Analysis.compute (Main_grammar.grammar ())))
+
 (** Create a compiler.  [work_dir] makes the working library disk-backed
     (separate compilation across compiler instances); without it, the
     library lives in memory. *)
-let create ?work_dir () =
+let create ?work_dir ?(strategy = Demand) () =
   {
     work = Library.create ?dir:work_dir ~name:"WORK" ();
     timer = Timer.create ();
+    strategy;
     compiled_units = 0;
     compiled_lines = 0;
     diagnostics = [];
@@ -57,6 +75,7 @@ let session t : Session.t =
 
 let work_library t = t.work
 let timer t = t.timer
+let strategy t = t.strategy
 let diagnostics t = List.rev t.diagnostics
 
 (** Compile one source text into the working library.  Phases are timed
@@ -109,6 +128,12 @@ let compile ?(fail_on_error = true) t source : Unit_info.compiled_unit list =
       in
       let units, msgs =
         Timer.time t.timer "attribute evaluation" (fun () ->
+            (match t.strategy with
+            | Demand -> ()
+            | Staged ->
+              ignore
+                (Evaluator.evaluate_staged ev
+                   ~partitions:(Lazy.force principal_partitions)));
             let units = Pval.as_units (Evaluator.goal ev "UNITS") in
             let msgs = Pval.as_msgs (Evaluator.goal ev "MSGS") in
             (units, msgs))

@@ -21,10 +21,21 @@ exception Compile_error of Diag.t list
 (** Raised on syntax errors, and on semantic errors unless
     [~fail_on_error:false]. *)
 
-val create : ?work_dir:string -> unit -> t
+(** Attribute-evaluation strategy used by [compile]: [Demand] (the default)
+    asks only for the goal attributes; [Staged] forces every attribute pass
+    by pass following {!Analysis.visit_partitions}, the way a plan-based
+    (Linguist-style) evaluator proceeds.  The two must agree — the
+    differential fuzzer ([lib/difftest], [bin/vhdlfuzz]) checks it. *)
+type strategy =
+  | Demand
+  | Staged
+
+val create : ?work_dir:string -> ?strategy:strategy -> unit -> t
 (** Create a compiler.  With [work_dir] the working library is disk-backed
     (one VIF file per unit, shared across compiler instances); without it
-    the library lives in memory. *)
+    the library lives in memory.  [strategy] defaults to [Demand]. *)
+
+val strategy : t -> strategy
 
 val add_reference_library : t -> name:string -> dir:string -> unit
 (** Attach a read-only reference library under logical [name] (the paper's

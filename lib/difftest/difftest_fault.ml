@@ -1,0 +1,65 @@
+(** Fault injection: flip the integer-literal semantic rule of the
+    expression AG under a runtime flag (see the .mli).
+
+    The grammars are built lazily and shared process-wide (as Linguist
+    generates its evaluator once), so the flip cannot rebuild a second
+    grammar; instead the installed wrapper consults [active_flag] at
+    rule-application time and perturbs only [Pval.Cands] results carrying
+    integer-literal candidates. *)
+
+let armed_flag = ref false
+let active_flag = ref false
+
+let armed () = !armed_flag
+let active () = !active_flag
+let set_active b = active_flag := b
+
+
+(* Bump an integer-literal candidate: both the KIR code and the static
+   value, the way a miscompiled semantic function would. *)
+let perturb_cand = function
+  | Pval.Cv { ty; code = Kir.Elit (Value.Vint n); static = Some (Value.Vint _) } ->
+    Pval.Cv
+      {
+        ty;
+        code = Kir.Elit (Value.Vint (n + 1));
+        static = Some (Value.Vint (n + 1));
+      }
+  | c -> c
+
+let rec perturb (v : Pval.t) =
+  match v with
+  | Pval.Cands cs -> Pval.Cands (List.map perturb_cand cs)
+  | Pval.Pair (a, b) -> Pval.Pair (perturb a, perturb b)
+  | v -> v
+
+let arm () =
+  if not !armed_flag then begin
+    armed_flag := true;
+    let g = Expr_eval.grammar () in
+    let n = Grammar.n_productions g in
+    for i = 0 to n - 1 do
+      let p = Grammar.production g i in
+      if p.Grammar.prod_name = "primary_LINT" then
+        Array.iteri
+          (fun j (r : Pval.t Grammar.rule) ->
+            let orig = r.Grammar.compute in
+            p.Grammar.rules.(j) <-
+              {
+                r with
+                Grammar.compute =
+                  (fun args ->
+                    let v = orig args in
+                    if !active_flag then perturb v else v);
+              })
+          p.Grammar.rules
+    done
+  end
+
+(* Activating implies arming: callers (the oracle's [inject_fault]) need
+   the wrapper installed, not just the flag raised. *)
+let with_active b f =
+  if b then arm ();
+  let prev = !active_flag in
+  active_flag := b;
+  Fun.protect ~finally:(fun () -> active_flag := prev) f

@@ -1,0 +1,23 @@
+(** Fault injection for validating the differential oracle.
+
+    [arm] flips one semantic rule of the expression AG — the integer-literal
+    candidate rule ([primary_LINT]) — so that while [set_active true] every
+    integer literal evaluates to its value plus one.  The oracle activates
+    the flip around the staged-strategy compile only, so an armed fault
+    makes the two evaluation strategies genuinely disagree the way a real
+    semantic-rule regression would.  With the flag inactive the wrapped
+    rule is behavior-identical to the original. *)
+
+val arm : unit -> unit
+(** Install the flipped rule (idempotent; mutates the shared grammar). *)
+
+val armed : unit -> bool
+
+val set_active : bool -> unit
+(** Turn the flip on or off at rule-application time. *)
+
+val active : unit -> bool
+
+val with_active : bool -> (unit -> 'a) -> 'a
+(** Run a thunk with the flip forced on/off, restoring the previous state
+    even on exceptions. *)

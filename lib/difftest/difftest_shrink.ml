@@ -1,0 +1,98 @@
+(** Delta debugging over source lines (see the .mli). *)
+
+type stats = {
+  tests_run : int;
+  lines_before : int;
+  lines_after : int;
+}
+
+exception Budget_exhausted
+
+let split_lines s = String.split_on_char '\n' s
+let join_lines ls = String.concat "\n" ls
+
+(* [chunks n ls] partitions [ls] into [n] contiguous chunks (some possibly
+   a line longer than others). *)
+let chunks n ls =
+  let len = List.length ls in
+  let base = len / n and extra = len mod n in
+  let rec take k ls acc =
+    if k = 0 then (List.rev acc, ls)
+    else
+      match ls with
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) rest (x :: acc)
+  in
+  let rec go i ls acc =
+    if i >= n || ls = [] then List.rev acc
+    else
+      let sz = base + if i < extra then 1 else 0 in
+      let chunk, rest = take sz ls [] in
+      go (i + 1) rest (if chunk = [] then acc else chunk :: acc)
+  in
+  go 0 ls []
+
+let without i parts = List.concat (List.filteri (fun j _ -> j <> i) parts)
+
+let shrink ?(max_tests = 600) ~interesting source =
+  let tests = ref 0 in
+  let test ls =
+    if !tests >= max_tests then raise Budget_exhausted;
+    incr tests;
+    interesting (join_lines ls)
+  in
+  let lines0 = split_lines source in
+  let best = ref lines0 in
+  let ddmin lines =
+    (* invariant: [lines] is interesting *)
+    let rec go lines n =
+      best := lines;
+      let len = List.length lines in
+      if len <= 1 then lines
+      else
+        let n = min n len in
+        let parts = chunks n lines in
+        let nparts = List.length parts in
+        (* try dropping one chunk at a time *)
+        let rec try_drop i =
+          if i >= nparts then None
+          else
+            let candidate = without i parts in
+            if candidate <> [] && test candidate then Some candidate
+            else try_drop (i + 1)
+        in
+        match try_drop 0 with
+        | Some reduced -> go reduced (max 2 (n - 1))
+        | None -> if n < len then go lines (min len (2 * n)) else lines
+    in
+    go lines 2
+  in
+  let single_sweep lines =
+    (* remove single lines to a fixpoint (catches stragglers ddmin's chunk
+       boundaries missed) *)
+    let changed = ref true in
+    let cur = ref lines in
+    while !changed do
+      changed := false;
+      let i = ref 0 in
+      while !i < List.length !cur && List.length !cur > 1 do
+        let candidate = List.filteri (fun j _ -> j <> !i) !cur in
+        if test candidate then begin
+          cur := candidate;
+          best := candidate;
+          changed := true
+        end
+        else incr i
+      done
+    done;
+    !cur
+  in
+  let final =
+    try single_sweep (ddmin lines0) with Budget_exhausted -> !best
+  in
+  ( join_lines final,
+    {
+      tests_run = !tests;
+      lines_before = List.length lines0;
+      lines_after = List.length final;
+    } )

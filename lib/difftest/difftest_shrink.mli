@@ -1,0 +1,24 @@
+(** Delta-debugging minimization of failing designs.
+
+    Classic ddmin over source lines: repeatedly drop chunks (halving the
+    granularity as chunks stop being removable), then sweep single lines to
+    a fixpoint.  The caller's [interesting] predicate re-runs the oracle on
+    a candidate and answers whether it still exhibits the original failure
+    class — candidates that no longer parse are simply uninteresting, which
+    is what makes line-level shrinking sound. *)
+
+type stats = {
+  tests_run : int; (* oracle invocations spent *)
+  lines_before : int;
+  lines_after : int;
+}
+
+val shrink :
+  ?max_tests:int ->
+  interesting:(string -> bool) ->
+  string ->
+  string * stats
+(** Minimize a source text.  [interesting source] must be true for the
+    input; the result is a (locally) 1-minimal interesting source.
+    [max_tests] bounds oracle invocations (default 600); on exhaustion the
+    smallest interesting candidate found so far is returned. *)

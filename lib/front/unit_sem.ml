@@ -114,7 +114,7 @@ let architecture ~name ~entity_name ~(entity : Unit_info.entity_info option)
             out.o_signals;
         ar_components = out.o_components;
         ar_subprograms = out.o_subprograms;
-        ar_body = body;
+        ar_body = Kir_util.normalize_labels body;
         ar_config_specs = out.o_config_specs;
       }
   in

@@ -231,3 +231,48 @@ let rec may_wait_stmt (st : Kir.stmt) =
     false
 
 and may_wait body = List.exists may_wait_stmt body
+
+(* ------------------------------------------------------------------ *)
+(* Anonymous-label normalization *)
+
+(* Rename the '%'-prefixed gensym labels of anonymous concurrent statements
+   (see Conc_sem.fresh_label) to "<prefix>_<k>" with [k] counted per prefix
+   in traversal (source) order.  Attribute evaluation order — demand vs
+   staged — reaches the gensym in different sequences; renaming here makes
+   the compiled unit independent of it. *)
+let normalize_labels (concs : Kir.concurrent list) =
+  let counts = Hashtbl.create 8 in
+  let rename label =
+    if String.length label > 1 && label.[0] = '%' then begin
+      let prefix =
+        match String.rindex_opt label '_' with
+        | Some i when i > 1 -> String.sub label 1 (i - 1)
+        | _ -> String.sub label 1 (String.length label - 1)
+      in
+      let k = Option.value (Hashtbl.find_opt counts prefix) ~default:0 + 1 in
+      Hashtbl.replace counts prefix k;
+      Printf.sprintf "%s_%d" prefix k
+    end
+    else label
+  in
+  let rec conc (c : Kir.concurrent) =
+    match c with
+    | Kir.C_process p -> Kir.C_process { p with Kir.proc_label = rename p.Kir.proc_label }
+    | Kir.C_instance i ->
+      Kir.C_instance { i with Kir.inst_label = rename i.Kir.inst_label }
+    | Kir.C_block { blk_label; blk_guard; blk_body } ->
+      Kir.C_block
+        { blk_label = rename blk_label; blk_guard; blk_body = List.map conc blk_body }
+    | Kir.C_generate { gen_label; gen_var; gen_range; gen_body } ->
+      Kir.C_generate
+        {
+          gen_label = rename gen_label;
+          gen_var;
+          gen_range;
+          gen_body = List.map conc gen_body;
+        }
+    | Kir.C_if_generate { ig_label; ig_cond; ig_body } ->
+      Kir.C_if_generate
+        { ig_label = rename ig_label; ig_cond; ig_body = List.map conc ig_body }
+  in
+  List.map conc concs

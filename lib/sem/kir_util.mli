@@ -43,3 +43,12 @@ val has_wait : Kir.stmt list -> bool
 val may_wait : Kir.stmt list -> bool
 (** Conservative form of {!has_wait}: procedure calls count, since the
     callee may wait. *)
+
+(** {1 Anonymous-label normalization} *)
+
+val normalize_labels : Kir.concurrent list -> Kir.concurrent list
+(** Rename the ['%']-prefixed gensym labels of anonymous concurrent
+    statements positionally (["csa_1"], ["proc_2"], ... per prefix, in
+    source order), recursing into blocks and generates.  Called when an
+    architecture is assembled so compiled units never depend on attribute
+    evaluation order. *)

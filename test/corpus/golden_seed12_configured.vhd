@@ -1,0 +1,47 @@
+-- vhdlfuzz golden design
+-- seed: 12
+-- shape: configured
+-- top: BOARD
+-- max-ns: 20
+entity CELL is
+  port (a : in bit; y : out bit);
+end CELL;
+
+architecture A0 of CELL is
+begin
+  y <= not a after 1 ns;
+end A0;
+
+architecture A1 of CELL is
+begin
+  y <= not a after 2 ns;
+end A1;
+
+architecture A2 of CELL is
+begin
+  y <= not a after 3 ns;
+end A2;
+
+entity BOARD is
+end BOARD;
+
+architecture net of BOARD is
+  component CELL
+    port (a : in bit; y : out bit);
+  end component;
+  signal n0 : bit;
+  signal n1 : bit;
+  signal n2 : bit;
+  signal n3 : bit;
+begin
+  c1 : CELL port map (a => n0, y => n1);
+  c2 : CELL port map (a => n1, y => n2);
+  c3 : CELL port map (a => n2, y => n3);
+end net;
+
+configuration CFG of BOARD is
+  for net
+    for all : CELL use entity WORK.CELL(A1);
+    end for;
+  end for;
+end CFG;

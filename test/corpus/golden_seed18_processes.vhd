@@ -1,0 +1,61 @@
+-- vhdlfuzz golden design
+-- seed: 18
+-- shape: processes
+-- top: FZTOP
+-- max-ns: 60
+entity FZTOP is
+end FZTOP;
+
+architecture fz of FZTOP is
+  signal clk : bit := '0';
+  signal s0 : integer := 6;
+  signal s1 : integer := 9;
+  signal s2 : integer := 9;
+  signal s3 : integer := 2;
+  signal s4 : integer := 2;
+  signal s5 : integer := 0;
+  signal c0 : integer := 0;
+  signal c1 : integer := 0;
+  signal c2 : integer := 0;
+  signal flag : bit := '0';
+begin
+  clock : process
+  begin
+    clk <= not clk after 5 ns;
+    wait for 5 ns;
+  end process;
+  p0 : process (clk)
+    variable t : integer := 0;
+  begin
+    if clk'event and clk = '1' then
+      t := ((-(s3 / 5))) mod 9973;
+      s0 <= (((((0 mod 5) ** 2) mod 5) ** 2)) mod 9973;
+      s1 <= ((-(abs (7)))) mod 9973;
+      if ((5 mod 2) /= (s5 - 4)) then
+        flag <= not flag;
+      end if;
+      assert (true and false) report "fuzz invariant" severity note;
+    end if;
+  end process;
+  p1 : process (clk)
+    variable t : integer := 0;
+  begin
+    if clk'event and clk = '1' then
+      t := ((-(4 mod 1))) mod 9973;
+      s2 <= ((((s1 / 3) mod 5) ** 2)) mod 9973;
+      s3 <= ((abs ((s4 / 5)))) mod 9973;
+    end if;
+  end process;
+  p2 : process (clk)
+    variable t : integer := 0;
+  begin
+    if clk'event and clk = '1' then
+      t := (((4 - 9) * (abs (s0)))) mod 9973;
+      s4 <= (((abs (s5)) + (-8))) mod 9973;
+      s5 <= ((-(4 / 2))) mod 9973;
+    end if;
+  end process;
+  c0 <= (((abs (s1)) + (abs (s2)))) mod 9973 after 2 ns;
+  c1 <= ((-(abs (3)))) mod 9973 after 1 ns;
+  c2 <= ((abs ((1 * 4)))) mod 9973 after 1 ns;
+end fz;

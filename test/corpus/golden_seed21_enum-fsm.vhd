@@ -1,0 +1,34 @@
+-- vhdlfuzz golden design
+-- seed: 21
+-- shape: enum-fsm
+-- top: FZTOP
+-- max-ns: 60
+entity FZTOP is
+end FZTOP;
+
+architecture fz of FZTOP is
+  type fz_state is (ST0, ST1, ST2, ST3);
+  signal st : fz_state := ST0;
+  signal clk : bit := '0';
+  signal code : integer := 0;
+  signal acc : integer := 0;
+begin
+  clock : process
+  begin
+    clk <= not clk after 5 ns;
+    wait for 5 ns;
+  end process;
+  fsm : process (clk)
+  begin
+    if clk'event and clk = '1' then
+      case st is
+        when ST0 => st <= ST2;
+        when ST1 => st <= ST0;
+        when ST2 => st <= ST1;
+        when ST3 => st <= ST0;
+      end case;
+      acc <= (((5 mod 7) mod 7)) mod 9973;
+    end if;
+  end process;
+  code <= fz_state'pos(st);
+end fz;

@@ -1,0 +1,38 @@
+-- vhdlfuzz golden design
+-- seed: 2
+-- shape: package
+-- top: FZTOP
+-- max-ns: 20
+package FZPKG is
+  constant P0 : integer := (0) mod 9973;
+  constant P1 : integer := ((-(3 mod 1))) mod 9973;
+  constant P2 : integer := ((-(8 - P1))) mod 9973;
+  constant P3 : integer := ((abs ((2 + P0)))) mod 9973;
+  function FF0 (x : integer) return integer;
+  function FF1 (x : integer) return integer;
+end FZPKG;
+
+package body FZPKG is
+  function FF0 (x : integer) return integer is
+  begin
+    return (((abs (1)) - (P0 - P3))) mod 9973;
+  end FF0;
+  function FF1 (x : integer) return integer is
+  begin
+    return ((((x * P3) mod 5) ** 2)) mod 9973;
+  end FF1;
+end FZPKG;
+
+use work.FZPKG.all;
+
+entity FZTOP is
+end FZTOP;
+
+architecture fz of FZTOP is
+  constant Q : integer := ((((P3 + P3) mod 5) ** 2)) mod 9973;
+  signal r : integer := 0;
+  signal u : integer := 0;
+begin
+  r <= (FF0((P1 mod 7)) + Q) mod 9973 after 2 ns;
+  u <= (((((P0 mod 5) ** 2) mod 5) ** 2)) mod 9973 after 3 ns;
+end fz;

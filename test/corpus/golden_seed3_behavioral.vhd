@@ -1,0 +1,45 @@
+-- vhdlfuzz golden design
+-- seed: 3
+-- shape: behavioral
+-- top: FZBEH
+-- max-ns: 40
+entity FZBEH is
+  port (clk : in bit; rst : in bit; dout : out integer);
+end FZBEH;
+
+architecture behav of FZBEH is
+  type state_t is (S0, S1, S2, S3, S4);
+  signal state : state_t := S0;
+  signal acc : integer := 0;
+begin
+  fsm : process (clk)
+  begin
+    if clk'event and clk = '1' then
+      if rst = '1' then
+        state <= S0;
+      else
+        case state is
+          when S0 => state <= S1;
+          when S1 => state <= S2;
+          when S2 => state <= S3;
+          when S3 => state <= S4;
+          when S4 => state <= S0;
+        end case;
+      end if;
+    end if;
+  end process;
+  compute : process (state)
+    variable t : integer := 0;
+  begin
+    t := (t + 1) * 3 mod 9973 + 2 - (t / 7);
+    t := (t + 2) * 3 mod 9973 + 7 - (t / 7);
+    t := (t + 3) * 3 mod 9973 + 12 - (t / 7);
+    t := (t + 4) * 3 mod 9973 + 17 - (t / 7);
+    t := (t + 5) * 3 mod 9973 + 22 - (t / 7);
+    t := (t + 6) * 3 mod 9973 + 27 - (t / 7);
+    t := (t + 7) * 3 mod 9973 + 32 - (t / 7);
+    t := (t + 8) * 3 mod 9973 + 37 - (t / 7);
+    acc <= t;
+  end process;
+  dout <= acc;
+end behav;

@@ -1,0 +1,56 @@
+-- vhdlfuzz golden design
+-- seed: 55
+-- shape: structural
+-- top: FZNET
+-- max-ns: 30
+entity GATE is
+  port (a, b : in bit; y : out bit);
+end GATE;
+architecture rtl of GATE is
+begin
+  y <= a and b after 1 ns;
+end rtl;
+
+entity FZNET is
+  port (x : in bit; y : out bit);
+end FZNET;
+
+architecture net of FZNET is
+  component GATE
+    port (a, b : in bit; y : out bit);
+  end component;
+  signal w0 : bit;
+  signal w1 : bit;
+  signal w2 : bit;
+  signal w3 : bit;
+  signal w4 : bit;
+  signal w5 : bit;
+  signal w6 : bit;
+  signal w7 : bit;
+  signal w8 : bit;
+  signal w9 : bit;
+  signal w10 : bit;
+  signal w11 : bit;
+  signal w12 : bit;
+  signal w13 : bit;
+  signal w14 : bit;
+  signal w15 : bit;
+begin
+  w0 <= x;
+  g1 : GATE port map (a => w0, b => w0, y => w1);
+  g2 : GATE port map (a => w1, b => w1, y => w2);
+  g3 : GATE port map (a => w2, b => w2, y => w3);
+  g4 : GATE port map (a => w3, b => w3, y => w4);
+  g5 : GATE port map (a => w4, b => w4, y => w5);
+  g6 : GATE port map (a => w5, b => w5, y => w6);
+  g7 : GATE port map (a => w6, b => w6, y => w7);
+  g8 : GATE port map (a => w7, b => w7, y => w8);
+  g9 : GATE port map (a => w8, b => w8, y => w9);
+  g10 : GATE port map (a => w9, b => w9, y => w10);
+  g11 : GATE port map (a => w10, b => w10, y => w11);
+  g12 : GATE port map (a => w11, b => w11, y => w12);
+  g13 : GATE port map (a => w12, b => w12, y => w13);
+  g14 : GATE port map (a => w13, b => w13, y => w14);
+  g15 : GATE port map (a => w14, b => w14, y => w15);
+  y <= w15;
+end net;

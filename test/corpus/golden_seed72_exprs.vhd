@@ -1,0 +1,32 @@
+-- vhdlfuzz golden design
+-- seed: 72
+-- shape: exprs
+-- top: FZTOP
+-- max-ns: 40
+entity FZTOP is
+end FZTOP;
+
+architecture fz of FZTOP is
+  constant K0 : integer := ((((6 mod 5) ** 2) - 4)) mod 9973;
+  constant K1 : integer := ((-((((K0 mod 5) ** 2) mod 5) ** 2))) mod 9973;
+  constant K2 : integer := ((((K1 mod 5) ** 2) - ((K1 mod 5) ** 2))) mod 9973;
+  constant K3 : integer := (((-6) mod 2)) mod 9973;
+  constant K4 : integer := (((-4) * (5 - 5))) mod 9973;
+  constant K5 : integer := (((((K3 / 4) * (abs (3))) mod 5) ** 2)) mod 9973;
+  constant K6 : integer := (((8 * K4) - (7 / 3))) mod 9973;
+  constant K7 : integer := ((-(-K2))) mod 9973;
+  constant K8 : integer := (((K7 mod 5) ** 2)) mod 9973;
+  constant K9 : integer := ((((K4 / 1) + (K6 / 8)) - (((9 mod 7) mod 5) ** 2))) mod 9973;
+  constant K10 : integer := (((-8) / 5)) mod 9973;
+  signal w0 : integer := 0;
+  signal w1 : integer := 0;
+  signal w2 : integer := 0;
+  signal w3 : integer := 0;
+  signal w4 : integer := 0;
+begin
+  w0 <= (((K4 * 7) mod 8)) mod 9973 after 3 ns;
+  w1 <= ((-(3 - K10))) mod 9973 after 3 ns;
+  w2 <= ((abs ((K3 - K9)))) mod 9973 after 1 ns;
+  w3 <= (((K8 - K7) mod 3)) mod 9973 after 4 ns;
+  w4 <= ((-(-0))) mod 9973 after 4 ns;
+end fz;

@@ -148,6 +148,36 @@ let test_staged_matches_demand () =
   let v_staged = as_f (Evaluator.goal ev2 "v") in
   Alcotest.(check (float 1e-9)) "same value" v_demand v_staged
 
+(* Demand-vs-staged agreement, systematically: for every seed example
+   grammar and a spread of inputs, the goal attributes must be equal,
+   staged must run at least one pass, and rule applications must be
+   sane — demand (goal-reachable only, memoized) never applies more
+   rules than staged (which forces everything), and staged never
+   exceeds one application per declared attribute per tree node. *)
+let check_agreement ?(root_inherited = []) ~msg g tree ~goals ~eq =
+  let ev_d = Evaluator.create g ~root_inherited tree in
+  let demand_goals = List.map (fun a -> Evaluator.goal ev_d a) goals in
+  let demand_apps = Evaluator.rule_applications ev_d in
+  let ev_s = Evaluator.create g ~root_inherited tree in
+  let partitions = Analysis.visit_partitions (Analysis.compute g) in
+  let passes = Evaluator.evaluate_staged ev_s ~partitions in
+  let staged_goals = List.map (fun a -> Evaluator.goal ev_s a) goals in
+  let staged_apps = Evaluator.rule_applications ev_s in
+  Alcotest.(check bool) (msg ^ ": at least one pass") true (passes >= 1);
+  List.iter2
+    (fun a (d, s) ->
+      Alcotest.(check bool) (Printf.sprintf "%s: goal %s agrees" msg a) true (eq d s))
+    goals
+    (List.combine demand_goals staged_goals);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: demand apps (%d) <= staged apps (%d)" msg demand_apps
+       staged_apps)
+    true (demand_apps <= staged_apps);
+  let bound = Tree.size tree * Array.length g.Grammar.attrs in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: staged apps (%d) <= nodes x attrs (%d)" msg staged_apps bound)
+    true (staged_apps <= bound)
+
 let binary_property =
   QCheck.Test.make ~name:"binary AG computes the numeric value" ~count:200
     QCheck.(pair (list_of_size (Gen.int_range 1 12) bool) (list_of_size (Gen.int_range 0 8) bool))
@@ -219,6 +249,27 @@ let parse_ids g ids =
     |> fun l -> List.filteri (fun i _ -> i < (2 * List.length ids) - 1) l
   in
   Parsing.parse_list parser_t ~eof_value:(S "") tokens
+
+let test_agreement_all_grammars () =
+  let eq_v a b =
+    match (a, b) with
+    | F x, F y -> abs_float (x -. y) < 1e-9
+    | a, b -> a = b
+  in
+  let g = binary_grammar () in
+  List.iter
+    (fun input ->
+      check_agreement ~msg:("binary " ^ input) g (parse_binary g input)
+        ~goals:[ "v" ] ~eq:eq_v)
+    [ "0"; "1"; "1101"; "110.101"; "0.111"; "10110101.0011" ];
+  let g = classes_grammar () in
+  List.iter
+    (fun ids ->
+      check_agreement
+        ~root_inherited:[ ("ENV", S "root-env") ]
+        ~msg:("classes " ^ String.concat "," ids)
+        g (parse_ids g ids) ~goals:[ "MSGS" ] ~eq:eq_v)
+    [ [ "a" ]; [ "a"; "b"; "c" ]; [ "p"; "q"; "r"; "s"; "t" ] ]
 
 let test_merge_class () =
   let g = classes_grammar () in
@@ -405,6 +456,8 @@ let suite =
     Alcotest.test_case "staged evaluation of the principal AG" `Quick test_staged_principal;
     Alcotest.test_case "binary analysis: visits" `Quick test_binary_analysis;
     Alcotest.test_case "staged evaluation matches demand" `Quick test_staged_matches_demand;
+    Alcotest.test_case "demand/staged agreement across example grammars" `Quick
+      test_agreement_all_grammars;
     QCheck_alcotest.to_alcotest binary_property;
     Alcotest.test_case "merge class concatenates in order" `Quick test_merge_class;
     Alcotest.test_case "copy class threads values implicitly" `Quick test_copy_class;

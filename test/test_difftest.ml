@@ -1,0 +1,109 @@
+(* The differential fuzzing harness under test: a deterministic smoke
+   campaign (the same fixed seeds [bin/vhdlfuzz --smoke] uses), a
+   fault-injection check that the oracle really can see a flipped
+   semantic rule and the shrinker really can minimize it, and a replay
+   of the committed reproducer corpus. *)
+
+let test_smoke_campaign () =
+  let summary =
+    Difftest.run_campaign ~seeds:Difftest.smoke_seeds ~size:2 ()
+  in
+  Alcotest.(check int) "100 designs" 100 summary.Difftest.total;
+  Alcotest.(check int) "all compiled by both sides" 100 summary.Difftest.compiled;
+  Alcotest.(check int) "no divergences" 0 summary.Difftest.divergences;
+  Alcotest.(check int) "no crashes" 0 summary.Difftest.crashes;
+  Alcotest.(check bool) "most designs simulate" true (summary.Difftest.simulated >= 90)
+
+(* A design with an integer literal on a path the fault perturbs: the
+   armed fault bumps integer literals in the staged compiler only, so
+   the two sides must disagree — and the disagreement must shrink to a
+   small reproducer that still disagrees. *)
+let fault_design = Difftest_gen.generate ~seed:1 ~size:2
+
+let test_fault_is_caught () =
+  Alcotest.(check bool) "fault not armed outside the test" false
+    (Difftest_fault.active ());
+  let clean = Difftest_oracle.check fault_design in
+  (match clean with
+  | Difftest_oracle.Agree _ -> ()
+  | v -> Alcotest.failf "expected agreement without fault: %s" (Difftest_oracle.describe v));
+  let verdict = Difftest_oracle.check ~inject_fault:true fault_design in
+  match verdict with
+  | Difftest_oracle.Divergence _ -> ()
+  | v -> Alcotest.failf "injected fault not caught: %s" (Difftest_oracle.describe v)
+
+let test_fault_shrinks_small () =
+  let verdict = Difftest_oracle.check ~inject_fault:true fault_design in
+  (match verdict with
+  | Difftest_oracle.Divergence _ -> ()
+  | v -> Alcotest.failf "injected fault not caught: %s" (Difftest_oracle.describe v));
+  let interesting src =
+    Difftest_oracle.same_class verdict
+      (Difftest_oracle.check_source ~inject_fault:true
+         ~max_ns:fault_design.Difftest_gen.d_max_ns
+         ~top:fault_design.Difftest_gen.d_top src)
+  in
+  let minimized, stats =
+    Difftest_shrink.shrink ~interesting fault_design.Difftest_gen.d_source
+  in
+  Alcotest.(check bool) "shrunk below 40 lines" true (stats.Difftest_shrink.lines_after <= 40);
+  Alcotest.(check bool) "actually smaller" true
+    (stats.Difftest_shrink.lines_after < stats.Difftest_shrink.lines_before);
+  Alcotest.(check bool) "minimized source still diverges" true (interesting minimized);
+  (* and without the fault the minimized source is clean *)
+  match
+    Difftest_oracle.check_source ~max_ns:fault_design.Difftest_gen.d_max_ns
+      ~top:fault_design.Difftest_gen.d_top minimized
+  with
+  | Difftest_oracle.Agree _ -> ()
+  | v ->
+    Alcotest.failf "minimized source not clean without fault: %s"
+      (Difftest_oracle.describe v)
+
+(* Golden corpus replay: every committed reproducer must recompile and
+   agree under both evaluation strategies on every [dune runtest]. *)
+let corpus_files () =
+  (* [dune runtest] runs in test/; [dune exec test/test_main.exe] from the
+     project root — accept either working directory *)
+  let dir =
+    if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus"
+  in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter (fun n -> Filename.check_suffix n ".vhd")
+    |> List.sort String.compare
+    |> List.map (Filename.concat dir)
+
+let test_corpus_replay () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "corpus is non-empty" true (files <> []);
+  List.iter
+    (fun path ->
+      match Difftest.replay path with
+      | Difftest_oracle.Agree _ -> ()
+      | v -> Alcotest.failf "%s: %s" path (Difftest_oracle.describe v))
+    files
+
+(* Generation is a pure function of the seed: same seed, same design. *)
+let test_generation_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Difftest_gen.generate ~seed ~size:3 in
+      let b = Difftest_gen.generate ~seed ~size:3 in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d reproducible" seed)
+        a.Difftest_gen.d_source b.Difftest_gen.d_source)
+    [ 1; 17; 99 ]
+
+let suite =
+  [
+    Alcotest.test_case "generation is deterministic" `Quick test_generation_deterministic;
+    Alcotest.test_case "injected fault is caught" `Quick test_fault_is_caught;
+    Alcotest.test_case "injected fault shrinks to <= 40 lines" `Quick
+      test_fault_shrinks_small;
+    Alcotest.test_case "corpus replays cleanly" `Quick test_corpus_replay;
+    Alcotest.test_case "smoke campaign: 100 seeds, zero divergences" `Quick
+      test_smoke_campaign;
+  ]

@@ -18,4 +18,5 @@ let () =
       ("workload", Test_workload.suite);
       ("robustness", Test_robustness.suite);
       ("generated", Test_generated.suite);
+      ("difftest", Test_difftest.suite);
     ]

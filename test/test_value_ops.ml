@@ -133,6 +133,74 @@ let prop_update_slice_roundtrip =
       | _ -> false)
 
 (* --------------------------------------------------------------- *)
+(* The same laws over the fuzzer's own value generators
+   (Difftest_gen), so the property tests and the differential oracle
+   exercise Value_ops through one value distribution.  A QCheck
+   generator is [Random.State.t -> 'a], which the Difftest_gen
+   functions satisfy directly. *)
+
+let show_value v = Format.asprintf "%a" Value.pp v
+
+let gen_int_array =
+  QCheck.make ~print:show_value (fun st -> Difftest_gen.int_array st)
+
+let gen_bit_vector =
+  QCheck.make ~print:show_value (fun st -> Difftest_gen.bit_vector st)
+
+let gen_scalar_int =
+  QCheck.make ~print:show_value (fun st ->
+      vint (Random.State.int st 2001 - 1000))
+
+let prop_add_negate_roundtrip =
+  QCheck.Test.make ~name:"(a + b) - b = a and -(-a) = a (fuzzer values)" ~count:500
+    QCheck.(pair gen_scalar_int gen_scalar_int)
+    (fun (a, b) ->
+      Value_ops.binop Kir.Bsub (Value_ops.binop Kir.Badd a b) b = a
+      && Value_ops.unop Kir.Uneg (Value_ops.unop Kir.Uneg a) = a)
+
+let array_len = function
+  | Value.Varray { elems; _ } -> Array.length elems
+  | _ -> -1
+
+let left_bound = function
+  | Value.Varray { bounds = l, _, _; _ } -> l
+  | _ -> min_int
+
+let prop_concat_length =
+  QCheck.Test.make ~name:"concat length adds up (fuzzer arrays)" ~count:300
+    QCheck.(pair gen_int_array gen_int_array)
+    (fun (a, b) ->
+      let c = Value_ops.concat a b in
+      array_len c = array_len a + array_len b
+      && left_bound c = left_bound a)
+
+(* trim/pad an array to exactly [n] elements, keeping its left bound *)
+let resize_to n = function
+  | Value.Varray { bounds = l, dir, _; elems } ->
+    let take i = if i < Array.length elems then elems.(i) else vint i in
+    Value.Varray { bounds = (l, dir, l + n - 1); elems = Array.init n take }
+  | v -> v
+
+let prop_compare_total =
+  QCheck.Test.make
+    ~name:"exactly one of < = > holds on equal-length arrays (fuzzer values)"
+    ~count:300
+    QCheck.(pair gen_int_array gen_int_array)
+    (fun (a, b) ->
+      let n = max 1 (min (array_len a) (array_len b)) in
+      let a = resize_to n a and b = resize_to n b in
+      let holds op = Value_ops.binop op a b = Value.Venum 1 in
+      let count =
+        List.length (List.filter holds [ Kir.Blt; Kir.Beq; Kir.Bgt ])
+      in
+      count = 1)
+
+let prop_bitv_not_involutive =
+  QCheck.Test.make ~name:"not (not v) = v on fuzzer bit vectors" ~count:300
+    gen_bit_vector
+    (fun v -> Value_ops.unop Kir.Unot (Value_ops.unop Kir.Unot v) = v)
+
+(* --------------------------------------------------------------- *)
 (* unit tests for the error paths and record updates *)
 
 let test_division_errors () =
@@ -187,4 +255,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_de_morgan;
     QCheck_alcotest.to_alcotest prop_update_index;
     QCheck_alcotest.to_alcotest prop_update_slice_roundtrip;
+    QCheck_alcotest.to_alcotest prop_add_negate_roundtrip;
+    QCheck_alcotest.to_alcotest prop_concat_length;
+    QCheck_alcotest.to_alcotest prop_compare_total;
+    QCheck_alcotest.to_alcotest prop_bitv_not_involutive;
   ]

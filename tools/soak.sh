@@ -1,0 +1,23 @@
+#!/bin/sh
+# Long-running differential-fuzzing soak, separate from tier-1 tests.
+#
+#   tools/soak.sh [SEED] [COUNT] [SIZE] [extra vhdlfuzz flags...]
+#
+# Defaults: seed 1000, 5000 designs, size 3.  Reproducers for any
+# divergence or crash are shrunk and written to test/corpus/ so the
+# next `dune runtest` replays them.  Exit status is vhdlfuzz's: 0 iff
+# the campaign was clean.
+set -eu
+cd "$(dirname "$0")/.."
+
+SEED=${1:-1000}
+COUNT=${2:-5000}
+SIZE=${3:-3}
+[ $# -gt 0 ] && shift
+[ $# -gt 0 ] && shift
+[ $# -gt 0 ] && shift
+
+dune build bin/vhdlfuzz.exe
+exec dune exec bin/vhdlfuzz.exe -- --soak \
+  --seed "$SEED" --count "$COUNT" --size "$SIZE" \
+  --corpus test/corpus "$@"
