@@ -21,8 +21,8 @@ let ref_arg =
   let doc = "Reference library as NAME=DIR (read-only, repeatable)." in
   Arg.(value & opt_all string [] & info [ "ref" ] ~docv:"NAME=DIR" ~doc)
 
-let make_compiler work refs =
-  let c = Vhdl_compiler.create ?work_dir:work () in
+let make_compiler ?budgets work refs =
+  let c = Vhdl_compiler.create ?work_dir:work ?budgets () in
   List.iter
     (fun spec ->
       match String.index_opt spec '=' with
@@ -35,10 +35,28 @@ let make_compiler work refs =
     refs;
   c
 
+(* error diagnostics surface through Compile_error (printed per file); this
+   reports the rest — warnings and notes *)
 let report_diags c =
   List.iter
-    (fun d -> Format.eprintf "%a@." Diag.pp d)
+    (fun d -> if not (Diag.is_error d) then Format.eprintf "%a@." Diag.pp d)
     (Vhdl_compiler.diagnostics c)
+
+let fuel_arg =
+  let doc = "Bound semantic-rule applications per compile (budget)." in
+  Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc = "Bound wall-clock seconds per compile (budget)." in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let budgets_of ?elab_steps ?sim_step_fuel fuel deadline =
+  {
+    Supervisor.eval_fuel = fuel;
+    elab_steps;
+    deadline_s = deadline;
+    sim_step_fuel;
+  }
 
 (* ------------------------------------------------------------------ *)
 
@@ -49,8 +67,13 @@ let compile_cmd =
   let phases =
     Arg.(value & flag & info [ "phases" ] ~doc:"Print the per-phase time breakdown.")
   in
-  let run work refs phases files =
-    let c = make_compiler work refs in
+  let report =
+    Arg.(
+      value & flag
+      & info [ "report" ] ~doc:"Print the per-unit partial-result report.")
+  in
+  let run work refs phases report fuel deadline files =
+    let c = make_compiler ~budgets:(budgets_of fuel deadline) work refs in
     let ok = ref true in
     List.iter
       (fun file ->
@@ -64,13 +87,14 @@ let compile_cmd =
           List.iter (fun d -> Format.eprintf "%s: %a@." file Diag.pp d) msgs)
       files;
     report_diags c;
+    if report then Format.printf "%a" Supervisor.pp_report (Vhdl_compiler.last_report c);
     if phases then
       Format.printf "%a@." Vhdl_util.Phase_timer.pp (Vhdl_compiler.timer c);
     if !ok then 0 else 1
   in
   let doc = "Compile VHDL source files into the working library." in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const run $ work_arg $ ref_arg $ phases $ files)
+    Term.(const run $ work_arg $ ref_arg $ phases $ report $ fuel_arg $ deadline_arg $ files)
 
 let simulate_cmd =
   let top =
@@ -106,8 +130,19 @@ let simulate_cmd =
   let hierarchy =
     Arg.(value & flag & info [ "hierarchy" ] ~doc:"Print the elaborated hierarchy.")
   in
-  let run work refs top arch configuration ns vcd hierarchy files =
-    let c = make_compiler work refs in
+  let elab_steps =
+    let doc = "Bound signals + processes + instances elaborated (budget)." in
+    Arg.(value & opt (some int) None & info [ "elab-steps" ] ~docv:"N" ~doc)
+  in
+  let sim_fuel =
+    let doc = "Bound process resumptions per simulated instant (budget)." in
+    Arg.(value & opt (some int) None & info [ "sim-fuel" ] ~docv:"N" ~doc)
+  in
+  let run work refs top arch configuration ns vcd hierarchy elab_steps sim_fuel files =
+    let c =
+      make_compiler ~budgets:(budgets_of ?elab_steps ?sim_step_fuel:sim_fuel None None)
+        work refs
+    in
     try
       List.iter (fun f -> ignore (Vhdl_compiler.compile_file c f)) files;
       let sim = Vhdl_compiler.elaborate ?arch ?configuration c ~top () in
@@ -124,7 +159,8 @@ let simulate_cmd =
         (match outcome with
         | Kernel.Quiescent -> "quiescent"
         | Kernel.Time_limit -> "reached the horizon"
-        | Kernel.Stopped -> "stopped on failure")
+        | Kernel.Stopped -> "stopped on failure"
+        | Kernel.Fuel_exhausted -> "ran out of process-step fuel")
         (Rt.format_time (Kernel.now (Vhdl_compiler.kernel sim)))
         st.Kernel.time_steps st.Kernel.delta_cycles st.Kernel.events st.Kernel.process_runs;
       (match vcd with
@@ -151,7 +187,7 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ work_arg $ ref_arg $ top $ arch $ configuration $ ns $ vcd $ hierarchy
-      $ files)
+      $ elab_steps $ sim_fuel $ files)
 
 let dump_cmd =
   let key =

@@ -12,8 +12,8 @@
 
 open Cmdliner
 
-let run smoke soak replay_files seed count size max_ns inject_fault corpus_dir
-    gen_only quiet =
+let run smoke soak replay_files seed count size max_ns inject_fault budget
+    corpus_dir gen_only quiet =
   let log = if quiet then fun _ -> () else fun s -> print_endline s in
   if replay_files <> [] then begin
     if inject_fault then Difftest_fault.arm ();
@@ -44,7 +44,8 @@ let run smoke soak replay_files seed count size max_ns inject_fault corpus_dir
       else List.init count (fun i -> seed + i)
     in
     let s =
-      Difftest.run_campaign ~inject_fault ?corpus_dir ~log ~seeds ~size ()
+      if budget then Difftest.run_budget_campaign ?corpus_dir ~log ~seeds ~size ()
+      else Difftest.run_campaign ~inject_fault ?corpus_dir ~log ~seeds ~size ()
     in
     Format.printf "%a@." Difftest.pp_summary s;
     ignore max_ns;
@@ -80,6 +81,9 @@ let cmd =
   let inject_fault =
     Arg.(value & flag & info [ "inject-fault" ] ~doc:"Arm the semantic-rule flip (integer literals +1 on the staged side) to validate the oracle.")
   in
+  let budget =
+    Arg.(value & flag & info [ "budget" ] ~doc:"Containment campaign: run each design once under tight resource budgets; any raw exception escape or internal-error diagnostic is a finding (shrunk and archived like a divergence).")
+  in
   let corpus_dir =
     Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc:"Directory for shrunk reproducers (created if missing).")
   in
@@ -92,6 +96,6 @@ let cmd =
     (Cmd.info "vhdlfuzz" ~version:"1.0.0" ~doc)
     Term.(
       const run $ smoke $ soak $ replay $ seed $ count $ size $ max_ns
-      $ inject_fault $ corpus_dir $ gen_only $ quiet)
+      $ inject_fault $ budget $ corpus_dir $ gen_only $ quiet)
 
 let () = exit (Cmd.eval' cmd)

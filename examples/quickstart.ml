@@ -46,7 +46,8 @@ let () =
     (match outcome with
     | Kernel.Quiescent -> "quiescent"
     | Kernel.Time_limit -> "time limit"
-    | Kernel.Stopped -> "stopped");
+    | Kernel.Stopped -> "stopped"
+    | Kernel.Fuel_exhausted -> "fuel exhausted");
 
   (* 4. inspect results through the name server and the trace *)
   Printf.printf "\nled waveform:\n";

@@ -21,6 +21,8 @@ exception
     pos : int;
   }
 
+exception Fuel_exhausted of { applications : int }
+
 type 'v node = {
   n_prod : int; (* -1 for leaves *)
   n_term : int; (* -1 for internal nodes *)
@@ -44,6 +46,8 @@ type 'v t = {
      is on every attribute evaluation, so linear scans add up *)
   rule_index : (int * int * int, 'v Grammar.rule) Hashtbl.t;
   mutable rule_applications : int; (* instrumentation for the benches *)
+  mutable fuel : int option; (* rule-application budget, None = unlimited *)
+  tick : unit -> unit; (* periodic hook (deadline checks), every 256 rules *)
 }
 
 let rec attach grammar tree =
@@ -78,7 +82,7 @@ let rec attach grammar tree =
     [root_inherited] supplies the inherited attributes of the root (by
     attribute name); [token_line] injects a token's source line into the
     value type for rules that depend on the LINE token attribute. *)
-let create ?token_line grammar ~root_inherited tree =
+let create ?token_line ?fuel ?(tick = fun () -> ()) grammar ~root_inherited tree =
   let root = attach grammar tree in
   let root_inherited =
     List.map (fun (name, v) -> (Grammar.find_attr grammar name, v)) root_inherited
@@ -90,7 +94,11 @@ let create ?token_line grammar ~root_inherited tree =
     token_line;
     rule_index = Hashtbl.create 256;
     rule_applications = 0;
+    fuel;
+    tick;
   }
+
+let set_fuel t fuel = t.fuel <- fuel
 
 let find_rule t prod_id (target : Grammar.occurrence) =
   let key = (prod_id, target.Grammar.pos, target.Grammar.attr) in
@@ -186,6 +194,11 @@ and apply_rule t at_node rule =
   in
   let args = List.map arg_of rule.Grammar.deps in
   t.rule_applications <- t.rule_applications + 1;
+  (match t.fuel with
+  | Some limit when t.rule_applications > limit ->
+    raise (Fuel_exhausted { applications = t.rule_applications })
+  | _ -> ());
+  if t.rule_applications land 255 = 0 then t.tick ();
   rule.Grammar.compute args
 
 (** Value of synthesized attribute [name] at the root — the paper's "goal
@@ -226,6 +239,80 @@ let evaluate_staged t ~partitions =
     walk t.root
   done;
   !max_pass
+
+(* ------------------------------------------------------------------ *)
+(* Per-region evaluation (the exception firewall's view of the tree) *)
+
+type 'v site = 'v node
+
+(** Interior nodes whose production's left-hand side is [symbol], in source
+    order — the per-design-unit entry points of the supervisor. *)
+let sites t ~symbol =
+  let sym = Grammar.find_symbol t.grammar symbol in
+  let acc = ref [] in
+  let rec walk node =
+    if node.n_prod >= 0 then begin
+      if (Grammar.production t.grammar node.n_prod).Grammar.lhs = sym then
+        acc := node :: !acc;
+      Array.iter walk node.n_children
+    end
+  in
+  walk t.root;
+  List.rev !acc
+
+(** Value of attribute [name] at [site]; inherited attributes resolve
+    through the parent chain exactly as at the root. *)
+let eval_at t site name =
+  let attr = Grammar.find_attr t.grammar name in
+  eval_node t site attr
+
+(** Source line of the first token under [site] (0 if the region is
+    empty). *)
+let site_line site =
+  let rec scan node =
+    if node.n_prod < 0 then Some node.n_line
+    else
+      Array.fold_left
+        (fun acc kid -> match acc with Some _ -> acc | None -> scan kid)
+        None node.n_children
+  in
+  Option.value (scan site) ~default:0
+
+(** Token values of the first [limit] leaves under [site], in source order
+    — enough for a caller to label the region (e.g. "entity ADDER"). *)
+let site_leaf_values ?(limit = 64) site =
+  let acc = ref [] in
+  let n = ref 0 in
+  let rec walk node =
+    if !n < limit then
+      if node.n_prod < 0 then (
+        (match node.n_value with
+        | Some v ->
+          acc := v :: !acc;
+          incr n
+        | None -> ()))
+      else Array.iter walk node.n_children
+  in
+  walk site;
+  List.rev !acc
+
+(** Drop every [In_progress] cell left behind by an evaluation that
+    escaped mid-rule, so sibling regions do not see phantom cycles.
+    Completed ([Done]) values are kept — they are still valid. *)
+let clear_in_progress t =
+  let rec walk node =
+    let stale =
+      Hashtbl.fold
+        (fun attr cell acc ->
+          match cell with
+          | In_progress -> attr :: acc
+          | Done _ -> acc)
+        node.n_cache []
+    in
+    List.iter (Hashtbl.remove node.n_cache) stale;
+    Array.iter walk node.n_children
+  in
+  walk t.root
 
 (** Force every declared attribute of every node (demand order). *)
 let evaluate_all t =

@@ -19,8 +19,15 @@ exception
     pos : int;
   }
 
+exception Fuel_exhausted of { applications : int }
+(** Raised when the rule-application budget given to {!create} (or
+    {!set_fuel}) runs out — the resource-containment hook: a runaway
+    evaluation surfaces as a catchable, structured condition. *)
+
 val create :
   ?token_line:(int -> 'v) ->
+  ?fuel:int ->
+  ?tick:(unit -> unit) ->
   'v Grammar.t ->
   root_inherited:(string * 'v) list ->
   'v Tree.t ->
@@ -28,7 +35,11 @@ val create :
 (** Prepare a derivation tree for evaluation.  [root_inherited] supplies
     the root's inherited attributes by name; [token_line] injects a token's
     source line into the value type for rules depending on the LINE token
-    attribute. *)
+    attribute.  [fuel] bounds the total number of semantic-rule
+    applications ({!Fuel_exhausted} beyond it); [tick] is called every 256
+    applications — the wall-clock deadline hook. *)
+
+val set_fuel : 'v t -> int option -> unit
 
 val goal : 'v t -> string -> 'v
 (** Value of a synthesized attribute at the root — the paper's "goal
@@ -44,3 +55,31 @@ val evaluate_staged : 'v t -> partitions:(int * int) list array -> int
 
 val evaluate_all : 'v t -> unit
 (** Force every declared attribute of every node (demand order). *)
+
+(** {1 Per-region evaluation}
+
+    The exception firewall (lib/core/supervisor) evaluates each design
+    unit's goal attributes at its own subtree root so one poisoned unit
+    cannot take down its siblings. *)
+
+type 'v site
+(** An interior node of the decorated tree. *)
+
+val sites : 'v t -> symbol:string -> 'v site list
+(** Nodes whose production's left-hand side is [symbol], in source order. *)
+
+val eval_at : 'v t -> 'v site -> string -> 'v
+(** Value of attribute [name] at the site; inherited attributes resolve
+    through the parent chain. *)
+
+val site_line : 'v site -> int
+(** Source line of the site's first token (0 for an empty region). *)
+
+val site_leaf_values : ?limit:int -> 'v site -> 'v list
+(** Token values of the first [limit] (default 64) leaves under the site,
+    in source order — for labelling the region in diagnostics. *)
+
+val clear_in_progress : 'v t -> unit
+(** Drop in-progress memo cells left by an evaluation that escaped
+    mid-rule, so sibling regions do not see phantom cycles; completed
+    values are kept. *)

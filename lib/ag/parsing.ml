@@ -60,17 +60,31 @@ let parse t ~lexer =
     ~shift:(fun term value line -> Tree.leaf ~term ~value ~line)
     ~reduce:(fun prod children -> Tree.node prod children)
 
-(** Parse a pre-materialized token list (the LEF case: the scanner "just
-    takes the next LEF token off the front of the list"). *)
-let parse_list t ~eof_value tokens =
+let list_lexer t ~eof_value tokens =
   let remaining = ref tokens in
   let last_line = ref 0 in
-  let lexer () =
+  fun () ->
     match !remaining with
     | tok :: rest ->
       remaining := rest;
       last_line := tok.Driver.t_line;
       tok
     | [] -> { Driver.t_sym = t.eof; t_value = eof_value; t_line = !last_line }
-  in
-  parse t ~lexer
+
+(** Parse a pre-materialized token list (the LEF case: the scanner "just
+    takes the next LEF token off the front of the list"). *)
+let parse_list t ~eof_value tokens =
+  parse t ~lexer:(list_lexer t ~eof_value tokens)
+
+(** Parse a token list with panic-mode error recovery (see
+    {!Vhdl_lalr.Driver.parse_recovering}): every syntax error in the list
+    is reported, and the well-formed regions between the checkpoints
+    survive into the returned derivation tree. *)
+let parse_list_recovering ?max_errors ?max_depth t ~eof_value ~checkpoint
+    ~classify tokens : 'v Tree.t Driver.recovery =
+  Driver.parse_recovering ?max_errors ?max_depth t.table
+    ~lexer:(list_lexer t ~eof_value tokens)
+    ~eof:t.eof
+    ~shift:(fun term value line -> Tree.leaf ~term ~value ~line)
+    ~reduce:(fun prod children -> Tree.node prod children)
+    ~checkpoint ~classify

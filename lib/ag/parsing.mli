@@ -33,3 +33,16 @@ val parse : 'v t -> lexer:(unit -> 'v Vhdl_lalr.Driver.token) -> 'v Tree.t
 val parse_list : 'v t -> eof_value:'v -> 'v Vhdl_lalr.Driver.token list -> 'v Tree.t
 (** Parse a pre-materialized token list (the LEF case: the scanner "just
     takes the next LEF token off the front of the list"). *)
+
+val parse_list_recovering :
+  ?max_errors:int ->
+  ?max_depth:int ->
+  'v t ->
+  eof_value:'v ->
+  checkpoint:(int -> bool) ->
+  classify:(int -> Vhdl_lalr.Driver.sync_class) ->
+  'v Vhdl_lalr.Driver.token list ->
+  'v Tree.t Vhdl_lalr.Driver.recovery
+(** Parse a token list with panic-mode error recovery: all syntax errors
+    are reported in one run, and design units outside the damaged regions
+    survive into the salvaged derivation tree. *)

@@ -1,0 +1,139 @@
+(** Crash containment: the per-unit exception firewall and resource budgets.
+
+    The paper's compiler was a batch tool — an internal error killed the
+    run.  This module keeps one poisoned design unit (or one exhausted
+    budget) from taking the whole compilation down: {!guard} runs a phase
+    of work for one unit and converts every internal escape into a
+    structured {!Diag.t} with an [Internal] or [Budget] origin, tagged with
+    the phase and the unit being processed.
+
+    Resource budgets are a record of optional limits; [None] means
+    unlimited, and {!no_budgets} (the default everywhere) disables all of
+    them, so the ordinary pipeline pays nothing. *)
+
+(** Pipeline phases, for tagging diagnostics. *)
+type phase =
+  | Scan
+  | Parse
+  | Analysis
+  | Elaboration
+  | Simulation
+
+let phase_name = function
+  | Scan -> "scan"
+  | Parse -> "parse"
+  | Analysis -> "analysis"
+  | Elaboration -> "elaboration"
+  | Simulation -> "simulation"
+
+(** Optional resource limits; [None] everywhere means "no budget". *)
+type budgets = {
+  eval_fuel : int option; (* semantic-rule applications per compile *)
+  elab_steps : int option; (* signals + processes + instances elaborated *)
+  deadline_s : float option; (* wall-clock seconds per compile *)
+  sim_step_fuel : int option; (* process resumptions per simulated instant *)
+}
+
+let no_budgets =
+  { eval_fuel = None; elab_steps = None; deadline_s = None; sim_step_fuel = None }
+
+exception Deadline of { seconds : float }
+
+(** A started deadline clock.  [check] is cheap enough to call from the
+    evaluator's tick hook (every 256 rule applications). *)
+type clock = {
+  c_start : float;
+  c_limit : float option;
+}
+
+let start_clock ?deadline_s () =
+  { c_start = Vhdl_util.Unix_compat.now (); c_limit = deadline_s }
+
+let check clock =
+  match clock.c_limit with
+  | None -> ()
+  | Some limit ->
+    if Vhdl_util.Unix_compat.now () -. clock.c_start > limit then
+      raise (Deadline { seconds = limit })
+
+(* ------------------------------------------------------------------ *)
+(* The firewall proper *)
+
+(* exceptions the firewall must never swallow: resource death the process
+   cannot recover from, interactive interrupts, and the compiler's own
+   already-structured error carriers *)
+let is_fatal = function
+  | Out_of_memory | Sys.Break -> true
+  | _ -> false
+
+let diag_of_exn ~phase ?unit_name ~line exn : Diag.t option =
+  let p = phase_name phase in
+  let internal msg = Some (Diag.internal_error ~phase:p ?unit_name ~line "%s" msg) in
+  let budget msg = Some (Diag.budget_error ~phase:p ?unit_name ~line "%s" msg) in
+  match exn with
+  (* budgets *)
+  | Evaluator.Fuel_exhausted { applications } ->
+    budget
+      (Printf.sprintf "evaluation fuel exhausted after %d rule applications"
+         applications)
+  | Elaborate.Budget_exhausted { steps } ->
+    budget (Printf.sprintf "elaboration budget exhausted after %d steps" steps)
+  | Deadline { seconds } ->
+    budget (Printf.sprintf "compilation deadline of %gs exceeded" seconds)
+  (* internal escapes *)
+  | Pval.Internal msg -> internal (Printf.sprintf "internal error: %s" msg)
+  | Grammar.Ill_formed msg ->
+    internal (Printf.sprintf "internal error: ill-formed grammar: %s" msg)
+  | Evaluator.Cycle { prod_name; attr_name } ->
+    internal
+      (Printf.sprintf "internal error: attribute cycle at %s.%s" prod_name attr_name)
+  | Evaluator.Missing_rule { prod_name; attr_name; pos } ->
+    internal
+      (Printf.sprintf "internal error: missing rule for %s at position %d of %s"
+         attr_name pos prod_name)
+  | Stack_overflow -> internal "internal error: stack overflow"
+  | Failure msg -> internal (Printf.sprintf "internal error: %s" msg)
+  | Invalid_argument msg -> internal (Printf.sprintf "internal error: %s" msg)
+  | Not_found -> internal "internal error: uncaught Not_found"
+  | Assert_failure (file, ln, _) ->
+    internal (Printf.sprintf "internal error: assertion failed at %s:%d" file ln)
+  | _ -> None
+
+(** Run [f] under the firewall.  Internal escapes and budget exhaustions
+    become [Error diag]; fatal conditions and unrecognized exceptions
+    propagate. *)
+let guard ~phase ?unit_name ?(line = 0) f : ('a, Diag.t) result =
+  try Ok (f ())
+  with exn when not (is_fatal exn) -> (
+    match diag_of_exn ~phase ?unit_name ~line exn with
+    | Some d -> Error d
+    | None -> raise exn)
+
+(* ------------------------------------------------------------------ *)
+(* Partial-result reporting *)
+
+type unit_status =
+  | Compiled (* analysis succeeded *)
+  | Errored (* user-level errors in the unit *)
+  | Poisoned (* the firewall contained an internal escape here *)
+  | Skipped (* not attempted: a budget died before reaching it *)
+
+let status_name = function
+  | Compiled -> "compiled"
+  | Errored -> "errored"
+  | Poisoned -> "poisoned"
+  | Skipped -> "skipped"
+
+(** One line of the per-compile partial-result report. *)
+type unit_report = {
+  ur_name : string;
+  ur_line : int;
+  ur_status : unit_status;
+}
+
+let pp_report fmt (rs : unit_report list) =
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-10s %s (line %d)@." (status_name r.ur_status) r.ur_name
+        r.ur_line)
+    rs

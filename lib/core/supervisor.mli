@@ -1,0 +1,69 @@
+(** Crash containment: the per-unit exception firewall and resource
+    budgets.
+
+    {!guard} runs one phase of work for one design unit and converts every
+    internal escape ([Pval.Internal], [Grammar.Ill_formed], evaluator
+    cycles, [Stack_overflow], [Failure], ...) into a structured {!Diag.t}
+    with an [Internal] origin, and every budget exhaustion
+    ([Evaluator.Fuel_exhausted], [Elaborate.Budget_exhausted],
+    {!Deadline}) into one with a [Budget] origin — both tagged with the
+    phase and unit.  Fatal conditions ([Out_of_memory], [Sys.Break]) and
+    unrecognized exceptions still propagate. *)
+
+type phase =
+  | Scan
+  | Parse
+  | Analysis
+  | Elaboration
+  | Simulation
+
+val phase_name : phase -> string
+
+(** Optional resource limits; [None] means unlimited. *)
+type budgets = {
+  eval_fuel : int option; (* semantic-rule applications per compile *)
+  elab_steps : int option; (* signals + processes + instances elaborated *)
+  deadline_s : float option; (* wall-clock seconds per compile *)
+  sim_step_fuel : int option; (* process resumptions per simulated instant *)
+}
+
+val no_budgets : budgets
+(** All limits off — the default everywhere. *)
+
+exception Deadline of { seconds : float }
+
+type clock
+(** A started deadline clock. *)
+
+val start_clock : ?deadline_s:float -> unit -> clock
+
+val check : clock -> unit
+(** @raise Deadline once the clock's limit has passed.  Cheap; called from
+    the evaluator's tick hook. *)
+
+val guard :
+  phase:phase -> ?unit_name:string -> ?line:int -> (unit -> 'a) -> ('a, Diag.t) result
+(** Run [f] under the firewall (see the module description). *)
+
+val diag_of_exn :
+  phase:phase -> ?unit_name:string -> line:int -> exn -> Diag.t option
+(** The classification [guard] uses; [None] for exceptions the firewall
+    does not contain. *)
+
+(** {1 Partial-result reporting} *)
+
+type unit_status =
+  | Compiled (* analysis succeeded *)
+  | Errored (* user-level errors in the unit *)
+  | Poisoned (* the firewall contained an internal escape here *)
+  | Skipped (* not attempted: a budget died before reaching it *)
+
+val status_name : unit_status -> string
+
+type unit_report = {
+  ur_name : string;
+  ur_line : int;
+  ur_status : unit_status;
+}
+
+val pp_report : Format.formatter -> unit_report list -> unit

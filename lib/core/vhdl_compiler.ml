@@ -7,6 +7,13 @@
     (our analog of compiling the generated C) elaborates the design against
     the simulation kernel.
 
+    Unlike the paper's batch compiler, compilation is crash-contained:
+    the parser performs panic-mode error recovery so every syntax error in
+    a file is reported in one run, each design unit's analysis runs under
+    the {!Supervisor} exception firewall so one poisoned unit cannot take
+    its siblings down, and optional {!Supervisor.budgets} bound evaluation
+    fuel, elaboration steps, wall-clock time, and simulation steps.
+
     {[
       let c = Vhdl_compiler.create () in
       let _ = Vhdl_compiler.compile c source in
@@ -16,6 +23,7 @@
     ]} *)
 
 module Timer = Vhdl_util.Phase_timer
+module Driver = Vhdl_lalr.Driver
 
 (** How the principal AG is evaluated during [compile].  [Demand] asks only
     for the goal attributes and lets memoization pull in what they need;
@@ -31,9 +39,11 @@ type t = {
   work : Library.t;
   timer : Timer.t;
   strategy : strategy;
+  budgets : Supervisor.budgets;
   mutable compiled_units : int;
   mutable compiled_lines : int;
   mutable diagnostics : Diag.t list; (* newest first *)
+  mutable last_report : Supervisor.unit_report list;
 }
 
 exception Compile_error of Diag.t list
@@ -46,15 +56,18 @@ let principal_partitions =
 
 (** Create a compiler.  [work_dir] makes the working library disk-backed
     (separate compilation across compiler instances); without it, the
-    library lives in memory. *)
-let create ?work_dir ?(strategy = Demand) () =
+    library lives in memory.  [budgets] turns on resource containment
+    (default: everything unlimited). *)
+let create ?work_dir ?(strategy = Demand) ?(budgets = Supervisor.no_budgets) () =
   {
     work = Library.create ?dir:work_dir ~name:"WORK" ();
     timer = Timer.create ();
     strategy;
+    budgets;
     compiled_units = 0;
     compiled_lines = 0;
     diagnostics = [];
+    last_report = [];
   }
 
 (** Attach a read-only reference library (the paper's second library
@@ -76,19 +89,137 @@ let session t : Session.t =
 let work_library t = t.work
 let timer t = t.timer
 let strategy t = t.strategy
+let budgets t = t.budgets
 let diagnostics t = List.rev t.diagnostics
+let last_report t = t.last_report
+
+(* ------------------------------------------------------------------ *)
+(* Parser error recovery *)
+
+(* Recovery checkpoints are the design-unit-list reduces: restoring the
+   parse stack there leaves the parser ready to accept a fresh design unit,
+   so the units before AND after a damaged region survive.  Sync tokens are
+   the design-unit starters plus the "end ... ;" pair. *)
+let recovery_hooks =
+  lazy
+    (let g = Main_grammar.grammar () in
+     let checkpoint =
+       Array.init (Grammar.n_productions g) (fun id ->
+           match (Grammar.production g id).Grammar.prod_name with
+           | "design_units_one" | "design_units_more" -> true
+           | _ -> false)
+     in
+     let starters =
+       [ "entity"; "architecture"; "package"; "configuration"; "library"; "use" ]
+     in
+     let classify =
+       Array.init (Grammar.n_symbols g) (fun id ->
+           if not (Grammar.is_terminal g id) then Driver.Sync_other
+           else
+             match Grammar.symbol_name g id with
+             | "end" -> Driver.Sync_end
+             | ";" -> Driver.Sync_semi
+             | s when List.mem s starters -> Driver.Sync_start
+             | _ -> Driver.Sync_other)
+     in
+     ((fun p -> checkpoint.(p)), fun s -> classify.(s)))
+
+let diag_of_parse_error (e : Driver.error) =
+  if e.Driver.e_skipped = 0 then
+    Diag.error ~line:e.Driver.e_line "syntax error: unexpected %s" e.Driver.e_found
+  else
+    Diag.error ~line:e.Driver.e_line
+      "syntax error: unexpected %s (skipped %d tokens to resynchronize)"
+      e.Driver.e_found e.Driver.e_skipped
+
+(* ------------------------------------------------------------------ *)
+(* Per-unit analysis under the firewall *)
+
+(* Label a design-unit region for diagnostics by its leading tokens,
+   e.g. "entity COUNTER" (a design_unit site may start with context
+   clauses, so scan forward for the library-unit keyword). *)
+let unit_label site =
+  let rec scan = function
+    | Pval.Tok (Token.Tkw "package") :: Pval.Tok (Token.Tkw "body")
+      :: Pval.Tok (Token.Tid id) :: _ ->
+      Some ("package body " ^ id)
+    | Pval.Tok (Token.Tkw kw) :: Pval.Tok (Token.Tid id) :: _
+      when List.mem kw [ "entity"; "architecture"; "package"; "configuration" ] ->
+      Some (kw ^ " " ^ id)
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  match scan (Evaluator.site_leaf_values site) with
+  | Some label -> label
+  | None -> Printf.sprintf "unit@line %d" (Evaluator.site_line site)
+
+(* Evaluate UNITS and MSGS per design-unit site so an escape in one unit is
+   contained there: siblings still analyze (they communicate only through
+   the session library, never through shared attributes).  Once a budget
+   diagnostic appears (fuel, deadline) the budget is dead for the whole
+   compile, so the remaining units are reported as skipped rather than
+   producing one exhaustion diagnostic each. *)
+let analyze_units t ev =
+  (match t.strategy with
+  | Demand -> ()
+  | Staged -> (
+    (* plan-based pre-pass over the whole tree; a contained escape here is
+       discarded and re-attributed to its unit by the per-unit demand pass
+       below (memoized values are kept, in-progress cells dropped) *)
+    match
+      Supervisor.guard ~phase:Supervisor.Analysis (fun () ->
+          Evaluator.evaluate_staged ev ~partitions:(Lazy.force principal_partitions))
+    with
+    | Ok _ -> ()
+    | Error _ -> Evaluator.clear_in_progress ev));
+  let budget_dead = ref false in
+  let units = ref [] in
+  let msgs = ref [] in
+  let report = ref [] in
+  List.iter
+    (fun site ->
+      let line = Evaluator.site_line site in
+      let name = unit_label site in
+      let record status =
+        report :=
+          { Supervisor.ur_name = name; ur_line = line; ur_status = status } :: !report
+      in
+      if !budget_dead then record Supervisor.Skipped
+      else
+        match
+          Supervisor.guard ~phase:Supervisor.Analysis ~unit_name:name ~line (fun () ->
+              let us = Pval.as_units (Evaluator.eval_at ev site "UNITS") in
+              let ms = Pval.as_msgs (Evaluator.eval_at ev site "MSGS") in
+              (us, ms))
+        with
+        | Ok (us, ms) ->
+          units := List.rev_append us !units;
+          msgs := List.rev_append ms !msgs;
+          record (if Diag.has_errors ms then Supervisor.Errored else Supervisor.Compiled)
+        | Error d ->
+          msgs := d :: !msgs;
+          Evaluator.clear_in_progress ev;
+          if Diag.is_budget d then begin
+            budget_dead := true;
+            record Supervisor.Skipped
+          end
+          else record Supervisor.Poisoned)
+    (Evaluator.sites ev ~symbol:"design_unit");
+  (List.rev !units, List.rev !msgs, List.rev !report)
 
 (** Compile one source text into the working library.  Phases are timed
     individually for the PERF-PHASE experiment.  Returns the compiled
-    units; diagnostics accumulate on the compiler ([diagnostics]).
-    Raises {!Compile_error} on syntax errors or when [fail_on_error] (the
-    default) and semantic errors exist. *)
+    units; diagnostics accumulate on the compiler ([diagnostics]) and a
+    per-unit partial-result report on [last_report].  Raises
+    {!Compile_error} when nothing parses, or when [fail_on_error] (the
+    default) and errors of any origin exist. *)
 let compile ?(fail_on_error = true) t source : Unit_info.compiled_unit list =
   let session = session t in
   Session.with_session session (fun () ->
       let grammar = Main_grammar.grammar () in
       let parser_ = Main_grammar.parser_ () in
       let source_lines = Lexer.source_lines source in
+      let clock = Supervisor.start_clock ?deadline_s:t.budgets.Supervisor.deadline_s () in
       (* phase 1: scanning *)
       let tokens =
         Timer.time t.timer "scanner" (fun () ->
@@ -96,62 +227,71 @@ let compile ?(fail_on_error = true) t source : Unit_info.compiled_unit list =
             with Lexer.Lex_error { line; msg } ->
               raise (Compile_error [ Diag.error ~line "%s" msg ]))
       in
-      (* phase 2: LALR parsing *)
-      let tree =
+      (* phase 2: LALR parsing with panic-mode recovery: every syntax error
+         in the file is reported, and well-formed design units on either
+         side of a damaged region survive into the tree *)
+      let checkpoint, classify = Lazy.force recovery_hooks in
+      let recovery =
         Timer.time t.timer "parser" (fun () ->
-            try Parsing.parse_list parser_ ~eof_value:Pval.Unit tokens
-            with Vhdl_lalr.Driver.Syntax_error { line; found; _ } ->
-              raise (Compile_error [ Diag.error ~line "syntax error: unexpected %s" found ]))
+            Parsing.parse_list_recovering parser_ ~eof_value:Pval.Unit ~checkpoint
+              ~classify tokens)
       in
-      (* phases 3+4: attribute evaluation, with the expression-AG cascade
-         accounted separately *)
-      Expr_eval.reset_counters ();
-      Library.reset_io_stats t.work;
-      let ev =
-        Evaluator.create
-          ~token_line:(fun n -> Pval.Int n)
-          grammar
-          ~root_inherited:
-            [
-              ("ENV", Pval.Env Env.empty);
-              ("LEVEL", Pval.Int (-1));
-              ("UNITNAME", Pval.Str "WORK.%FILE%");
-              ("CTX", Pval.Str "arch");
-              ("SLOTBASE", Pval.Int 0);
-              ("SIGBASE", Pval.Int 0);
-              ("LOOPDEPTH", Pval.Int 0);
-              ("RETTY", Pval.Opt None);
-              ("CTXOUT", Pval.Out Pval.out_empty);
-              ("NLINES", Pval.Int source_lines);
-            ]
-          tree
-      in
-      let units, msgs =
-        Timer.time t.timer "attribute evaluation" (fun () ->
-            (match t.strategy with
-            | Demand -> ()
-            | Staged ->
-              ignore
-                (Evaluator.evaluate_staged ev
-                   ~partitions:(Lazy.force principal_partitions)));
-            let units = Pval.as_units (Evaluator.goal ev "UNITS") in
-            let msgs = Pval.as_msgs (Evaluator.goal ev "MSGS") in
-            (units, msgs))
-      in
-      (* carve the cascade and the VIF I/O out of the evaluation phase *)
-      Timer.add t.timer "attribute evaluation" (-.(!Expr_eval.seconds));
-      Timer.add t.timer "expression evaluation (cascade)" !Expr_eval.seconds;
-      let io = Library.io_stats t.work in
-      Timer.add t.timer "attribute evaluation"
-        (-.(io.Library.io_read_seconds +. io.Library.io_write_seconds));
-      Timer.add t.timer "VIF read" io.Library.io_read_seconds;
-      Timer.add t.timer "VIF write" io.Library.io_write_seconds;
-      t.compiled_units <- t.compiled_units + List.length units;
-      t.compiled_lines <- t.compiled_lines + source_lines;
-      t.diagnostics <- List.rev_append msgs t.diagnostics;
-      if fail_on_error && Diag.has_errors msgs then
-        raise (Compile_error (List.filter Diag.is_error msgs));
-      units)
+      let parse_diags = List.map diag_of_parse_error recovery.Driver.r_errors in
+      match recovery.Driver.r_root with
+      | None ->
+        (* nothing parsed at all: no units to analyze *)
+        let parse_diags =
+          if parse_diags <> [] then parse_diags
+          else [ Diag.error ~line:0 "empty design file" ]
+        in
+        t.diagnostics <- List.rev_append parse_diags t.diagnostics;
+        t.last_report <- [];
+        raise (Compile_error parse_diags)
+      | Some tree ->
+        (* phases 3+4: attribute evaluation, with the expression-AG cascade
+           accounted separately *)
+        Expr_eval.reset_counters ();
+        Library.reset_io_stats t.work;
+        let ev =
+          Evaluator.create
+            ~token_line:(fun n -> Pval.Int n)
+            ?fuel:t.budgets.Supervisor.eval_fuel
+            ~tick:(fun () -> Supervisor.check clock)
+            grammar
+            ~root_inherited:
+              [
+                ("ENV", Pval.Env Env.empty);
+                ("LEVEL", Pval.Int (-1));
+                ("UNITNAME", Pval.Str "WORK.%FILE%");
+                ("CTX", Pval.Str "arch");
+                ("SLOTBASE", Pval.Int 0);
+                ("SIGBASE", Pval.Int 0);
+                ("LOOPDEPTH", Pval.Int 0);
+                ("RETTY", Pval.Opt None);
+                ("CTXOUT", Pval.Out Pval.out_empty);
+                ("NLINES", Pval.Int source_lines);
+              ]
+            tree
+        in
+        let units, msgs, report =
+          Timer.time t.timer "attribute evaluation" (fun () -> analyze_units t ev)
+        in
+        (* carve the cascade and the VIF I/O out of the evaluation phase *)
+        Timer.add t.timer "attribute evaluation" (-.(!Expr_eval.seconds));
+        Timer.add t.timer "expression evaluation (cascade)" !Expr_eval.seconds;
+        let io = Library.io_stats t.work in
+        Timer.add t.timer "attribute evaluation"
+          (-.(io.Library.io_read_seconds +. io.Library.io_write_seconds));
+        Timer.add t.timer "VIF read" io.Library.io_read_seconds;
+        Timer.add t.timer "VIF write" io.Library.io_write_seconds;
+        let all_msgs = parse_diags @ msgs in
+        t.compiled_units <- t.compiled_units + List.length units;
+        t.compiled_lines <- t.compiled_lines + source_lines;
+        t.diagnostics <- List.rev_append all_msgs t.diagnostics;
+        t.last_report <- report;
+        if fail_on_error && Diag.has_errors all_msgs then
+          raise (Compile_error (List.filter Diag.is_error all_msgs));
+        units)
 
 let compile_file ?fail_on_error t path =
   compile ?fail_on_error t (Vhdl_util.Unix_compat.read_file path)
@@ -171,7 +311,11 @@ let library_view t : Elaborate.library_view =
   }
 
 (** Elaborate [top] (an entity name, optionally with [~arch], or
-    [~configuration]) — the paper's link step, timed as "codegen+link". *)
+    [~configuration]) — the paper's link step, timed as "codegen+link".
+    Runs under the firewall: internal escapes and an exhausted elaboration
+    budget become {!Compile_error} with a structured diagnostic
+    ([Elaboration_error], the expected user-level failure, still raises
+    as itself). *)
 let elaborate ?arch ?configuration ?(trace = true) t ~top () : simulation =
   let target =
     match configuration with
@@ -181,12 +325,21 @@ let elaborate ?arch ?configuration ?(trace = true) t ~top () : simulation =
   Library.reset_io_stats t.work;
   let model =
     Timer.time t.timer "codegen+link (elaboration)" (fun () ->
-        Elaborate.elaborate ~trace_signals:trace (library_view t) target)
+        match
+          Supervisor.guard ~phase:Supervisor.Elaboration ~unit_name:top (fun () ->
+              Elaborate.elaborate ~trace_signals:trace
+                ?step_budget:t.budgets.Supervisor.elab_steps (library_view t) target)
+        with
+        | Ok model -> model
+        | Error d ->
+          t.diagnostics <- d :: t.diagnostics;
+          raise (Compile_error [ d ]))
   in
   (* elaboration's own foreign-reference reads belong to the VIF phase *)
   let io = Library.io_stats t.work in
   Timer.add t.timer "codegen+link (elaboration)" (-.io.Library.io_read_seconds);
   Timer.add t.timer "VIF read" io.Library.io_read_seconds;
+  Kernel.set_step_fuel model.Elaborate.m_kernel t.budgets.Supervisor.sim_step_fuel;
   let sim = { model; messages = [] } in
   Kernel.set_message_handler model.Elaborate.m_kernel (fun time ~severity msg ->
       sim.messages <- (time, severity, msg) :: sim.messages);

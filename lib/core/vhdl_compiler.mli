@@ -18,8 +18,9 @@ type t
 (** A compiler instance: a working library plus phase instrumentation. *)
 
 exception Compile_error of Diag.t list
-(** Raised on syntax errors, and on semantic errors unless
-    [~fail_on_error:false]. *)
+(** Raised when nothing in a source parses, on semantic errors unless
+    [~fail_on_error:false], and on contained internal errors or exhausted
+    budgets (diagnostics with [Internal] / [Budget] origins). *)
 
 (** Attribute-evaluation strategy used by [compile]: [Demand] (the default)
     asks only for the goal attributes; [Staged] forces every attribute pass
@@ -30,12 +31,15 @@ type strategy =
   | Demand
   | Staged
 
-val create : ?work_dir:string -> ?strategy:strategy -> unit -> t
+val create :
+  ?work_dir:string -> ?strategy:strategy -> ?budgets:Supervisor.budgets -> unit -> t
 (** Create a compiler.  With [work_dir] the working library is disk-backed
     (one VIF file per unit, shared across compiler instances); without it
-    the library lives in memory.  [strategy] defaults to [Demand]. *)
+    the library lives in memory.  [strategy] defaults to [Demand];
+    [budgets] turns on resource containment (default: unlimited). *)
 
 val strategy : t -> strategy
+val budgets : t -> Supervisor.budgets
 
 val add_reference_library : t -> name:string -> dir:string -> unit
 (** Attach a read-only reference library under logical [name] (the paper's
@@ -43,12 +47,20 @@ val add_reference_library : t -> name:string -> dir:string -> unit
 
 val compile : ?fail_on_error:bool -> t -> string -> Unit_info.compiled_unit list
 (** Compile one source text (possibly several design units) into the
-    working library.  Diagnostics accumulate on the compiler. *)
+    working library.  Diagnostics accumulate on the compiler.  The parser
+    recovers from syntax errors (all are reported in one run; well-formed
+    sibling units still analyze), and each design unit's analysis runs
+    under the {!Supervisor} firewall. *)
 
 val compile_file : ?fail_on_error:bool -> t -> string -> Unit_info.compiled_unit list
 
 val diagnostics : t -> Diag.t list
 (** All diagnostics so far, oldest first. *)
+
+val last_report : t -> Supervisor.unit_report list
+(** Per-unit partial-result report of the most recent [compile]: which
+    design units compiled, errored, were poisoned by a contained internal
+    error, or were skipped after a budget died. *)
 
 val session : t -> Session.t
 (** The session view the semantic rules use to reach foreign units. *)

@@ -144,6 +144,78 @@ let run_campaign ?(inject_fault = false) ?corpus_dir ?(shrink_budget = 600)
     seeds;
   s
 
+(* Tight enough to trip on runaway behavior, loose enough that ordinary
+   generated designs compile and simulate untouched. *)
+let default_campaign_budgets =
+  {
+    Supervisor.eval_fuel = Some 2_000_000;
+    elab_steps = Some 50_000;
+    deadline_s = Some 20.0;
+    sim_step_fuel = Some 100_000;
+  }
+
+let run_budget_campaign ?(budgets = default_campaign_budgets) ?corpus_dir
+    ?(shrink_budget = 600) ?(log = fun _ -> ()) ~seeds ~size () =
+  let s =
+    {
+      total = 0;
+      compiled = 0;
+      simulated = 0;
+      rejected = 0;
+      divergences = 0;
+      crashes = 0;
+      shrunk = [];
+      reproducer_files = [];
+    }
+  in
+  List.iter
+    (fun seed ->
+      let design = Difftest_gen.generate ~seed ~size in
+      let contained src =
+        Difftest_oracle.check_contained ~budgets ~max_ns:design.Difftest_gen.d_max_ns
+          ~top:design.Difftest_gen.d_top src
+      in
+      let verdict = contained design.Difftest_gen.d_source in
+      s.total <- s.total + 1;
+      match verdict with
+      | Difftest_oracle.Agree { compiled; simulated; _ } ->
+        if compiled then begin
+          s.compiled <- s.compiled + 1;
+          if simulated then s.simulated <- s.simulated + 1
+        end
+        else s.rejected <- s.rejected + 1;
+        log
+          (Printf.sprintf "seed %d (%s): %s" seed
+             (Difftest_gen.shape_name ~seed)
+             (Difftest_oracle.describe verdict))
+      | Difftest_oracle.Divergence _ | Difftest_oracle.Crash _ ->
+        s.crashes <- s.crashes + 1;
+        log
+          (Printf.sprintf "seed %d (%s): %s — shrinking" seed
+             (Difftest_gen.shape_name ~seed)
+             (Difftest_oracle.describe verdict));
+        let interesting src = Difftest_oracle.same_class verdict (contained src) in
+        let minimized, st =
+          Difftest_shrink.shrink ~max_tests:shrink_budget ~interesting
+            design.Difftest_gen.d_source
+        in
+        log
+          (Printf.sprintf "seed %d: shrunk %d -> %d lines (%d oracle runs)" seed
+             st.Difftest_shrink.lines_before st.Difftest_shrink.lines_after
+             st.Difftest_shrink.tests_run);
+        s.shrunk <- (seed, minimized, verdict) :: s.shrunk;
+        Option.iter
+          (fun dir ->
+            let path =
+              save_reproducer ~dir ~seed ~top:design.Difftest_gen.d_top
+                ~max_ns:design.Difftest_gen.d_max_ns ~verdict minimized
+            in
+            s.reproducer_files <- path :: s.reproducer_files;
+            log (Printf.sprintf "seed %d: reproducer written to %s" seed path))
+          corpus_dir)
+    seeds;
+  s
+
 let pp_summary fmt s =
   Format.fprintf fmt
     "@[<v>designs:      %d@,both compiled: %d@,simulated:    %d@,rejected:     \

@@ -34,6 +34,24 @@ val run_campaign :
 val smoke_seeds : int list
 (** The fixed seed range of the smoke campaign (100 seeds). *)
 
+val default_campaign_budgets : Supervisor.budgets
+(** Budgets of {!run_budget_campaign}: tight enough to trip on runaway
+    behavior, loose enough that ordinary generated designs pass. *)
+
+val run_budget_campaign :
+  ?budgets:Supervisor.budgets ->
+  ?corpus_dir:string ->
+  ?shrink_budget:int ->
+  ?log:(string -> unit) ->
+  seeds:int list ->
+  size:int ->
+  unit ->
+  summary
+(** Containment campaign ([vhdlfuzz --budget]): each design runs once
+    under resource budgets through {!Difftest_oracle.check_contained}; any
+    raw exception escape or internal-error diagnostic counts as a crash
+    and is shrunk/archived like a differential finding. *)
+
 (** {1 Reproducer corpus} *)
 
 val save_reproducer :

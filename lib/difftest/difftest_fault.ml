@@ -63,3 +63,28 @@ let with_active b f =
   let prev = !active_flag in
   active_flag := b;
   Fun.protect ~finally:(fun () -> active_flag := prev) f
+
+(* ------------------------------------------------------------------ *)
+(* Poison injection: a [Pval.Internal] raised from inside one unit's UNITS
+   rule, through the [Session.insert_hook] called as the unit finishes
+   analysis.  Exercises the per-unit exception firewall: the poisoned unit
+   must yield an internal-error diagnostic while its siblings compile. *)
+
+let poison_key = ref None
+
+let poison_hook (u : Unit_info.compiled_unit) =
+  match !poison_key with
+  | Some key when u.Unit_info.u_key = key ->
+    Pval.internal "injected poison in %s" key
+  | _ -> ()
+
+let with_poison key f =
+  let prev_key = !poison_key in
+  let prev_hook = !Session.insert_hook in
+  poison_key := Some key;
+  Session.insert_hook := poison_hook;
+  Fun.protect
+    ~finally:(fun () ->
+      poison_key := prev_key;
+      Session.insert_hook := prev_hook)
+    f

@@ -21,3 +21,10 @@ val active : unit -> bool
 val with_active : bool -> (unit -> 'a) -> 'a
 (** Run a thunk with the flip forced on/off, restoring the previous state
     even on exceptions. *)
+
+val with_poison : string -> (unit -> 'a) -> 'a
+(** Run a thunk with a poison installed on one unit key (e.g.
+    ["entity:BAD"]): as that unit finishes analysis, a [Pval.Internal] is
+    raised from inside its UNITS semantic rule via {!Session.insert_hook}.
+    Exercises the per-unit exception firewall — the poisoned unit must
+    surface as an internal-error diagnostic while sibling units compile. *)

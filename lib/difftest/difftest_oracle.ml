@@ -48,6 +48,7 @@ let render_outcome = function
   | Kernel.Quiescent -> "quiescent"
   | Kernel.Time_limit -> "time-limit"
   | Kernel.Stopped -> "stopped"
+  | Kernel.Fuel_exhausted -> "fuel-exhausted"
 
 let render_change (c : Trace.change) =
   Printf.sprintf "%s %s = %a" (Rt.format_time c.Trace.c_time) c.Trace.c_path
@@ -108,6 +109,15 @@ let classify_exn = function
   | Stack_overflow -> `Crash "Stack_overflow"
   | e -> `Crash (Printexc.to_string e)
 
+(* An [Internal]-origin diagnostic is a compiler defect the firewall
+   contained — still a finding for the fuzzer, exactly like the raw escape
+   it used to be.  [Budget]-origin diagnostics are expected behavior under
+   a budget campaign and never count as crashes. *)
+let internal_crash diags =
+  match List.filter Diag.is_internal diags with
+  | [] -> None
+  | ds -> Some ("contained: " ^ String.concat "\n" (render_diags ds))
+
 let run_side ~strategy ?(inject_fault = false) ~max_ns ~top source =
   let label = label_of strategy in
   let fault = inject_fault && strategy = Vhdl_compiler.Staged in
@@ -115,12 +125,17 @@ let run_side ~strategy ?(inject_fault = false) ~max_ns ~top source =
       let c = Vhdl_compiler.create ~strategy () in
       let side = empty_side label "compile" in
       match Vhdl_compiler.compile c source with
-      | exception Vhdl_compiler.Compile_error diags ->
-        { side with s_rejected = Some (String.concat "\n" (render_diags diags)) }
+      | exception Vhdl_compiler.Compile_error diags -> (
+        match internal_crash diags with
+        | Some d -> { side with s_crash = Some d }
+        | None ->
+          { side with s_rejected = Some (String.concat "\n" (render_diags diags)) })
       | exception e -> (
         match classify_exn e with
         | `Crash d -> { side with s_crash = Some d }
         | `Reject d | `Runtime d -> { side with s_rejected = Some d })
+      | _ when internal_crash (Vhdl_compiler.diagnostics c) <> None ->
+        { side with s_crash = internal_crash (Vhdl_compiler.diagnostics c) }
       | units -> (
         let keys = List.map (fun (u : Unit_info.compiled_unit) -> u.Unit_info.u_key) units in
         let vif =
@@ -144,6 +159,11 @@ let run_side ~strategy ?(inject_fault = false) ~max_ns ~top source =
         | Some top -> (
           let side = { side with s_phase = "elaborate" } in
           match Vhdl_compiler.elaborate c ~top () with
+          | exception Vhdl_compiler.Compile_error diags -> (
+            match internal_crash diags with
+            | Some d -> { side with s_crash = Some d }
+            | None ->
+              { side with s_rejected = Some (String.concat "\n" (render_diags diags)) })
           | exception e -> (
             match classify_exn e with
             | `Crash d -> { side with s_crash = Some d }
@@ -242,6 +262,55 @@ let check_source ?(inject_fault = false) ?(max_ns = 50) ~top source =
 let check ?(inject_fault = false) (d : Difftest_gen.design) =
   check_source ~inject_fault ~max_ns:d.Difftest_gen.d_max_ns ~top:d.Difftest_gen.d_top
     d.Difftest_gen.d_source
+
+(* ------------------------------------------------------------------ *)
+(* Containment checking (budget campaigns) *)
+
+(* Under resource budgets the demand and staged strategies legitimately
+   disagree (staged applies more rules before the fuel dies), so the
+   dual-evaluator comparison is invalid; instead a single side is held to
+   the containment contract: every phase either succeeds, rejects with
+   diagnostics, or reports a budget exhaustion — a raw exception escape or
+   an internal-error diagnostic is the finding. *)
+let check_contained ?(budgets = Supervisor.no_budgets) ?(max_ns = 50) ~top source =
+  let c = Vhdl_compiler.create ~budgets () in
+  let agree ~compiled ~simulated ~units =
+    Agree { compiled; simulated; units; trace_changes = 0 }
+  in
+  let crash ~stage d = Crash { side_ = "contained"; stage; detail = d } in
+  match Vhdl_compiler.compile c source with
+  | exception Vhdl_compiler.Compile_error diags -> (
+    match internal_crash diags with
+    | Some d -> crash ~stage:"compile" d
+    | None -> agree ~compiled:false ~simulated:false ~units:0)
+  | exception e -> (
+    match classify_exn e with
+    | `Crash d -> crash ~stage:"compile" d
+    | `Reject _ | `Runtime _ -> agree ~compiled:false ~simulated:false ~units:0)
+  | units -> (
+    let n = List.length units in
+    match internal_crash (Vhdl_compiler.diagnostics c) with
+    | Some d -> crash ~stage:"compile" d
+    | None -> (
+      match top with
+      | None -> agree ~compiled:true ~simulated:false ~units:n
+      | Some top -> (
+        match Vhdl_compiler.elaborate c ~top () with
+        | exception Vhdl_compiler.Compile_error diags -> (
+          match internal_crash diags with
+          | Some d -> crash ~stage:"elaborate" d
+          | None -> agree ~compiled:true ~simulated:false ~units:n)
+        | exception e -> (
+          match classify_exn e with
+          | `Crash d -> crash ~stage:"elaborate" d
+          | `Reject _ | `Runtime _ -> agree ~compiled:true ~simulated:false ~units:n)
+        | sim -> (
+          match Vhdl_compiler.run c sim ~max_ns with
+          | exception e -> (
+            match classify_exn e with
+            | `Crash d -> crash ~stage:"simulate" d
+            | `Reject _ | `Runtime _ -> agree ~compiled:true ~simulated:true ~units:n)
+          | _outcome -> agree ~compiled:true ~simulated:true ~units:n))))
 
 let same_class v1 v2 =
   match (v1, v2) with

@@ -49,6 +49,13 @@ val check : ?inject_fault:bool -> Difftest_gen.design -> verdict
 
 val check_source : ?inject_fault:bool -> ?max_ns:int -> top:string option -> string -> verdict
 
+val check_contained :
+  ?budgets:Supervisor.budgets -> ?max_ns:int -> top:string option -> string -> verdict
+(** Single-side containment oracle for budget campaigns (where the two
+    strategies legitimately disagree): every phase must succeed, reject
+    with diagnostics, or report a budget exhaustion.  A raw exception
+    escape or an [Internal]-origin diagnostic is a [Crash] finding. *)
+
 val same_class : verdict -> verdict -> bool
 (** Same verdict constructor and stage — the shrinker's "still interesting"
     test (details may drift while a design shrinks). *)

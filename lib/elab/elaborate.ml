@@ -15,6 +15,8 @@ type library_view = {
 
 exception Elaboration_error of string
 
+exception Budget_exhausted of { steps : int }
+
 let err fmt = Format.kasprintf (fun s -> raise (Elaboration_error s)) fmt
 
 type model = {
@@ -101,7 +103,20 @@ type ctx = {
   mutable sig_counter : int;
   mutable instance_count : int;
   trace_signals : bool;
+  step_budget : int option; (* elaboration-step budget, None = unlimited *)
+  mutable steps_used : int;
 }
+
+(* One elaboration step = one signal, process, or instance brought into
+   existence.  A design that expands beyond the budget (runaway generate
+   recursion, a hierarchy bomb) surfaces as [Budget_exhausted], never as an
+   unbounded build. *)
+let charge ctx =
+  ctx.steps_used <- ctx.steps_used + 1;
+  match ctx.step_budget with
+  | Some limit when ctx.steps_used > limit ->
+    raise (Budget_exhausted { steps = ctx.steps_used })
+  | _ -> ()
 
 let fresh_sig_id ctx =
   let id = ctx.sig_counter in
@@ -140,6 +155,7 @@ let interp_eval ctx ~functions ~what (e : Kir.expr) : Value.t option =
   | exception Rt.Simulation_error _ -> None
 
 let make_signal ctx ?functions ~path ~ty ~kind ~resolution ~init_expr ~subst () =
+  charge ctx;
   let eval_with_functions e =
     match functions with
     | None -> None
@@ -227,6 +243,7 @@ let rec elaborate_instance ctx ~path ~(entity : Unit_info.entity_info)
     ~(arch : Unit_info.arch_info) ~(generic_values : (int * Value.t) list)
     ~(port_signals : Rt.signal option array) ~(config_specs : Unit_info.config_spec list) :
     unit =
+  charge ctx;
   ctx.instance_count <- ctx.instance_count + 1;
   Name_server.register ctx.ns path
     (Name_server.Instance
@@ -412,6 +429,7 @@ and elaborate_concurrents ctx ~path ~entity ~arch ~subst ~functions ~signals ~gu
     concs
 
 and elaborate_process ctx ~path ~subst ~functions ~signals ~guard (p : Kir.process) =
+  charge ctx;
   let proc_path = Printf.sprintf "%s:%s" path p.Kir.proc_label in
   let body = Kir_util.subst_stmts subst p.Kir.proc_body in
   let env_ref = ref None in
@@ -739,8 +757,12 @@ type top =
   | Top_entity of { entity : string; arch : string option }
   | Top_configuration of string
 
-(** Elaborate [top] from [lv] into a fresh kernel. *)
-let elaborate ?(trace_signals = true) (lv : library_view) (top : top) : model =
+(** Elaborate [top] from [lv] into a fresh kernel.  [step_budget] bounds
+    the number of elaboration steps (signals + processes + instances);
+    beyond it {!Budget_exhausted} is raised — callers convert it into a
+    budget diagnostic. *)
+let elaborate ?(trace_signals = true) ?step_budget (lv : library_view) (top : top) :
+    model =
   let kernel = Kernel.create () in
   let ctx =
     {
@@ -768,6 +790,8 @@ let elaborate ?(trace_signals = true) (lv : library_view) (top : top) : model =
       sig_counter = 0;
       instance_count = 0;
       trace_signals;
+      step_budget;
+      steps_used = 0;
     }
   in
   elaborate_package_signals ctx;

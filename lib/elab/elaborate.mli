@@ -14,6 +14,10 @@ type library_view = {
 
 exception Elaboration_error of string
 
+exception Budget_exhausted of { steps : int }
+(** The [?step_budget] of {!elaborate} ran out: the design expanded into
+    more signals + processes + instances than the budget allows. *)
+
 type model = {
   m_kernel : Kernel.t;
   m_ns : Name_server.t;
@@ -32,7 +36,9 @@ type top =
   | Top_entity of { entity : string; arch : string option }
   | Top_configuration of string
 
-val elaborate : ?trace_signals:bool -> library_view -> top -> model
+val elaborate : ?trace_signals:bool -> ?step_budget:int -> library_view -> top -> model
 (** Build the instance hierarchy, create runtime signals and processes,
     substitute generics and elaboration-time constants into the KIR, and
-    register everything with a fresh kernel and name server. *)
+    register everything with a fresh kernel and name server.
+    [step_budget] bounds the hierarchy expansion (@raise Budget_exhausted
+    beyond it). *)

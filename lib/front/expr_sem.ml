@@ -532,10 +532,7 @@ let mangle_call (s : Denot.subprog_sig) args = Kir.Ecall (Kir.F_user s.Denot.ss_
 let match_call ~line (s : Denot.subprog_sig) (items : aitem list) :
     (Kir.expr list, Diag.t) result =
   let params = s.Denot.ss_params in
-  let positional =
-    List.filteri (fun _ item -> match item with Ipos _ -> true | _ -> false) items
-    |> List.map (function Ipos c -> c | _ -> assert false)
-  in
+  let positional = List.filter_map (function Ipos c -> Some c | _ -> None) items in
   let named =
     List.concat_map
       (function

@@ -49,7 +49,14 @@ let find_unit ~library ~key = (get ()).find_unit ~library ~key
 let work () = (get ()).work_library
 let known_library lib = lib = "STD" || (get ()).known_library lib
 
-let insert_unit u = (get ()).insert u
+(* observation / fault-injection point: called with each unit before it is
+   inserted.  The difftest harness uses it to poison selected units; the
+   default is a no-op. *)
+let insert_hook : (Unit_info.compiled_unit -> unit) ref = ref (fun _ -> ())
+
+let insert_unit u =
+  !insert_hook u;
+  (get ()).insert u
 
 let register_subprog (s : Denot.subprog_sig) =
   Hashtbl.replace (get ()).subprogs s.Denot.ss_mangled s

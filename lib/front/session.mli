@@ -26,6 +26,11 @@ val insert_unit : Unit_info.compiled_unit -> unit
 (** Called as each unit finishes analysis, so later units in the same file
     can reference it. *)
 
+val insert_hook : (Unit_info.compiled_unit -> unit) ref
+(** Observation / fault-injection point: invoked with each unit before
+    {!insert_unit} stores it.  Default: no-op.  The differential-testing
+    harness poisons selected units through it. *)
+
 val register_subprog : Denot.subprog_sig -> unit
 (** Record a signature by mangled name (procedure-call statements need
     parameter modes for copy-back). *)

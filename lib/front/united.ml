@@ -400,13 +400,11 @@ let rec analyze ~env ~level (e : ast) : cand list * Diag.t list =
       | [ { Lef.l_kind = Lef.Kscope _; _ } ] -> (
         let lef, m1 = Decl_sem.classify_selected ~env ~line plef id in
         match lef with
-        | [ ({ Lef.l_kind = Lef.Kenum _ | Lef.Kfunc _; _ } as tok) ] -> (
-          match tok.Lef.l_kind with
-          | Lef.Kenum _ -> (Expr_sem.literal_cands tok, m0 @ m1)
-          | Lef.Kfunc sigs ->
-            let c, m2 = Expr_sem.func_cands ~line sigs in
-            (c, m0 @ m1 @ m2)
-          | _ -> assert false)
+        | [ ({ Lef.l_kind = Lef.Kenum _; _ } as tok) ] ->
+          (Expr_sem.literal_cands tok, m0 @ m1)
+        | [ { Lef.l_kind = Lef.Kfunc sigs; _ } ] ->
+          let c, m2 = Expr_sem.func_cands ~line sigs in
+          (c, m0 @ m1 @ m2)
         | [ tok ] -> (Expr_sem.head_cands ~level tok, m0 @ m1)
         | _ -> ([ Expr_sem.error_cand ], m0 @ m1))
       | _ ->

@@ -18,7 +18,11 @@ exception
     expected : string list;
   }
 
+val default_max_depth : int
+(** Default parse-stack depth bound (see [?max_depth] below). *)
+
 val parse :
+  ?max_depth:int ->
   Table.t ->
   lexer:(unit -> 'v token) ->
   shift:(int -> 'v -> int -> 'n) ->
@@ -26,4 +30,50 @@ val parse :
   'n
 (** [parse tbl ~lexer ~shift ~reduce] runs the automaton: [shift sym value
     line] builds a leaf, [reduce prod children] a node (children in source
-    order). *)
+    order).  Stops at the first error.  [max_depth] bounds the parse stack
+    so pathological nesting (thousands of unclosed parentheses) becomes a
+    {!Syntax_error} instead of an eventual [Stack_overflow] downstream. *)
+
+(** {1 Panic-mode error recovery} *)
+
+(** How a terminal behaves during resynchronization: [Sync_start] tokens
+    may begin a fresh segment (design-unit starters); an ["end" ... ";"]
+    pair ([Sync_end] then [Sync_semi]) also closes a skipped region. *)
+type sync_class =
+  | Sync_start
+  | Sync_end
+  | Sync_semi
+  | Sync_other
+
+type error = {
+  e_line : int;
+  e_found : string;
+  e_expected : string list;
+  e_skipped : int; (* tokens discarded while resynchronizing *)
+}
+
+type 'n recovery = {
+  r_root : 'n option; (* the salvaged derivation, if any prefix accepted *)
+  r_errors : error list; (* oldest first *)
+}
+
+val default_max_errors : int
+
+val parse_recovering :
+  ?max_errors:int ->
+  ?max_depth:int ->
+  Table.t ->
+  lexer:(unit -> 'v token) ->
+  eof:int ->
+  shift:(int -> 'v -> int -> 'n) ->
+  reduce:(int -> 'n list -> 'n) ->
+  checkpoint:(int -> bool) ->
+  classify:(int -> sync_class) ->
+  'n recovery
+(** Parse with phrase-level panic-mode recovery: on error, record a
+    located diagnostic, restore the stack to the last reduce of a
+    [checkpoint] production (for a design file: the design-unit list, so
+    well-formed sibling units survive), discard tokens to a synchronizing
+    point per [classify], and resume.  Cascade errors that follow a
+    resynchronization without any input progress are suppressed.  Collects
+    at most [max_errors] diagnostics. *)

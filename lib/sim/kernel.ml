@@ -30,6 +30,8 @@ type t = {
   stats : stats;
   mutable on_message : Rt.time -> severity:int -> string -> unit;
   mutable delta_limit : int;
+  mutable step_fuel : int option; (* process resumptions per instant *)
+  mutable steps_this_instant : int;
   mutable stopped : bool;
 }
 
@@ -41,7 +43,7 @@ let severity_name = function
   | 2 -> "error"
   | _ -> "failure"
 
-let create ?(delta_limit = 5000) () =
+let create ?(delta_limit = 5000) ?step_fuel () =
   {
     now = 0;
     signals = [];
@@ -60,8 +62,16 @@ let create ?(delta_limit = 5000) () =
       (fun time ~severity msg ->
         Printf.eprintf "%s: %s: %s\n%!" (Rt.format_time time) (severity_name severity) msg);
     delta_limit;
+    step_fuel;
+    steps_this_instant = 0;
     stopped = false;
   }
+
+(** Bound the number of process resumptions the kernel will perform within
+    one simulated instant (across its delta cycles) — the complement of
+    [delta_limit] for designs whose processes chatter without advancing
+    time.  Exhaustion ends the run with the {!Fuel_exhausted} outcome. *)
+let set_step_fuel k fuel = k.step_fuel <- fuel
 
 let now k = k.now
 let stats k = k.stats
@@ -141,6 +151,7 @@ let run_ready k =
     (fun p ->
       if p.Rt.proc_state = Rt.Ready then begin
         any := true;
+        k.steps_this_instant <- k.steps_this_instant + 1;
         p.Rt.proc_state <- Rt.Waiting;
         (* default: if the body doesn't set wake conditions it waits forever *)
         p.Rt.wake_signals <- [];
@@ -244,6 +255,7 @@ type outcome =
   | Quiescent (* no more events scheduled *)
   | Time_limit (* reached max_time *)
   | Stopped (* a FAILURE assertion or explicit stop *)
+  | Fuel_exhausted (* the per-instant process-step fuel ran out *)
 
 (** Run the simulation until [max_time] (inclusive).  The initialization
     phase runs every process once, then the cycle loop proceeds. *)
@@ -271,13 +283,19 @@ let run k ~max_time =
          end
          else begin
            deltas_here := 0;
+           k.steps_this_instant <- 0;
            k.stats.time_steps <- k.stats.time_steps + 1;
            k.now <- t
          end;
          clear_flags k;
          let _had_events = apply_transactions k in
          let woke = wake_processes k in
-         if woke then ignore (run_ready k)
+         if woke then ignore (run_ready k);
+         match k.step_fuel with
+         | Some fuel when k.steps_this_instant > fuel ->
+           outcome := Fuel_exhausted;
+           continue_sim := false
+         | _ -> ()
      done
    with Failure_severity _ -> outcome := Stopped);
   !outcome

@@ -26,9 +26,16 @@ exception Failure_severity of { time : Rt.time; msg : string }
 val severity_name : int -> string
 (** 0 = note, 1 = warning, 2 = error, 3+ = failure. *)
 
-val create : ?delta_limit:int -> unit -> t
+val create : ?delta_limit:int -> ?step_fuel:int -> unit -> t
 (** A fresh kernel.  [delta_limit] bounds delta cycles per simulated instant
-    (combinational-loop detection). *)
+    (combinational-loop detection); [step_fuel] bounds process resumptions
+    per simulated instant (runaway-process containment). *)
+
+val set_step_fuel : t -> int option -> unit
+(** Bound (or unbound, with [None]) the number of process resumptions the
+    kernel will perform within one simulated instant, across its delta
+    cycles.  Exhaustion ends {!run} with the {!Fuel_exhausted} outcome
+    rather than hanging or raising. *)
 
 val now : t -> Rt.time
 val stats : t -> stats
@@ -58,6 +65,7 @@ type outcome =
   | Quiescent (* no more events scheduled *)
   | Time_limit (* reached max_time *)
   | Stopped (* a FAILURE assertion or explicit stop *)
+  | Fuel_exhausted (* the per-instant process-step fuel ran out *)
 
 val run : t -> max_time:Rt.time -> outcome
 (** Initialization phase (every process runs to its first wait), then the

@@ -85,11 +85,46 @@ Bad input is rejected with a diagnostic and a nonzero exit:
 
   $ ../../bin/vhdlc.exe compile --work ./lib bad.vhd
   vhdlc: FILE… arguments: no 'bad.vhd' file or directory
-  Usage: vhdlc compile [--phases] [--ref=NAME=DIR] [--work=DIR] [OPTION]… FILE…
+  Usage: vhdlc compile [OPTION]… FILE…
   Try 'vhdlc compile --help' or 'vhdlc --help' for more information.
   [124]
 
   $ printf 'entity broken' > broken.vhd
   $ ../../bin/vhdlc.exe compile --work ./lib broken.vhd
   broken.vhd: line 1: error: syntax error: unexpected EOF
+  [1]
+
+The parser recovers at design-unit boundaries: one run reports every
+syntax error, and the undamaged sibling units still reach the library
+(--report shows the per-unit outcome):
+
+  $ cat > multi.vhd <<'VHDL'
+  > entity good1 is end good1;
+  > entity bad1 is
+  >   port garbage ( ;
+  > end bad1;
+  > entity good2 is end good2;
+  > architecture broken of good1 is
+  >   signal s : ) bit;
+  > end broken;
+  > entity good3 is end good3;
+  > VHDL
+
+  $ ../../bin/vhdlc.exe compile --report multi.vhd
+  multi.vhd: line 3: error: syntax error: unexpected ID (skipped 6 tokens to resynchronize)
+  multi.vhd: line 7: error: syntax error: unexpected ) (skipped 6 tokens to resynchronize)
+  compiled   entity GOOD1 (line 1)
+  compiled   entity GOOD2 (line 5)
+  compiled   entity GOOD3 (line 9)
+  [1]
+
+Resource budgets exhaust into diagnostics, never hangs:
+
+  $ ../../bin/vhdlc.exe compile --fuel 40 --report multi.vhd
+  multi.vhd: line 3: error: syntax error: unexpected ID (skipped 6 tokens to resynchronize)
+  multi.vhd: line 7: error: syntax error: unexpected ) (skipped 6 tokens to resynchronize)
+  multi.vhd: line 9: error: [budget:analysis:entity GOOD3] evaluation fuel exhausted after 41 rule applications
+  compiled   entity GOOD1 (line 1)
+  compiled   entity GOOD2 (line 5)
+  skipped    entity GOOD3 (line 9)
   [1]

@@ -111,7 +111,7 @@ let design_runs src =
     | Kernel.Quiescent | Kernel.Time_limit ->
       (* sanity: the kernel clock never exceeded the horizon *)
       Kernel.now (Vhdl_compiler.kernel sim) <= 60 * Rt.ns
-    | Kernel.Stopped -> false
+    | Kernel.Stopped | Kernel.Fuel_exhausted -> false
     | exception Rt.Simulation_error _ -> false)
 
 let generated_designs_run =
@@ -134,7 +134,7 @@ let generated_designs_roundtrip =
         let sim = Vhdl_compiler.elaborate c2 ~top:"gen_tb" () in
         match Vhdl_compiler.run c2 sim ~max_ns:40 with
         | Kernel.Quiescent | Kernel.Time_limit -> true
-        | Kernel.Stopped -> false
+        | Kernel.Stopped | Kernel.Fuel_exhausted -> false
         | exception Rt.Simulation_error _ -> false))
 
 let suite =

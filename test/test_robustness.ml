@@ -53,6 +53,12 @@ let corpus =
     "entity t is end t;\narchitecture a of t is\n  signal s : bit;\n  signal s : bit;\nbegin\nend a;";
     (* deep nesting *)
     "entity t is end t;\narchitecture a of t is\nbegin\n  p : process\n  begin\n    if true then if true then if true then if true then\n      null;\n    end if; end if; end if; end if;\n    wait;\n  end process;\nend a;";
+    (* escape-audit probes: each of these once pointed at a raw
+       invalid_arg / assert false; they must answer with diagnostics *)
+    "entity t is end t;\narchitecture a of t is\n  type r is record\n    f : integer;\n  end record;\n  signal x, y : r;\n  signal b : boolean;\nbegin\n  b <= x < y;\nend a;";
+    "entity t is end t;\narchitecture a of t is\nbegin\n  p : process\n  begin\n    assert false report 42;\n    wait;\n  end process;\nend a;";
+    "entity t is end t;\narchitecture a of t is\n  signal s : bit;\nbegin\n  p : process\n  begin\n    if s then\n      null;\n    end if;\n    wait;\n  end process;\nend a;";
+    "entity t is end t;\narchitecture a of t is\n  function \"++\" (x : integer) return integer is\n  begin\n    return x;\n  end;\nbegin\nend a;";
     (* empty-ish inputs *)
     "";
     "-- just a comment\n";
@@ -67,6 +73,10 @@ let test_rejections () =
       "entity t is end t;\narchitecture a of t is\n  signal s : bit := 42;\nbegin\nend a;";
       "entity t is end t;\narchitecture a of t is\n  variable v : integer;\nbegin\nend a;";
       "entity t is end t;\narchitecture a of t is\nbegin\n  p : process\n  begin\n    return 1;\n    wait;\n  end process;\nend a;";
+      (* record ordering and a non-STRING report expression must be user
+         diagnostics, not Value/Std invalid_arg escapes *)
+      "entity t is end t;\narchitecture a of t is\n  type r is record\n    f : integer;\n  end record;\n  signal x, y : r;\n  signal b : boolean;\nbegin\n  b <= x < y;\nend a;";
+      "entity t is end t;\narchitecture a of t is\nbegin\n  p : process\n  begin\n    assert false report 42;\n    wait;\n  end process;\nend a;";
     ]
 
 (* end-name mismatches are diagnosed but not fatal to unit construction *)
@@ -189,6 +199,156 @@ let fuzz_mutations =
       done;
       never_crashes (String.concat " " !words))
 
+(* ------------------------------------------------------------------ *)
+(* Crash containment: parser recovery, the per-unit firewall, budgets *)
+
+(* One compile reports *all* syntax errors at stable lines, and the
+   well-formed sibling units still reach the library. *)
+let test_multi_error_recovery () =
+  let src =
+    String.concat "\n"
+      [
+        "entity good1 is end good1;";
+        "entity bad1 is";
+        "  port garbage ( ;";
+        "end bad1;";
+        "entity good2 is end good2;";
+        "architecture broken of good1 is";
+        "  signal s : ) bit;";
+        "end broken;";
+        "entity good3 is end good3;";
+        "package bad2 is";
+        "  constant c : := 1;";
+        "end bad2;";
+        "entity good4 is end good4;";
+      ]
+  in
+  let c = Vhdl_compiler.create () in
+  let units = Vhdl_compiler.compile ~fail_on_error:false c src in
+  let error_lines =
+    Vhdl_compiler.diagnostics c
+    |> List.filter Diag.is_error
+    |> List.map (fun d -> d.Diag.line)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "one error per damaged unit, stable lines"
+    [ 3; 7; 11 ] error_lines;
+  let keys = List.map (fun (u : Unit_info.compiled_unit) -> u.Unit_info.u_key) units in
+  List.iter
+    (fun k -> Alcotest.(check bool) ("sibling survives: " ^ k) true (List.mem k keys))
+    [ "entity:GOOD1"; "entity:GOOD2"; "entity:GOOD3"; "entity:GOOD4" ]
+
+(* An internal exception injected into one unit's analysis becomes an
+   internal-error diagnostic tagged with phase and unit; siblings compile. *)
+let test_poisoned_unit_firewall () =
+  let src =
+    "entity good1 is end good1;\nentity bad is end bad;\nentity good2 is end good2;"
+  in
+  let c = Vhdl_compiler.create () in
+  let units =
+    Difftest_fault.with_poison "entity:BAD" (fun () ->
+        Vhdl_compiler.compile ~fail_on_error:false c src)
+  in
+  let internals = List.filter Diag.is_internal (Vhdl_compiler.diagnostics c) in
+  (match internals with
+  | [ d ] -> (
+    match d.Diag.origin with
+    | Diag.Internal { phase; unit_name } ->
+      Alcotest.(check string) "phase" "analysis" phase;
+      Alcotest.(check (option string)) "unit" (Some "entity BAD") unit_name
+    | _ -> Alcotest.fail "expected Internal origin")
+  | ds -> Alcotest.failf "expected exactly one internal diagnostic, got %d" (List.length ds));
+  let keys = List.map (fun (u : Unit_info.compiled_unit) -> u.Unit_info.u_key) units in
+  Alcotest.(check bool) "good1 survives" true (List.mem "entity:GOOD1" keys);
+  Alcotest.(check bool) "good2 survives" true (List.mem "entity:GOOD2" keys);
+  Alcotest.(check bool) "poisoned unit reported" true
+    (List.exists
+       (fun r -> r.Supervisor.ur_status = Supervisor.Poisoned)
+       (Vhdl_compiler.last_report c))
+
+(* Pathological nesting is a diagnostic, not a Stack_overflow (the parse
+   stack is depth-limited); moderate nesting still compiles. *)
+let deep_parens n =
+  Printf.sprintf
+    "entity t is end t;\narchitecture a of t is\n  signal s : integer;\nbegin\n  s <= %s1%s;\nend a;"
+    (String.concat "" (List.init n (fun _ -> "(")))
+    (String.concat "" (List.init n (fun _ -> ")")))
+
+let test_deep_nesting () =
+  let c = Vhdl_compiler.create () in
+  (match Vhdl_compiler.compile ~fail_on_error:false c (deep_parens 6000) with
+  | _ -> ()
+  | exception Vhdl_compiler.Compile_error _ -> ());
+  Alcotest.(check bool) "deep nesting diagnosed" true
+    (List.exists
+       (fun d -> Astring_contains.contains d.Diag.message "nesting deeper")
+       (Vhdl_compiler.diagnostics c));
+  let c2 = Vhdl_compiler.create () in
+  match Vhdl_compiler.compile c2 (deep_parens 500) with
+  | _ -> ()
+  | exception Vhdl_compiler.Compile_error ds ->
+    Alcotest.failf "500-deep nesting should compile: %s"
+      (Format.asprintf "%a" Diag.pp_list ds)
+
+(* Exhausted evaluator fuel surfaces as a budget diagnostic and the
+   remaining units show up as skipped in the partial-result report. *)
+let test_eval_fuel_budget () =
+  let budgets = { Supervisor.no_budgets with Supervisor.eval_fuel = Some 50 } in
+  let c = Vhdl_compiler.create ~budgets () in
+  let src = Workload.behavioral ~name:"fueltest" ~states:3 ~exprs:4 in
+  (match Vhdl_compiler.compile ~fail_on_error:false c src with
+  | _ -> ()
+  | exception Vhdl_compiler.Compile_error _ -> ());
+  Alcotest.(check bool) "budget diagnostic" true
+    (Diag.has_budget (Vhdl_compiler.diagnostics c));
+  Alcotest.(check bool) "remaining units skipped" true
+    (List.exists
+       (fun r -> r.Supervisor.ur_status = Supervisor.Skipped)
+       (Vhdl_compiler.last_report c))
+
+(* An already-expired deadline trips on the evaluator's tick hook. *)
+let test_deadline_budget () =
+  let budgets = { Supervisor.no_budgets with Supervisor.deadline_s = Some (-1.0) } in
+  let c = Vhdl_compiler.create ~budgets () in
+  let src = Workload.behavioral ~name:"deadlinetest" ~states:4 ~exprs:6 in
+  (match Vhdl_compiler.compile ~fail_on_error:false c src with
+  | _ -> ()
+  | exception Vhdl_compiler.Compile_error _ -> ());
+  Alcotest.(check bool) "deadline diagnostic" true
+    (Diag.has_budget (Vhdl_compiler.diagnostics c))
+
+(* The elaboration step budget turns a too-large hierarchy into a
+   Compile_error carrying a budget diagnostic. *)
+let test_elab_budget () =
+  let budgets = { Supervisor.no_budgets with Supervisor.elab_steps = Some 2 } in
+  let c = Vhdl_compiler.create ~budgets () in
+  ignore
+    (Vhdl_compiler.compile c
+       "entity t is end t;\narchitecture a of t is\n  signal x : integer := 0;\n  signal y : integer := 0;\nbegin\n  p : process\n  begin\n    x <= 1;\n    wait;\n  end process;\n  q : process\n  begin\n    y <= 2;\n    wait;\n  end process;\nend a;");
+  match Vhdl_compiler.elaborate c ~top:"t" () with
+  | _ -> Alcotest.fail "elaboration should exhaust its step budget"
+  | exception Vhdl_compiler.Compile_error ds ->
+    Alcotest.(check bool) "budget diagnostic" true (Diag.has_budget ds)
+
+(* A zero-delay process loop exhausts the per-instant step fuel: the run
+   ends with the Fuel_exhausted outcome instead of spinning forever. *)
+let test_sim_step_fuel () =
+  let budgets = { Supervisor.no_budgets with Supervisor.sim_step_fuel = Some 10 } in
+  let c = Vhdl_compiler.create ~budgets () in
+  ignore
+    (Vhdl_compiler.compile c
+       "entity t is end t;\narchitecture a of t is\n  signal s : integer := 0;\nbegin\n  p : process\n  begin\n    s <= s + 1;\n    wait for 0 ns;\n  end process;\nend a;");
+  let sim = Vhdl_compiler.elaborate c ~top:"t" () in
+  match Vhdl_compiler.run c sim ~max_ns:5 with
+  | Kernel.Fuel_exhausted -> ()
+  | o ->
+    Alcotest.failf "expected fuel exhaustion, got %s"
+      (match o with
+      | Kernel.Quiescent -> "quiescent"
+      | Kernel.Time_limit -> "time-limit"
+      | Kernel.Stopped -> "stopped"
+      | Kernel.Fuel_exhausted -> "fuel-exhausted")
+
 let suite =
   [
     Alcotest.test_case "error corpus never crashes" `Quick test_corpus;
@@ -198,6 +358,18 @@ let suite =
     Alcotest.test_case "functions may not assign signals or wait" `Quick test_function_purity;
     Alcotest.test_case "homographs rejected, overloads accepted" `Quick test_homograph_rejected;
     Alcotest.test_case "descending waveforms rejected" `Quick test_descending_waveform_rejected;
+    Alcotest.test_case "multi-error recovery: all errors, siblings compile" `Quick
+      test_multi_error_recovery;
+    Alcotest.test_case "poisoned unit is contained, siblings compile" `Quick
+      test_poisoned_unit_firewall;
+    Alcotest.test_case "deep nesting is a diagnostic, not an overflow" `Quick
+      test_deep_nesting;
+    Alcotest.test_case "evaluator fuel exhausts into a budget diagnostic" `Quick
+      test_eval_fuel_budget;
+    Alcotest.test_case "compile deadline exhausts into a budget diagnostic" `Quick
+      test_deadline_budget;
+    Alcotest.test_case "elaboration step budget is enforced" `Quick test_elab_budget;
+    Alcotest.test_case "per-instant sim step fuel is enforced" `Quick test_sim_step_fuel;
     QCheck_alcotest.to_alcotest fuzz_tokens;
     QCheck_alcotest.to_alcotest fuzz_mutations;
   ]

@@ -42,7 +42,9 @@ let test_workloads_simulate () =
   let sim2 = Vhdl_compiler.elaborate c2 ~top:"WB" () in
   let outcome = Vhdl_compiler.run c2 sim2 ~max_ns:50 in
   Alcotest.(check bool) "behavioral runs" true
-    (match outcome with Kernel.Quiescent | Kernel.Time_limit -> true | Kernel.Stopped -> false)
+    (match outcome with
+    | Kernel.Quiescent | Kernel.Time_limit -> true
+    | Kernel.Stopped | Kernel.Fuel_exhausted -> false)
 
 let generator_fuzz =
   QCheck.Test.make ~name:"generators are valid over random parameters" ~count:25
