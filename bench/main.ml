@@ -527,16 +527,45 @@ let all () =
   vif_cache_ablation ();
   micro ()
 
+(* ------------------------------------------------------------------ *)
+(* Result files: every run leaves a BENCH_<experiment>.json with the
+   headline telemetry counters the workload racked up (memo hit rate,
+   delta cycles, VIF traffic, ...) next to the printed report, so a run
+   can be diffed against a previous one without re-reading the text. *)
+
+module Telemetry = Vhdl_telemetry.Telemetry
+
+let write_bench_json label elapsed_s =
+  let module J = Telemetry.Json in
+  let path = Printf.sprintf "BENCH_%s.json" label in
+  Vhdl_util.Unix_compat.write_file path
+    (J.obj
+       [
+         ("experiment", J.str label);
+         ("elapsed_s", J.float elapsed_s);
+         ("telemetry", Telemetry.metrics_json ());
+       ]);
+  Printf.printf "\n[%s: telemetry written to %s]\n" label path
+
+let run_experiment label f =
+  Telemetry.reset ();
+  let start = now () in
+  f ();
+  write_bench_json label (now () -. start)
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "fig2" :: _ -> Size_report.print "."
-  | _ :: "ag-stats" :: _ -> ag_stats ()
-  | _ :: "speed" :: _ -> speed ()
-  | _ :: "phases" :: _ -> phases ()
-  | _ :: "config" :: _ -> config ()
-  | _ :: "sim" :: _ -> sim_throughput ()
-  | _ :: "env" :: _ -> env_ablation ()
-  | _ :: "cascade" :: _ -> cascade ()
-  | _ :: "vif-cache" :: _ -> vif_cache_ablation ()
-  | _ :: "micro" :: _ -> micro ()
-  | _ -> all ()
+  let label, f =
+    match Array.to_list Sys.argv with
+    | _ :: "fig2" :: _ -> ("fig2", fun () -> Size_report.print ".")
+    | _ :: "ag-stats" :: _ -> ("ag-stats", ag_stats)
+    | _ :: "speed" :: _ -> ("speed", speed)
+    | _ :: "phases" :: _ -> ("phases", phases)
+    | _ :: "config" :: _ -> ("config", config)
+    | _ :: "sim" :: _ -> ("sim", sim_throughput)
+    | _ :: "env" :: _ -> ("env", env_ablation)
+    | _ :: "cascade" :: _ -> ("cascade", cascade)
+    | _ :: "vif-cache" :: _ -> ("vif-cache", vif_cache_ablation)
+    | _ :: "micro" :: _ -> ("micro", micro)
+    | _ -> ("all", all)
+  in
+  run_experiment label f

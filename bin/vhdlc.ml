@@ -12,6 +12,7 @@
      vhdlc stats *)
 
 open Cmdliner
+module Telemetry = Vhdl_telemetry.Telemetry
 
 let work_arg =
   let doc = "Working library directory (created if missing)." in
@@ -59,6 +60,45 @@ let budgets_of ?elab_steps ?sim_step_fuel fuel deadline =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry surface, shared by compile and simulate *)
+
+let trace_arg =
+  let doc =
+    "Write Chrome trace-event JSON of the pipeline span tree to $(docv) \
+     (loads in chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ] ~doc:"Print the telemetry counter report after the run.")
+
+let metrics_out_arg =
+  let doc = "Write the telemetry metrics as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with tracing armed if a trace file was requested, then write the
+   requested exports.  Exports are written even when [f] exits non-zero —
+   the trace of a failing compile is the one you want to look at. *)
+let with_telemetry ~trace ~metrics ~metrics_out f =
+  Telemetry.reset ();
+  if trace <> None then Telemetry.set_tracing true;
+  Fun.protect
+    ~finally:(fun () ->
+      (match trace with
+      | Some path ->
+        Vhdl_util.Unix_compat.write_file path (Telemetry.to_chrome_trace ());
+        Telemetry.set_tracing false;
+        Telemetry.clear_spans ()
+      | None -> ());
+      if metrics then Format.printf "%a@." (fun fmt () -> Telemetry.pp_metrics fmt ()) ();
+      match metrics_out with
+      | Some path -> Vhdl_util.Unix_compat.write_file path (Telemetry.metrics_json ())
+      | None -> ())
+    f
+
+(* ------------------------------------------------------------------ *)
 
 let compile_cmd =
   let files =
@@ -72,7 +112,8 @@ let compile_cmd =
       value & flag
       & info [ "report" ] ~doc:"Print the per-unit partial-result report.")
   in
-  let run work refs phases report fuel deadline files =
+  let run work refs phases report trace metrics metrics_out fuel deadline files =
+    with_telemetry ~trace ~metrics ~metrics_out @@ fun () ->
     let c = make_compiler ~budgets:(budgets_of fuel deadline) work refs in
     let ok = ref true in
     List.iter
@@ -94,7 +135,9 @@ let compile_cmd =
   in
   let doc = "Compile VHDL source files into the working library." in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const run $ work_arg $ ref_arg $ phases $ report $ fuel_arg $ deadline_arg $ files)
+    Term.(
+      const run $ work_arg $ ref_arg $ phases $ report $ trace_arg $ metrics_arg
+      $ metrics_out_arg $ fuel_arg $ deadline_arg $ files)
 
 let simulate_cmd =
   let top =
@@ -138,7 +181,9 @@ let simulate_cmd =
     let doc = "Bound process resumptions per simulated instant (budget)." in
     Arg.(value & opt (some int) None & info [ "sim-fuel" ] ~docv:"N" ~doc)
   in
-  let run work refs top arch configuration ns vcd hierarchy elab_steps sim_fuel files =
+  let run work refs top arch configuration ns vcd hierarchy trace metrics metrics_out
+      elab_steps sim_fuel files =
+    with_telemetry ~trace ~metrics ~metrics_out @@ fun () ->
     let c =
       make_compiler ~budgets:(budgets_of ?elab_steps ?sim_step_fuel:sim_fuel None None)
         work refs
@@ -187,7 +232,7 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ work_arg $ ref_arg $ top $ arch $ configuration $ ns $ vcd $ hierarchy
-      $ elab_steps $ sim_fuel $ files)
+      $ trace_arg $ metrics_arg $ metrics_out_arg $ elab_steps $ sim_fuel $ files)
 
 let dump_cmd =
   let key =
@@ -210,14 +255,18 @@ let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc) Term.(const run $ work_arg $ ref_arg $ key)
 
 let stats_cmd =
-  let run () =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the table as a JSON array.")
+  in
+  let run json =
     let s1 = Stats.of_grammar ~name:"VHDL AG" (Main_grammar.grammar ()) in
     let s2 = Stats.of_grammar ~name:"expr AG" (Expr_eval.grammar ()) in
-    Format.printf "%a@." Stats.pp_table [ s1; s2 ];
+    if json then print_endline (Stats.table_json [ s1; s2 ])
+    else Format.printf "%a@." Stats.pp_table [ s1; s2 ];
     0
   in
   let doc = "Print the attribute-grammar statistics table." in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ json)
 
 let () =
   let doc = "a VHDL compiler and simulator built from attribute grammars" in

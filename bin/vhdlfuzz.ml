@@ -11,6 +11,18 @@
      vhdlfuzz --smoke --inject-fault           # prove the oracle catches bugs *)
 
 open Cmdliner
+module Telemetry = Vhdl_telemetry.Telemetry
+
+(* headline telemetry counters accumulated over the whole campaign — how
+   much work the pipeline actually did across every seed *)
+let pp_campaign_telemetry fmt () =
+  let c = Telemetry.counter_value in
+  Format.fprintf fmt
+    "telemetry: %d tokens, %d attrs evaluated (%d memo hits), %d cascade \
+     evaluations, %d resyncs, %d delta cycles, %d events"
+    (c "lexer.tokens") (c "ag.attrs_evaluated") (c "ag.memo_hits")
+    (c "cascade.evaluations") (c "lalr.resyncs") (c "sim.delta_cycles")
+    (c "sim.events")
 
 let run smoke soak replay_files seed count size max_ns inject_fault budget
     corpus_dir gen_only quiet =
@@ -48,6 +60,7 @@ let run smoke soak replay_files seed count size max_ns inject_fault budget
       else Difftest.run_campaign ~inject_fault ?corpus_dir ~log ~seeds ~size ()
     in
     Format.printf "%a@." Difftest.pp_summary s;
+    Format.printf "%a@." pp_campaign_telemetry ();
     ignore max_ns;
     if s.Difftest.divergences = 0 && s.Difftest.crashes = 0 then 0 else 1
   end

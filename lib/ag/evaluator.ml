@@ -12,6 +12,15 @@
     identical values; the staged form exists for the visit statistics and
     the evaluator-strategy bench. *)
 
+module Tm = Vhdl_telemetry.Telemetry
+
+let m_memo_hits = Tm.counter "ag.memo_hits"
+let m_attrs_evaluated = Tm.counter "ag.attrs_evaluated"
+let m_rule_applications = Tm.counter "ag.rule_applications"
+let m_staged_passes = Tm.counter "ag.staged_passes"
+let m_staged_visits = Tm.counter "ag.staged_visits"
+let m_visits_per_pass = Tm.histogram "ag.visits_per_pass"
+
 exception Cycle of { prod_name : string; attr_name : string }
 
 exception
@@ -132,7 +141,9 @@ let find_rule t prod_id (target : Grammar.occurrence) =
    lives in the parent's production (or in [root_inherited] at the root). *)
 let rec eval_node t node attr =
   match Hashtbl.find_opt node.n_cache attr with
-  | Some (Done v) -> v
+  | Some (Done v) ->
+    Tm.incr m_memo_hits;
+    v
   | Some In_progress ->
     let prod_name =
       if node.n_prod >= 0 then
@@ -141,6 +152,7 @@ let rec eval_node t node attr =
     in
     raise (Cycle { prod_name; attr_name = Grammar.attr_name t.grammar attr })
   | None ->
+    Tm.incr m_attrs_evaluated;
     Hashtbl.replace node.n_cache attr In_progress;
     let v =
       if node.n_prod < 0 then eval_token t node attr
@@ -194,6 +206,7 @@ and apply_rule t at_node rule =
   in
   let args = List.map arg_of rule.Grammar.deps in
   t.rule_applications <- t.rule_applications + 1;
+  Tm.incr m_rule_applications;
   (match t.fuel with
   | Some limit when t.rule_applications > limit ->
     raise (Fuel_exhausted { applications = t.rule_applications })
@@ -225,9 +238,12 @@ let evaluate_staged t ~partitions =
       List.iter (fun (_, pass) -> if pass > !max_pass then max_pass := pass) assignments)
     partitions;
   for pass = 1 to !max_pass do
+    Tm.incr m_staged_passes;
+    let visits = ref 0 in
     let rec walk node =
       Array.iter walk node.n_children;
       if node.n_prod >= 0 then begin
+        incr visits;
         let p = Grammar.production t.grammar node.n_prod in
         let sym = p.Grammar.lhs in
         List.iter
@@ -236,7 +252,9 @@ let evaluate_staged t ~partitions =
           partitions.(sym)
       end
     in
-    walk t.root
+    walk t.root;
+    Tm.add m_staged_visits !visits;
+    Tm.observe m_visits_per_pass (float_of_int !visits)
   done;
   !max_pass
 

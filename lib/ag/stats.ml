@@ -63,6 +63,24 @@ let implicit_fraction t =
   if t.rules_total = 0 then 0.0
   else float_of_int t.rules_implicit /. float_of_int t.rules_total
 
+let to_json t =
+  let module J = Vhdl_telemetry.Telemetry.Json in
+  J.obj
+    [
+      ("name", J.str t.name);
+      ("productions", J.int t.productions);
+      ("symbols", J.int t.symbols);
+      ("attributes", J.int t.attributes);
+      ("rules_total", J.int t.rules_total);
+      ("rules_implicit", J.int t.rules_implicit);
+      ("implicit_fraction", J.float (implicit_fraction t));
+      ( "max_visits",
+        if t.max_visits < 0 then "null" else J.int t.max_visits );
+    ]
+
+let table_json stats =
+  Vhdl_telemetry.Telemetry.Json.arr (List.map to_json stats)
+
 let pp_table fmt stats =
   let columns = List.map (fun s -> s.name) stats in
   Format.fprintf fmt "@[<v>%-18s" "";

@@ -19,3 +19,10 @@ val implicit_fraction : t -> float
 
 val pp_table : Format.formatter -> t list -> unit
 (** Print several grammars side by side, like the paper's table. *)
+
+val to_json : t -> string
+(** One grammar's statistics as a JSON object ([max_visits] is [null] when
+    the AG is not orderable by a fixed plan). *)
+
+val table_json : t list -> string
+(** The whole table as a JSON array — [vhdlc stats --json]. *)

@@ -11,6 +11,15 @@
     unlimited, and {!no_budgets} (the default everywhere) disables all of
     them, so the ordinary pipeline pays nothing. *)
 
+module Tm = Vhdl_telemetry.Telemetry
+
+let m_units_compiled = Tm.counter "supervisor.units_compiled"
+let m_units_errored = Tm.counter "supervisor.units_errored"
+let m_units_poisoned = Tm.counter "supervisor.units_poisoned"
+let m_units_skipped = Tm.counter "supervisor.units_skipped"
+let m_budget_exhaustions = Tm.counter "supervisor.budget_exhaustions"
+let m_internal_escapes = Tm.counter "supervisor.internal_escapes"
+
 (** Pipeline phases, for tagging diagnostics. *)
 type phase =
   | Scan
@@ -68,8 +77,14 @@ let is_fatal = function
 
 let diag_of_exn ~phase ?unit_name ~line exn : Diag.t option =
   let p = phase_name phase in
-  let internal msg = Some (Diag.internal_error ~phase:p ?unit_name ~line "%s" msg) in
-  let budget msg = Some (Diag.budget_error ~phase:p ?unit_name ~line "%s" msg) in
+  let internal msg =
+    Tm.incr m_internal_escapes;
+    Some (Diag.internal_error ~phase:p ?unit_name ~line "%s" msg)
+  in
+  let budget msg =
+    Tm.incr m_budget_exhaustions;
+    Some (Diag.budget_error ~phase:p ?unit_name ~line "%s" msg)
+  in
   match exn with
   (* budgets *)
   | Evaluator.Fuel_exhausted { applications } ->
@@ -123,6 +138,14 @@ let status_name = function
   | Errored -> "errored"
   | Poisoned -> "poisoned"
   | Skipped -> "skipped"
+
+(** Bump the per-unit outcome counter for [status] — called once per design
+    unit as its report line is recorded. *)
+let count_status = function
+  | Compiled -> Tm.incr m_units_compiled
+  | Errored -> Tm.incr m_units_errored
+  | Poisoned -> Tm.incr m_units_poisoned
+  | Skipped -> Tm.incr m_units_skipped
 
 (** One line of the per-compile partial-result report. *)
 type unit_report = {

@@ -60,6 +60,10 @@ type unit_status =
 
 val status_name : unit_status -> string
 
+val count_status : unit_status -> unit
+(** Bump the [supervisor.units_*] telemetry counter for a status — called
+    once per design unit as its report line is recorded. *)
+
 type unit_report = {
   ur_name : string;
   ur_line : int;

@@ -24,6 +24,10 @@
 
 module Timer = Vhdl_util.Phase_timer
 module Driver = Vhdl_lalr.Driver
+module Telemetry = Vhdl_telemetry.Telemetry
+
+let m_compiles_demand = Telemetry.counter "compile.runs_demand"
+let m_compiles_staged = Telemetry.counter "compile.runs_staged"
 
 (** How the principal AG is evaluated during [compile].  [Demand] asks only
     for the goal attributes and lets memoization pull in what they need;
@@ -161,6 +165,9 @@ let unit_label site =
    producing one exhaustion diagnostic each. *)
 let analyze_units t ev =
   (match t.strategy with
+  | Demand -> Telemetry.incr m_compiles_demand
+  | Staged -> Telemetry.incr m_compiles_staged);
+  (match t.strategy with
   | Demand -> ()
   | Staged -> (
     (* plan-based pre-pass over the whole tree; a contained escape here is
@@ -181,6 +188,7 @@ let analyze_units t ev =
       let line = Evaluator.site_line site in
       let name = unit_label site in
       let record status =
+        Supervisor.count_status status;
         report :=
           { Supervisor.ur_name = name; ur_line = line; ur_status = status } :: !report
       in
@@ -188,9 +196,10 @@ let analyze_units t ev =
       else
         match
           Supervisor.guard ~phase:Supervisor.Analysis ~unit_name:name ~line (fun () ->
-              let us = Pval.as_units (Evaluator.eval_at ev site "UNITS") in
-              let ms = Pval.as_msgs (Evaluator.eval_at ev site "MSGS") in
-              (us, ms))
+              Telemetry.with_span ~cat:"unit" name (fun () ->
+                  let us = Pval.as_units (Evaluator.eval_at ev site "UNITS") in
+                  let ms = Pval.as_msgs (Evaluator.eval_at ev site "MSGS") in
+                  (us, ms)))
         with
         | Ok (us, ms) ->
           units := List.rev_append us !units;
@@ -216,6 +225,7 @@ let analyze_units t ev =
 let compile ?(fail_on_error = true) t source : Unit_info.compiled_unit list =
   let session = session t in
   Session.with_session session (fun () ->
+      Telemetry.with_span ~cat:"pipeline" "compile" @@ fun () ->
       let grammar = Main_grammar.grammar () in
       let parser_ = Main_grammar.parser_ () in
       let source_lines = Lexer.source_lines source in
@@ -248,9 +258,10 @@ let compile ?(fail_on_error = true) t source : Unit_info.compiled_unit list =
         t.last_report <- [];
         raise (Compile_error parse_diags)
       | Some tree ->
-        (* phases 3+4: attribute evaluation, with the expression-AG cascade
-           accounted separately *)
-        Expr_eval.reset_counters ();
+        (* phases 3+4: attribute evaluation; the expression-AG cascade and
+           the VIF I/O charge their own nested phase frames, so the timer's
+           self-time accounting separates them without any bookkeeping
+           here *)
         Library.reset_io_stats t.work;
         let ev =
           Evaluator.create
@@ -276,14 +287,6 @@ let compile ?(fail_on_error = true) t source : Unit_info.compiled_unit list =
         let units, msgs, report =
           Timer.time t.timer "attribute evaluation" (fun () -> analyze_units t ev)
         in
-        (* carve the cascade and the VIF I/O out of the evaluation phase *)
-        Timer.add t.timer "attribute evaluation" (-.(!Expr_eval.seconds));
-        Timer.add t.timer "expression evaluation (cascade)" !Expr_eval.seconds;
-        let io = Library.io_stats t.work in
-        Timer.add t.timer "attribute evaluation"
-          (-.(io.Library.io_read_seconds +. io.Library.io_write_seconds));
-        Timer.add t.timer "VIF read" io.Library.io_read_seconds;
-        Timer.add t.timer "VIF write" io.Library.io_write_seconds;
         let all_msgs = parse_diags @ msgs in
         t.compiled_units <- t.compiled_units + List.length units;
         t.compiled_lines <- t.compiled_lines + source_lines;
@@ -317,12 +320,15 @@ let library_view t : Elaborate.library_view =
     ([Elaboration_error], the expected user-level failure, still raises
     as itself). *)
 let elaborate ?arch ?configuration ?(trace = true) t ~top () : simulation =
+  Telemetry.with_span ~cat:"pipeline" "elaborate" @@ fun () ->
   let target =
     match configuration with
     | Some c -> Elaborate.Top_configuration c
     | None -> Elaborate.Top_entity { entity = String.uppercase_ascii top; arch }
   in
   Library.reset_io_stats t.work;
+  (* elaboration's own foreign-reference reads charge the nested "VIF read"
+     phase frames the library opens, so they never pollute this phase *)
   let model =
     Timer.time t.timer "codegen+link (elaboration)" (fun () ->
         match
@@ -335,10 +341,6 @@ let elaborate ?arch ?configuration ?(trace = true) t ~top () : simulation =
           t.diagnostics <- d :: t.diagnostics;
           raise (Compile_error [ d ]))
   in
-  (* elaboration's own foreign-reference reads belong to the VIF phase *)
-  let io = Library.io_stats t.work in
-  Timer.add t.timer "codegen+link (elaboration)" (-.io.Library.io_read_seconds);
-  Timer.add t.timer "VIF read" io.Library.io_read_seconds;
   Kernel.set_step_fuel model.Elaborate.m_kernel t.budgets.Supervisor.sim_step_fuel;
   let sim = { model; messages = [] } in
   Kernel.set_message_handler model.Elaborate.m_kernel (fun time ~severity msg ->
@@ -347,6 +349,7 @@ let elaborate ?arch ?configuration ?(trace = true) t ~top () : simulation =
 
 (** Run the simulation for [max_ns] nanoseconds of simulated time. *)
 let run t sim ~max_ns =
+  Telemetry.with_span ~cat:"pipeline" "simulate" @@ fun () ->
   Timer.time t.timer "simulation" (fun () ->
       Kernel.run sim.model.Elaborate.m_kernel ~max_time:(max_ns * Rt.ns))
 

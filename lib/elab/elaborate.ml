@@ -19,6 +19,11 @@ exception Budget_exhausted of { steps : int }
 
 let err fmt = Format.kasprintf (fun s -> raise (Elaboration_error s)) fmt
 
+module Tm = Vhdl_telemetry.Telemetry
+
+let m_steps = Tm.counter "elab.steps"
+let m_instances = Tm.counter "elab.instances"
+
 type model = {
   m_kernel : Kernel.t;
   m_ns : Name_server.t;
@@ -113,6 +118,7 @@ type ctx = {
    unbounded build. *)
 let charge ctx =
   ctx.steps_used <- ctx.steps_used + 1;
+  Tm.incr m_steps;
   match ctx.step_budget with
   | Some limit when ctx.steps_used > limit ->
     raise (Budget_exhausted { steps = ctx.steps_used })
@@ -245,6 +251,7 @@ let rec elaborate_instance ctx ~path ~(entity : Unit_info.entity_info)
     unit =
   charge ctx;
   ctx.instance_count <- ctx.instance_count + 1;
+  Tm.incr m_instances;
   Name_server.register ctx.ns path
     (Name_server.Instance
        {

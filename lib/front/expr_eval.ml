@@ -21,19 +21,26 @@ let instance = lazy (
 let grammar () = (Lazy.force instance).grammar
 let parser_ () = (Lazy.force instance).parser_
 
-(* instrumentation for the PERF-PHASE experiment *)
-let evaluations = ref 0
-let seconds = ref 0.0
+module Tm = Vhdl_telemetry.Telemetry
+module Timer = Vhdl_util.Phase_timer
 
-let reset_counters () =
-  evaluations := 0;
-  seconds := 0.0
+let m_evaluations = Tm.counter "cascade.evaluations"
+let m_lef_tokens = Tm.counter "cascade.lef_tokens"
+let m_reparses = Tm.counter "cascade.reparses"
+let m_parse_errors = Tm.counter "cascade.parse_errors"
+let m_expr_lef_tokens = Tm.histogram "cascade.expr_lef_tokens"
 
-let timed f =
-  let start = Vhdl_util.Unix_compat.now () in
-  Fun.protect ~finally:(fun () -> seconds := !seconds +. (Vhdl_util.Unix_compat.now () -. start)) f
+(* Time spent here is charged to its own phase of the ambient compile timer
+   — the nested-frame accounting in Phase_timer carves it out of "attribute
+   evaluation" (its dynamically enclosing phase) without the mutable-global
+   subtraction this module used to maintain. *)
+let cascade_phase = "expression evaluation (cascade)"
+
+let timed f = Timer.time_ambient cascade_phase f
 
 let driver_tokens t lef =
+  Tm.add m_lef_tokens (List.length lef);
+  Tm.observe m_expr_lef_tokens (float_of_int (List.length lef));
   List.map
     (fun tok ->
       {
@@ -50,7 +57,7 @@ let driver_tokens t lef =
     @param line source line, for diagnostics *)
 let eval ?expected ~level ~line (lef : Lef.tok list) : Pval.xres =
   let t = Lazy.force instance in
-  incr evaluations;
+  Tm.incr m_evaluations;
   timed @@ fun () ->
   if lef = [] then
     {
@@ -61,8 +68,10 @@ let eval ?expected ~level ~line (lef : Lef.tok list) : Pval.xres =
     }
   else begin
     let tokens = driver_tokens t lef in
+    Tm.incr m_reparses;
     match Parsing.parse_list t.parser_ ~eof_value:Pval.Unit tokens with
     | exception Vhdl_lalr.Driver.Syntax_error { line = eline; found; _ } ->
+      Tm.incr m_parse_errors;
       {
         Pval.x_ty = Expr_sem.error_ty;
         x_code = Kir.Elit (Value.Vint 0);
@@ -98,10 +107,13 @@ let eval ?expected ~level ~line (lef : Lef.tok list) : Pval.xres =
 let eval_range ~level ~line (lef : Lef.tok list) :
     (Kir.expr * Types.dir * Kir.expr) * Types.t option * Diag.t list =
   let t = Lazy.force instance in
-  incr evaluations;
+  Tm.incr m_evaluations;
+  timed @@ fun () ->
   let tokens = driver_tokens t lef in
+  Tm.incr m_reparses;
   match Parsing.parse_list t.parser_ ~eof_value:Pval.Unit tokens with
   | exception Vhdl_lalr.Driver.Syntax_error _ ->
+    Tm.incr m_parse_errors;
     ( (Kir.Elit (Value.Vint 0), Types.To, Kir.Elit (Value.Vint 0)),
       None,
       [ Diag.error ~line "cannot parse range" ] )

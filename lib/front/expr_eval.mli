@@ -8,13 +8,9 @@ val grammar : unit -> Pval.t Grammar.t
 
 val parser_ : unit -> Pval.t Parsing.t
 
-val evaluations : int ref
-(** How many maximal expressions have been evaluated (instrumentation). *)
-
-val seconds : float ref
-(** Cumulative time in the cascade (the PERF-PHASE expression slot). *)
-
-val reset_counters : unit -> unit
+(** Instrumentation goes through the process-wide telemetry registry
+    ([cascade.*] counters) and the ambient phase timer ("expression
+    evaluation (cascade)" frames), not module-local mutable state. *)
 
 val eval :
   ?expected:Types.t -> level:int -> line:int -> Lef.tok list -> Pval.xres

@@ -301,13 +301,22 @@ let next st =
   st.prev <- tok;
   (tok, line)
 
+module Tm = Vhdl_telemetry.Telemetry
+
+let m_tokens = Tm.counter "lexer.tokens"
+let m_lines = Tm.counter "lexer.lines"
+
 (** Scan a whole source text. *)
 let tokenize src =
   let st = make src in
   let rec go acc =
     match next st with
-    | Token.Teof, line -> List.rev ((Token.Teof, line) :: acc)
-    | tok -> go (tok :: acc)
+    | Token.Teof, line ->
+      Tm.add m_lines st.line;
+      List.rev ((Token.Teof, line) :: acc)
+    | tok ->
+      Tm.incr m_tokens;
+      go (tok :: acc)
   in
   go []
 

@@ -19,6 +19,29 @@ type 'v token = {
   t_line : int;
 }
 
+module Tm = Vhdl_telemetry.Telemetry
+
+let m_shifts = Tm.counter "lalr.shifts"
+let m_reduces = Tm.counter "lalr.reduces"
+let m_errors = Tm.counter "lalr.errors"
+let m_resyncs = Tm.counter "lalr.resyncs"
+let m_skipped = Tm.counter "lalr.tokens_skipped"
+let m_conflict_hits = Tm.counter "lalr.conflict_hits"
+
+(* Runtime conflict accounting: when the table was built with yacc-style
+   resolution, count each consultation of a cell that had a conflict.  The
+   common conflict-free table pays one list test per parse, nothing per
+   token. *)
+let conflict_probe (tbl : Table.t) =
+  if tbl.Table.conflicts = [] then None
+  else begin
+    let cells = Hashtbl.create 16 in
+    List.iter
+      (fun c -> Hashtbl.replace cells (c.Table.c_state, c.Table.c_terminal) ())
+      tbl.Table.conflicts;
+    Some (fun state sym -> if Hashtbl.mem cells (state, sym) then Tm.incr m_conflict_hits)
+  end
+
 exception
   Syntax_error of {
     line : int;
@@ -45,6 +68,7 @@ let parse ?(max_depth = default_max_depth) (tbl : Table.t)
     ~(lexer : unit -> 'v token) ~(shift : int -> 'v -> int -> 'n)
     ~(reduce : int -> 'n list -> 'n) : 'n =
   let cfg = tbl.Table.cfg in
+  let probe = conflict_probe tbl in
   let states = ref [ 0 ] in
   let depth = ref 1 in
   let values : 'n list ref = ref [] in
@@ -52,15 +76,18 @@ let parse ?(max_depth = default_max_depth) (tbl : Table.t)
   let rec loop () =
     let state = List.hd !states in
     let tok = !lookahead in
+    (match probe with Some p -> p state tok.t_sym | None -> ());
     match tbl.Table.action.(state).(tok.t_sym) with
     | Table.Shift st' ->
       if !depth >= max_depth then raise (too_deep tok.t_line max_depth);
+      Tm.incr m_shifts;
       states := st' :: !states;
       incr depth;
       values := shift tok.t_sym tok.t_value tok.t_line :: !values;
       lookahead := lexer ();
       loop ()
     | Table.Reduce prod_id ->
+      Tm.incr m_reduces;
       let p = Cfg.production cfg prod_id in
       let arity = Array.length p.Cfg.rhs in
       (* pop [arity] states and values; children come out in source order *)
@@ -93,6 +120,7 @@ let parse ?(max_depth = default_max_depth) (tbl : Table.t)
       | [ v ] -> v
       | _ -> assert false)
     | Table.Error ->
+      Tm.incr m_errors;
       raise
         (Syntax_error
            {
@@ -150,6 +178,7 @@ let parse_recovering ?(max_errors = default_max_errors)
     ~(reduce : int -> 'n list -> 'n) ~(checkpoint : int -> bool)
     ~(classify : int -> sync_class) : 'n recovery =
   let cfg = tbl.Table.cfg in
+  let probe = conflict_probe tbl in
   let states = ref [ 0 ] in
   let depth = ref 1 in
   let values : 'n list ref = ref [] in
@@ -189,10 +218,13 @@ let parse_recovering ?(max_errors = default_max_errors)
         lookahead := lexer ()
       end
     done;
+    Tm.add m_skipped !skipped;
     add_skipped !skipped
   in
   let recover line found expected =
     let progressed = !shifts_since_recovery > 0 in
+    Tm.incr m_errors;
+    Tm.incr m_resyncs;
     record line found expected;
     if List.length !errors >= max_errors then running := false
     else begin
@@ -216,6 +248,7 @@ let parse_recovering ?(max_errors = default_max_errors)
   while !running do
     let state = List.hd !states in
     let tok = !lookahead in
+    (match probe with Some p -> p state tok.t_sym | None -> ());
     match tbl.Table.action.(state).(tok.t_sym) with
     | Table.Shift st' ->
       if !depth >= max_depth then
@@ -223,6 +256,7 @@ let parse_recovering ?(max_errors = default_max_errors)
           (Printf.sprintf "nesting deeper than %d levels" max_depth)
           []
       else begin
+        Tm.incr m_shifts;
         states := st' :: !states;
         incr depth;
         values := shift tok.t_sym tok.t_value tok.t_line :: !values;
@@ -230,6 +264,7 @@ let parse_recovering ?(max_errors = default_max_errors)
         lookahead := lexer ()
       end
     | Table.Reduce prod_id ->
+      Tm.incr m_reduces;
       let p = Cfg.production cfg prod_id in
       let arity = Array.length p.Cfg.rhs in
       let pop_n n =

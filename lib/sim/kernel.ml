@@ -6,6 +6,15 @@
     at the current time, then advance again.  Processes are OCaml-5 effect
     fibers suspended on the {!Interp.Wait} effect. *)
 
+module Tm = Vhdl_telemetry.Telemetry
+
+let m_delta_cycles = Tm.counter "sim.delta_cycles"
+let m_time_steps = Tm.counter "sim.time_steps"
+let m_events = Tm.counter "sim.events"
+let m_transactions = Tm.counter "sim.transactions"
+let m_process_runs = Tm.counter "sim.process_runs"
+let m_messages = Tm.counter "sim.messages"
+
 type severity_counts = {
   mutable notes : int;
   mutable warnings : int;
@@ -92,6 +101,7 @@ let emit k ~severity ~line:_ msg =
   | 1 -> k.stats.severities.warnings <- k.stats.severities.warnings + 1
   | 2 -> k.stats.severities.errors <- k.stats.severities.errors + 1
   | _ -> k.stats.severities.failures <- k.stats.severities.failures + 1);
+  Tm.incr m_messages;
   k.on_message k.now ~severity msg;
   if severity >= 3 then raise (Failure_severity { time = k.now; msg })
 
@@ -158,6 +168,7 @@ let run_ready k =
         p.Rt.wake_until <- None;
         p.Rt.wake_at <- None;
         k.stats.process_runs <- k.stats.process_runs + 1;
+        Tm.incr m_process_runs;
         p.Rt.resume ()
       end)
     k.processes;
@@ -208,6 +219,7 @@ let apply_transactions k =
               d.Rt.drv_wave <- rest;
               any := true;
               k.stats.transactions <- k.stats.transactions + 1;
+              Tm.incr m_transactions;
               pop ()
             | _ -> ()
           in
@@ -216,7 +228,11 @@ let apply_transactions k =
       if !any then touched := s :: !touched)
     k.signals;
   List.iter
-    (fun s -> if Rt.update_signal ~now:k.now s then k.stats.events <- k.stats.events + 1)
+    (fun s ->
+      if Rt.update_signal ~now:k.now s then begin
+        k.stats.events <- k.stats.events + 1;
+        Tm.incr m_events
+      end)
     !touched;
   !touched <> []
 
@@ -278,6 +294,7 @@ let run k ~max_time =
          if t = k.now then begin
            incr deltas_here;
            k.stats.delta_cycles <- k.stats.delta_cycles + 1;
+           Tm.incr m_delta_cycles;
            if !deltas_here > k.delta_limit then
              Rt.sim_error ~time:k.now "delta-cycle limit exceeded (combinational loop?)"
          end
@@ -285,6 +302,7 @@ let run k ~max_time =
            deltas_here := 0;
            k.steps_this_instant <- 0;
            k.stats.time_steps <- k.stats.time_steps + 1;
+           Tm.incr m_time_steps;
            k.now <- t
          end;
          clear_flags k;

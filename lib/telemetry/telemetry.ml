@@ -1,0 +1,340 @@
+(** Unified telemetry: a process-wide registry of counters, gauges and
+    histograms, plus span-based structured tracing with Chrome trace-event
+    export.
+
+    Every layer of the pipeline registers its instruments once, at module
+    initialization, and bumps them unconditionally — an increment of a
+    mutable record field, cheap enough to leave on everywhere.  Spans are
+    different: they read the clock twice and allocate an event record, so
+    they sit behind a process-wide flag ({!set_tracing}); with tracing off
+    the span layer is a null sink, a single flag test per call.
+
+    The registry is process-wide and single-threaded, matching the
+    compiler: instruments are identified by dotted names
+    ([layer.instrument], e.g. ["ag.memo_hits"]), {!reset} zeroes everything
+    between runs, and three exports read it back out: a human-readable
+    report ({!pp_metrics}), a machine-readable JSON dump ({!metrics_json}),
+    and Chrome trace-event JSON of the span tree ({!to_chrome_trace}) that
+    loads in [chrome://tracing] / Perfetto. *)
+
+(* The same clock Vhdl_util.Unix_compat.now uses (this library sits below
+   vhdl_util, so it carries its own copy). *)
+let now_s () = Sys.time ()
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON construction (no external dependency): values are built
+   as strings with correct escaping.  Shared by the metric/trace exports
+   and by callers (Stats.to_json, the bench result files). *)
+
+module Json = struct
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let str s = "\"" ^ escape s ^ "\""
+  let int n = string_of_int n
+
+  (* JSON has no NaN/Infinity literals *)
+  let float x =
+    if Float.is_nan x then "null"
+    else if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%.0f" x
+    else Printf.sprintf "%.6g" x
+
+  let arr items = "[" ^ String.concat "," items ^ "]"
+
+  let obj fields =
+    "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Instruments *)
+
+type counter = {
+  c_name : string;
+  mutable c_value : int;
+}
+
+type gauge = {
+  g_name : string;
+  mutable g_value : float;
+}
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+(* registration order preserved for the reports *)
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let order : string list ref = ref [] (* reverse registration order *)
+
+let register name make =
+  match Hashtbl.find_opt registry name with
+  | Some i -> i
+  | None ->
+    let i = make () in
+    Hashtbl.add registry name i;
+    order := name :: !order;
+    i
+
+(** [counter name] returns the process-wide counter [name], creating it on
+    first use.  Registration is idempotent: every call site naming the same
+    counter shares one cell. *)
+let counter name =
+  match register name (fun () -> Counter { c_name = name; c_value = 0 }) with
+  | Counter c -> c
+  | _ -> invalid_arg (name ^ " is registered as a non-counter instrument")
+
+let gauge name =
+  match register name (fun () -> Gauge { g_name = name; g_value = 0.0 }) with
+  | Gauge g -> g
+  | _ -> invalid_arg (name ^ " is registered as a non-gauge instrument")
+
+let histogram name =
+  match
+    register name (fun () ->
+        Histogram { h_name = name; h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity })
+  with
+  | Histogram h -> h
+  | _ -> invalid_arg (name ^ " is registered as a non-histogram instrument")
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let observe h x =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. x;
+  if x < h.h_min then h.h_min <- x;
+  if x > h.h_max then h.h_max <- x
+
+(** Current value of a counter by name, 0 if never registered — the
+    convenient form for reports and tests. *)
+let counter_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c.c_value
+  | _ -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+(** One completed span.  Timestamps are seconds since process start
+    ([now_s]); depth is the nesting level at open time (root = 0). *)
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_start : float;
+  sp_dur : float;
+  sp_depth : int;
+  sp_args : (string * string) list;
+}
+
+let tracing_on = ref false
+let spans_acc : span list ref = ref [] (* completion order, newest first *)
+let open_depth = ref 0
+let open_args : (string * string) list list ref = ref [] (* per open span *)
+
+let set_tracing b =
+  tracing_on := b;
+  if not b then begin
+    open_depth := 0;
+    open_args := []
+  end
+
+let tracing () = !tracing_on
+
+(** Record a completed span measured by the caller (used by
+    {!Vhdl_util.Phase_timer} so the phase accounting and the span tree come
+    from the same two clock reads and cannot disagree).  No-op when tracing
+    is off.  [depth] defaults to the current open-span depth. *)
+let record_span ?(cat = "phase") ?(args = []) ?depth ~name ~start_s ~dur_s () =
+  if !tracing_on then
+    spans_acc :=
+      {
+        sp_name = name;
+        sp_cat = cat;
+        sp_start = start_s;
+        sp_dur = dur_s;
+        sp_depth = (match depth with Some d -> d | None -> !open_depth);
+        sp_args = args;
+      }
+      :: !spans_acc
+
+(** [with_span ~cat name f] runs [f] inside a span.  With tracing off this
+    is a single flag test around [f].  Spans close even when [f] escapes
+    with an exception, so the tree stays well-formed. *)
+let with_span ?(cat = "span") ?(args = []) name f =
+  if not !tracing_on then f ()
+  else begin
+    let depth = !open_depth in
+    open_depth := depth + 1;
+    open_args := args :: !open_args;
+    let start = now_s () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = now_s () -. start in
+        let args =
+          match !open_args with
+          | a :: rest ->
+            open_args := rest;
+            a
+          | [] -> []
+        in
+        open_depth := depth;
+        record_span ~cat ~args ~depth ~name ~start_s:start ~dur_s:dur ())
+      f
+  end
+
+(** Attach a key/value argument to the innermost open span (no-op when
+    tracing is off or no span is open) — for values only known mid-span,
+    like a token count. *)
+let annotate key v =
+  match !open_args with
+  | args :: rest -> open_args := ((key, v) :: args) :: rest
+  | [] -> ()
+
+(** Completed spans, oldest first. *)
+let spans () = List.rev !spans_acc
+
+let clear_spans () = spans_acc := []
+
+(* ------------------------------------------------------------------ *)
+(* Reset *)
+
+(** Zero every registered instrument and drop recorded spans.  The tracing
+    flag is left alone: a run resets at its start, not its end. *)
+let reset () =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+        h.h_count <- 0;
+        h.h_sum <- 0.0;
+        h.h_min <- infinity;
+        h.h_max <- neg_infinity)
+    registry;
+  clear_spans ()
+
+(* ------------------------------------------------------------------ *)
+(* Reports *)
+
+let instruments () =
+  List.rev_map (fun name -> (name, Hashtbl.find registry name)) !order
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** Human-readable metrics report: all registered instruments in name
+    order.  [nonzero] (default true) hides instruments that never fired —
+    the interesting view after a run. *)
+let pp_metrics ?(nonzero = true) fmt () =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (name, i) ->
+      match i with
+      | Counter c ->
+        if (not nonzero) || c.c_value <> 0 then
+          Format.fprintf fmt "%-34s %12d@," name c.c_value
+      | Gauge g ->
+        if (not nonzero) || g.g_value <> 0.0 then
+          Format.fprintf fmt "%-34s %12.4f@," name g.g_value
+      | Histogram h ->
+        if (not nonzero) || h.h_count <> 0 then
+          Format.fprintf fmt "%-34s %12d  sum %.0f  min %.0f  max %.0f  mean %.1f@,"
+            name h.h_count h.h_sum
+            (if h.h_count = 0 then 0.0 else h.h_min)
+            (if h.h_count = 0 then 0.0 else h.h_max)
+            (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count))
+    (instruments ());
+  Format.fprintf fmt "@]"
+
+(** Machine-readable dump of every registered instrument:
+    [{"counters":{...},"gauges":{...},"histograms":{...}}]. *)
+let metrics_json () =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun (name, i) ->
+      match i with
+      | Counter c -> counters := (name, Json.int c.c_value) :: !counters
+      | Gauge g -> gauges := (name, Json.float g.g_value) :: !gauges
+      | Histogram h ->
+        histograms :=
+          ( name,
+            Json.obj
+              [
+                ("count", Json.int h.h_count);
+                ("sum", Json.float h.h_sum);
+                ("min", Json.float (if h.h_count = 0 then 0.0 else h.h_min));
+                ("max", Json.float (if h.h_count = 0 then 0.0 else h.h_max));
+              ] )
+          :: !histograms)
+    (instruments ());
+  Json.obj
+    [
+      ("counters", Json.obj (List.rev !counters));
+      ("gauges", Json.obj (List.rev !gauges));
+      ("histograms", Json.obj (List.rev !histograms));
+    ]
+
+(** Chrome trace-event JSON of the recorded spans: an array of complete
+    ("ph":"X") events with microsecond [ts]/[dur], one process, one thread
+    — the format [chrome://tracing] and Perfetto load directly.  Nesting is
+    carried by timestamp containment, which the single-threaded span stack
+    guarantees. *)
+let to_chrome_trace ?(process_name = "vhdlc") () =
+  let us x = Printf.sprintf "%.3f" (x *. 1e6) in
+  let events =
+    List.map
+      (fun sp ->
+        let base =
+          [
+            ("name", Json.str sp.sp_name);
+            ("cat", Json.str sp.sp_cat);
+            ("ph", Json.str "X");
+            ("ts", us sp.sp_start);
+            ("dur", us sp.sp_dur);
+            ("pid", Json.int 1);
+            ("tid", Json.int 1);
+          ]
+        in
+        let args =
+          ("depth", Json.int sp.sp_depth)
+          :: List.rev_map (fun (k, v) -> (k, Json.str v)) sp.sp_args
+        in
+        Json.obj (base @ [ ("args", Json.obj args) ]))
+      (List.sort (fun a b -> compare a.sp_start b.sp_start) (spans ()))
+  in
+  let meta =
+    Json.obj
+      [
+        ("name", Json.str "process_name");
+        ("ph", Json.str "M");
+        ("pid", Json.int 1);
+        ("tid", Json.int 1);
+        ("args", Json.obj [ ("name", Json.str process_name) ]);
+      ]
+  in
+  Json.arr (meta :: events)

@@ -1,11 +1,27 @@
-(** Per-phase wall-clock accounting.
+(** Per-phase wall-clock accounting, built on the telemetry span layer.
 
     Used by the compilation pipeline to reproduce the paper's §2.2 phase
     breakdown (VIF read/write 40-60%, code generation 20-30%, attribute
-    evaluation "a very small percent"). *)
+    evaluation "a very small percent").
+
+    Phases nest: the cascade runs inside attribute evaluation, VIF reads
+    happen inside both.  Each [time]/[time_ambient] call pushes a frame on
+    a process-wide stack and charges only its {e self time} — total minus
+    the time spent in nested frames — to its phase, so the breakdown sums
+    to wall clock without the negative-adjustment bookkeeping this module's
+    callers used to do by hand.  Every frame is also recorded as a
+    telemetry span (category ["phase"]) from the same two clock reads, so
+    the phase table and the span tree cannot disagree.
+
+    Layers that cannot see the compiler's timer (the cascade, the VIF
+    library) charge the {e ambient} timer: whichever timer's [time] frame
+    is dynamically enclosing.  Outside any [time] extent, [time_ambient]
+    with tracing off is a plain call. *)
+
+module Telemetry = Vhdl_telemetry.Telemetry
 
 type t = {
-  mutable phases : (string * float) list; (* reverse order of first use *)
+  mutable phases : (string * unit) list; (* reverse order of first use *)
   table : (string, float ref) Hashtbl.t;
 }
 
@@ -17,25 +33,68 @@ let cell t name =
   | None ->
     let r = ref 0.0 in
     Hashtbl.add t.table name r;
-    t.phases <- (name, 0.0) :: t.phases;
+    t.phases <- (name, ()) :: t.phases;
     r
 
-(** [time t name f] runs [f ()] and charges its wall-clock duration to the
-    phase [name].  Re-entrant uses of the same phase accumulate. *)
-let time t name f =
-  let r = cell t name in
-  let start = Unix_compat.now () in
-  Fun.protect ~finally:(fun () -> r := !r +. (Unix_compat.now () -. start)) f
+(* ------------------------------------------------------------------ *)
+(* The process-wide frame stack (the compiler is single-threaded) *)
 
-let add t name seconds =
-  let r = cell t name in
-  r := !r +. seconds
+type frame = {
+  f_timer : t option; (* where this frame's self time is charged *)
+  f_name : string;
+  mutable f_child : float; (* seconds spent in nested frames *)
+}
+
+let stack : frame list ref = ref []
+let ambient : t option ref = ref None
+
+let run_frame timer name f =
+  let frame = { f_timer = timer; f_name = name; f_child = 0.0 } in
+  (* register the phase at frame open so [report] lists phases in order of
+     first use, not first completion *)
+  (match timer with Some t -> ignore (cell t name) | None -> ());
+  stack := frame :: !stack;
+  let start = Telemetry.now_s () in
+  Fun.protect
+    ~finally:(fun () ->
+      let total = Telemetry.now_s () -. start in
+      (match !stack with
+      | top :: rest when top == frame -> stack := rest
+      | _ -> () (* an escape unwound through us; leave the stack alone *));
+      (match !stack with
+      | parent :: _ -> parent.f_child <- parent.f_child +. total
+      | [] -> ());
+      (match frame.f_timer with
+      | Some t ->
+        let r = cell t frame.f_name in
+        r := !r +. (total -. frame.f_child)
+      | None -> ());
+      Telemetry.record_span ~cat:"phase" ~name:frame.f_name ~start_s:start
+        ~dur_s:total ())
+    f
+
+(** [time t name f] runs [f ()] charging its self time to phase [name] of
+    [t], and makes [t] the ambient timer for the dynamic extent of [f]. *)
+let time t name f =
+  let saved = !ambient in
+  ambient := Some t;
+  Fun.protect
+    ~finally:(fun () -> ambient := saved)
+    (fun () -> run_frame (Some t) name f)
+
+(** [time_ambient name f] charges a frame to the ambient timer — the timer
+    of the dynamically enclosing [time], if any.  With no ambient timer and
+    tracing off this is a plain call to [f]. *)
+let time_ambient name f =
+  match !ambient with
+  | Some _ as timer -> run_frame timer name f
+  | None -> if Telemetry.tracing () then run_frame None name f else f ()
 
 let total t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.table 0.0
 
-(** Phases in order of first use, with accumulated seconds. *)
+(** Phases in order of first use, with accumulated self-time seconds. *)
 let report t =
-  List.rev_map (fun (name, _) -> (name, !(Hashtbl.find t.table name))) t.phases
+  List.rev_map (fun (name, ()) -> (name, !(Hashtbl.find t.table name))) t.phases
 
 let pp fmt t =
   let tot = total t in

@@ -1,21 +1,29 @@
 (** Per-phase wall-clock accounting, for the paper's §2.2 phase-breakdown
-    experiment (PERF-PHASE). *)
+    experiment (PERF-PHASE).
+
+    Built on the telemetry span layer: every timed frame is also recorded
+    as a telemetry span (category ["phase"]) from the same clock reads, and
+    nested frames charge only their self time, so the phase table sums to
+    wall clock and cannot disagree with the span tree. *)
 
 type t
 
 val create : unit -> t
 
 val time : t -> string -> (unit -> 'a) -> 'a
-(** Run a thunk, charging its duration to the named phase (re-entrant uses
-    accumulate). *)
+(** Run a thunk, charging its self time (total minus nested frames) to the
+    named phase, and making [t] the ambient timer for the thunk's dynamic
+    extent.  Re-entrant uses accumulate. *)
 
-val add : t -> string -> float -> unit
-(** Adjust a phase by [seconds] (may be negative, for carving a sub-phase
-    out of its parent). *)
+val time_ambient : string -> (unit -> 'a) -> 'a
+(** Run a thunk as a nested frame of the ambient timer — whichever timer's
+    {!time} is dynamically enclosing.  Layers that cannot see the compiler
+    (the expression cascade, the VIF library) use this to charge their own
+    phase.  Outside any {!time} extent with tracing off, a plain call. *)
 
 val total : t -> float
 
 val report : t -> (string * float) list
-(** Phases in order of first use with accumulated seconds. *)
+(** Phases in order of first use with accumulated self-time seconds. *)
 
 val pp : Format.formatter -> t -> unit

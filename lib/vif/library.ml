@@ -8,6 +8,13 @@
     activity the paper measures at 40-60% of total compilation time. *)
 
 module U = Vhdl_util.Unix_compat
+module Tm = Vhdl_telemetry.Telemetry
+
+let m_reads = Tm.counter "vif.reads"
+let m_writes = Tm.counter "vif.writes"
+let m_read_bytes = Tm.counter "vif.read_bytes"
+let m_write_bytes = Tm.counter "vif.write_bytes"
+let m_unit_bytes = Tm.histogram "vif.unit_bytes"
 
 type t = {
   lib_name : string;
@@ -56,9 +63,13 @@ let create ?dir ~name () =
 (** Attach a read-only reference library under logical name [as_name]. *)
 let add_reference t ~as_name ref_lib = t.references <- t.references @ [ (as_name, ref_lib) ]
 
-let timed cell f =
-  let start = U.now () in
-  Fun.protect ~finally:(fun () -> cell := !cell +. (U.now () -. start)) f
+(* VIF I/O time is charged to its own phase of the ambient compile timer
+   ([phase] is "VIF read" or "VIF write"), which both carves it out of the
+   enclosing phase and records each file transfer as a telemetry span. *)
+let timed phase cell f =
+  Vhdl_util.Phase_timer.time_ambient phase (fun () ->
+      let start = U.now () in
+      Fun.protect ~finally:(fun () -> cell := !cell +. (U.now () -. start)) f)
 
 (** Write [u] into the library (memory and, if disk-backed, its VIF file).
     The sequence stamp records compilation order — the input to the
@@ -72,11 +83,15 @@ let insert t (u : Unit_info.compiled_unit) =
   | None -> ()
   | Some dir ->
     let cell = ref t.write_seconds in
-    timed cell (fun () ->
+    timed "VIF write" cell (fun () ->
         t.writes <- t.writes + 1;
+        Tm.incr m_writes;
         let file = file_of_key u.Unit_info.u_key in
         Hashtbl.replace t.loaded_files file ();
-        U.write_file (Filename.concat dir file) (Vif_units.to_string u));
+        let text = Vif_units.to_string u in
+        Tm.add m_write_bytes (String.length text);
+        Tm.observe m_unit_bytes (float_of_int (String.length text));
+        U.write_file (Filename.concat dir file) text);
     t.write_seconds <- !cell
 
 let rec resolve_library t name =
@@ -109,9 +124,12 @@ let rec find t ~library ~key : Unit_info.compiled_unit option =
         else begin
           let cell = ref lib.read_seconds in
           let u =
-            timed cell (fun () ->
+            timed "VIF read" cell (fun () ->
                 lib.reads <- lib.reads + 1;
-                Vif_units.of_string (U.read_file path))
+                Tm.incr m_reads;
+                let text = U.read_file path in
+                Tm.add m_read_bytes (String.length text);
+                Vif_units.of_string text)
           in
           lib.read_seconds <- !cell;
           Hashtbl.replace lib.loaded_files file ();
@@ -138,9 +156,12 @@ let all t : Unit_info.compiled_unit list =
               let path = Filename.concat dir f in
               let cell = ref lib.read_seconds in
               let u =
-                timed cell (fun () ->
+                timed "VIF read" cell (fun () ->
                     lib.reads <- lib.reads + 1;
-                    Vif_units.of_string (U.read_file path))
+                    Tm.incr m_reads;
+                    let text = U.read_file path in
+                    Tm.add m_read_bytes (String.length text);
+                    Vif_units.of_string text)
               in
               lib.read_seconds <- !cell;
               Hashtbl.replace lib.loaded_files f ();

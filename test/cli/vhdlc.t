@@ -81,6 +81,33 @@ Grammar statistics (the paper's section 4.1 table shape):
   attributes
   rules(implicit)
 
+The same table as JSON (first field only — the counts evolve):
+
+  $ ../../bin/vhdlc.exe stats --json | grep -c '"name":"VHDL AG"'
+  1
+
+Telemetry: --trace writes Chrome trace-event JSON, --metrics prints the
+counter report, --metrics-out dumps it as JSON.  Counter values move with
+the front end, so check shape, not numbers:
+
+  $ ../../bin/vhdlc.exe compile --work ./lib2 --trace trace.json --metrics-out metrics.json design.vhd > /dev/null
+  $ grep -c '"ph":"X"' trace.json
+  1
+  $ grep -o '"name":"scanner"' trace.json
+  "name":"scanner"
+  $ grep -o '"name":"parser"' trace.json
+  "name":"parser"
+  $ grep -o '"name":"attribute evaluation"' trace.json
+  "name":"attribute evaluation"
+  $ grep -o '"counters"' metrics.json
+  "counters"
+  $ ../../bin/vhdlc.exe compile --work ./lib3 --metrics design.vhd | grep -c 'lexer.tokens'
+  1
+
+  $ ../../bin/vhdlc.exe simulate --work ./lib2 --top tb --ns 60 --trace sim.json > /dev/null
+  $ grep -o '"name":"simulation"' sim.json
+  "name":"simulation"
+
 Bad input is rejected with a diagnostic and a nonzero exit:
 
   $ ../../bin/vhdlc.exe compile --work ./lib bad.vhd

@@ -17,6 +17,7 @@ let () =
       ("compiler", Test_compiler.suite);
       ("workload", Test_workload.suite);
       ("robustness", Test_robustness.suite);
+      ("telemetry", Test_telemetry.suite);
       ("generated", Test_generated.suite);
       ("difftest", Test_difftest.suite);
     ]

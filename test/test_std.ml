@@ -99,14 +99,30 @@ let test_stripped_line_count () =
 let test_phase_timer () =
   let module T = Vhdl_util.Phase_timer in
   let t = T.create () in
-  T.time t "alpha" (fun () -> ());
+  let spin () =
+    (* burn a little CPU time so self-time comparisons have signal *)
+    let acc = ref 0 in
+    for i = 1 to 200_000 do
+      acc := !acc + i
+    done;
+    ignore !acc
+  in
+  T.time t "alpha" (fun () ->
+      spin ();
+      (* a nested ambient frame charges its own phase, not alpha's *)
+      T.time_ambient "gamma" spin);
   T.time t "beta" (fun () -> ());
-  T.add t "alpha" 1.0;
   let report = T.report t in
-  Alcotest.(check (list string)) "phases in first-use order" [ "alpha"; "beta" ]
+  Alcotest.(check (list string)) "phases in first-use order" [ "alpha"; "gamma"; "beta" ]
     (List.map fst report);
-  Alcotest.(check bool) "alpha accumulated" true (List.assoc "alpha" report >= 1.0);
-  Alcotest.(check bool) "total" true (T.total t >= 1.0)
+  Alcotest.(check bool) "self times non-negative" true
+    (List.for_all (fun (_, s) -> s >= 0.0) report);
+  Alcotest.(check bool) "total is the sum" true
+    (abs_float (T.total t -. List.fold_left (fun a (_, s) -> a +. s) 0.0 report) < 1e-9);
+  (* outside any time extent, time_ambient is a plain call *)
+  Alcotest.(check int) "ambient outside" 7 (T.time_ambient "nowhere" (fun () -> 7));
+  Alcotest.(check bool) "no stray phase" true
+    (not (List.mem_assoc "nowhere" (T.report t)))
 
 let suite =
   [

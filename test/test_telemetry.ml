@@ -1,0 +1,392 @@
+(* The unified telemetry layer: counter/reset semantics, span nesting,
+   Chrome trace-event export of a full compile+simulate, a golden metrics
+   snapshot on a fixed corpus design, and the overhead guard for the
+   always-on counters. *)
+
+module Tm = Vhdl_telemetry.Telemetry
+
+let corpus_path name =
+  let dir =
+    if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus"
+  in
+  Filename.concat dir name
+
+let read_corpus name = Vhdl_util.Unix_compat.read_file (corpus_path name)
+
+(* Tests that arm tracing must disarm it on every exit path — the flag is
+   process-wide and other suites assume the null sink. *)
+(* a disk-backed compiler, so VIF writes actually hit files *)
+let disk_compiler () =
+  let dir = Filename.temp_file "vhdltelemetry" "" in
+  Sys.remove dir;
+  Vhdl_compiler.create ~work_dir:dir ()
+
+let with_tracing f =
+  Tm.reset ();
+  Tm.set_tracing true;
+  Fun.protect
+    ~finally:(fun () ->
+      Tm.set_tracing false;
+      Tm.clear_spans ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Counters and reset *)
+
+let test_counters () =
+  Tm.reset ();
+  let c = Tm.counter "test.scratch_counter" in
+  Alcotest.(check int) "starts at zero" 0 (Tm.value c);
+  Tm.incr c;
+  Tm.incr c;
+  Tm.add c 40;
+  Alcotest.(check int) "monotone accumulation" 42 (Tm.value c);
+  (* registration is idempotent: same name, same cell *)
+  let c' = Tm.counter "test.scratch_counter" in
+  Tm.incr c';
+  Alcotest.(check int) "same cell by name" 43 (Tm.value c);
+  Alcotest.(check int) "counter_value by name" 43
+    (Tm.counter_value "test.scratch_counter");
+  Alcotest.(check int) "unregistered name reads zero" 0
+    (Tm.counter_value "test.never_registered");
+  let h = Tm.histogram "test.scratch_histogram" in
+  Tm.observe h 2.0;
+  Tm.observe h 6.0;
+  Alcotest.(check int) "histogram count" 2 h.Tm.h_count;
+  Alcotest.(check (float 1e-9)) "histogram sum" 8.0 h.Tm.h_sum;
+  Tm.reset ();
+  Alcotest.(check int) "reset zeroes counters" 0 (Tm.value c);
+  Alcotest.(check int) "reset zeroes histograms" 0 h.Tm.h_count;
+  Tm.incr c;
+  Alcotest.(check int) "usable after reset" 1 (Tm.value c)
+
+(* ------------------------------------------------------------------ *)
+(* Span nesting *)
+
+let test_span_nesting () =
+  with_tracing @@ fun () ->
+  Tm.with_span ~cat:"test" "root" (fun () ->
+      Tm.with_span ~cat:"test" "child1" (fun () -> ());
+      Tm.with_span ~cat:"test" "child2" (fun () ->
+          Tm.with_span ~cat:"test" "grand" (fun () -> ())));
+  let sps = Tm.spans () in
+  let depth name =
+    (List.find (fun sp -> sp.Tm.sp_name = name) sps).Tm.sp_depth
+  in
+  Alcotest.(check int) "four spans" 4 (List.length sps);
+  Alcotest.(check int) "root depth" 0 (depth "root");
+  Alcotest.(check int) "child1 depth" 1 (depth "child1");
+  Alcotest.(check int) "child2 depth" 1 (depth "child2");
+  Alcotest.(check int) "grand depth" 2 (depth "grand");
+  (* every deeper span's interval lies inside the root's *)
+  let span name = List.find (fun sp -> sp.Tm.sp_name = name) sps in
+  let inside a b =
+    (* [Sys.time] is coarse, so containment is checked up to equality *)
+    a.Tm.sp_start >= b.Tm.sp_start
+    && a.Tm.sp_start +. a.Tm.sp_dur <= b.Tm.sp_start +. b.Tm.sp_dur +. 1e-9
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " inside root") true (inside (span n) (span "root")))
+    [ "child1"; "child2"; "grand" ];
+  Alcotest.(check bool) "grand inside child2" true
+    (inside (span "grand") (span "child2"))
+
+let test_span_exception_safety () =
+  with_tracing @@ fun () ->
+  (try
+     Tm.with_span ~cat:"test" "outer" (fun () ->
+         Tm.with_span ~cat:"test" "thrower" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  let sps = Tm.spans () in
+  Alcotest.(check int) "both spans recorded" 2 (List.length sps);
+  (* depth unwound: a fresh span opens at the root again *)
+  Tm.with_span ~cat:"test" "after" (fun () -> ());
+  let after = List.find (fun sp -> sp.Tm.sp_name = "after") (Tm.spans ()) in
+  Alcotest.(check int) "depth unwound to root" 0 after.Tm.sp_depth
+
+let test_null_sink () =
+  Tm.reset ();
+  Alcotest.(check bool) "tracing off by default" false (Tm.tracing ());
+  Tm.with_span ~cat:"test" "invisible" (fun () -> ());
+  Alcotest.(check int) "no spans recorded when off" 0 (List.length (Tm.spans ()))
+
+(* ------------------------------------------------------------------ *)
+(* A tiny JSON reader — just enough to validate the exporters' output
+   without an external dependency. *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+let parse_json (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let next () =
+    if !pos >= len then failwith "unexpected end of JSON";
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let skip_ws () =
+    while
+      !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let lit word v =
+    String.iter (fun c -> if next () <> c then failwith "bad literal") word;
+    v
+  in
+  let string_body () =
+    if next () <> '"' then failwith "expected string";
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+        (match next () with
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'u' ->
+          pos := !pos + 4;
+          Buffer.add_char buf '?'
+        | c -> Buffer.add_char buf c);
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < len
+      && (match s.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then failwith "bad JSON value";
+    Jnum (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> Jstr (string_body ())
+    | Some 't' -> lit "true" (Jbool true)
+    | Some 'f' -> lit "false" (Jbool false)
+    | Some 'n' -> lit "null" Jnull
+    | _ -> number ()
+  and arr () =
+    ignore (next ());
+    skip_ws ();
+    if peek () = Some ']' then (
+      ignore (next ());
+      Jarr [])
+    else
+      let rec items acc =
+        let v = value () in
+        skip_ws ();
+        match next () with
+        | ',' -> items (v :: acc)
+        | ']' -> Jarr (List.rev (v :: acc))
+        | _ -> failwith "bad array"
+      in
+      items []
+  and obj () =
+    ignore (next ());
+    skip_ws ();
+    if peek () = Some '}' then (
+      ignore (next ());
+      Jobj [])
+    else
+      let rec fields acc =
+        skip_ws ();
+        let k = string_body () in
+        skip_ws ();
+        if next () <> ':' then failwith "expected colon";
+        let v = value () in
+        skip_ws ();
+        match next () with
+        | ',' -> fields ((k, v) :: acc)
+        | '}' -> Jobj (List.rev ((k, v) :: acc))
+        | _ -> failwith "bad object"
+      in
+      fields []
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> len then failwith "trailing JSON garbage";
+  v
+
+let field name = function
+  | Jobj fields -> List.assoc_opt name fields
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace of a full compile + simulate *)
+
+let test_chrome_trace () =
+  with_tracing @@ fun () ->
+  let src = read_corpus "golden_seed18_processes.vhd" in
+  let c = disk_compiler () in
+  ignore (Vhdl_compiler.compile c src);
+  let sim = Vhdl_compiler.elaborate ~trace:false c ~top:"FZTOP" () in
+  ignore (Vhdl_compiler.run c sim ~max_ns:100);
+  let events =
+    match parse_json (Tm.to_chrome_trace ()) with
+    | Jarr events -> events
+    | _ -> Alcotest.fail "trace is not a JSON array"
+  in
+  Alcotest.(check bool) "has events" true (List.length events > 5);
+  let names = ref [] in
+  List.iter
+    (fun ev ->
+      match field "ph" ev with
+      | Some (Jstr "M") -> () (* metadata *)
+      | Some (Jstr "X") ->
+        (* complete events carry the full Chrome trace-event shape *)
+        (match (field "name" ev, field "cat" ev) with
+        | Some (Jstr n), Some (Jstr _) -> names := n :: !names
+        | _ -> Alcotest.fail "X event missing name/cat");
+        (match (field "ts" ev, field "dur" ev) with
+        | Some (Jnum ts), Some (Jnum dur) ->
+          Alcotest.(check bool) "ts/dur non-negative" true (ts >= 0.0 && dur >= 0.0)
+        | _ -> Alcotest.fail "X event missing ts/dur");
+        (match (field "pid" ev, field "tid" ev) with
+        | Some (Jnum _), Some (Jnum _) -> ()
+        | _ -> Alcotest.fail "X event missing pid/tid")
+      | _ -> Alcotest.fail "event with unexpected ph")
+    events;
+  (* the span tree covers every pipeline layer of compile + simulate *)
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) ("span " ^ expected) true (List.mem expected !names))
+    [
+      "compile";
+      "scanner";
+      "parser";
+      "attribute evaluation";
+      "expression evaluation (cascade)";
+      "VIF write";
+      "elaborate";
+      "codegen+link (elaboration)";
+      "simulate";
+      "simulation";
+    ]
+
+let test_metrics_json () =
+  Tm.reset ();
+  let src = read_corpus "golden_seed3_behavioral.vhd" in
+  let c = Vhdl_compiler.create () in
+  ignore (Vhdl_compiler.compile c src);
+  match parse_json (Tm.metrics_json ()) with
+  | Jobj _ as m ->
+    let counters =
+      match field "counters" m with
+      | Some (Jobj cs) -> cs
+      | _ -> Alcotest.fail "no counters object"
+    in
+    let counter name =
+      match List.assoc_opt name counters with
+      | Some (Jnum v) -> int_of_float v
+      | _ -> Alcotest.failf "counter %s missing from JSON" name
+    in
+    Alcotest.(check int) "json mirrors registry" (Tm.counter_value "lexer.tokens")
+      (counter "lexer.tokens");
+    Alcotest.(check bool) "histograms present" true (field "histograms" m <> None)
+  | _ -> Alcotest.fail "metrics_json is not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Golden metrics snapshot: a fixed corpus design must rack up exactly
+   these front-end numbers.  Scanner, parser and cascade counts are pure
+   functions of the source text; update the snapshot deliberately when
+   the front end changes. *)
+
+let test_golden_metrics () =
+  Tm.reset ();
+  let src = read_corpus "golden_seed3_behavioral.vhd" in
+  let c = disk_compiler () in
+  ignore (Vhdl_compiler.compile c src);
+  let v = Tm.counter_value in
+  Alcotest.(check int) "lexer.lines" 46 (v "lexer.lines");
+  Alcotest.(check int) "lexer.tokens" 323 (v "lexer.tokens");
+  Alcotest.(check int) "cascade.evaluations" 43 (v "cascade.evaluations");
+  Alcotest.(check int) "cascade.lef_tokens" 179 (v "cascade.lef_tokens");
+  Alcotest.(check int) "supervisor.units_compiled" 2 (v "supervisor.units_compiled");
+  Alcotest.(check int) "vif.writes" 2 (v "vif.writes");
+  (* evaluator work is non-zero but its exact count is not part of the
+     snapshot — it moves with every semantic-rule change *)
+  Alcotest.(check bool) "ag.attrs_evaluated > 0" true (v "ag.attrs_evaluated" > 0);
+  Alcotest.(check bool) "ag.memo_hits > 0" true (v "ag.memo_hits" > 0);
+  Alcotest.(check bool) "lalr.shifts > 0" true (v "lalr.shifts" > 0);
+  Alcotest.(check bool) "lalr.reduces > 0" true (v "lalr.reduces" > 0);
+  Alcotest.(check int) "no parse errors" 0 (v "lalr.errors")
+
+(* ------------------------------------------------------------------ *)
+(* Overhead guard: with tracing off, the only cost the telemetry layer
+   adds to a compile is its counter bumps.  Bound that cost from above —
+   (instrument ops during a compile) x (measured cost per op) — and
+   require it under 3% of the compile's own time. *)
+
+let test_overhead_guard () =
+  Tm.reset ();
+  Alcotest.(check bool) "tracing off" false (Tm.tracing ());
+  let src = read_corpus "golden_seed18_processes.vhd" in
+  let start = Sys.time () in
+  let reps = 3 in
+  for _ = 1 to reps do
+    let c = Vhdl_compiler.create () in
+    ignore (Vhdl_compiler.compile c src)
+  done;
+  let compile_s = (Sys.time () -. start) /. float_of_int reps in
+  (* counter values over-count the ops: every op is an incr (+1) or an add
+     (+n, counted here as n ops) *)
+  let ops =
+    List.fold_left
+      (fun acc (_, i) ->
+        match i with
+        | Tm.Counter c -> acc + Tm.value c
+        | Tm.Gauge _ -> acc
+        | Tm.Histogram h -> acc + h.Tm.h_count)
+      0 (Tm.instruments ())
+    / reps
+  in
+  Alcotest.(check bool) "the compile did real work" true (ops > 1000);
+  let scratch = Tm.counter "test.overhead_scratch" in
+  let n = 5_000_000 in
+  let t0 = Sys.time () in
+  for _ = 1 to n do
+    Tm.incr scratch
+  done;
+  let per_op = (Sys.time () -. t0) /. float_of_int n in
+  let budget = 0.03 *. compile_s in
+  let cost = per_op *. float_of_int ops in
+  if cost >= budget then
+    Alcotest.failf
+      "telemetry overhead bound %.6fs (%d ops x %.1fns) exceeds 3%% of %.4fs compile"
+      cost ops (per_op *. 1e9) compile_s
+
+let suite =
+  [
+    Alcotest.test_case "counters and reset" `Quick test_counters;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
+    Alcotest.test_case "null sink when tracing off" `Quick test_null_sink;
+    Alcotest.test_case "chrome trace of compile+simulate" `Quick test_chrome_trace;
+    Alcotest.test_case "metrics JSON mirrors registry" `Quick test_metrics_json;
+    Alcotest.test_case "golden metrics snapshot" `Quick test_golden_metrics;
+    Alcotest.test_case "overhead guard" `Quick test_overhead_guard;
+  ]
