@@ -22,8 +22,8 @@ let ref_arg =
   let doc = "Reference library as NAME=DIR (read-only, repeatable)." in
   Arg.(value & opt_all string [] & info [ "ref" ] ~docv:"NAME=DIR" ~doc)
 
-let make_compiler ?budgets work refs =
-  let c = Vhdl_compiler.create ?work_dir:work ?budgets () in
+let make_compiler ?budgets ?provenance work refs =
+  let c = Vhdl_compiler.create ?work_dir:work ?budgets ?provenance () in
   List.iter
     (fun spec ->
       match String.index_opt spec '=' with
@@ -112,9 +112,21 @@ let compile_cmd =
       value & flag
       & info [ "report" ] ~doc:"Print the per-unit partial-result report.")
   in
-  let run work refs phases report trace metrics metrics_out fuel deadline files =
+  let profile_rules =
+    Arg.(
+      value & flag
+      & info [ "profile-rules" ]
+          ~doc:
+            "Record attribute provenance and print the hot-rule profile \
+             (per-production / per-attribute evaluation counts and self-cost).")
+  in
+  let run work refs phases report profile_rules trace metrics metrics_out fuel deadline
+      files =
     with_telemetry ~trace ~metrics ~metrics_out @@ fun () ->
-    let c = make_compiler ~budgets:(budgets_of fuel deadline) work refs in
+    let recorder = if profile_rules then Some (Provenance.create ()) else None in
+    let c =
+      make_compiler ~budgets:(budgets_of fuel deadline) ?provenance:recorder work refs
+    in
     let ok = ref true in
     List.iter
       (fun file ->
@@ -129,6 +141,10 @@ let compile_cmd =
       files;
     report_diags c;
     if report then Format.printf "%a" Supervisor.pp_report (Vhdl_compiler.last_report c);
+    (match recorder with
+    | Some r ->
+      Format.printf "%a@." (fun fmt rows -> Stats.pp_profile fmt rows) (Provenance.profile r)
+    | None -> ());
     if phases then
       Format.printf "%a@." Vhdl_util.Phase_timer.pp (Vhdl_compiler.timer c);
     if !ok then 0 else 1
@@ -136,8 +152,8 @@ let compile_cmd =
   let doc = "Compile VHDL source files into the working library." in
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
-      const run $ work_arg $ ref_arg $ phases $ report $ trace_arg $ metrics_arg
-      $ metrics_out_arg $ fuel_arg $ deadline_arg $ files)
+      const run $ work_arg $ ref_arg $ phases $ report $ profile_rules $ trace_arg
+      $ metrics_arg $ metrics_out_arg $ fuel_arg $ deadline_arg $ files)
 
 let simulate_cmd =
   let top =
@@ -254,21 +270,168 @@ let dump_cmd =
   let doc = "Print the human-readable VIF of a compiled unit." in
   Cmd.v (Cmd.info "dump" ~doc) Term.(const run $ work_arg $ ref_arg $ key)
 
+(* ------------------------------------------------------------------ *)
+(* explain: the provenance why-chain *)
+
+(* "entity COUNTER" / "counter" / "unit@line 3" all name a report line *)
+let unit_matches spec (r : Supervisor.unit_report) =
+  let lc = String.lowercase_ascii in
+  let name = lc r.Supervisor.ur_name and spec = lc spec in
+  name = spec
+  ||
+  match String.rindex_opt name ' ' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1) = spec
+  | None -> false
+
+let explain_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"VHDL source file to compile and explain.")
+  in
+  let unit_ =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"UNIT"
+          ~doc:"Design unit, e.g. 'COUNTER' or 'entity COUNTER' (case-insensitive).")
+  in
+  let spec =
+    Arg.(
+      required
+      & pos 2 (some string) None
+      & info [] ~docv:"NODE.ATTR"
+          ~doc:
+            "Attribute instance to explain: ATTR (on the unit's own node), \
+             unit.ATTR, or n<ID>.ATTR with a node id from a previous slice.")
+  in
+  let depth =
+    Arg.(
+      value & opt int 6
+      & info [ "depth" ] ~docv:"N" ~doc:"Depth bound of the printed why-chain.")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Also write the slice as a GraphViz digraph (dot -Tsvg).")
+  in
+  let run work refs file unit_ spec depth dot =
+    Telemetry.reset ();
+    let recorder = Provenance.create () in
+    let c = make_compiler ~provenance:recorder work refs in
+    (try ignore (Vhdl_compiler.compile_file ~fail_on_error:false c file)
+     with Vhdl_compiler.Compile_error msgs ->
+       List.iter (fun d -> Format.eprintf "%s: %a@." file Diag.pp d) msgs);
+    let report = Vhdl_compiler.last_report c in
+    match List.find_opt (unit_matches unit_) report with
+    | None ->
+      Printf.eprintf "no design unit matching %s; units in %s:\n" unit_ file;
+      List.iter
+        (fun r -> Printf.eprintf "  %s\n" r.Supervisor.ur_name)
+        report;
+      1
+    | Some r -> (
+      let node, attr =
+        match String.index_opt spec '.' with
+        | None -> (r.Supervisor.ur_node, spec)
+        | Some i -> (
+          let node_spec = String.sub spec 0 i in
+          let attr = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match node_spec with
+          | "unit" -> (r.Supervisor.ur_node, attr)
+          | _ when String.length node_spec > 1 && node_spec.[0] = 'n' -> (
+            match int_of_string_opt (String.sub node_spec 1 (String.length node_spec - 1)) with
+            | Some id -> (id, attr)
+            | None ->
+              Printf.eprintf "bad node spec %s (want 'unit' or n<ID>)\n" node_spec;
+              exit 1)
+          | _ ->
+            Printf.eprintf "bad node spec %s (want 'unit' or n<ID>)\n" node_spec;
+            exit 1)
+      in
+      match Provenance.find recorder ~node ~attr with
+      | None ->
+        Printf.eprintf "no recorded instance of %s at node n%d; attributes there:\n"
+          attr node;
+        List.iter
+          (fun (rc : Provenance.record) -> Printf.eprintf "  %s\n" rc.Provenance.r_attr)
+          (Provenance.instances_at recorder ~node);
+        1
+      | Some rc ->
+        Format.printf "%a@."
+          (fun fmt id -> Provenance.pp_why_chain ~depth recorder fmt id)
+          rc.Provenance.r_id;
+        (match dot with
+        | Some path ->
+          Vhdl_util.Unix_compat.write_file path
+            (Provenance.to_dot ~depth recorder ~root:rc.Provenance.r_id);
+          Printf.printf "DOT slice written to %s\n" path
+        | None -> ());
+        0)
+  in
+  let doc =
+    "Explain why an attribute instance has its value: print the transitive \
+     provenance slice (the why-chain) of its computation, crossing the \
+     expression-AG cascade boundary."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ work_arg $ ref_arg $ file $ unit_ $ spec $ depth $ dot)
+
 let stats_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the table as a JSON array.")
   in
-  let run json =
+  let files =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "VHDL sources to compile with provenance recording; adds the \
+             hot-rule profile of the compilation to the output.")
+  in
+  let run json files =
     let s1 = Stats.of_grammar ~name:"VHDL AG" (Main_grammar.grammar ()) in
     let s2 = Stats.of_grammar ~name:"expr AG" (Expr_eval.grammar ()) in
-    if json then print_endline (Stats.table_json [ s1; s2 ])
-    else Format.printf "%a@." Stats.pp_table [ s1; s2 ];
+    let profile =
+      match files with
+      | [] -> None
+      | files ->
+        Telemetry.reset ();
+        let recorder = Provenance.create () in
+        let c = make_compiler ~provenance:recorder None [] in
+        List.iter
+          (fun file ->
+            try ignore (Vhdl_compiler.compile_file ~fail_on_error:false c file)
+            with Vhdl_compiler.Compile_error msgs ->
+              List.iter (fun d -> Format.eprintf "%s: %a@." file Diag.pp d) msgs)
+          files;
+        Some (Provenance.profile recorder)
+    in
+    if json then begin
+      match profile with
+      | None -> print_endline (Stats.table_json [ s1; s2 ])
+      | Some rows ->
+        Printf.printf "{\"grammars\": %s, \"profile\": %s}\n"
+          (Stats.table_json [ s1; s2 ])
+          (Stats.profile_json rows)
+    end
+    else begin
+      Format.printf "%a@." Stats.pp_table [ s1; s2 ];
+      match profile with
+      | None -> ()
+      | Some rows -> Format.printf "%a@." (fun fmt r -> Stats.pp_profile fmt r) rows
+    end;
     0
   in
-  let doc = "Print the attribute-grammar statistics table." in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ json)
+  let doc = "Print the attribute-grammar statistics table (and, given sources, the hot-rule profile)." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ json $ files)
 
 let () =
   let doc = "a VHDL compiler and simulator built from attribute grammars" in
   let info = Cmd.info "vhdlc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ compile_cmd; simulate_cmd; dump_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ compile_cmd; simulate_cmd; dump_cmd; explain_cmd; stats_cmd ]))

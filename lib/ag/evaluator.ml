@@ -33,10 +33,11 @@ exception
 exception Fuel_exhausted of { applications : int }
 
 type 'v node = {
+  n_id : int; (* unique across every tree in the process (provenance) *)
   n_prod : int; (* -1 for leaves *)
   n_term : int; (* -1 for internal nodes *)
   n_value : 'v option; (* token value for leaves *)
-  n_line : int;
+  n_line : int; (* leaves: token line; interior: first leaf's line *)
   n_children : 'v node array;
   mutable n_parent : ('v node * int) option; (* parent and our index therein *)
   n_cache : (int, 'v cell) Hashtbl.t; (* attr id -> state *)
@@ -45,6 +46,11 @@ type 'v node = {
 and 'v cell =
   | In_progress
   | Done of 'v
+
+(** Provenance hook: the recorder, the AG's label in the records, and a
+    compact value summarizer.  [None] (the default) keeps the fast path: the
+    only residue is one option test per attribute evaluation. *)
+type 'v provenance = Provenance.t * string * ('v -> string)
 
 type 'v t = {
   grammar : 'v Grammar.t;
@@ -57,12 +63,22 @@ type 'v t = {
   mutable rule_applications : int; (* instrumentation for the benches *)
   mutable fuel : int option; (* rule-application budget, None = unlimited *)
   tick : unit -> unit; (* periodic hook (deadline checks), every 256 rules *)
+  prov : 'v provenance option;
 }
+
+(* Node ids are process-global so records from several trees (the main AG
+   plus every cascade re-parse) share one id space in a recorder. *)
+let node_ids = ref 0
+
+let next_node_id () =
+  incr node_ids;
+  !node_ids
 
 let rec attach grammar tree =
   match tree with
   | Tree.Leaf { term; value; line } ->
     {
+      n_id = next_node_id ();
       n_prod = -1;
       n_term = term;
       n_value = Some value;
@@ -75,10 +91,11 @@ let rec attach grammar tree =
     let kids = Array.map (attach grammar) children in
     let node =
       {
+        n_id = next_node_id ();
         n_prod = prod;
         n_term = -1;
         n_value = None;
-        n_line = 0;
+        n_line = (if Array.length kids > 0 then kids.(0).n_line else 0);
         n_children = kids;
         n_parent = None;
         n_cache = Hashtbl.create 8;
@@ -90,8 +107,10 @@ let rec attach grammar tree =
 (** [create grammar ~root_inherited tree] prepares [tree] for evaluation.
     [root_inherited] supplies the inherited attributes of the root (by
     attribute name); [token_line] injects a token's source line into the
-    value type for rules that depend on the LINE token attribute. *)
-let create ?token_line ?fuel ?(tick = fun () -> ()) grammar ~root_inherited tree =
+    value type for rules that depend on the LINE token attribute;
+    [provenance] arms the attribute-dependency recorder. *)
+let create ?token_line ?fuel ?(tick = fun () -> ()) ?provenance grammar
+    ~root_inherited tree =
   let root = attach grammar tree in
   let root_inherited =
     List.map (fun (name, v) -> (Grammar.find_attr grammar name, v)) root_inherited
@@ -105,6 +124,7 @@ let create ?token_line ?fuel ?(tick = fun () -> ()) grammar ~root_inherited tree
     rule_applications = 0;
     fuel;
     tick;
+    prov = provenance;
   }
 
 let set_fuel t fuel = t.fuel <- fuel
@@ -136,6 +156,11 @@ let find_rule t prod_id (target : Grammar.occurrence) =
     in
     scan 0
 
+let node_label t node =
+  if node.n_prod >= 0 then
+    (Grammar.production t.grammar node.n_prod).Grammar.prod_name
+  else Grammar.symbol_name t.grammar node.n_term
+
 (* Evaluate attribute [attr] of [node].  For synthesized attributes the
    defining rule lives in the node's own production; for inherited ones it
    lives in the parent's production (or in [root_inherited] at the root). *)
@@ -143,39 +168,63 @@ let rec eval_node t node attr =
   match Hashtbl.find_opt node.n_cache attr with
   | Some (Done v) ->
     Tm.incr m_memo_hits;
+    (match t.prov with
+    | Some (rc, _, _) ->
+      Provenance.memo_hit rc ~node:node.n_id ~attr:(Grammar.attr_name t.grammar attr)
+    | None -> ());
     v
   | Some In_progress ->
-    let prod_name =
-      if node.n_prod >= 0 then
-        (Grammar.production t.grammar node.n_prod).Grammar.prod_name
-      else Grammar.symbol_name t.grammar node.n_term
-    in
-    raise (Cycle { prod_name; attr_name = Grammar.attr_name t.grammar attr })
+    raise
+      (Cycle
+         { prod_name = node_label t node; attr_name = Grammar.attr_name t.grammar attr })
   | None ->
     Tm.incr m_attrs_evaluated;
     Hashtbl.replace node.n_cache attr In_progress;
     let v =
-      if node.n_prod < 0 then eval_token t node attr
-      else
-        match Grammar.attr_dir t.grammar attr with
-        | Grammar.Synthesized ->
-          let rule = find_rule t node.n_prod { Grammar.pos = 0; attr } in
-          apply_rule t node rule
-        | Grammar.Inherited -> (
-          match node.n_parent with
-          | Some (parent, idx) ->
-            let rule = find_rule t parent.n_prod { Grammar.pos = idx + 1; attr } in
-            apply_rule t parent rule
-          | None -> (
-            match List.assoc_opt attr t.root_inherited with
-            | Some v -> v
-            | None ->
-              invalid_arg
-                (Printf.sprintf "no value supplied for root inherited attribute %s"
-                   (Grammar.attr_name t.grammar attr))))
+      match t.prov with
+      | None -> compute_attr t node attr
+      | Some (rc, ag, summarize) -> (
+        let r =
+          Provenance.begin_instance rc ~ag ~prod:(node_label t node) ~node:node.n_id
+            ~attr:(Grammar.attr_name t.grammar attr) ~line:node.n_line
+        in
+        match compute_attr t node attr with
+        | v ->
+          Provenance.finish rc r ~value:(summarize v);
+          v
+        | exception exn ->
+          Provenance.abort rc r;
+          raise exn)
     in
     Hashtbl.replace node.n_cache attr (Done v);
     v
+
+and compute_attr t node attr =
+  if node.n_prod < 0 then begin
+    (match t.prov with Some (rc, _, _) -> Provenance.note_token rc | None -> ());
+    eval_token t node attr
+  end
+  else
+    match Grammar.attr_dir t.grammar attr with
+    | Grammar.Synthesized ->
+      let rule = find_rule t node.n_prod { Grammar.pos = 0; attr } in
+      apply_rule t node rule
+    | Grammar.Inherited -> (
+      match node.n_parent with
+      | Some (parent, idx) ->
+        let rule = find_rule t parent.n_prod { Grammar.pos = idx + 1; attr } in
+        apply_rule t parent rule
+      | None -> (
+        match List.assoc_opt attr t.root_inherited with
+        | Some v ->
+          (match t.prov with
+          | Some (rc, _, _) -> Provenance.note_root_inherited rc
+          | None -> ());
+          v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "no value supplied for root inherited attribute %s"
+               (Grammar.attr_name t.grammar attr))))
 
 and eval_token t node attr =
   if attr = t.grammar.Grammar.token_value_attr then
@@ -207,6 +256,15 @@ and apply_rule t at_node rule =
   let args = List.map arg_of rule.Grammar.deps in
   t.rule_applications <- t.rule_applications + 1;
   Tm.incr m_rule_applications;
+  (match t.prov with
+  | Some (rc, _, _) ->
+    (* the open record is the rule's target instance (for inherited
+       attributes that is the child's instance; the defining production is
+       this node's) *)
+    Provenance.note_rule rc
+      ~defining_prod:(Grammar.production t.grammar at_node.n_prod).Grammar.prod_name
+      ~implicit:(rule.Grammar.provenance = Grammar.Implicit)
+  | None -> ());
   (match t.fuel with
   | Some limit when t.rule_applications > limit ->
     raise (Fuel_exhausted { applications = t.rule_applications })
@@ -283,6 +341,10 @@ let sites t ~symbol =
 let eval_at t site name =
   let attr = Grammar.find_attr t.grammar name in
   eval_node t site attr
+
+(** Provenance node id of [site] — the address [vhdlc explain] resolves a
+    unit's goal attributes at. *)
+let site_id (site : 'v site) = site.n_id
 
 (** Source line of the first token under [site] (0 if the region is
     empty). *)

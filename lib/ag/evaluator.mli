@@ -24,10 +24,15 @@ exception Fuel_exhausted of { applications : int }
     {!set_fuel}) runs out — the resource-containment hook: a runaway
     evaluation surfaces as a catchable, structured condition. *)
 
+type 'v provenance = Provenance.t * string * ('v -> string)
+(** A provenance hook: the recorder, the AG's label in the records (e.g.
+    ["vhdl"], ["expr"]), and a compact value summarizer. *)
+
 val create :
   ?token_line:(int -> 'v) ->
   ?fuel:int ->
   ?tick:(unit -> unit) ->
+  ?provenance:'v provenance ->
   'v Grammar.t ->
   root_inherited:(string * 'v) list ->
   'v Tree.t ->
@@ -37,7 +42,9 @@ val create :
     source line into the value type for rules depending on the LINE token
     attribute.  [fuel] bounds the total number of semantic-rule
     applications ({!Fuel_exhausted} beyond it); [tick] is called every 256
-    applications — the wall-clock deadline hook. *)
+    applications — the wall-clock deadline hook.  [provenance] records
+    every attribute-instance computation into the given recorder; without
+    it the only residue is one option test per evaluation. *)
 
 val set_fuel : 'v t -> int option -> unit
 
@@ -71,6 +78,10 @@ val sites : 'v t -> symbol:string -> 'v site list
 val eval_at : 'v t -> 'v site -> string -> 'v
 (** Value of attribute [name] at the site; inherited attributes resolve
     through the parent chain. *)
+
+val site_id : 'v site -> int
+(** Provenance node id of the site: the key under which the site's goal
+    attributes appear in a {!Provenance} recorder. *)
 
 val site_line : 'v site -> int
 (** Source line of the site's first token (0 for an empty region). *)

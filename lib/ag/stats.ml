@@ -81,6 +81,61 @@ let to_json t =
 let table_json stats =
   Vhdl_telemetry.Telemetry.Json.arr (List.map to_json stats)
 
+(* ------------------------------------------------------------------ *)
+(* Hot-rule profiler table, from the provenance recorder's aggregation *)
+
+(** Print the hot-rule table: one row per (AG, defining production,
+    attribute), hottest first, to [limit] rows (0 = all), with a totals
+    footer.  The applications total equals the [ag.rule_applications]
+    telemetry counter over the recorded period — the cross-check the
+    provenance tests hold it to. *)
+let pp_profile ?(limit = 24) fmt (rows : Provenance.profile_row list) =
+  let shown, dropped =
+    if limit <= 0 || List.length rows <= limit then (rows, 0)
+    else
+      ( List.filteri (fun i _ -> i < limit) rows,
+        List.length rows - limit )
+  in
+  Format.fprintf fmt "@[<v>%-5s %-34s %-10s %8s %8s %8s %10s@," "ag" "production"
+    "attribute" "evals" "apps" "memo" "self-ms";
+  List.iter
+    (fun (r : Provenance.profile_row) ->
+      Format.fprintf fmt "%-5s %-34s %-10s %8d %8d %8d %10.2f@," r.Provenance.p_ag
+        r.Provenance.p_prod r.Provenance.p_attr r.Provenance.p_count
+        r.Provenance.p_applications r.Provenance.p_memo_hits
+        (r.Provenance.p_self_s *. 1000.0))
+    shown;
+  if dropped > 0 then Format.fprintf fmt "... %d cooler rows not shown@," dropped;
+  let tc, ta, tm, ts =
+    List.fold_left
+      (fun (c, a, m, s) (r : Provenance.profile_row) ->
+        ( c + r.Provenance.p_count,
+          a + r.Provenance.p_applications,
+          m + r.Provenance.p_memo_hits,
+          s +. r.Provenance.p_self_s ))
+      (0, 0, 0, 0.0) rows
+  in
+  Format.fprintf fmt "%-5s %-34s %-10s %8d %8d %8d %10.2f@]" "total"
+    (Printf.sprintf "(%d rows)" (List.length rows))
+    "" tc ta tm (ts *. 1000.0)
+
+let profile_json (rows : Provenance.profile_row list) =
+  let module J = Vhdl_telemetry.Telemetry.Json in
+  J.arr
+    (List.map
+       (fun (r : Provenance.profile_row) ->
+         J.obj
+           [
+             ("ag", J.str r.Provenance.p_ag);
+             ("production", J.str r.Provenance.p_prod);
+             ("attribute", J.str r.Provenance.p_attr);
+             ("evals", J.int r.Provenance.p_count);
+             ("applications", J.int r.Provenance.p_applications);
+             ("memo_hits", J.int r.Provenance.p_memo_hits);
+             ("self_s", J.float r.Provenance.p_self_s);
+           ])
+       rows)
+
 let pp_table fmt stats =
   let columns = List.map (fun s -> s.name) stats in
   Format.fprintf fmt "@[<v>%-18s" "";

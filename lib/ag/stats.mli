@@ -26,3 +26,16 @@ val to_json : t -> string
 
 val table_json : t list -> string
 (** The whole table as a JSON array — [vhdlc stats --json]. *)
+
+(** {1 Hot-rule profiler}
+
+    Rendering for {!Provenance.profile} — the dynamic counterpart of the
+    static table above: which rules actually fired, how often, and what
+    they cost ([vhdlc compile --profile-rules], [vhdlc stats FILE]). *)
+
+val pp_profile : ?limit:int -> Format.formatter -> Provenance.profile_row list -> unit
+(** Hottest rows first, up to [limit] (default 24, 0 = all), with a totals
+    footer whose applications column equals the [ag.rule_applications]
+    telemetry counter over the recorded period. *)
+
+val profile_json : Provenance.profile_row list -> string

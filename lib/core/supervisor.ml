@@ -147,16 +147,40 @@ let count_status = function
   | Poisoned -> Tm.incr m_units_poisoned
   | Skipped -> Tm.incr m_units_skipped
 
-(** One line of the per-compile partial-result report. *)
+(** One line of the per-compile partial-result report.  [ur_counters] is
+    the telemetry-counter delta across this unit's analysis (snapshot at
+    the unit boundary, so counts attribute to the unit that did the work,
+    not to the whole run); [ur_node] is the unit site's provenance node id,
+    the address [vhdlc explain] resolves goal attributes at. *)
 type unit_report = {
   ur_name : string;
   ur_line : int;
   ur_status : unit_status;
+  ur_node : int;
+  ur_counters : (string * int) list;
 }
+
+(* the headline subset of a unit's counter delta shown in the report line *)
+let headline_counters =
+  [
+    ("ag.rule_applications", "rules");
+    ("ag.attrs_evaluated", "attrs");
+    ("cascade.evaluations", "cascade");
+  ]
 
 let pp_report fmt (rs : unit_report list) =
   List.iter
     (fun r ->
-      Format.fprintf fmt "%-10s %s (line %d)@." (status_name r.ur_status) r.ur_name
-        r.ur_line)
+      Format.fprintf fmt "%-10s %s (line %d)" (status_name r.ur_status) r.ur_name
+        r.ur_line;
+      let shown =
+        List.filter_map
+          (fun (name, label) ->
+            match List.assoc_opt name r.ur_counters with
+            | Some n when n <> 0 -> Some (Printf.sprintf "%s %d" label n)
+            | _ -> None)
+          headline_counters
+      in
+      if shown <> [] then Format.fprintf fmt "  [%s]" (String.concat ", " shown);
+      Format.fprintf fmt "@.")
     rs

@@ -68,6 +68,15 @@ type unit_report = {
   ur_name : string;
   ur_line : int;
   ur_status : unit_status;
+  ur_node : int;
+      (** provenance node id of the unit's site — where [vhdlc explain]
+          resolves the unit's goal attributes *)
+  ur_counters : (string * int) list;
+      (** telemetry-counter delta across this unit's analysis: the
+          supervisor snapshots at the unit boundary, so a failing unit's
+          report line carries the counts of the work that failed *)
 }
 
 val pp_report : Format.formatter -> unit_report list -> unit
+(** One line per unit — status, name, line, and the headline counter
+    deltas ([rules]/[attrs]/[cascade]) when non-zero. *)

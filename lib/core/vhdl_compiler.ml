@@ -44,6 +44,7 @@ type t = {
   timer : Timer.t;
   strategy : strategy;
   budgets : Supervisor.budgets;
+  provenance : Provenance.t option; (* attribute-dependency recorder *)
   mutable compiled_units : int;
   mutable compiled_lines : int;
   mutable diagnostics : Diag.t list; (* newest first *)
@@ -61,13 +62,18 @@ let principal_partitions =
 (** Create a compiler.  [work_dir] makes the working library disk-backed
     (separate compilation across compiler instances); without it, the
     library lives in memory.  [budgets] turns on resource containment
-    (default: everything unlimited). *)
-let create ?work_dir ?(strategy = Demand) ?(budgets = Supervisor.no_budgets) () =
+    (default: everything unlimited).  [provenance] arms the
+    attribute-dependency recorder: every compile records its dynamic
+    dependency graph there (both AGs — the cascade records into the same
+    recorder), feeding [vhdlc explain] and the hot-rule profiler. *)
+let create ?work_dir ?(strategy = Demand) ?(budgets = Supervisor.no_budgets)
+    ?provenance () =
   {
     work = Library.create ?dir:work_dir ~name:"WORK" ();
     timer = Timer.create ();
     strategy;
     budgets;
+    provenance;
     compiled_units = 0;
     compiled_lines = 0;
     diagnostics = [];
@@ -94,6 +100,7 @@ let work_library t = t.work
 let timer t = t.timer
 let strategy t = t.strategy
 let budgets t = t.budgets
+let provenance t = t.provenance
 let diagnostics t = List.rev t.diagnostics
 let last_report t = t.last_report
 
@@ -187,10 +194,20 @@ let analyze_units t ev =
     (fun site ->
       let line = Evaluator.site_line site in
       let name = unit_label site in
+      (* counter snapshot at the unit boundary: the report line carries the
+         delta, so work (and failures) attribute to the unit that did it *)
+      let snap = Telemetry.snapshot () in
       let record status =
         Supervisor.count_status status;
         report :=
-          { Supervisor.ur_name = name; ur_line = line; ur_status = status } :: !report
+          {
+            Supervisor.ur_name = name;
+            ur_line = line;
+            ur_status = status;
+            ur_node = Evaluator.site_id site;
+            ur_counters = Telemetry.delta snap;
+          }
+          :: !report
       in
       if !budget_dead then record Supervisor.Skipped
       else
@@ -268,6 +285,8 @@ let compile ?(fail_on_error = true) t source : Unit_info.compiled_unit list =
             ~token_line:(fun n -> Pval.Int n)
             ?fuel:t.budgets.Supervisor.eval_fuel
             ~tick:(fun () -> Supervisor.check clock)
+            ?provenance:
+              (Option.map (fun r -> (r, "vhdl", Pval.summary)) t.provenance)
             grammar
             ~root_inherited:
               [
@@ -285,7 +304,13 @@ let compile ?(fail_on_error = true) t source : Unit_info.compiled_unit list =
             tree
         in
         let units, msgs, report =
-          Timer.time t.timer "attribute evaluation" (fun () -> analyze_units t ev)
+          Timer.time t.timer "attribute evaluation" (fun () ->
+              (* with a recorder armed, make it ambient for the whole
+                 evaluation so the expression-AG cascade records into it
+                 too — the explain chain crosses the AG boundary *)
+              match t.provenance with
+              | None -> analyze_units t ev
+              | Some r -> Provenance.with_ambient r (fun () -> analyze_units t ev))
         in
         let all_msgs = parse_diags @ msgs in
         t.compiled_units <- t.compiled_units + List.length units;

@@ -32,14 +32,26 @@ type strategy =
   | Staged
 
 val create :
-  ?work_dir:string -> ?strategy:strategy -> ?budgets:Supervisor.budgets -> unit -> t
+  ?work_dir:string ->
+  ?strategy:strategy ->
+  ?budgets:Supervisor.budgets ->
+  ?provenance:Provenance.t ->
+  unit ->
+  t
 (** Create a compiler.  With [work_dir] the working library is disk-backed
     (one VIF file per unit, shared across compiler instances); without it
     the library lives in memory.  [strategy] defaults to [Demand];
-    [budgets] turns on resource containment (default: unlimited). *)
+    [budgets] turns on resource containment (default: unlimited).
+    [provenance] arms the attribute-dependency recorder: every compile
+    records its dynamic dependency graph there — both AGs, the cascade
+    records into the same recorder — feeding [vhdlc explain] and the
+    hot-rule profiler. *)
 
 val strategy : t -> strategy
 val budgets : t -> Supervisor.budgets
+
+val provenance : t -> Provenance.t option
+(** The recorder passed at [create], if any. *)
 
 val add_reference_library : t -> name:string -> dir:string -> unit
 (** Attach a read-only reference library under logical [name] (the paper's

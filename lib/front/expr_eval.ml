@@ -38,6 +38,13 @@ let cascade_phase = "expression evaluation (cascade)"
 
 let timed f = Timer.time_ambient cascade_phase f
 
+(* The ambient provenance recorder (armed by the compiler around attribute
+   evaluation): with one in force, the expression evaluator records into it
+   too, so its instances nest under the principal-AG attribute whose rule
+   invoked the cascade — the explain chain crosses the AG boundary. *)
+let provenance_hook () =
+  Option.map (fun r -> (r, "expr", Pval.summary)) (Provenance.ambient ())
+
 let driver_tokens t lef =
   Tm.add m_lef_tokens (List.length lef);
   Tm.observe m_expr_lef_tokens (float_of_int (List.length lef));
@@ -93,6 +100,7 @@ let eval ?expected ~level ~line (lef : Lef.tok list) : Pval.xres =
       let ev =
         Evaluator.create t.grammar
           ~token_line:(fun n -> Pval.Int n)
+          ?provenance:(provenance_hook ())
           ~root_inherited:[ ("XLEVEL", Pval.Int level) ]
           tree
       in
@@ -121,6 +129,7 @@ let eval_range ~level ~line (lef : Lef.tok list) :
     let ev =
       Evaluator.create t.grammar
         ~token_line:(fun n -> Pval.Int n)
+        ?provenance:(provenance_hook ())
         ~root_inherited:[ ("XLEVEL", Pval.Int level) ]
         tree
     in

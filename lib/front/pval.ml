@@ -212,6 +212,66 @@ let tok_id v =
   | Token.Tid s -> s
   | t -> internal "expected identifier token, got %s" (Token.describe t)
 
+(* ------------------------------------------------------------------ *)
+(* Compact value summaries for the provenance recorder: one short line per
+   attribute value, enough to read a why-chain, never the whole payload. *)
+
+let clip n s = if String.length s <= n then s else String.sub s 0 n ^ "..."
+
+let rec summary ?(fuel = 2) v =
+  match v with
+  | Unit -> "()"
+  | Bool b -> string_of_bool b
+  | Int n -> string_of_int n
+  | Str s -> Printf.sprintf "%S" (clip 24 s)
+  | Tok t -> "tok " ^ clip 24 (Token.describe t)
+  | Ltok t -> "lef " ^ clip 24 (Lef.describe t)
+  | Msgs [] -> "msgs[]"
+  | Msgs (d :: _ as m) ->
+    Printf.sprintf "msgs[%d: %s]" (List.length m)
+      (clip 32 (Format.asprintf "%a" Diag.pp d))
+  | Env _ -> "env"
+  | Lef l -> Printf.sprintf "lef[%d]" (List.length l)
+  | Lefs l -> Printf.sprintf "lefs[%d]" (List.length l)
+  | Ids ids ->
+    Printf.sprintf "ids[%s]" (clip 32 (String.concat "," (List.map fst ids)))
+  | Cands c -> Printf.sprintf "cands[%d]" (List.length c)
+  | Xres x -> "xres:" ^ x.x_ty.Types.base
+  | Aitems l -> Printf.sprintf "aitems[%d]" (List.length l)
+  | Achoices l -> Printf.sprintf "achoices[%d]" (List.length l)
+  | Out o ->
+    Printf.sprintf "out{binds %d, sigs %d, subprogs %d, concs -}"
+      (List.length o.o_binds) (List.length o.o_signals)
+      (List.length o.o_subprograms)
+  | Ifaces l -> Printf.sprintf "ifaces[%d]" (List.length l)
+  | Sty { ty; _ } -> "ty " ^ ty.Types.base
+  | Tydef _ -> "tydef<fun>"
+  | Stmts s -> Printf.sprintf "stmts[%d]" (List.length s)
+  | Waves w -> Printf.sprintf "waves[%d]" (List.length w)
+  | Choices c -> Printf.sprintf "choices[%d]" (List.length c)
+  | Assocs a -> Printf.sprintf "assocs[%d]" (List.length a)
+  | Concs c -> Printf.sprintf "concs[%d]" (List.length c)
+  | Spec s -> "spec " ^ s.sp_name
+  | Units us ->
+    Printf.sprintf "units[%s]"
+      (clip 48 (String.concat "," (List.map (fun u -> u.Unit_info.u_key) us)))
+  | Arms a -> Printf.sprintf "arms[%d]" (List.length a)
+  | Cwaves c -> Printf.sprintf "cwaves[%d]" (List.length c)
+  | Swaves s -> Printf.sprintf "swaves[%d]" (List.length s)
+  | Alts a -> Printf.sprintf "alts[%d]" (List.length a)
+  | Rng _ -> "range"
+  | Phys_units u -> Printf.sprintf "phys_units[%d]" (List.length u)
+  | Opt None -> "none"
+  | Opt (Some v) ->
+    if fuel <= 0 then "some _" else "some " ^ summary ~fuel:(fuel - 1) v
+  | Pair (a, b) ->
+    if fuel <= 0 then "(_, _)"
+    else
+      Printf.sprintf "(%s, %s)" (summary ~fuel:(fuel - 1) a) (summary ~fuel:(fuel - 1) b)
+  | Plist l -> Printf.sprintf "plist[%d]" (List.length l)
+
+let summary v = summary v
+
 (* merge functions for the attribute classes *)
 let merge_msgs a b = Msgs (as_msgs a @ as_msgs b)
 let merge_lef a b = Lef (as_lef a @ as_lef b)

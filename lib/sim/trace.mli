@@ -25,4 +25,9 @@ val history : t -> path:string -> (Rt.time * Value.t) list
 (** One signal's (time, value) pairs in time order. *)
 
 val to_vcd : t -> timescale_fs:int -> string
-(** Render the change log as a VCD document. *)
+(** Render the change log as an IEEE-1364 VCD document (loadable by
+    GTKWave).  Scopes nest following the [:]-separated hierarchical signal
+    paths; two-valued enumerations (BIT, BOOLEAN) dump as scalars, larger
+    enumerations and integers as binary vectors, reals as [r] changes.
+    Initial values appear in a [$dumpvars] block at time 0; later times
+    emit only actual changes. *)

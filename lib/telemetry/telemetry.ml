@@ -72,12 +72,19 @@ type gauge = {
   mutable g_value : float;
 }
 
+(* Histograms keep power-of-two buckets alongside count/sum/min/max:
+   bucket 0 holds values < 1, bucket i holds [2^(i-1), 2^i).  Constant
+   memory, O(1) observe, and enough resolution for the p50/p90/p99
+   summaries the reports print. *)
+let histogram_buckets = 64
+
 type histogram = {
   h_name : string;
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  h_bucket : int array;
 }
 
 type instrument =
@@ -114,7 +121,15 @@ let gauge name =
 let histogram name =
   match
     register name (fun () ->
-        Histogram { h_name = name; h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity })
+        Histogram
+          {
+            h_name = name;
+            h_count = 0;
+            h_sum = 0.0;
+            h_min = infinity;
+            h_max = neg_infinity;
+            h_bucket = Array.make histogram_buckets 0;
+          })
   with
   | Histogram h -> h
   | _ -> invalid_arg (name ^ " is registered as a non-histogram instrument")
@@ -125,11 +140,36 @@ let value c = c.c_value
 let set g v = g.g_value <- v
 let gauge_value g = g.g_value
 
+let bucket_of x =
+  if not (x >= 1.0) then 0 (* also catches NaN *)
+  else min (histogram_buckets - 1) (1 + int_of_float (Float.log2 x))
+
 let observe h x =
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum +. x;
   if x < h.h_min then h.h_min <- x;
-  if x > h.h_max then h.h_max <- x
+  if x > h.h_max then h.h_max <- x;
+  let b = bucket_of x in
+  h.h_bucket.(b) <- h.h_bucket.(b) + 1
+
+(** Approximate quantile [p] (in [0,1]) from the power-of-two buckets:
+    the upper bound of the bucket holding the p-th observation, clamped to
+    the observed [min,max].  Exact to within a factor of two, which is what
+    a latency/size summary needs. *)
+let percentile h p =
+  if h.h_count = 0 then 0.0
+  else begin
+    let target = max 1 (int_of_float (Float.ceil (p *. float_of_int h.h_count))) in
+    let target = min target h.h_count in
+    let rec walk i cum =
+      if i >= histogram_buckets then h.h_max
+      else
+        let cum = cum + h.h_bucket.(i) in
+        if cum >= target then if i = 0 then 1.0 else Float.pow 2.0 (float_of_int i)
+        else walk (i + 1) cum
+    in
+    Float.min h.h_max (Float.max h.h_min (walk 0 0))
+  end
 
 (** Current value of a counter by name, 0 if never registered — the
     convenient form for reports and tests. *)
@@ -236,9 +276,37 @@ let reset () =
         h.h_count <- 0;
         h.h_sum <- 0.0;
         h.h_min <- infinity;
-        h.h_max <- neg_infinity)
+        h.h_max <- neg_infinity;
+        Array.fill h.h_bucket 0 histogram_buckets 0)
     registry;
   clear_spans ()
+
+(* ------------------------------------------------------------------ *)
+(* Counter snapshots *)
+
+(** Current value of every registered counter, for {!delta} — the
+    supervisor snapshots at each design-unit boundary so per-unit reports
+    attribute work to the unit that did it, not to the whole run. *)
+let snapshot () =
+  Hashtbl.fold
+    (fun name i acc ->
+      match i with
+      | Counter c -> (name, c.c_value) :: acc
+      | Gauge _ | Histogram _ -> acc)
+    registry []
+
+(** Counters that moved since [snapshot], as (name, increment) pairs in
+    name order; counters registered after the snapshot count from zero. *)
+let delta snap =
+  Hashtbl.fold
+    (fun name i acc ->
+      match i with
+      | Counter c ->
+        let base = Option.value (List.assoc_opt name snap) ~default:0 in
+        if c.c_value <> base then (name, c.c_value - base) :: acc else acc
+      | Gauge _ | Histogram _ -> acc)
+    registry []
+  |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
 (* Reports *)
@@ -263,11 +331,14 @@ let pp_metrics ?(nonzero = true) fmt () =
           Format.fprintf fmt "%-34s %12.4f@," name g.g_value
       | Histogram h ->
         if (not nonzero) || h.h_count <> 0 then
-          Format.fprintf fmt "%-34s %12d  sum %.0f  min %.0f  max %.0f  mean %.1f@,"
+          Format.fprintf fmt
+            "%-34s %12d  sum %.0f  min %.0f  max %.0f  mean %.1f  p50 %.0f  p90 \
+             %.0f  p99 %.0f@,"
             name h.h_count h.h_sum
             (if h.h_count = 0 then 0.0 else h.h_min)
             (if h.h_count = 0 then 0.0 else h.h_max)
-            (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count))
+            (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count)
+            (percentile h 0.50) (percentile h 0.90) (percentile h 0.99))
     (instruments ());
   Format.fprintf fmt "@]"
 
@@ -289,6 +360,9 @@ let metrics_json () =
                 ("sum", Json.float h.h_sum);
                 ("min", Json.float (if h.h_count = 0 then 0.0 else h.h_min));
                 ("max", Json.float (if h.h_count = 0 then 0.0 else h.h_max));
+                ("p50", Json.float (percentile h 0.50));
+                ("p90", Json.float (percentile h 0.90));
+                ("p99", Json.float (percentile h 0.99));
               ] )
           :: !histograms)
     (instruments ());

@@ -137,21 +137,69 @@ syntax error, and the undamaged sibling units still reach the library
   > entity good3 is end good3;
   > VHDL
 
-  $ ../../bin/vhdlc.exe compile --report multi.vhd
+Each report line carries the telemetry-counter delta of that unit's own
+analysis (numbers normalized here — they move with the grammar):
+
+  $ ../../bin/vhdlc.exe compile --report multi.vhd 2>&1 | sed -E 's/\[rules [0-9]+, attrs [0-9]+\]/[rules N, attrs N]/'
   multi.vhd: line 3: error: syntax error: unexpected ID (skipped 6 tokens to resynchronize)
   multi.vhd: line 7: error: syntax error: unexpected ) (skipped 6 tokens to resynchronize)
-  compiled   entity GOOD1 (line 1)
-  compiled   entity GOOD2 (line 5)
-  compiled   entity GOOD3 (line 9)
-  [1]
+  compiled   entity GOOD1 (line 1)  [rules N, attrs N]
+  compiled   entity GOOD2 (line 5)  [rules N, attrs N]
+  compiled   entity GOOD3 (line 9)  [rules N, attrs N]
 
-Resource budgets exhaust into diagnostics, never hangs:
+Resource budgets exhaust into diagnostics, never hangs; the failing
+unit's report line shows the partial work it did before the budget died:
 
-  $ ../../bin/vhdlc.exe compile --fuel 40 --report multi.vhd
+  $ ../../bin/vhdlc.exe compile --fuel 40 --report multi.vhd 2>&1 | sed -E 's/\[rules [0-9]+, attrs [0-9]+\]/[rules N, attrs N]/'
   multi.vhd: line 3: error: syntax error: unexpected ID (skipped 6 tokens to resynchronize)
   multi.vhd: line 7: error: syntax error: unexpected ) (skipped 6 tokens to resynchronize)
   multi.vhd: line 9: error: [budget:analysis:entity GOOD3] evaluation fuel exhausted after 41 rule applications
-  compiled   entity GOOD1 (line 1)
-  compiled   entity GOOD2 (line 5)
-  skipped    entity GOOD3 (line 9)
-  [1]
+  compiled   entity GOOD1 (line 1)  [rules N, attrs N]
+  compiled   entity GOOD2 (line 5)  [rules N, attrs N]
+  skipped    entity GOOD3 (line 9)  [rules N, attrs N]
+
+Architectures evaluate expressions, so their counter delta includes the
+expression-AG cascade:
+
+  $ ../../bin/vhdlc.exe compile --report design.vhd | grep 'architecture RTL' | sed -E 's/[0-9]+/N/g'
+  compiled   architecture RTL (line N)  [rules N, attrs N, cascade N]
+
+Attribute provenance: `explain` compiles with the recorder armed and
+prints the why-chain of an attribute instance (node ids and timings
+normalized — they move with the grammar):
+
+  $ ../../bin/vhdlc.exe explain design.vhd counter UNITS --depth 1 --dot slice.dot | sed -E 's/n[0-9]+/nID/g; s/self [0-9.]+ms/self T/'
+  nID.UNITS @ design_unit_plain (vhdl, line 1) = units[entity:COUNTER]  [implicit rule, self T]
+    nID.UNITS @ library_unit_entity (vhdl, line 1) = units[entity:COUNTER]  [implicit rule, self T]
+      ... 1 dependencies below the depth bound
+  
+  DOT slice written to slice.dot
+
+
+  $ head -c 7 slice.dot
+  digraph
+
+The hot-rule profiler aggregates the provenance records; its table rides
+along with `compile --profile-rules` and `stats FILE`:
+
+  $ ../../bin/vhdlc.exe compile --profile-rules design.vhd > profile.out
+  $ grep -c 'self-ms' profile.out
+  1
+  $ grep '^total' profile.out | tr -s ' ' | sed -E 's/[0-9]+\.[0-9]+/T/; s/[0-9]+/N/g'
+  total (N rows) N N N T
+
+  $ ../../bin/vhdlc.exe stats design.vhd | grep -c 'self-ms'
+  1
+
+Simulation writes an IEEE-1364 VCD waveform dump (GTKWave-loadable):
+
+  $ ../../bin/vhdlc.exe simulate --work ./lib --top tb --ns 60 --vcd out.vcd > /dev/null
+  $ sed -n '1,2p' out.vcd
+  $version vhdlc simulation $end
+  $timescale 1 fs $end
+  $ grep '$var' out.vcd
+  $var wire 1 ! CLK $end
+  $var integer 32 # Q $end
+  $var integer 32 $ N $end
+  $ grep -c '$dumpvars' out.vcd
+  1

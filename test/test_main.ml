@@ -18,6 +18,8 @@ let () =
       ("workload", Test_workload.suite);
       ("robustness", Test_robustness.suite);
       ("telemetry", Test_telemetry.suite);
+      ("provenance", Test_provenance.suite);
+      ("trace", Test_trace.suite);
       ("generated", Test_generated.suite);
       ("difftest", Test_difftest.suite);
     ]

@@ -291,7 +291,10 @@ end t;
   in
   let vcd = Trace.to_vcd (Vhdl_compiler.trace sim) ~timescale_fs:1 in
   Alcotest.(check bool) "has header" true (Astring_contains.contains vcd "$timescale");
-  Alcotest.(check bool) "declares the signal" true (Astring_contains.contains vcd "tb.S");
+  Alcotest.(check bool) "opens the instance scope" true
+    (Astring_contains.contains vcd "$scope module tb $end");
+  Alcotest.(check bool) "declares the signal" true
+    (Astring_contains.contains vcd "$var wire 1 ! S $end");
   Alcotest.(check bool) "has the 5 ns timestamp" true
     (Astring_contains.contains vcd "#5000000")
 

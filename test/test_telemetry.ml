@@ -60,6 +60,54 @@ let test_counters () =
   Tm.incr c;
   Alcotest.(check int) "usable after reset" 1 (Tm.value c)
 
+(* histogram percentile estimates: power-of-two buckets, so estimates are
+   exact at bucket boundaries and always clamped into [min, max] *)
+let test_percentiles () =
+  Tm.reset ();
+  let h = Tm.histogram "test.scratch_percentiles" in
+  (* 90 small observations and 10 large ones: p50 small, p99 large *)
+  for _ = 1 to 90 do
+    Tm.observe h 2.0
+  done;
+  for _ = 1 to 10 do
+    Tm.observe h 1000.0
+  done;
+  let p50 = Tm.percentile h 0.50 in
+  let p90 = Tm.percentile h 0.90 in
+  let p99 = Tm.percentile h 0.99 in
+  (* the estimate is exact to within a factor of two *)
+  Alcotest.(check bool) "p50 lands in the small bucket" true
+    (p50 >= 2.0 && p50 <= 4.0);
+  Alcotest.(check bool) "p90 <= p99" true (p90 <= p99);
+  Alcotest.(check bool) "p99 reaches the tail" true (p99 > 100.0);
+  Alcotest.(check bool) "clamped to max" true (p99 <= 1000.0);
+  Alcotest.(check bool) "p50 >= min" true (p50 >= 2.0);
+  (* single observation: every percentile is that value *)
+  Tm.reset ();
+  Tm.observe h 7.0;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "single observation p%.0f" (p *. 100.))
+        7.0 (Tm.percentile h p))
+    [ 0.5; 0.9; 0.99 ]
+
+(* counter snapshot/delta: the supervisor's per-unit attribution *)
+let test_snapshot_delta () =
+  Tm.reset ();
+  let a = Tm.counter "test.delta_a" in
+  let b = Tm.counter "test.delta_b" in
+  Tm.add a 5;
+  let snap = Tm.snapshot () in
+  Tm.add a 3;
+  Tm.incr b;
+  let d = Tm.delta snap in
+  Alcotest.(check (option int)) "a delta" (Some 3) (List.assoc_opt "test.delta_a" d);
+  Alcotest.(check (option int)) "b delta" (Some 1) (List.assoc_opt "test.delta_b" d);
+  (* untouched counters do not appear *)
+  Alcotest.(check bool) "only nonzero increments" true
+    (List.for_all (fun (_, n) -> n <> 0) d)
+
 (* ------------------------------------------------------------------ *)
 (* Span nesting *)
 
@@ -382,6 +430,8 @@ let test_overhead_guard () =
 let suite =
   [
     Alcotest.test_case "counters and reset" `Quick test_counters;
+    Alcotest.test_case "histogram percentiles" `Quick test_percentiles;
+    Alcotest.test_case "counter snapshot/delta" `Quick test_snapshot_delta;
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
     Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
     Alcotest.test_case "null sink when tracing off" `Quick test_null_sink;

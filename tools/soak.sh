@@ -7,6 +7,11 @@
 # divergence or crash are shrunk and written to test/corpus/ so the
 # next `dune runtest` replays them.  Exit status is vhdlfuzz's: 0 iff
 # the campaign was clean.
+#
+# Each campaign appends its one-line telemetry summary (tokens, attrs,
+# memo hits, cascade evaluations, ...) to the soak log — default
+# _soak/soak.log, override with SOAK_LOG — so throughput across
+# campaigns can be compared over time.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,7 +22,26 @@ SIZE=${3:-3}
 [ $# -gt 0 ] && shift
 [ $# -gt 0 ] && shift
 
+LOG=${SOAK_LOG:-_soak/soak.log}
+mkdir -p "$(dirname "$LOG")"
+
 dune build bin/vhdlfuzz.exe
-exec dune exec bin/vhdlfuzz.exe -- --soak \
+
+OUT=$(mktemp "${TMPDIR:-/tmp}/soak.XXXXXX")
+trap 'rm -f "$OUT"' EXIT
+
+STATUS=0
+dune exec bin/vhdlfuzz.exe -- --soak \
   --seed "$SEED" --count "$COUNT" --size "$SIZE" \
-  --corpus test/corpus "$@"
+  --corpus test/corpus "$@" > "$OUT" 2>&1 || STATUS=$?
+cat "$OUT"
+
+# the campaign's one-line telemetry summary, stamped with the campaign
+# parameters, goes into the soak log
+{
+  printf '%s seed=%s count=%s size=%s status=%s ' \
+    "$(date -u '+%Y-%m-%dT%H:%M:%SZ')" "$SEED" "$COUNT" "$SIZE" "$STATUS"
+  grep '^telemetry:' "$OUT" | tail -1 || echo 'telemetry: (none)'
+} >> "$LOG"
+
+exit "$STATUS"
