@@ -17,10 +17,23 @@
 module Front_analyze = Analyze
 
 open Bechamel
+module Perf = Vhdl_perf.Perf
 
 let heading title = Printf.printf "\n==== %s ====\n\n" title
 
-let now () = Sys.time ()
+(* Monotonic wall clock — never [Sys.time]: CPU time undercounts IO and
+   descheduling, which is fatal to throughput numbers. *)
+let now () = Vhdl_util.Unix_compat.now ()
+
+(* Every measured experiment pushes its sample here; the run's samples
+   are serialized to the canonical BENCH_report.json at exit, so any two
+   bench runs can be diffed with `vhdlc bench --against`-style tooling
+   (Perf.Diff) instead of eyeballing stdout. *)
+let collected : Perf.Sample.t list ref = ref []
+
+let collect sample =
+  collected := sample :: !collected;
+  sample
 
 (* ------------------------------------------------------------------ *)
 (* TBL-AG *)
@@ -46,25 +59,40 @@ let compile_sources srcs =
   List.iter (fun s -> ignore (Vhdl_compiler.compile c s)) srcs;
   c
 
-let time_compile srcs =
+(* Statistical benchmark session per workload: warmup + repetitions on
+   the monotonic clock, median/MAD (robust to GC/scheduler outliers), and
+   the telemetry counter deltas riding along into the report. *)
+let time_compile ~name srcs =
   let lines = List.fold_left (fun acc s -> acc + Lexer.source_lines s) 0 srcs in
-  let start = now () in
-  let reps = 3 in
-  for _ = 1 to reps do
-    ignore (compile_sources srcs)
-  done;
-  let dt = (now () -. start) /. float_of_int reps in
-  (lines, dt, float_of_int lines /. dt *. 60.0)
+  let sample =
+    Perf.run ~warmup:1 ~repeats:5 ~name (fun () -> ignore (compile_sources srcs))
+  in
+  let dt = Perf.Sample.median sample in
+  let lpm = float_of_int lines /. dt *. 60.0 in
+  ignore
+    (collect
+       (Perf.Sample.with_metrics sample
+          [ ("lines", float_of_int lines); ("lines_per_min", lpm) ]));
+  (lines, sample, lpm)
 
 let speed () =
   heading "PERF-SPEED: compilation throughput (paper: ~1000 lines/minute on an Apollo DN4000)";
   let workloads =
     [
-      ("behavioral FSM (20 states)", [ Workload.behavioral ~name:"B1" ~states:20 ~exprs:40 ]);
-      ("structural netlist (60 gates)", [ Workload.structural ~name:"N1" ~instances:60 ]);
-      ("expression-heavy (120 constants)", [ Workload.expression_heavy ~n:120 ]);
-      ("packages (40 functions)", [ Workload.package ~name:"P1" ~n:40 ]);
-      ( "mixed project",
+      ( "speed/behavioral-fsm-20",
+        "behavioral FSM (20 states)",
+        [ Workload.behavioral ~name:"B1" ~states:20 ~exprs:40 ] );
+      ( "speed/structural-60",
+        "structural netlist (60 gates)",
+        [ Workload.structural ~name:"N1" ~instances:60 ] );
+      ( "speed/expression-120",
+        "expression-heavy (120 constants)",
+        [ Workload.expression_heavy ~n:120 ] );
+      ( "speed/packages-40",
+        "packages (40 functions)",
+        [ Workload.package ~name:"P1" ~n:40 ] );
+      ( "speed/mixed",
+        "mixed project",
         [
           Workload.package ~name:"P2" ~n:15;
           Workload.behavioral ~name:"B2" ~states:10 ~exprs:20;
@@ -72,11 +100,13 @@ let speed () =
         ] );
     ]
   in
-  Printf.printf "%-36s %8s %9s %14s\n" "workload" "lines" "seconds" "lines/minute";
+  Printf.printf "%-36s %8s %11s %11s %14s\n" "workload" "lines" "median(s)" "mad(s)"
+    "lines/minute";
   List.iter
-    (fun (name, srcs) ->
-      let lines, dt, lpm = time_compile srcs in
-      Printf.printf "%-36s %8d %9.3f %14.0f\n" name lines dt lpm)
+    (fun (key, label, srcs) ->
+      let lines, sample, lpm = time_compile ~name:key srcs in
+      Printf.printf "%-36s %8d %11.4f %11.4f %14.0f\n" label lines
+        (Perf.Sample.median sample) (Perf.Sample.mad sample) lpm)
     workloads
 
 (* ------------------------------------------------------------------ *)
@@ -128,20 +158,33 @@ let config () =
   ignore (Vhdl_compiler.compile c (Workload.multi_arch_library ~archs:3));
   let netlist, config_src = Workload.config_workload ~style:`All ~instances:600 () in
   ignore (Vhdl_compiler.compile c netlist);
-  let time_one label srcs =
+  let time_one key label srcs =
     let lines = List.fold_left (fun a s -> a + Lexer.source_lines s) 0 srcs in
-    let c2 = Vhdl_compiler.create ~work_dir:dir () in
-    let start = now () in
-    List.iter (fun s -> ignore (Vhdl_compiler.compile c2 s)) srcs;
-    let dt = now () -. start in
-    let io = Library.io_stats (Vhdl_compiler.work_library c2) in
+    let reads = ref 0 in
+    (* a fresh compiler per repetition keeps the library cache cold — the
+       per-invocation re-reads are the effect being measured *)
+    let sample =
+      Perf.run ~warmup:0 ~repeats:3 ~name:key (fun () ->
+          let c2 = Vhdl_compiler.create ~work_dir:dir () in
+          List.iter (fun s -> ignore (Vhdl_compiler.compile c2 s)) srcs;
+          reads := (Library.io_stats (Vhdl_compiler.work_library c2)).Library.io_reads)
+    in
+    let dt = Perf.Sample.median sample in
+    let lpm = float_of_int lines /. dt *. 60.0 in
+    ignore
+      (collect
+         (Perf.Sample.with_metrics sample
+            [
+              ("lines", float_of_int lines);
+              ("lines_per_min", lpm);
+              ("vif_reads", float_of_int !reads);
+            ]));
     Printf.printf "%-28s %6d lines  %8.4fs  %10.0f lines/min  %3d VIF reads\n" label lines
-      dt
-      (float_of_int lines /. dt *. 60.0)
-      io.Library.io_reads
+      dt lpm !reads
   in
-  time_one "ordinary unit (behavioral)" [ Workload.behavioral ~name:"ORD" ~states:20 ~exprs:40 ];
-  time_one "configuration unit" [ config_src ];
+  time_one "config/ordinary-unit" "ordinary unit (behavioral)"
+    [ Workload.behavioral ~name:"ORD" ~states:20 ~exprs:40 ];
+  time_one "config/configuration-unit" "configuration unit" [ config_src ];
   Printf.printf
     "\nshape to check: configuration lines/minute well below the ordinary unit's,\nwith the VIF reads column explaining the difference.\n"
 
@@ -307,63 +350,40 @@ let cascade () =
    the paper's companion reference [4] is "A State of the Art VHDL
    Simulator") *)
 
-let divider_chain ~stages =
-  Printf.sprintf
-    {|
-entity tff is
-  port (clk : in bit; q : out bit);
-end tff;
-architecture behav of tff is
-  signal state : bit := '0';
-begin
-  flip : process (clk)
-  begin
-    if clk'event and clk = '0' then
-      state <= not state;
-    end if;
-  end process;
-  q <= state;
-end behav;
-
-entity chain is end chain;
-architecture t of chain is
-  component tff
-    port (clk : in bit; q : out bit);
-  end component;
-  type taps_t is array (0 to %d) of bit;
-  signal taps : taps_t;
-  signal clk : bit := '0';
-begin
-  first : tff port map (clk => clk, q => taps(0));
-  g : for i in 1 to %d generate
-    s : tff port map (clk => taps(i - 1), q => taps(i));
-  end generate;
-  clock : process
-  begin
-    clk <= not clk after 5 ns;
-    wait for 5 ns;
-  end process;
-end t;
-|}
-    stages stages
-
 let sim_throughput () =
   heading "SIM-THROUGHPUT: kernel event rate (divider chain)";
-  Printf.printf "%-10s %10s %12s %12s %14s
-" "stages" "sim ns" "events" "proc runs" "events/sec";
+  Printf.printf "%-10s %10s %12s %12s %14s\n" "stages" "sim ns" "events" "proc runs"
+    "events/sec";
   List.iter
     (fun stages ->
-      let c = Vhdl_compiler.create () in
-      ignore (Vhdl_compiler.compile c (divider_chain ~stages));
-      let sim = Vhdl_compiler.elaborate ~trace:false c ~top:"chain" () in
-      let start = now () in
-      let _ = Vhdl_compiler.run c sim ~max_ns:20000 in
-      let dt = now () -. start in
-      let st = Kernel.stats (Vhdl_compiler.kernel sim) in
-      Printf.printf "%-10d %10d %12d %12d %14.0f
-" stages 20000 st.Kernel.events
-        st.Kernel.process_runs
-        (float_of_int st.Kernel.events /. dt))
+      (* the kernel event rate comes from the run section alone (the
+         compile and elaborate ahead of it are measured by the sample) *)
+      let events = ref 0 and process_runs = ref 0 and run_s = ref 1.0 in
+      let sample =
+        Perf.run ~warmup:1 ~repeats:3
+          ~name:(Printf.sprintf "sim/divider-%d" stages)
+          (fun () ->
+            let c = Vhdl_compiler.create () in
+            ignore (Vhdl_compiler.compile c (Workload.divider_chain ~stages));
+            let sim = Vhdl_compiler.elaborate ~trace:false c ~top:"chain" () in
+            let start = now () in
+            let _ = Vhdl_compiler.run c sim ~max_ns:20000 in
+            run_s := now () -. start;
+            let st = Kernel.stats (Vhdl_compiler.kernel sim) in
+            events := st.Kernel.events;
+            process_runs := st.Kernel.process_runs)
+      in
+      let eps = float_of_int !events /. !run_s in
+      ignore
+        (collect
+           (Perf.Sample.with_metrics sample
+              [
+                ("stages", float_of_int stages);
+                ("sim_ns", 20000.0);
+                ("events_per_s", eps);
+              ]));
+      Printf.printf "%-10d %10d %12d %12d %14.0f\n" stages 20000 !events !process_runs
+        eps)
     [ 2; 4; 8 ]
 
 (* ------------------------------------------------------------------ *)
@@ -528,30 +548,42 @@ let all () =
   micro ()
 
 (* ------------------------------------------------------------------ *)
-(* Result files: every run leaves a BENCH_<experiment>.json with the
-   headline telemetry counters the workload racked up (memo hit rate,
-   delta cycles, VIF traffic, ...) next to the printed report, so a run
-   can be diffed against a previous one without re-reading the text. *)
+(* Result file: every run leaves one canonical BENCH_report.json (the
+   lib/perf schema: per-experiment repetition times, median/MAD/CI, GC
+   and telemetry-counter deltas, machine/commit metadata), so any two
+   runs — here or from `vhdlc bench` — diff with the same noise-aware
+   gate instead of being eyeballed from stdout. *)
 
 module Telemetry = Vhdl_telemetry.Telemetry
-
-let write_bench_json label elapsed_s =
-  let module J = Telemetry.Json in
-  let path = Printf.sprintf "BENCH_%s.json" label in
-  Vhdl_util.Unix_compat.write_file path
-    (J.obj
-       [
-         ("experiment", J.str label);
-         ("elapsed_s", J.float elapsed_s);
-         ("telemetry", Telemetry.metrics_json ());
-       ]);
-  Printf.printf "\n[%s: telemetry written to %s]\n" label path
 
 let run_experiment label f =
   Telemetry.reset ();
   let start = now () in
   f ();
-  write_bench_json label (now () -. start)
+  let elapsed = now () -. start in
+  (* the whole experiment as a one-repetition sample: even the
+     bechamel-driven and one-shot experiments land in the report *)
+  let harness =
+    {
+      Perf.Sample.s_name = "harness/" ^ label;
+      s_warmup = 0;
+      s_times = [| elapsed |];
+      s_gc = Perf.Gc_delta.zero;
+      s_counters = [];
+      s_phases = [];
+      s_metrics = [];
+    }
+  in
+  let report =
+    Perf.Report.make
+      ~meta:[ ("suite", label) ]
+      (List.rev (harness :: !collected))
+  in
+  let path = "BENCH_report.json" in
+  Perf.Report.save path report;
+  Printf.printf "\n[%s: %d experiment samples written to %s]\n" label
+    (List.length (harness :: !collected))
+    path
 
 let () =
   let label, f =

@@ -13,6 +13,7 @@
 
 open Cmdliner
 module Telemetry = Vhdl_telemetry.Telemetry
+module Perf = Vhdl_perf.Perf
 
 let work_arg =
   let doc = "Working library directory (created if missing)." in
@@ -78,20 +79,36 @@ let metrics_out_arg =
   let doc = "Write the telemetry metrics as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
-(* Run [f] with tracing armed if a trace file was requested, then write the
-   requested exports.  Exports are written even when [f] exits non-zero —
-   the trace of a failing compile is the one you want to look at. *)
-let with_telemetry ~trace ~metrics ~metrics_out f =
+let flame_arg =
+  let doc =
+    "Write the span tree as collapsed stacks ('folded' format) to $(docv) \
+     — load with speedscope or flamegraph.pl.  Line values are span self \
+     time in microseconds."
+  in
+  Arg.(value & opt (some string) None & info [ "flame" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with tracing armed if a trace or flame file was requested, then
+   write the requested exports.  Exports are written even when [f] exits
+   non-zero — the trace of a failing compile is the one you want to look
+   at. *)
+let with_telemetry ?(flame = None) ~trace ~metrics ~metrics_out f =
   Telemetry.reset ();
-  if trace <> None then Telemetry.set_tracing true;
+  let tracing = trace <> None || flame <> None in
+  if tracing then Telemetry.set_tracing true;
   Fun.protect
     ~finally:(fun () ->
       (match trace with
       | Some path ->
-        Vhdl_util.Unix_compat.write_file path (Telemetry.to_chrome_trace ());
+        Vhdl_util.Unix_compat.write_file path (Telemetry.to_chrome_trace ())
+      | None -> ());
+      (match flame with
+      | Some path ->
+        Vhdl_util.Unix_compat.write_file path (Perf.Flame.folded (Telemetry.spans ()))
+      | None -> ());
+      if tracing then begin
         Telemetry.set_tracing false;
         Telemetry.clear_spans ()
-      | None -> ());
+      end;
       if metrics then Format.printf "%a@." (fun fmt () -> Telemetry.pp_metrics fmt ()) ();
       match metrics_out with
       | Some path -> Vhdl_util.Unix_compat.write_file path (Telemetry.metrics_json ())
@@ -120,9 +137,9 @@ let compile_cmd =
             "Record attribute provenance and print the hot-rule profile \
              (per-production / per-attribute evaluation counts and self-cost).")
   in
-  let run work refs phases report profile_rules trace metrics metrics_out fuel deadline
-      files =
-    with_telemetry ~trace ~metrics ~metrics_out @@ fun () ->
+  let run work refs phases report profile_rules trace flame metrics metrics_out fuel
+      deadline files =
+    with_telemetry ~flame ~trace ~metrics ~metrics_out @@ fun () ->
     let recorder = if profile_rules then Some (Provenance.create ()) else None in
     let c =
       make_compiler ~budgets:(budgets_of fuel deadline) ?provenance:recorder work refs
@@ -153,7 +170,7 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
       const run $ work_arg $ ref_arg $ phases $ report $ profile_rules $ trace_arg
-      $ metrics_arg $ metrics_out_arg $ fuel_arg $ deadline_arg $ files)
+      $ flame_arg $ metrics_arg $ metrics_out_arg $ fuel_arg $ deadline_arg $ files)
 
 let simulate_cmd =
   let top =
@@ -429,9 +446,219 @@ let stats_cmd =
   let doc = "Print the attribute-grammar statistics table (and, given sources, the hot-rule profile)." in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ json $ files)
 
+(* ------------------------------------------------------------------ *)
+(* bench: the performance observatory front end (lib/perf).
+
+   Measures a fixed suite of workload-generated experiments as benchmark
+   sessions (warmup + repetitions on the monotonic wall clock, median/MAD
+   and bootstrap CI, GC and telemetry-counter deltas, phase self-times),
+   serializes them to the canonical BENCH_report.json schema, and diffs
+   against a persisted baseline with a noise-aware regression gate. *)
+
+let pp_secs s =
+  if s >= 1.0 then Printf.sprintf "%.3fs" s
+  else if s >= 1e-3 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.1fus" (s *. 1e6)
+
+let print_sample (s : Perf.Sample.t) =
+  let lo, hi = Perf.Sample.ci s in
+  Printf.printf "%-34s %2d reps  median %8s  mad %8s  ci [%s, %s]\n"
+    s.Perf.Sample.s_name (Perf.Sample.reps s)
+    (pp_secs (Perf.Sample.median s))
+    (pp_secs (Perf.Sample.mad s))
+    (pp_secs lo) (pp_secs hi);
+  if s.Perf.Sample.s_metrics <> [] then begin
+    Printf.printf "   ";
+    List.iter
+      (fun (k, v) -> Printf.printf " %s %.0f" k v)
+      s.Perf.Sample.s_metrics;
+    print_newline ()
+  end
+
+let bench_suite ~scaling ~warmup ~repeats ~quota =
+  (* the phase self-times of an experiment come from the phase timer of
+     the compiler its last repetition created *)
+  let last_timer : Vhdl_util.Phase_timer.t option ref = ref None in
+  let phases () =
+    match !last_timer with
+    | Some t -> Vhdl_util.Phase_timer.report t
+    | None -> []
+  in
+  let compile_metrics lines (s : Perf.Sample.t) =
+    let m = Perf.Sample.median s in
+    let rated counter label =
+      match Perf.Sample.rate s counter with
+      | Some r -> [ (label, r) ]
+      | None -> []
+    in
+    Perf.Sample.with_metrics s
+      (List.concat
+         [
+           [ ("lines", float_of_int lines) ];
+           (if m > 0.0 then
+              [ ("lines_per_min", float_of_int lines /. m *. 60.0) ]
+            else []);
+           rated "lexer.tokens" "tokens_per_s";
+           rated "ag.attrs_evaluated" "attrs_per_s";
+         ])
+  in
+  let compile_experiment name srcs =
+    let lines = List.fold_left (fun a s -> a + Lexer.source_lines s) 0 srcs in
+    Perf.run ~warmup ~repeats ?quota_s:quota ~phases ~name (fun () ->
+        let c = Vhdl_compiler.create () in
+        last_timer := Some (Vhdl_compiler.timer c);
+        List.iter (fun s -> ignore (Vhdl_compiler.compile c s)) srcs)
+    |> compile_metrics lines
+  in
+  let sim_experiment name ~stages ~max_ns =
+    let src = Workload.divider_chain ~stages in
+    let s =
+      Perf.run ~warmup ~repeats ?quota_s:quota ~phases ~name (fun () ->
+          let c = Vhdl_compiler.create () in
+          last_timer := Some (Vhdl_compiler.timer c);
+          ignore (Vhdl_compiler.compile c src);
+          let sim = Vhdl_compiler.elaborate ~trace:false c ~top:"chain" () in
+          ignore (Vhdl_compiler.run c sim ~max_ns))
+    in
+    let rated counter label =
+      match Perf.Sample.rate s counter with
+      | Some r -> [ (label, r) ]
+      | None -> []
+    in
+    Perf.Sample.with_metrics s
+      (List.concat
+         [
+           [ ("sim_ns", float_of_int max_ns) ];
+           rated "sim.delta_cycles" "delta_cycles_per_s";
+           rated "sim.events" "events_per_s";
+         ])
+  in
+  if not scaling then
+    [
+      compile_experiment "compile/behavioral"
+        [ Workload.behavioral ~name:"B1" ~states:12 ~exprs:24 ];
+      compile_experiment "compile/structural"
+        [ Workload.structural ~name:"N1" ~instances:30 ];
+      compile_experiment "compile/expressions" [ Workload.expression_heavy ~n:60 ];
+      compile_experiment "compile/packages" [ Workload.package ~name:"P1" ~n:20 ];
+      sim_experiment "simulate/divider" ~stages:4 ~max_ns:4000;
+    ]
+  else
+    (* the scaling curve: the same generators swept across design size;
+       tokens/s, attrs/s and delta-cycles/s per size expose where
+       throughput bends as designs grow *)
+    List.concat
+      [
+        List.map
+          (fun states ->
+            compile_experiment
+              (Printf.sprintf "scaling/behavioral/states=%d" states)
+              [ Workload.behavioral ~name:"SB" ~states ~exprs:(2 * states) ])
+          [ 5; 10; 20; 40 ];
+        List.map
+          (fun instances ->
+            compile_experiment
+              (Printf.sprintf "scaling/structural/instances=%d" instances)
+              [ Workload.structural ~name:"SN" ~instances ])
+          [ 10; 20; 40; 80 ];
+        List.map
+          (fun stages ->
+            sim_experiment
+              (Printf.sprintf "scaling/sim/stages=%d" stages)
+              ~stages ~max_ns:4000)
+          [ 2; 4; 8 ];
+      ]
+
+let bench_cmd =
+  let save_baseline =
+    let doc = "Also save this run's report as a baseline to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "save-baseline" ] ~docv:"FILE" ~doc)
+  in
+  let against =
+    let doc =
+      "Diff this run against the baseline report $(docv); exit non-zero if \
+       any experiment regresses beyond the threshold and the noise."
+    in
+    Arg.(value & opt (some string) None & info [ "against" ] ~docv:"FILE" ~doc)
+  in
+  let out =
+    let doc = "Write this run's report to $(docv) (BENCH_report.json schema)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let threshold =
+    let doc = "Regression threshold as a fraction (0.25 = flag changes beyond +25%)." in
+    Arg.(value & opt float 0.25 & info [ "threshold" ] ~docv:"FRACTION" ~doc)
+  in
+  let repeats =
+    Arg.(value & opt int 5 & info [ "repeats" ] ~docv:"N" ~doc:"Measured repetitions per experiment.")
+  in
+  let warmup =
+    Arg.(value & opt int 1 & info [ "warmup" ] ~docv:"N" ~doc:"Unrecorded warmup runs per experiment.")
+  in
+  let quota =
+    let doc = "Stop an experiment's repetitions once $(docv) seconds of measurement are spent." in
+    Arg.(value & opt (some float) None & info [ "quota" ] ~docv:"SECONDS" ~doc)
+  in
+  let scaling =
+    Arg.(
+      value & flag
+      & info [ "scaling" ]
+          ~doc:
+            "Run the scaling-curve suite instead: sweep generated designs \
+             across sizes and report tokens/s, attrs/s, delta-cycles/s \
+             versus design size.")
+  in
+  let run save against out threshold repeats warmup quota scaling =
+    Telemetry.reset ();
+    let samples = bench_suite ~scaling ~warmup ~repeats ~quota in
+    List.iter print_sample samples;
+    let report = Perf.Report.make samples in
+    (match out with
+    | Some path ->
+      Perf.Report.save path report;
+      Printf.printf "report written to %s\n" path
+    | None -> ());
+    (match save with
+    | Some path ->
+      Perf.Report.save path report;
+      Printf.printf "baseline saved to %s\n" path
+    | None -> ());
+    match against with
+    | None -> 0
+    | Some path -> (
+      match Perf.Report.load path with
+      | Error msg ->
+        Printf.eprintf "cannot load baseline: %s\n" msg;
+        2
+      | Ok baseline ->
+        let rows = Perf.Diff.compare_reports ~threshold ~baseline ~current:report () in
+        Format.printf "%a@." Perf.Diff.pp rows;
+        let regs = Perf.Diff.regressions rows in
+        if regs = [] then begin
+          Printf.printf "no regressions against %s (threshold +%.0f%%)\n" path
+            (100.0 *. threshold);
+          0
+        end
+        else begin
+          Printf.printf "%d regression(s) against %s (threshold +%.0f%%)\n"
+            (List.length regs) path (100.0 *. threshold);
+          1
+        end)
+  in
+  let doc =
+    "Run the benchmark suite as statistical sessions (warmup, repetitions, \
+     median/MAD, bootstrap CI, GC and counter deltas), write the canonical \
+     report, and optionally gate against a persisted baseline."
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(
+      const run $ save_baseline $ against $ out $ threshold $ repeats $ warmup
+      $ quota $ scaling)
+
 let () =
   let doc = "a VHDL compiler and simulator built from attribute grammars" in
   let info = Cmd.info "vhdlc" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ compile_cmd; simulate_cmd; dump_cmd; explain_cmd; stats_cmd ]))
+       (Cmd.group info
+          [ compile_cmd; simulate_cmd; dump_cmd; explain_cmd; stats_cmd; bench_cmd ]))

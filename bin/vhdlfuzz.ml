@@ -17,12 +17,14 @@ module Telemetry = Vhdl_telemetry.Telemetry
    much work the pipeline actually did across every seed *)
 let pp_campaign_telemetry fmt () =
   let c = Telemetry.counter_value in
+  Telemetry.sample_gc ();
   Format.fprintf fmt
     "telemetry: %d tokens, %d attrs evaluated (%d memo hits), %d cascade \
-     evaluations, %d resyncs, %d delta cycles, %d events"
+     evaluations, %d resyncs, %d delta cycles, %d events, %.1f MW peak heap"
     (c "lexer.tokens") (c "ag.attrs_evaluated") (c "ag.memo_hits")
     (c "cascade.evaluations") (c "lalr.resyncs") (c "sim.delta_cycles")
     (c "sim.events")
+    (Telemetry.gauge_value (Telemetry.gauge "gc.top_heap_words") /. 1e6)
 
 let run smoke soak replay_files seed count size max_ns inject_fault budget
     corpus_dir gen_only quiet =

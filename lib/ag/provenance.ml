@@ -19,7 +19,7 @@ let m_records = Tm.counter "provenance.records"
 let m_edges = Tm.counter "provenance.edges"
 let m_memo_edges = Tm.counter "provenance.memo_edges"
 
-let now_s () = Sys.time ()
+let now_s () = Tm.now_s () (* monotonic wall clock, same base as spans *)
 
 type kind =
   | Rule of Grammar.provenance

@@ -1,0 +1,165 @@
+(** The performance observatory: statistical benchmark sessions, the
+    canonical [BENCH_report.json] schema with persisted baselines, a
+    noise-aware regression gate, and collapsed-stack profile export from
+    telemetry spans.
+
+    All timing uses the monotonic wall clock ({!Vhdl_telemetry.Telemetry.now_s}),
+    never [Sys.time] (CPU time). *)
+
+module Telemetry = Vhdl_telemetry.Telemetry
+
+(** Robust statistics over repetition times. *)
+module Stat : sig
+  val median : float array -> float
+  val mean : float array -> float
+
+  val mad : float array -> float
+  (** Median absolute deviation from the median (unscaled) — the robust
+      spread estimate the significance test is built on. *)
+
+  val bootstrap_ci :
+    ?seed:int -> ?iters:int -> ?confidence:float -> float array -> float * float
+  (** Percentile-bootstrap confidence interval of the median (default
+      95%, 1000 resamples, deterministic seed). *)
+end
+
+(** GC/allocation deltas over a measured section. *)
+module Gc_delta : sig
+  type t = {
+    minor_collections : int;
+    major_collections : int;
+    compactions : int;
+    allocated_words : float;
+    heap_words : int; (* live heap words at section end *)
+    top_heap_words : int; (* process peak heap words *)
+  }
+
+  val zero : t
+  val measure : (unit -> unit) -> t
+end
+
+(** One measured experiment. *)
+module Sample : sig
+  type t = {
+    s_name : string;
+    s_warmup : int;
+    s_times : float array; (* seconds per repetition, monotonic wall clock *)
+    s_gc : Gc_delta.t; (* over all measured repetitions *)
+    s_counters : (string * int) list; (* telemetry counter deltas *)
+    s_phases : (string * float) list; (* phase self-time seconds *)
+    s_metrics : (string * float) list; (* derived rates, caller-defined *)
+  }
+
+  val reps : t -> int
+  val median : t -> float
+  val mad : t -> float
+  val ci : t -> float * float
+
+  val rate : t -> string -> float option
+  (** [rate s counter] is the counter's per-repetition delta divided by
+      the median repetition time — tokens/s, attrs/s, delta-cycles/s. *)
+
+  val with_metrics : t -> (string * float) list -> t
+end
+
+val perturb_env : string
+(** ["VHDLC_PERF_PERTURB"] — the artificial-slowdown test seam: ["MS"]
+    busy-waits MS extra milliseconds in every measured repetition,
+    ["NAME:MS"] only in experiments whose name contains NAME.  This is
+    how the regression gate's non-zero exit is exercised end to end. *)
+
+val perturb_s : name:string -> float
+(** Extra seconds the hook injects into experiment [name] (0 when the
+    variable is unset or names a different experiment). *)
+
+val run :
+  ?warmup:int ->
+  ?repeats:int ->
+  ?quota_s:float ->
+  ?phases:(unit -> (string * float) list) ->
+  name:string ->
+  (unit -> unit) ->
+  Sample.t
+(** [run ~name f] measures [f]: [warmup] (default 1) unrecorded calls,
+    then up to [repeats] (default 5) timed repetitions on the monotonic
+    wall clock, stopping early once [quota_s] seconds of measurement are
+    spent (never below one repetition).  Telemetry counters are
+    snapshotted around the measured portion; [phases] is read once after
+    the last repetition (pass the compiler's phase-timer report). *)
+
+(** Minimal JSON reader — the inverse of [Telemetry.Json], used to load
+    persisted baselines. *)
+module Json_in : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  val mem : string -> t -> t option
+  val to_str : t -> string option
+  val to_num : t -> float option
+  val to_int : t -> int option
+end
+
+(** The canonical benchmark report. *)
+module Report : sig
+  type t = {
+    r_schema : string;
+    r_meta : (string * string) list;
+    r_samples : Sample.t list;
+  }
+
+  val schema : string
+  (** ["vhdl-bench/1"]. *)
+
+  val make : ?meta:(string * string) list -> Sample.t list -> t
+  (** Attach machine metadata (created/hostname/os/ocaml/word size/git
+      commit/stack ulimit, all best-effort) plus [meta] to the samples. *)
+
+  val to_json : t -> string
+  val of_json : string -> (t, string) result
+  val save : string -> t -> unit
+  val load : string -> (t, string) result
+end
+
+(** Baseline diffing: the regression gate behind [vhdlc bench --against]. *)
+module Diff : sig
+  type verdict = Regression | Improvement | Unchanged | Added | Removed
+
+  type row = {
+    d_name : string;
+    d_base : float; (* baseline median seconds (nan when Added) *)
+    d_cur : float; (* current median seconds (nan when Removed) *)
+    d_ratio : float; (* cur / base *)
+    d_verdict : verdict;
+  }
+
+  val compare_reports :
+    ?threshold:float -> baseline:Report.t -> current:Report.t -> unit -> row list
+  (** Match experiments by name and classify each.  A change is only
+      significant when the median ratio clears [threshold] (default
+      0.25, i.e. 25%) {e and} the bootstrap confidence intervals of the
+      two medians are disjoint — so a 2x slowdown is flagged while
+      sub-noise jitter is not, regardless of sample luck. *)
+
+  val regressions : row list -> row list
+  val verdict_name : verdict -> string
+  val pp : Format.formatter -> row list -> unit
+end
+
+(** Collapsed-stack ("folded") export of the telemetry span tree. *)
+module Flame : sig
+  val self_times : Telemetry.span list -> (string * float) list
+  (** Aggregated self time (duration minus direct children) per span
+      name, seconds, sorted by name. *)
+
+  val folded : Telemetry.span list -> string
+  (** One line per distinct stack, [root;child;leaf <self-us>] — the
+      input format of flamegraph.pl and speedscope.  Lines whose self
+      time rounds to zero microseconds are dropped, so the folded totals
+      equal {!self_times} within rounding. *)
+end

@@ -17,9 +17,17 @@
     and Chrome trace-event JSON of the span tree ({!to_chrome_trace}) that
     loads in [chrome://tracing] / Perfetto. *)
 
-(* The same clock Vhdl_util.Unix_compat.now uses (this library sits below
-   vhdl_util, so it carries its own copy). *)
-let now_s () = Sys.time ()
+(* The process clock: monotonic wall time (CLOCK_MONOTONIC via the
+   bechamel stub), in seconds since the first read.  [Sys.time] would be
+   CPU time — fine for a single-threaded hot loop, wrong for anything that
+   sleeps, waits on IO, or gets descheduled, and far too coarse for span
+   timestamps.  Every timing consumer above this library
+   (Vhdl_util.Unix_compat.now, Phase_timer, the bench harness) reads this
+   clock so phase tables, span trees and benchmark sessions agree. *)
+let clock_epoch = Monotonic_clock.now ()
+
+let now_s () =
+  Int64.to_float (Int64.sub (Monotonic_clock.now ()) clock_epoch) *. 1e-9
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON construction (no external dependency): values are built
@@ -179,6 +187,25 @@ let counter_value name =
   | _ -> 0
 
 (* ------------------------------------------------------------------ *)
+(* GC gauges *)
+
+(** Refresh the [gc.*] gauges from [Gc.quick_stat].  Called at phase
+    boundaries (every {!Vhdl_util.Phase_timer} frame close) and before any
+    metrics export, so [--metrics] / {!metrics_json} always carry the
+    memory picture of the run: collection counts, live/total heap words,
+    the peak heap, and total words allocated.  [quick_stat] does not force
+    a heap walk, so the sample is cheap enough for every boundary. *)
+let sample_gc () =
+  let s = Gc.quick_stat () in
+  let g name v = set (gauge name) v in
+  g "gc.minor_collections" (float_of_int s.Gc.minor_collections);
+  g "gc.major_collections" (float_of_int s.Gc.major_collections);
+  g "gc.compactions" (float_of_int s.Gc.compactions);
+  g "gc.heap_words" (float_of_int s.Gc.heap_words);
+  g "gc.top_heap_words" (float_of_int s.Gc.top_heap_words);
+  g "gc.allocated_words" (s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words)
+
+(* ------------------------------------------------------------------ *)
 (* Spans *)
 
 (** One completed span.  Timestamps are seconds since process start
@@ -319,6 +346,7 @@ let instruments () =
     order.  [nonzero] (default true) hides instruments that never fired —
     the interesting view after a run. *)
 let pp_metrics ?(nonzero = true) fmt () =
+  sample_gc ();
   Format.fprintf fmt "@[<v>";
   List.iter
     (fun (name, i) ->
@@ -345,6 +373,7 @@ let pp_metrics ?(nonzero = true) fmt () =
 (** Machine-readable dump of every registered instrument:
     [{"counters":{...},"gauges":{...},"histograms":{...}}]. *)
 let metrics_json () =
+  sample_gc ();
   let counters = ref [] and gauges = ref [] and histograms = ref [] in
   List.iter
     (fun (name, i) ->

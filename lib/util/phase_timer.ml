@@ -70,7 +70,10 @@ let run_frame timer name f =
         r := !r +. (total -. frame.f_child)
       | None -> ());
       Telemetry.record_span ~cat:"phase" ~name:frame.f_name ~start_s:start
-        ~dur_s:total ())
+        ~dur_s:total ();
+      (* phase boundary: refresh the gc.* gauges so metrics exports see the
+         heap as it stood when the last phase closed *)
+      Telemetry.sample_gc ())
     f
 
 (** [time t name f] runs [f ()] charging its self time to phase [name] of

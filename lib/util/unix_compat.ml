@@ -4,11 +4,12 @@
     comes from [Sys.time]-independent [Unix.gettimeofday] equivalents where
     available, falling back to the GC clock. *)
 
-(* Wall-clock seconds.  [Sys.time] is CPU time, which is what the paper's
-   throughput discussion is really about for a single-threaded compiler, but
-   for phase percentages we want something monotone and cheap; the float
-   epoch from [Stdlib] suffices. *)
-let now () = Sys.time ()
+(* Monotonic wall-clock seconds (since first telemetry clock read).
+   [Sys.time] is CPU time — it undercounts anything that blocks on IO or is
+   descheduled, which is exactly what throughput experiments must not do —
+   so this delegates to the telemetry clock (CLOCK_MONOTONIC), keeping
+   every timing consumer on the same time base. *)
+let now () = Vhdl_telemetry.Telemetry.now_s ()
 
 (** Create a directory (and parents) if missing. *)
 let rec mkdir_p path =

@@ -1,7 +1,8 @@
 (** Small filesystem and timing helpers (no [unix] dependency). *)
 
 val now : unit -> float
-(** Processor time in seconds — the phase timer's clock. *)
+(** Monotonic wall-clock seconds (the telemetry clock) — the time base of
+    the phase timer and the benchmark harness. *)
 
 val mkdir_p : string -> unit
 (** Create a directory and its missing parents. *)

@@ -107,6 +107,50 @@ let multi_arch_library ~archs =
   done;
   Buffer.contents b
 
+(** A self-clocking toggle-flip-flop divider chain of [stages] stages:
+    the SIM-THROUGHPUT workload.  Every clock edge ripples through the
+    chain at halving frequency, so event count scales with [stages] while
+    the design stays a few dozen lines. *)
+let divider_chain ~stages =
+  Printf.sprintf
+    {|
+entity tff is
+  port (clk : in bit; q : out bit);
+end tff;
+architecture behav of tff is
+  signal state : bit := '0';
+begin
+  flip : process (clk)
+  begin
+    if clk'event and clk = '0' then
+      state <= not state;
+    end if;
+  end process;
+  q <= state;
+end behav;
+
+entity chain is end chain;
+architecture t of chain is
+  component tff
+    port (clk : in bit; q : out bit);
+  end component;
+  type taps_t is array (0 to %d) of bit;
+  signal taps : taps_t;
+  signal clk : bit := '0';
+begin
+  first : tff port map (clk => clk, q => taps(0));
+  g : for i in 1 to %d generate
+    s : tff port map (clk => taps(i - 1), q => taps(i));
+  end generate;
+  clock : process
+  begin
+    clk <= not clk after 5 ns;
+    wait for 5 ns;
+  end process;
+end t;
+|}
+    stages stages
+
 (** A netlist of CELL instances plus a configuration unit binding each
     instance explicitly: the PERF-CONFIG workload whose compilation is
     dominated by reading foreign VIF.  [style] chooses between one spec per

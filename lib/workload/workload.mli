@@ -24,6 +24,10 @@ val multi_arch_library : archs:int -> string
 (** One entity with [archs] alternative architectures (latest-compiled
     default-rule experiments). *)
 
+val divider_chain : stages:int -> string
+(** A self-clocking toggle-flip-flop divider chain (top entity CHAIN) —
+    the simulator-throughput workload; event count scales with [stages]. *)
+
 val config_workload :
   ?style:[ `Per_label | `All ] -> instances:int -> unit -> string * string
 (** A netlist of CELL instances plus a configuration unit binding them:

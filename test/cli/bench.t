@@ -1,0 +1,89 @@
+The statistical benchmark front end: sessions, persisted baselines, the
+noise-aware regression gate, and collapsed-stack profile export.
+
+A bench run prints one session line per experiment (repetitions, median,
+MAD, bootstrap CI) plus derived rates.  The numbers move with the
+machine, so check shape, not values:
+
+  $ ../../bin/vhdlc.exe bench --warmup 0 --repeats 2 --quota 0.2 > bench.out
+  $ grep -c 'reps  median' bench.out
+  5
+  $ grep -c 'attrs_per_s' bench.out
+  4
+  $ grep -c 'delta_cycles_per_s' bench.out
+  1
+
+--save-baseline persists the canonical report schema with machine and
+commit metadata, and a clean run against it exits 0:
+
+  $ ../../bin/vhdlc.exe bench --warmup 0 --repeats 3 --quota 0.3 --save-baseline base.json > /dev/null
+  $ grep -o '"schema":"vhdl-bench/1"' base.json
+  "schema":"vhdl-bench/1"
+  $ grep -c '"commit"' base.json
+  1
+  $ grep -c '"experiments"' base.json
+  1
+  $ ../../bin/vhdlc.exe bench --warmup 0 --repeats 3 --quota 0.3 --threshold 6.0 --against base.json > same.out
+  $ tail -1 same.out
+  no regressions against base.json (threshold +600%)
+  $ grep -c 'verdict' same.out
+  1
+
+An injected slowdown in one experiment — the VHDLC_PERF_PERTURB test
+seam busy-waits extra milliseconds inside the measured section — flips
+that experiment's verdict to REGRESSION and the exit code to 1.  (The
+threshold is set above machine jitter but far below the injected 10x so
+the verdict is deterministic.)
+
+  $ VHDLC_PERF_PERTURB='compile/expressions:150' ../../bin/vhdlc.exe bench \
+  >   --warmup 0 --repeats 3 --quota 0.3 --threshold 3.0 --against base.json > slow.out; echo "exit $?"
+  exit 1
+  $ grep -c 'REGRESSION' slow.out
+  1
+  $ grep 'regression(s) against' slow.out
+  1 regression(s) against base.json (threshold +300%)
+
+A missing or unreadable baseline is a usage error, exit 2:
+
+  $ ../../bin/vhdlc.exe bench --warmup 0 --repeats 1 --quota 0.05 --against nowhere.json > /dev/null
+  cannot load baseline: nowhere.json: cannot read
+  [2]
+
+--flame on a compile writes the span tree as collapsed stacks — the
+flamegraph.pl / speedscope input format, one "path;to;frame <self-us>"
+line per distinct stack (frame names may contain spaces; the value after
+the last space is integer microseconds):
+
+  $ cat > design.vhd <<'VHDL'
+  > entity counter is
+  >   port (clk : in bit; q : out integer);
+  > end counter;
+  > architecture rtl of counter is
+  >   signal n : integer := 0;
+  > begin
+  >   tick : process (clk)
+  >   begin
+  >     if clk'event and clk = '1' then
+  >       n <= n + 1;
+  >     end if;
+  >   end process;
+  >   q <= n;
+  > end rtl;
+  > VHDL
+  $ ../../bin/vhdlc.exe compile --work ./lib --flame out.folded design.vhd > /dev/null
+  $ test -s out.folded && echo non-empty
+  non-empty
+
+Every line is well formed (no violations of "stack space value"):
+
+  $ grep -vEc '^.+ [0-9]+$' out.folded
+  0
+  [1]
+
+The compile phases appear as frames under the compile root, space in the
+frame name and all:
+
+  $ grep -o '^compile;parser [0-9]*' out.folded | sed 's/ [0-9]*$/ NN/'
+  compile;parser NN
+  $ grep -o '^compile;attribute evaluation' out.folded | sort -u
+  compile;attribute evaluation

@@ -20,6 +20,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("provenance", Test_provenance.suite);
       ("trace", Test_trace.suite);
+      ("perf", Test_perf.suite);
       ("generated", Test_generated.suite);
       ("difftest", Test_difftest.suite);
     ]

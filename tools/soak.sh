@@ -9,9 +9,10 @@
 # the campaign was clean.
 #
 # Each campaign appends its one-line telemetry summary (tokens, attrs,
-# memo hits, cascade evaluations, ...) to the soak log — default
-# _soak/soak.log, override with SOAK_LOG — so throughput across
-# campaigns can be compared over time.
+# memo hits, cascade evaluations, peak heap, ...) plus its wall-clock
+# time to the soak log — default _soak/soak.log, override with
+# SOAK_LOG — so throughput and memory across campaigns can be compared
+# over time.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -31,16 +32,19 @@ OUT=$(mktemp "${TMPDIR:-/tmp}/soak.XXXXXX")
 trap 'rm -f "$OUT"' EXIT
 
 STATUS=0
+T0=$(date +%s)
 dune exec bin/vhdlfuzz.exe -- --soak \
   --seed "$SEED" --count "$COUNT" --size "$SIZE" \
   --corpus test/corpus "$@" > "$OUT" 2>&1 || STATUS=$?
+WALL=$(( $(date +%s) - T0 ))
 cat "$OUT"
 
-# the campaign's one-line telemetry summary, stamped with the campaign
-# parameters, goes into the soak log
+# the campaign's one-line telemetry summary (which ends with the peak
+# heap), stamped with the campaign parameters and wall-clock seconds,
+# goes into the soak log
 {
-  printf '%s seed=%s count=%s size=%s status=%s ' \
-    "$(date -u '+%Y-%m-%dT%H:%M:%SZ')" "$SEED" "$COUNT" "$SIZE" "$STATUS"
+  printf '%s seed=%s count=%s size=%s status=%s wall_s=%s ' \
+    "$(date -u '+%Y-%m-%dT%H:%M:%SZ')" "$SEED" "$COUNT" "$SIZE" "$STATUS" "$WALL"
   grep '^telemetry:' "$OUT" | tail -1 || echo 'telemetry: (none)'
 } >> "$LOG"
 
