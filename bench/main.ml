@@ -327,7 +327,19 @@ let cascade () =
   let results =
     Bechamel_util.run_tests ~quota:1.0
       [
+        (* cold cascade: the ablation measures the cascade's parse+eval
+           cost itself, which the LEF→tree memo would otherwise hide
+           after the first repetition *)
         Test.make ~name:"cascade (LEF + expression AG)"
+          (Staged.stage (fun () ->
+               Expr_eval.with_cold_cascade (fun () ->
+                   Session.with_session session (fun () ->
+                       List.iter
+                         (fun src ->
+                           let lef = Cascade_driver.classify_tokens ~env (Lexer.tokenize src) in
+                           ignore (Expr_eval.eval ~level:0 ~line:1 lef))
+                         exprs))));
+        Test.make ~name:"cascade (warm memo)"
           (Staged.stage (fun () ->
                Session.with_session session (fun () ->
                    List.iter
@@ -413,12 +425,14 @@ let micro () =
           (Staged.stage (fun () -> ignore (Analysis.compute (Expr_eval.grammar ()))));
         Test.make ~name:"cascade/cascade"
           (Staged.stage (fun () ->
-               Session.with_session session (fun () ->
-                   List.iter
-                     (fun src ->
-                       let lef = Cascade_driver.classify_tokens ~env (Lexer.tokenize src) in
-                       ignore (Expr_eval.eval ~level:0 ~line:1 lef))
-                     exprs)));
+               (* cold: measure parse+eval, not memo hits *)
+               Expr_eval.with_cold_cascade (fun () ->
+                   Session.with_session session (fun () ->
+                       List.iter
+                         (fun src ->
+                           let lef = Cascade_driver.classify_tokens ~env (Lexer.tokenize src) in
+                           ignore (Expr_eval.eval ~level:0 ~line:1 lef))
+                         exprs))));
         Test.make ~name:"cascade/united"
           (Staged.stage (fun () ->
                Session.with_session session (fun () ->

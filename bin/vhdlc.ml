@@ -23,8 +23,8 @@ let ref_arg =
   let doc = "Reference library as NAME=DIR (read-only, repeatable)." in
   Arg.(value & opt_all string [] & info [ "ref" ] ~docv:"NAME=DIR" ~doc)
 
-let make_compiler ?budgets ?provenance work refs =
-  let c = Vhdl_compiler.create ?work_dir:work ?budgets ?provenance () in
+let make_compiler ?budgets ?provenance ?strategy work refs =
+  let c = Vhdl_compiler.create ?work_dir:work ?budgets ?provenance ?strategy () in
   List.iter
     (fun spec ->
       match String.index_opt spec '=' with
@@ -137,12 +137,24 @@ let compile_cmd =
             "Record attribute provenance and print the hot-rule profile \
              (per-production / per-attribute evaluation counts and self-cost).")
   in
-  let run work refs phases report profile_rules trace flame metrics metrics_out fuel
-      deadline files =
+  let reference =
+    Arg.(
+      value & flag
+      & info [ "reference" ]
+          ~doc:
+            "Compile on the reference path: demand-driven evaluation with \
+             copy elision off and the cascade's parse-tree memo bypassed — \
+             the oracle the plan-based default is differentially tested \
+             against. Slower; results must be identical.")
+  in
+  let run work refs phases report profile_rules reference trace flame metrics
+      metrics_out fuel deadline files =
     with_telemetry ~flame ~trace ~metrics ~metrics_out @@ fun () ->
     let recorder = if profile_rules then Some (Provenance.create ()) else None in
+    let strategy = if reference then Some Vhdl_compiler.Demand else None in
     let c =
-      make_compiler ~budgets:(budgets_of fuel deadline) ?provenance:recorder work refs
+      make_compiler ~budgets:(budgets_of fuel deadline) ?provenance:recorder
+        ?strategy work refs
     in
     let ok = ref true in
     List.iter
@@ -169,8 +181,9 @@ let compile_cmd =
   let doc = "Compile VHDL source files into the working library." in
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
-      const run $ work_arg $ ref_arg $ phases $ report $ profile_rules $ trace_arg
-      $ flame_arg $ metrics_arg $ metrics_out_arg $ fuel_arg $ deadline_arg $ files)
+      const run $ work_arg $ ref_arg $ phases $ report $ profile_rules $ reference
+      $ trace_arg $ flame_arg $ metrics_arg $ metrics_out_arg $ fuel_arg
+      $ deadline_arg $ files)
 
 let simulate_cmd =
   let top =

@@ -265,6 +265,65 @@ let visit_partitions t =
   done;
   partitions
 
+(* ------------------------------------------------------------------ *)
+(* Static evaluation plans *)
+
+(** A static evaluation plan, computed once per grammar: for every
+    production, the synthesized attributes of its left-hand side to force
+    during each pass, as dense arrays a plan-driven evaluator iterates
+    without per-node list scans.
+
+    Copy chains are detected here: a synthesized attribute whose defining
+    rule in the production is a pure copy ([Grammar.rule.copy_of]) is left
+    out of the force lists — its value moves by reference the moment a real
+    rule reads it (the evaluator's copy elision), so forcing it would only
+    manufacture rule applications.  Inherited attributes are never forced
+    either: demand evaluation pulls exactly the ones the forced synthesized
+    attributes transitively need, through the parent chain. *)
+type plan = {
+  pl_passes : int; (* number of passes (the partition's max visit) *)
+  pl_force : int array array array;
+      (* production id -> pass-1 -> synthesized attr ids to force *)
+  pl_copy_targets : int;
+      (* copy-rule targets detected (and excluded) at plan time, summed
+         over productions — the §4.1 "more than half of all rules" *)
+}
+
+let plan t =
+  let g = t.grammar in
+  let partitions = visit_partitions t in
+  let passes =
+    Array.fold_left
+      (fun acc l -> List.fold_left (fun acc (_, v) -> max acc v) acc l)
+      1 partitions
+  in
+  let copy_targets = ref 0 in
+  let force =
+    Array.init (Grammar.n_productions g) (fun pid ->
+        let p = Grammar.production g pid in
+        let per_pass = Array.make passes [] in
+        List.iter
+          (fun (attr, pass) ->
+            if Grammar.attr_dir g attr = Grammar.Synthesized then begin
+              let rule =
+                (* completion guarantees every syn(lhs) attribute a rule *)
+                Array.to_seq p.Grammar.rules
+                |> Seq.find (fun (r : 'v Grammar.rule) ->
+                       r.Grammar.target.Grammar.pos = 0
+                       && r.Grammar.target.Grammar.attr = attr)
+              in
+              match rule with
+              | Some r when r.Grammar.copy_of <> None -> incr copy_targets
+              | _ -> per_pass.(pass - 1) <- attr :: per_pass.(pass - 1)
+            end)
+          partitions.(p.Grammar.lhs);
+        Array.map (fun l -> Array.of_list (List.rev l)) per_pass)
+  in
+  { pl_passes = passes; pl_force = force; pl_copy_targets = !copy_targets }
+
+let plan_passes p = p.pl_passes
+let plan_copy_targets p = p.pl_copy_targets
+
 (** Maximum number of visits over all symbols — the paper's "max visits". *)
 let max_visits t =
   let parts = visit_partitions t in

@@ -27,6 +27,28 @@ val visit_partitions : 'v t -> (int * int) list array
     the eager partition.  @raise Not_orderable when a symbol's combined
     IO/OI relation is cyclic (demand evaluation may still succeed). *)
 
+type plan = {
+  pl_passes : int;  (** number of passes (the partition's max visit) *)
+  pl_force : int array array array;
+      (** production id -> pass-1 -> synthesized attribute ids to force *)
+  pl_copy_targets : int;
+      (** copy-rule targets detected (and excluded from forcing) at plan
+          time, summed over productions *)
+}
+(** A static evaluation plan: per production and pass, the synthesized
+    attributes a plan-driven evaluator forces ({!Evaluator.evaluate_plan}).
+    Copy chains are detected at plan-construction time and left out — their
+    values move by reference when a real rule reads them — and inherited
+    attributes are pulled on demand through the parent chain. *)
+
+val plan : 'v t -> plan
+(** Compute the plan (once per grammar; sharing it mirrors Linguist
+    generating the evaluator once).
+    @raise Not_orderable as {!visit_partitions}. *)
+
+val plan_passes : plan -> int
+val plan_copy_targets : plan -> int
+
 val max_visits : 'v t -> int
 (** The paper's "max visits" row. *)
 

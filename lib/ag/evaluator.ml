@@ -17,6 +17,7 @@ module Tm = Vhdl_telemetry.Telemetry
 let m_memo_hits = Tm.counter "ag.memo_hits"
 let m_attrs_evaluated = Tm.counter "ag.attrs_evaluated"
 let m_rule_applications = Tm.counter "ag.rule_applications"
+let m_copy_elisions = Tm.counter "ag.copy_elisions"
 let m_staged_passes = Tm.counter "ag.staged_passes"
 let m_staged_visits = Tm.counter "ag.staged_visits"
 let m_visits_per_pass = Tm.histogram "ag.visits_per_pass"
@@ -64,6 +65,9 @@ type 'v t = {
   mutable fuel : int option; (* rule-application budget, None = unlimited *)
   tick : unit -> unit; (* periodic hook (deadline checks), every 256 rules *)
   prov : 'v provenance option;
+  copy_elide : bool;
+      (* move copy-rule values by reference instead of applying the rule;
+         off for the differential oracle's reference side *)
 }
 
 (* Node ids are process-global so records from several trees (the main AG
@@ -109,8 +113,8 @@ let rec attach grammar tree =
     attribute name); [token_line] injects a token's source line into the
     value type for rules that depend on the LINE token attribute;
     [provenance] arms the attribute-dependency recorder. *)
-let create ?token_line ?fuel ?(tick = fun () -> ()) ?provenance grammar
-    ~root_inherited tree =
+let create ?token_line ?fuel ?(tick = fun () -> ()) ?provenance
+    ?(copy_elide = true) grammar ~root_inherited tree =
   let root = attach grammar tree in
   let root_inherited =
     List.map (fun (name, v) -> (Grammar.find_attr grammar name, v)) root_inherited
@@ -125,6 +129,7 @@ let create ?token_line ?fuel ?(tick = fun () -> ()) ?provenance grammar
     fuel;
     tick;
     prov = provenance;
+    copy_elide;
   }
 
 let set_fuel t fuel = t.fuel <- fuel
@@ -208,12 +213,12 @@ and compute_attr t node attr =
     match Grammar.attr_dir t.grammar attr with
     | Grammar.Synthesized ->
       let rule = find_rule t node.n_prod { Grammar.pos = 0; attr } in
-      apply_rule t node rule
+      apply_or_elide t node rule
     | Grammar.Inherited -> (
       match node.n_parent with
       | Some (parent, idx) ->
         let rule = find_rule t parent.n_prod { Grammar.pos = idx + 1; attr } in
-        apply_rule t parent rule
+        apply_or_elide t parent rule
       | None -> (
         match List.assoc_opt attr t.root_inherited with
         | Some v ->
@@ -242,18 +247,37 @@ and eval_token t node attr =
          (Grammar.symbol_name t.grammar node.n_term)
          (Grammar.attr_name t.grammar attr))
 
+and arg_of t at_node (occ : Grammar.occurrence) =
+  if occ.Grammar.pos = 0 then eval_node t at_node occ.Grammar.attr
+  else
+    let child = at_node.n_children.(occ.Grammar.pos - 1) in
+    if child.n_prod < 0 && occ.Grammar.attr = t.grammar.Grammar.token_line_attr then
+      (* token LINE is produced by the scanner, not by a semantic rule;
+         expose it through the same mechanism *)
+      eval_token t child occ.Grammar.attr
+    else eval_node t child occ.Grammar.attr
+
+(* Copy elision: a rule tagged [copy_of] moves its source's value by
+   reference — no argument list, no application count, no fuel.  More than
+   half of all rules are generator-supplied copies (paper §4.1), so chains
+   of them collapse to pointer moves.  With a recorder armed the instance
+   is still classified ([note_copy]) and the read of the source adds the
+   collapsed dependency edge, keeping explain chains truthful. *)
+and apply_or_elide t at_node rule =
+  match rule.Grammar.copy_of with
+  | Some src when t.copy_elide ->
+    Tm.incr m_copy_elisions;
+    (match t.prov with
+    | Some (rc, _, _) ->
+      Provenance.note_copy rc
+        ~defining_prod:(Grammar.production t.grammar at_node.n_prod).Grammar.prod_name
+        ~implicit:(rule.Grammar.provenance = Grammar.Implicit)
+    | None -> ());
+    arg_of t at_node src
+  | _ -> apply_rule t at_node rule
+
 and apply_rule t at_node rule =
-  let arg_of (occ : Grammar.occurrence) =
-    if occ.Grammar.pos = 0 then eval_node t at_node occ.Grammar.attr
-    else
-      let child = at_node.n_children.(occ.Grammar.pos - 1) in
-      if child.n_prod < 0 && occ.Grammar.attr = t.grammar.Grammar.token_line_attr then
-        (* token LINE is produced by the scanner, not by a semantic rule;
-           expose it through the same mechanism *)
-        eval_token t child occ.Grammar.attr
-      else eval_node t child occ.Grammar.attr
-  in
-  let args = List.map arg_of rule.Grammar.deps in
+  let args = List.map (arg_of t at_node) rule.Grammar.deps in
   t.rule_applications <- t.rule_applications + 1;
   Tm.incr m_rule_applications;
   (match t.prov with
@@ -315,6 +339,38 @@ let evaluate_staged t ~partitions =
     Tm.observe m_visits_per_pass (float_of_int !visits)
   done;
   !max_pass
+
+(* ------------------------------------------------------------------ *)
+(* Plan-based evaluation *)
+
+(** Drive evaluation from a static plan ({!Analysis.plan}): pass by pass,
+    bottom-up, forcing per production exactly the non-copy synthesized
+    attributes the plan assigned to the pass.  Copy targets and inherited
+    attributes are filled on demand — copies by reference (elision), the
+    rest through ordinary memoized recursion — so the walk does no
+    per-node list scans and manufactures no rule applications.  [site]
+    restricts the walk to a subtree (the per-design-unit entry point of the
+    supervisor, so work and failures still attribute to their unit).
+    Returns the number of passes run. *)
+let evaluate_plan ?site t ~(plan : Analysis.plan) =
+  let root = match site with Some s -> s | None -> t.root in
+  for pass = 1 to plan.Analysis.pl_passes do
+    Tm.incr m_staged_passes;
+    let visits = ref 0 in
+    let rec walk node =
+      Array.iter walk node.n_children;
+      if node.n_prod >= 0 then begin
+        incr visits;
+        Array.iter
+          (fun attr -> ignore (eval_node t node attr))
+          plan.Analysis.pl_force.(node.n_prod).(pass - 1)
+      end
+    in
+    walk root;
+    Tm.add m_staged_visits !visits;
+    Tm.observe m_visits_per_pass (float_of_int !visits)
+  done;
+  plan.Analysis.pl_passes
 
 (* ------------------------------------------------------------------ *)
 (* Per-region evaluation (the exception firewall's view of the tree) *)

@@ -33,6 +33,7 @@ val create :
   ?fuel:int ->
   ?tick:(unit -> unit) ->
   ?provenance:'v provenance ->
+  ?copy_elide:bool ->
   'v Grammar.t ->
   root_inherited:(string * 'v) list ->
   'v Tree.t ->
@@ -44,7 +45,10 @@ val create :
     applications ({!Fuel_exhausted} beyond it); [tick] is called every 256
     applications — the wall-clock deadline hook.  [provenance] records
     every attribute-instance computation into the given recorder; without
-    it the only residue is one option test per evaluation. *)
+    it the only residue is one option test per evaluation.  [copy_elide]
+    (default [true]) moves copy-rule values by reference instead of
+    applying the identity rule — see {!Grammar.rule.copy_of}; the
+    differential oracle's reference side turns it off. *)
 
 val set_fuel : 'v t -> int option -> unit
 
@@ -58,7 +62,8 @@ val rule_applications : 'v t -> int
 val evaluate_staged : 'v t -> partitions:(int * int) list array -> int
 (** Force every attribute pass by pass following per-symbol visit
     partitions; returns the number of passes run.  Values agree with demand
-    evaluation. *)
+    evaluation.  (Superseded by {!evaluate_plan} on the hot path; kept for
+    the visit statistics and the strategy-agreement tests.) *)
 
 val evaluate_all : 'v t -> unit
 (** Force every declared attribute of every node (demand order). *)
@@ -78,6 +83,14 @@ val sites : 'v t -> symbol:string -> 'v site list
 val eval_at : 'v t -> 'v site -> string -> 'v
 (** Value of attribute [name] at the site; inherited attributes resolve
     through the parent chain. *)
+
+val evaluate_plan : ?site:'v site -> 'v t -> plan:Analysis.plan -> int
+(** Drive evaluation from a static plan ({!Analysis.plan}): pass by pass,
+    bottom-up over the tree (or the subtree under [site]), forcing per
+    production exactly the non-copy synthesized attributes the plan
+    assigned to the pass.  Copy targets move by reference on first read
+    (elision); inherited attributes are pulled on demand.  Returns the
+    number of passes run. *)
 
 val site_id : 'v site -> int
 (** Provenance node id of the site: the key under which the site's goal

@@ -49,6 +49,12 @@ type 'v rule = {
   deps : occurrence list;
   compute : 'v list -> 'v;
   provenance : provenance;
+  copy_of : occurrence option;
+      (* [Some src] iff the rule is a pure copy of [src] — the target's
+         value IS the source's value.  Tagged at freeze time (implicit Copy
+         completion, inherited Merge copy-down, and explicit [Builder.copy])
+         so a plan-based evaluator can move the value by reference instead
+         of applying the rule ({!Evaluator}'s copy elision). *)
 }
 
 type 'v production = {
@@ -116,6 +122,7 @@ module Builder = struct
     s_target : int * string;
     s_deps : (int * string) list;
     s_fn : 'v list -> 'v;
+    s_copy : bool; (* built by {!copy}: the function is the identity *)
   }
 
   type 'v prod_spec = {
@@ -210,17 +217,24 @@ module Builder = struct
     in
     if not (List.mem attr_id !cell) then cell := attr_id :: !cell
 
-  let rule ~target ~deps fn = { s_target = target; s_deps = deps; s_fn = fn }
+  let rule ~target ~deps fn =
+    { s_target = target; s_deps = deps; s_fn = fn; s_copy = false }
 
   (** A rule with no dependencies (a constant). *)
   let const ~target v = rule ~target ~deps:[] (fun _ -> v)
 
-  (** A copy rule. *)
+  (** A copy rule — tagged so the evaluator may elide it (move the value by
+      reference instead of applying the identity). *)
   let copy ~target ~from =
-    rule ~target ~deps:[ from ]
-      (function
-        | [ v ] -> v
-        | _ -> assert false)
+    {
+      s_target = target;
+      s_deps = [ from ];
+      s_fn =
+        (function
+          | [ v ] -> v
+          | _ -> assert false);
+      s_copy = true;
+    }
 
   let production b ~name ~lhs ~rhs ~rules =
     ignore (nonterminal b lhs);
@@ -318,7 +332,12 @@ module Builder = struct
                syn(rhs) are the classical ones; syn(lhs) and inh(rhs) give
                local attribute chaining (all are computable within the
                production; circularity is caught by analysis/evaluation). *)
-            { target; deps; compute = s.s_fn; provenance = Explicit }
+            let copy_of =
+              match (s.s_copy, deps) with
+              | true, [ src ] -> Some src
+              | _ -> None
+            in
+            { target; deps; compute = s.s_fn; provenance = Explicit; copy_of }
           in
           let explicit = List.map mk_rule spec.p_rules in
           (* duplicate-definition check *)
@@ -385,6 +404,7 @@ module Builder = struct
                               | [ v ] -> v
                               | _ -> assert false);
                           provenance = Implicit;
+                          copy_of = Some src;
                         }
                     | [] ->
                       ill_formed
@@ -392,7 +412,14 @@ module Builder = struct
                         spec.p_name decl.attr_name
                         (Interner.name b.b_symbols (occ_sym occ.pos)))
                   | Some (Const u) ->
-                    Some { target = occ; deps = []; compute = (fun _ -> u); provenance = Implicit }
+                    Some
+                      {
+                        target = occ;
+                        deps = [];
+                        compute = (fun _ -> u);
+                        provenance = Implicit;
+                        copy_of = None;
+                      }
                   | Some (Merge (m, u)) ->
                     if decl.dir = Inherited then (
                       (* inherited merge class behaves as copy-down *)
@@ -407,10 +434,17 @@ module Builder = struct
                                 | [ v ] -> v
                                 | _ -> assert false);
                             provenance = Implicit;
+                            copy_of = Some src;
                           }
                       | [] ->
                         Some
-                          { target = occ; deps = []; compute = (fun _ -> u); provenance = Implicit })
+                          {
+                            target = occ;
+                            deps = [];
+                            compute = (fun _ -> u);
+                            provenance = Implicit;
+                            copy_of = None;
+                          })
                     else begin
                       let sources =
                         List.filter (fun o -> o.pos > 0) (other_occurrences ())
@@ -418,7 +452,26 @@ module Builder = struct
                       match sources with
                       | [] ->
                         Some
-                          { target = occ; deps = []; compute = (fun _ -> u); provenance = Implicit }
+                          {
+                            target = occ;
+                            deps = [];
+                            compute = (fun _ -> u);
+                            provenance = Implicit;
+                            copy_of = None;
+                          }
+                      | [ src ] ->
+                        (* a one-source merge is a copy: fold of one *)
+                        Some
+                          {
+                            target = occ;
+                            deps = [ src ];
+                            compute =
+                              (function
+                                | [] -> u
+                                | v :: vs -> List.fold_left m v vs);
+                            provenance = Implicit;
+                            copy_of = Some src;
+                          }
                       | deps ->
                         Some
                           {
@@ -429,6 +482,7 @@ module Builder = struct
                                 | [] -> u
                                 | v :: vs -> List.fold_left m v vs);
                             provenance = Implicit;
+                            copy_of = None;
                           }
                     end
                 end)

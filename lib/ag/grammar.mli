@@ -45,6 +45,11 @@ type 'v rule = {
   deps : occurrence list;
   compute : 'v list -> 'v;
   provenance : provenance;
+  copy_of : occurrence option;
+      (** [Some src] iff the rule is a pure copy of [src].  Tagged at
+          {!Builder.freeze} (implicit [Copy] completion, inherited [Merge]
+          copy-down, explicit {!Builder.copy}) so plan-based evaluation can
+          move the value by reference — {!Evaluator}'s copy elision. *)
 }
 
 type 'v production = {

@@ -23,6 +23,7 @@ let now_s () = Tm.now_s () (* monotonic wall clock, same base as spans *)
 
 type kind =
   | Rule of Grammar.provenance
+  | Copy of Grammar.provenance
   | Token
   | Root_inherited
   | Unknown
@@ -30,6 +31,8 @@ type kind =
 let kind_label = function
   | Rule Grammar.Explicit -> "rule"
   | Rule Grammar.Implicit -> "implicit rule"
+  | Copy Grammar.Explicit -> "elided copy"
+  | Copy Grammar.Implicit -> "elided implicit copy"
   | Token -> "token"
   | Root_inherited -> "root inherited"
   | Unknown -> "aborted"
@@ -167,6 +170,16 @@ let note_rule t ~defining_prod ~implicit =
       r.r_rule <- Some defining_prod;
       r.r_applications <- r.r_applications + 1)
 
+(* A copy rule elided by the evaluator: the value moved by reference, no
+   semantic function was applied ([r_applications] stays 0 — the profiler's
+   telemetry cross-check counts real applications only).  The collapsed
+   dependency edge to the source instance arrives separately, through the
+   ordinary [begin_instance]/[memo_hit] path when the source is read. *)
+let note_copy t ~defining_prod ~implicit =
+  with_top t (fun r ->
+      r.r_kind <- Copy (if implicit then Grammar.Implicit else Grammar.Explicit);
+      r.r_rule <- Some defining_prod)
+
 let note_token t = with_top t (fun r -> r.r_kind <- Token)
 let note_root_inherited t = with_top t (fun r -> r.r_kind <- Root_inherited)
 
@@ -297,8 +310,8 @@ let profile t =
     (fun r ->
       let prod =
         match (r.r_kind, r.r_rule) with
-        | Rule _, Some p -> p
-        | Rule _, None -> r.r_prod
+        | (Rule _ | Copy _), Some p -> p
+        | (Rule _ | Copy _), None -> r.r_prod
         | Token, _ -> "<token>"
         | Root_inherited, _ -> "<root>"
         | Unknown, _ -> "<aborted>"

@@ -18,6 +18,10 @@
 type kind =
   | Rule of Grammar.provenance  (** a semantic rule fired (explicit or
                                     implicit attribute-class completion) *)
+  | Copy of Grammar.provenance
+      (** a copy rule the evaluator elided: the value moved by reference
+          from its source instance (the collapsed dependency edge), no
+          semantic function was applied *)
   | Token  (** a terminal's VAL or LINE attribute, supplied by the scanner *)
   | Root_inherited  (** an inherited attribute supplied at the tree root *)
   | Unknown  (** the computation escaped before it was classified *)
@@ -88,6 +92,12 @@ val memo_hit : t -> node:int -> attr:string -> unit
 val note_rule : t -> defining_prod:string -> implicit:bool -> unit
 (** The open computation is about to apply a semantic rule living in
     [defining_prod]. *)
+
+val note_copy : t -> defining_prod:string -> implicit:bool -> unit
+(** The open computation is a copy rule the evaluator elided: its value
+    moves by reference from the source instance, so no rule application is
+    charged — only the collapsed dependency edge (recorded when the source
+    is read) remains, keeping [vhdlc explain] chains truthful. *)
 
 val note_token : t -> unit
 val note_root_inherited : t -> unit

@@ -16,6 +16,7 @@ type t = {
   attributes : int; (* attribute instances summed over symbols *)
   rules_total : int;
   rules_implicit : int;
+  rules_copy : int; (* rules tagged as pure copies, elided by the plan *)
   max_visits : int; (* -1 when the AG is not orderable by a fixed plan *)
 }
 
@@ -30,12 +31,13 @@ let of_grammar ~name g =
     done;
     !total
   in
-  let rules_total = ref 0 and rules_implicit = ref 0 in
+  let rules_total = ref 0 and rules_implicit = ref 0 and rules_copy = ref 0 in
   for pid = 0 to productions - 1 do
     let p = Grammar.production g pid in
     Array.iter
       (fun r ->
         incr rules_total;
+        if r.Grammar.copy_of <> None then incr rules_copy;
         match r.Grammar.provenance with
         | Grammar.Implicit -> incr rules_implicit
         | Grammar.Explicit -> ())
@@ -56,6 +58,7 @@ let of_grammar ~name g =
     attributes;
     rules_total = !rules_total;
     rules_implicit = !rules_implicit;
+    rules_copy = !rules_copy;
     max_visits;
   }
 
@@ -73,6 +76,7 @@ let to_json t =
       ("attributes", J.int t.attributes);
       ("rules_total", J.int t.rules_total);
       ("rules_implicit", J.int t.rules_implicit);
+      ("rules_copy", J.int t.rules_copy);
       ("implicit_fraction", J.float (implicit_fraction t));
       ( "max_visits",
         if t.max_visits < 0 then "null" else J.int t.max_visits );
@@ -150,5 +154,6 @@ let pp_table fmt stats =
   row "symbols" (fun s -> string_of_int s.symbols);
   row "attributes" (fun s -> string_of_int s.attributes);
   row "rules(implicit)" (fun s -> Printf.sprintf "%d(%d)" s.rules_total s.rules_implicit);
+  row "copy rules" (fun s -> string_of_int s.rules_copy);
   row "max visits" (fun s -> if s.max_visits < 0 then "n/a" else string_of_int s.max_visits);
   Format.fprintf fmt "@]"

@@ -8,6 +8,7 @@ type t = {
   attributes : int; (* attribute instances summed over symbols *)
   rules_total : int;
   rules_implicit : int;
+  rules_copy : int; (* rules tagged as pure copies, elided by the plan *)
   max_visits : int; (* -1 when the AG is not orderable by a fixed plan *)
 }
 

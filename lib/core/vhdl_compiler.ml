@@ -29,12 +29,15 @@ module Telemetry = Vhdl_telemetry.Telemetry
 let m_compiles_demand = Telemetry.counter "compile.runs_demand"
 let m_compiles_staged = Telemetry.counter "compile.runs_staged"
 
-(** How the principal AG is evaluated during [compile].  [Demand] asks only
-    for the goal attributes and lets memoization pull in what they need;
-    [Staged] additionally forces every attribute pass by pass following
-    {!Analysis.visit_partitions}, the way a Linguist-generated (plan-based)
-    evaluator proceeds.  Both must produce identical results — the
-    differential fuzzer ([lib/difftest]) holds them to that. *)
+(** How the principal AG is evaluated during [compile].  [Staged] (the
+    default) drives each design unit through the static plan computed once
+    per grammar by {!Analysis.plan} — copy rules elided, the cascade's
+    LEF→tree memo warm — the way a Linguist-generated (plan-based)
+    evaluator proceeds.  [Demand] is the reference path: goal-directed
+    memoizing evaluation with copy elision off and the cascade memo
+    bypassed, demoted to the fuzz-oracle role.  Both must produce identical
+    results — the differential fuzzer ([lib/difftest]) holds them to
+    that. *)
 type strategy =
   | Demand
   | Staged
@@ -53,11 +56,11 @@ type t = {
 
 exception Compile_error of Diag.t list
 
-(* The visit partitions of the principal AG, computed once per process (the
-   analysis walks every production; sharing it mirrors Linguist generating
-   the evaluator once). *)
-let principal_partitions =
-  lazy (Analysis.visit_partitions (Analysis.compute (Main_grammar.grammar ())))
+(* The static evaluation plan of the principal AG, computed once per
+   process (the analysis walks every production; sharing it mirrors
+   Linguist generating the evaluator once). *)
+let principal_plan =
+  lazy (Analysis.plan (Analysis.compute (Main_grammar.grammar ())))
 
 (** Create a compiler.  [work_dir] makes the working library disk-backed
     (separate compilation across compiler instances); without it, the
@@ -66,7 +69,7 @@ let principal_partitions =
     attribute-dependency recorder: every compile records its dynamic
     dependency graph there (both AGs — the cascade records into the same
     recorder), feeding [vhdlc explain] and the hot-rule profiler. *)
-let create ?work_dir ?(strategy = Demand) ?(budgets = Supervisor.no_budgets)
+let create ?work_dir ?(strategy = Staged) ?(budgets = Supervisor.no_budgets)
     ?provenance () =
   {
     work = Library.create ?dir:work_dir ~name:"WORK" ();
@@ -174,18 +177,6 @@ let analyze_units t ev =
   (match t.strategy with
   | Demand -> Telemetry.incr m_compiles_demand
   | Staged -> Telemetry.incr m_compiles_staged);
-  (match t.strategy with
-  | Demand -> ()
-  | Staged -> (
-    (* plan-based pre-pass over the whole tree; a contained escape here is
-       discarded and re-attributed to its unit by the per-unit demand pass
-       below (memoized values are kept, in-progress cells dropped) *)
-    match
-      Supervisor.guard ~phase:Supervisor.Analysis (fun () ->
-          Evaluator.evaluate_staged ev ~partitions:(Lazy.force principal_partitions))
-    with
-    | Ok _ -> ()
-    | Error _ -> Evaluator.clear_in_progress ev));
   let budget_dead = ref false in
   let units = ref [] in
   let msgs = ref [] in
@@ -214,6 +205,17 @@ let analyze_units t ev =
         match
           Supervisor.guard ~phase:Supervisor.Analysis ~unit_name:name ~line (fun () ->
               Telemetry.with_span ~cat:"unit" name (fun () ->
+                  (* plan-based pass over this unit's subtree first: forces
+                     every non-copy synthesized attribute pass by pass, so
+                     the goal pulls below find everything memoized.  Running
+                     it inside the unit's guard keeps firewall containment
+                     and counter attribution per unit. *)
+                  (match t.strategy with
+                  | Demand -> ()
+                  | Staged ->
+                    ignore
+                      (Evaluator.evaluate_plan ~site ev
+                         ~plan:(Lazy.force principal_plan)));
                   let us = Pval.as_units (Evaluator.eval_at ev site "UNITS") in
                   let ms = Pval.as_msgs (Evaluator.eval_at ev site "MSGS") in
                   (us, ms)))
@@ -285,6 +287,7 @@ let compile ?(fail_on_error = true) t source : Unit_info.compiled_unit list =
             ~token_line:(fun n -> Pval.Int n)
             ?fuel:t.budgets.Supervisor.eval_fuel
             ~tick:(fun () -> Supervisor.check clock)
+            ~copy_elide:(t.strategy = Staged)
             ?provenance:
               (Option.map (fun r -> (r, "vhdl", Pval.summary)) t.provenance)
             grammar
@@ -305,6 +308,15 @@ let compile ?(fail_on_error = true) t source : Unit_info.compiled_unit list =
         in
         let units, msgs, report =
           Timer.time t.timer "attribute evaluation" (fun () ->
+              (* a Demand compiler is the differential oracle's reference
+                 side: it must not share cached cascade artifacts (or copy
+                 elision) with the fast path it is checked against *)
+              let cascade_mode f =
+                match t.strategy with
+                | Demand -> Expr_eval.with_cold_cascade f
+                | Staged -> f ()
+              in
+              cascade_mode @@ fun () ->
               (* with a recorder armed, make it ambient for the whole
                  evaluation so the expression-AG cascade records into it
                  too — the explain chain crosses the AG boundary *)

@@ -22,11 +22,14 @@ exception Compile_error of Diag.t list
     [~fail_on_error:false], and on contained internal errors or exhausted
     budgets (diagnostics with [Internal] / [Budget] origins). *)
 
-(** Attribute-evaluation strategy used by [compile]: [Demand] (the default)
-    asks only for the goal attributes; [Staged] forces every attribute pass
-    by pass following {!Analysis.visit_partitions}, the way a plan-based
-    (Linguist-style) evaluator proceeds.  The two must agree — the
-    differential fuzzer ([lib/difftest], [bin/vhdlfuzz]) checks it. *)
+(** Attribute-evaluation strategy used by [compile].  [Staged] (the
+    default) drives each design unit through the static evaluation plan
+    ({!Analysis.plan}) with copy rules elided and the cascade's LEF→tree
+    memo warm — the way a plan-based (Linguist-style) evaluator proceeds.
+    [Demand] is the reference path: goal-directed memoizing evaluation
+    with elision off and the memo bypassed, kept as the fuzz oracle.  The
+    two must agree — the differential fuzzer ([lib/difftest],
+    [bin/vhdlfuzz]) checks it. *)
 type strategy =
   | Demand
   | Staged
@@ -40,7 +43,7 @@ val create :
   t
 (** Create a compiler.  With [work_dir] the working library is disk-backed
     (one VIF file per unit, shared across compiler instances); without it
-    the library lives in memory.  [strategy] defaults to [Demand];
+    the library lives in memory.  [strategy] defaults to [Staged];
     [budgets] turns on resource containment (default: unlimited).
     [provenance] arms the attribute-dependency recorder: every compile
     records its dynamic dependency graph there — both AGs, the cascade

@@ -169,8 +169,8 @@ prints the why-chain of an attribute instance (node ids and timings
 normalized — they move with the grammar):
 
   $ ../../bin/vhdlc.exe explain design.vhd counter UNITS --depth 1 --dot slice.dot | sed -E 's/n[0-9]+/nID/g; s/self [0-9.]+ms/self T/'
-  nID.UNITS @ design_unit_plain (vhdl, line 1) = units[entity:COUNTER]  [implicit rule, self T]
-    nID.UNITS @ library_unit_entity (vhdl, line 1) = units[entity:COUNTER]  [implicit rule, self T]
+  nID.UNITS @ design_unit_plain (vhdl, line 1) = units[entity:COUNTER]  [elided implicit copy, self T]
+    nID.UNITS @ library_unit_entity (vhdl, line 1) = units[entity:COUNTER]  [elided implicit copy, self T]
       ... 1 dependencies below the depth bound
   
   DOT slice written to slice.dot

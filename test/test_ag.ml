@@ -148,6 +148,21 @@ let test_staged_matches_demand () =
   let v_staged = as_f (Evaluator.goal ev2 "v") in
   Alcotest.(check (float 1e-9)) "same value" v_demand v_staged
 
+(* The static plan agrees with demand too, and its pass count is the one
+   the analysis promised. *)
+let test_plan_matches_demand () =
+  let g = binary_grammar () in
+  let a = Analysis.compute g in
+  let plan = Analysis.plan a in
+  let tree = parse_binary g "110.101" in
+  let ev1 = Evaluator.create g ~root_inherited:[] tree in
+  let v_demand = as_f (Evaluator.goal ev1 "v") in
+  let ev2 = Evaluator.create g ~root_inherited:[] tree in
+  let passes = Evaluator.evaluate_plan ev2 ~plan in
+  Alcotest.(check int) "passes as planned" (Analysis.plan_passes plan) passes;
+  let v_plan = as_f (Evaluator.goal ev2 "v") in
+  Alcotest.(check (float 1e-9)) "same value" v_demand v_plan
+
 (* Demand-vs-staged agreement, systematically: for every seed example
    grammar and a spread of inputs, the goal attributes must be equal,
    staged must run at least one pass, and rule applications must be
@@ -249,6 +264,28 @@ let parse_ids g ids =
     |> fun l -> List.filteri (fun i _ -> i < (2 * List.length ids) - 1) l
   in
   Parsing.parse_list parser_t ~eof_value:(S "") tokens
+
+(* Copy elision under the plan: the classes grammar is mostly implicit
+   copy/merge rules, so the plan must exclude copy targets from forcing,
+   elision must cut per-evaluator rule applications, and the goal value
+   must not move. *)
+let test_plan_elides_copies () =
+  let g = classes_grammar () in
+  let plan = Analysis.plan (Analysis.compute g) in
+  Alcotest.(check bool) "plan excludes copy targets" true
+    (Analysis.plan_copy_targets plan > 0);
+  let tree = parse_ids g [ "a"; "b"; "c" ] in
+  let run ~copy_elide =
+    let ev = Evaluator.create g ~copy_elide ~root_inherited:[ ("ENV", S "root-env") ] tree in
+    ignore (Evaluator.evaluate_plan ev ~plan);
+    (as_l (Evaluator.goal ev "MSGS"), Evaluator.rule_applications ev)
+  in
+  let msgs_full, apps_full = run ~copy_elide:false in
+  let msgs_elided, apps_elided = run ~copy_elide:true in
+  Alcotest.(check (list string)) "same MSGS" msgs_full msgs_elided;
+  Alcotest.(check bool)
+    (Printf.sprintf "elision cuts applications (%d < %d)" apps_elided apps_full)
+    true (apps_elided < apps_full)
 
 let test_agreement_all_grammars () =
   let eq_v a b =
@@ -446,7 +483,12 @@ let test_staged_principal () =
         let partitions = Analysis.visit_partitions (Analysis.compute g) in
         ignore (Evaluator.evaluate_staged ev ~partitions))
   in
-  Alcotest.(check (list string)) "same units" demand staged
+  Alcotest.(check (list string)) "same units" demand staged;
+  let planned =
+    compile_with (fun g ev ->
+        ignore (Evaluator.evaluate_plan ev ~plan:(Analysis.plan (Analysis.compute g))))
+  in
+  Alcotest.(check (list string)) "plan: same units" demand planned
 
 let suite =
   [
@@ -456,6 +498,8 @@ let suite =
     Alcotest.test_case "staged evaluation of the principal AG" `Quick test_staged_principal;
     Alcotest.test_case "binary analysis: visits" `Quick test_binary_analysis;
     Alcotest.test_case "staged evaluation matches demand" `Quick test_staged_matches_demand;
+    Alcotest.test_case "plan evaluation matches demand" `Quick test_plan_matches_demand;
+    Alcotest.test_case "plan elides copy chains" `Quick test_plan_elides_copies;
     Alcotest.test_case "demand/staged agreement across example grammars" `Quick
       test_agreement_all_grammars;
     QCheck_alcotest.to_alcotest binary_property;

@@ -22,5 +22,6 @@ let () =
       ("trace", Test_trace.suite);
       ("perf", Test_perf.suite);
       ("generated", Test_generated.suite);
+      ("cascade", Test_cascade_memo.suite);
       ("difftest", Test_difftest.suite);
     ]

@@ -365,6 +365,7 @@ let test_metrics_json () =
 
 let test_golden_metrics () =
   Tm.reset ();
+  Expr_eval.clear_memo ();
   let src = read_corpus "golden_seed3_behavioral.vhd" in
   let c = disk_compiler () in
   ignore (Vhdl_compiler.compile c src);
@@ -373,15 +374,28 @@ let test_golden_metrics () =
   Alcotest.(check int) "lexer.tokens" 323 (v "lexer.tokens");
   Alcotest.(check int) "cascade.evaluations" 43 (v "cascade.evaluations");
   Alcotest.(check int) "cascade.lef_tokens" 179 (v "cascade.lef_tokens");
+  (* every expression of the design is distinct (content + line), so a
+     cold cache parses each exactly once and hits nothing *)
+  Alcotest.(check int) "cascade.reparses" 43 (v "cascade.reparses");
+  Alcotest.(check int) "cascade.memo_misses" 43 (v "cascade.memo_misses");
+  Alcotest.(check int) "cascade.memo_hits" 0 (v "cascade.memo_hits");
   Alcotest.(check int) "supervisor.units_compiled" 2 (v "supervisor.units_compiled");
   Alcotest.(check int) "vif.writes" 2 (v "vif.writes");
   (* evaluator work is non-zero but its exact count is not part of the
      snapshot — it moves with every semantic-rule change *)
   Alcotest.(check bool) "ag.attrs_evaluated > 0" true (v "ag.attrs_evaluated" > 0);
   Alcotest.(check bool) "ag.memo_hits > 0" true (v "ag.memo_hits" > 0);
+  Alcotest.(check bool) "ag.copy_elisions > 0" true (v "ag.copy_elisions" > 0);
   Alcotest.(check bool) "lalr.shifts > 0" true (v "lalr.shifts" > 0);
   Alcotest.(check bool) "lalr.reduces > 0" true (v "lalr.reduces" > 0);
-  Alcotest.(check int) "no parse errors" 0 (v "lalr.errors")
+  Alcotest.(check int) "no parse errors" 0 (v "lalr.errors");
+  (* recompiling the same source parses no expression a second time: the
+     evaluation count doubles, the reparse count does not move *)
+  let c2 = disk_compiler () in
+  ignore (Vhdl_compiler.compile c2 src);
+  Alcotest.(check int) "cascade.evaluations after recompile" 86 (v "cascade.evaluations");
+  Alcotest.(check int) "cascade.reparses after recompile" 43 (v "cascade.reparses");
+  Alcotest.(check int) "cascade.memo_hits after recompile" 43 (v "cascade.memo_hits")
 
 (* ------------------------------------------------------------------ *)
 (* Overhead guard: with tracing off, the only cost the telemetry layer

@@ -16,8 +16,10 @@
 #                         leave it unset inside a dune rule — nested dune
 #                         invocations deadlock on the build lock)
 #   BENCH_GATE_BASELINE   baseline report path (overrides $1)
-#   BENCH_GATE_THRESHOLD  regression threshold fraction (default 6.0,
-#                         i.e. flag only >7x slowdowns)
+#   BENCH_GATE_THRESHOLD  regression threshold fraction (default 3.0,
+#                         i.e. flag only >4x slowdowns; tightened from
+#                         6.0 when the cascade memo + plan evaluator
+#                         landed so the win stays locked in)
 #   BENCH_GATE_QUOTA      per-experiment measurement quota in seconds
 #                         (default 0.25)
 #   BENCH_GATE_REPEATS    measured repetitions per experiment (default 3)
@@ -25,7 +27,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BASELINE=${BENCH_GATE_BASELINE:-${1:-BENCH_report.json}}
-THRESHOLD=${BENCH_GATE_THRESHOLD:-6.0}
+THRESHOLD=${BENCH_GATE_THRESHOLD:-3.0}
 QUOTA=${BENCH_GATE_QUOTA:-0.25}
 REPEATS=${BENCH_GATE_REPEATS:-3}
 
