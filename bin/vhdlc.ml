@@ -668,10 +668,229 @@ let bench_cmd =
       const run $ save_baseline $ against $ out $ threshold $ repeats $ warmup
       $ quota $ scaling)
 
+(* ------------------------------------------------------------------ *)
+(* serve / request: the resilient long-lived compile service.
+
+   `vhdlc serve` runs the daemon in the foreground until SIGTERM/SIGINT
+   (graceful drain) or a shutdown request.  `vhdlc request` is the client:
+   it maps each response status to a stable exit code so scripts, the cram
+   tests, and the chaos smoke can branch on outcomes. *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the compile service." in
+  Arg.(value & opt string "vhdl-serve.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let queue =
+    Arg.(
+      value & opt int 16
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission-queue capacity; requests beyond it are shed with [overload].")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Serve_protocol.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Largest accepted request frame payload.")
+  in
+  let default_deadline =
+    Arg.(
+      value & opt float 10.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Default per-request wall-clock deadline (requests may lower it).")
+  in
+  let max_deadline =
+    Arg.(
+      value & opt float 60.0
+      & info [ "max-deadline" ] ~docv:"SECONDS"
+          ~doc:"Upper bound on any request's deadline.")
+  in
+  let grace =
+    Arg.(
+      value & opt float 2.0
+      & info [ "grace" ] ~docv:"SECONDS"
+          ~doc:
+            "Watchdog slack past the deadline before a wedged request is \
+             broken and the worker recycled.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 2.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Partial request frames idle this long are rejected as torn.")
+  in
+  let allow_faults =
+    Arg.(
+      value & flag
+      & info [ "allow-faults" ]
+          ~doc:
+            "Honor the poison=/spin_ms= fault-injection request fields \
+             (chaos campaigns only).")
+  in
+  let recycle_every =
+    Arg.(
+      value & opt int 256
+      & info [ "recycle-every" ] ~docv:"N"
+          ~doc:"Replace the warm compiler every N requests (0 = never).")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the lifecycle log.") in
+  let run socket queue max_frame default_deadline max_deadline grace idle_timeout
+      allow_faults recycle_every quiet refs fuel metrics_out =
+    Telemetry.reset ();
+    let log = if quiet then ignore else fun m -> Printf.eprintf "vhdlc serve: %s\n%!" m in
+    let worker =
+      {
+        Serve_worker.w_default_deadline_s = default_deadline;
+        w_max_deadline_s = Float.max default_deadline max_deadline;
+        w_watchdog_grace_s = grace;
+        w_allow_faults = allow_faults;
+        w_recycle_every = recycle_every;
+        w_budgets = budgets_of fuel None;
+        w_ref_libs =
+          List.filter_map
+            (fun spec ->
+              match String.index_opt spec '=' with
+              | Some i ->
+                Some
+                  ( String.uppercase_ascii (String.sub spec 0 i),
+                    String.sub spec (i + 1) (String.length spec - i - 1) )
+              | None -> None)
+            refs;
+      }
+    in
+    let daemon =
+      Serve_daemon.create
+        {
+          Serve_daemon.d_socket = socket;
+          d_queue_capacity = queue;
+          d_max_frame = max_frame;
+          d_idle_timeout_s = idle_timeout;
+          d_worker = worker;
+          d_metrics_out = metrics_out;
+          d_log = log;
+        }
+    in
+    Serve_daemon.serve daemon;
+    0
+  in
+  let doc =
+    "Run the compile service: a long-lived daemon answering compile and \
+     simulate requests from a warm compiler, with admission control, \
+     per-request deadlines, a wedge watchdog, and graceful drain."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ queue $ max_frame $ default_deadline $ max_deadline
+      $ grace $ idle_timeout $ allow_faults $ recycle_every $ quiet
+      $ ref_arg $ fuel_arg $ metrics_out_arg)
+
+let request_cmd =
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Send a liveness probe.") in
+  let stats_serve =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Fetch the daemon's serve.* counters.")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit.")
+  in
+  let top =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "top" ] ~docv:"ENTITY"
+          ~doc:"Simulate: elaborate and run this entity (implies a simulate request).")
+  in
+  let ns =
+    Arg.(value & opt int 1000 & info [ "ns" ] ~docv:"N" ~doc:"Simulate: horizon in ns.")
+  in
+  let poison =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "poison" ] ~docv:"KEY"
+          ~doc:
+            "Fault injection: poison this unit key (e.g. entity:BAD); the \
+             daemon must run with --allow-faults.")
+  in
+  let spin_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "spin-ms" ] ~docv:"MS"
+          ~doc:"Fault injection: busy-wait this long before the work (wedge probe).")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Give up on the response after this long.")
+  in
+  let wait_ready =
+    Arg.(
+      value & flag
+      & info [ "wait-ready" ]
+          ~doc:"Poll until the daemon answers pings before sending (startup races).")
+  in
+  let files =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"VHDL sources forming the request body.")
+  in
+  let run socket ping stats_serve shutdown top ns poison spin_ms fuel deadline
+      timeout wait_ xs =
+    let source =
+      String.concat "\n" (List.map Vhdl_util.Unix_compat.read_file xs)
+    in
+    let verb =
+      if ping then Serve_protocol.Ping
+      else if stats_serve then Serve_protocol.Stats
+      else if shutdown then Serve_protocol.Shutdown
+      else if top <> None then Serve_protocol.Simulate
+      else Serve_protocol.Compile
+    in
+    let rq =
+      Serve_protocol.request verb ?deadline_s:deadline ?fuel ?top ~max_ns:ns ?poison
+        ~spin_ms ~source
+    in
+    let ready =
+      if wait_ then Serve_client.wait_ready ~socket () else Ok ()
+    in
+    match ready with
+    | Error msg ->
+      Printf.eprintf "vhdlc request: %s\n" msg;
+      7
+    | Ok () -> (
+      match Serve_client.roundtrip ~timeout_s:timeout ~socket rq with
+      | Error msg ->
+        Printf.eprintf "vhdlc request: %s\n" msg;
+        7
+      | Ok resp ->
+        print_string resp.Serve_protocol.rs_body;
+        (match resp.Serve_protocol.rs_status with
+        | Serve_protocol.Ok_ -> ()
+        | st ->
+          Printf.eprintf "vhdlc request: [%s]%s%s\n" (Serve_protocol.status_name st)
+            (match resp.Serve_protocol.rs_retry_after_s with
+            | Some s -> Printf.sprintf " retry after %.3fs" s
+            | None -> "")
+            (if resp.Serve_protocol.rs_wedged then " (request wedged; worker recycled)"
+             else ""));
+        Serve_protocol.status_exit_code resp.Serve_protocol.rs_status)
+  in
+  let doc =
+    "Send one request to a running compile service and print the response; \
+     the exit code encodes the response status (0 ok, 1 error, 2 internal, \
+     3 timeout, 4 overload, 5 draining, 6 bad-request, 7 transport)."
+  in
+  Cmd.v (Cmd.info "request" ~doc)
+    Term.(
+      const run $ socket_arg $ ping $ stats_serve $ shutdown $ top $ ns $ poison
+      $ spin_ms $ fuel_arg $ deadline_arg $ timeout $ wait_ready $ files)
+
 let () =
   let doc = "a VHDL compiler and simulator built from attribute grammars" in
   let info = Cmd.info "vhdlc" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ compile_cmd; simulate_cmd; dump_cmd; explain_cmd; stats_cmd; bench_cmd ]))
+          [
+            compile_cmd; simulate_cmd; dump_cmd; explain_cmd; stats_cmd; bench_cmd;
+            serve_cmd; request_cmd;
+          ]))

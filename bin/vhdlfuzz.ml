@@ -26,10 +26,82 @@ let pp_campaign_telemetry fmt () =
     (c "sim.events")
     (Telemetry.gauge_value (Telemetry.gauge "gc.top_heap_words") /. 1e6)
 
-let run smoke soak replay_files seed count size max_ns inject_fault budget
-    corpus_dir gen_only quiet =
+(* The serve chaos campaign: fork a daemon child with fault injection
+   allowed and a deliberately small queue, fire hundreds of randomized
+   healthy/faulty requests at it, then check the zero-deaths invariant —
+   every shot resolved as the fault site predicts, the daemon's ledger
+   balances, it still answers pings, and it drains to a clean exit. *)
+let run_serve_chaos ~seed ~shots ~quiet =
   let log = if quiet then fun _ -> () else fun s -> print_endline s in
-  if replay_files <> [] then begin
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vhdl-chaos-%d.sock" (Unix.getpid ()))
+  in
+  let daemon_cfg =
+    {
+      Serve_daemon.default_config with
+      Serve_daemon.d_socket = socket;
+      d_queue_capacity = 4 (* smaller than the campaign's burst width *);
+      d_idle_timeout_s = 0.5;
+      d_worker =
+        {
+          Serve_worker.default_config with
+          Serve_worker.w_allow_faults = true;
+          w_watchdog_grace_s = 0.3;
+          w_recycle_every = 64;
+        };
+    }
+  in
+  match Unix.fork () with
+  | 0 ->
+    (* child: the daemon under test *)
+    Telemetry.reset ();
+    Serve_daemon.serve (Serve_daemon.create daemon_cfg);
+    Stdlib.exit 0
+  | pid -> (
+    let kill_daemon () =
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid)
+    in
+    match Serve_client.wait_ready ~socket () with
+    | Error msg ->
+      kill_daemon ();
+      Printf.eprintf "serve-chaos: %s\n" msg;
+      1
+    | Ok () ->
+      log (Printf.sprintf "serve-chaos: daemon pid %d on %s; firing %d shots" pid
+             socket shots);
+      let s = Serve_chaos.run ~seed ~shots ~socket () in
+      if not quiet then List.iter print_endline s.Serve_chaos.log;
+      Format.printf "%a@?" Serve_chaos.pp_summary s;
+      (* graceful shutdown must leave a clean exit status *)
+      let clean_exit =
+        match
+          Serve_client.roundtrip ~timeout_s:10.0 ~socket
+            (Serve_protocol.request Serve_protocol.Shutdown)
+        with
+        | Ok _ -> (
+          match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 0 -> true
+          | _, _ -> false)
+        | Error msg ->
+          Printf.eprintf "serve-chaos: shutdown request failed: %s\n" msg;
+          kill_daemon ();
+          false
+      in
+      if not clean_exit then print_endline "VIOLATION: daemon did not exit cleanly";
+      if s.Serve_chaos.violations = [] && clean_exit then begin
+        Printf.printf "serve-chaos: %d shots, zero daemon deaths, all invariants hold\n"
+          s.Serve_chaos.shots;
+        0
+      end
+      else 1)
+
+let run smoke soak replay_files seed count size max_ns inject_fault budget
+    corpus_dir gen_only serve_chaos shots quiet =
+  let log = if quiet then fun _ -> () else fun s -> print_endline s in
+  if serve_chaos then run_serve_chaos ~seed ~shots ~quiet
+  else if replay_files <> [] then begin
     if inject_fault then Difftest_fault.arm ();
     let bad = ref 0 in
     List.iter
@@ -105,12 +177,28 @@ let cmd =
   let gen_only =
     Arg.(value & flag & info [ "gen" ] ~doc:"Print the design for --seed and exit.")
   in
+  let serve_chaos =
+    Arg.(
+      value & flag
+      & info [ "serve-chaos" ]
+          ~doc:
+            "Chaos campaign against a live compile-service daemon (forked as \
+             a child): randomized healthy and faulty requests — torn frames, \
+             bad magic, oversized declarations, poisoned units, wedged \
+             requests, deadline busts, client aborts, overload bursts — with \
+             a zero-daemon-deaths invariant and a telemetry-ledger check.")
+  in
+  let shots =
+    Arg.(
+      value & opt int 240
+      & info [ "shots" ] ~docv:"N" ~doc:"Requests per serve-chaos campaign.")
+  in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print the final summary.") in
   let doc = "differential fuzzer: demand vs staged attribute evaluation" in
   Cmd.v
     (Cmd.info "vhdlfuzz" ~version:"1.0.0" ~doc)
     Term.(
       const run $ smoke $ soak $ replay $ seed $ count $ size $ max_ns
-      $ inject_fault $ budget $ corpus_dir $ gen_only $ quiet)
+      $ inject_fault $ budget $ corpus_dir $ gen_only $ serve_chaos $ shots $ quiet)
 
 let () = exit (Cmd.eval' cmd)

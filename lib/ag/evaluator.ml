@@ -31,7 +31,7 @@ exception
     pos : int;
   }
 
-exception Fuel_exhausted of { applications : int }
+exception Fuel_exhausted of { applications : int; limit : int }
 
 type 'v node = {
   n_id : int; (* unique across every tree in the process (provenance) *)
@@ -291,7 +291,7 @@ and apply_rule t at_node rule =
   | None -> ());
   (match t.fuel with
   | Some limit when t.rule_applications > limit ->
-    raise (Fuel_exhausted { applications = t.rule_applications })
+    raise (Fuel_exhausted { applications = t.rule_applications; limit })
   | _ -> ());
   if t.rule_applications land 255 = 0 then t.tick ();
   rule.Grammar.compute args

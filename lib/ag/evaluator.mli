@@ -19,7 +19,7 @@ exception
     pos : int;
   }
 
-exception Fuel_exhausted of { applications : int }
+exception Fuel_exhausted of { applications : int; limit : int }
 (** Raised when the rule-application budget given to {!create} (or
     {!set_fuel}) runs out — the resource-containment hook: a runaway
     evaluation surfaces as a catchable, structured condition. *)

@@ -46,7 +46,7 @@ type budgets = {
 let no_budgets =
   { eval_fuel = None; elab_steps = None; deadline_s = None; sim_step_fuel = None }
 
-exception Deadline of { seconds : float }
+exception Deadline of { seconds : float; elapsed_s : float }
 
 (** A started deadline clock.  [check] is cheap enough to call from the
     evaluator's tick hook (every 256 rule applications). *)
@@ -62,8 +62,8 @@ let check clock =
   match clock.c_limit with
   | None -> ()
   | Some limit ->
-    if Vhdl_util.Unix_compat.now () -. clock.c_start > limit then
-      raise (Deadline { seconds = limit })
+    let elapsed = Vhdl_util.Unix_compat.now () -. clock.c_start in
+    if elapsed > limit then raise (Deadline { seconds = limit; elapsed_s = elapsed })
 
 (* ------------------------------------------------------------------ *)
 (* The firewall proper *)
@@ -75,26 +75,43 @@ let is_fatal = function
   | Out_of_memory | Sys.Break -> true
   | _ -> false
 
-let diag_of_exn ~phase ?unit_name ~line exn : Diag.t option =
+let diag_of_exn ~phase ?unit_name ?elapsed_s ~line exn : Diag.t option =
   let p = phase_name phase in
   let internal msg =
     Tm.incr m_internal_escapes;
     Some (Diag.internal_error ~phase:p ?unit_name ~line "%s" msg)
   in
-  let budget msg =
+  (* budget diagnostics are self-describing: they name the configured limit
+     and — when the caller timed the guarded work — the wall time spent
+     before the budget died, so a shed/deadline response from a long-lived
+     service needs no daemon-side context to interpret *)
+  let elapsed_suffix =
+    match elapsed_s with
+    | Some e -> Printf.sprintf "; %.3fs elapsed" e
+    | None -> ""
+  in
+  let budget_plain msg =
     Tm.incr m_budget_exhaustions;
     Some (Diag.budget_error ~phase:p ?unit_name ~line "%s" msg)
   in
+  let budget msg = budget_plain (msg ^ elapsed_suffix) in
   match exn with
   (* budgets *)
-  | Evaluator.Fuel_exhausted { applications } ->
+  | Evaluator.Fuel_exhausted { applications; limit } ->
     budget
-      (Printf.sprintf "evaluation fuel exhausted after %d rule applications"
-         applications)
-  | Elaborate.Budget_exhausted { steps } ->
-    budget (Printf.sprintf "elaboration budget exhausted after %d steps" steps)
-  | Deadline { seconds } ->
-    budget (Printf.sprintf "compilation deadline of %gs exceeded" seconds)
+      (Printf.sprintf
+         "evaluation fuel exhausted after %d rule applications (limit %d)"
+         applications limit)
+  | Elaborate.Budget_exhausted { steps; limit } ->
+    budget
+      (Printf.sprintf "elaboration budget exhausted after %d steps (limit %d)"
+         steps limit)
+  | Deadline { seconds; elapsed_s } ->
+    (* the deadline exception carries its own wall-time measurement, taken
+       at the clock that tripped — more precise than the guard's *)
+    budget_plain
+      (Printf.sprintf "compilation deadline of %gs exceeded after %.3fs of wall time"
+         seconds elapsed_s)
   (* internal escapes *)
   | Pval.Internal msg -> internal (Printf.sprintf "internal error: %s" msg)
   | Grammar.Ill_formed msg ->
@@ -118,9 +135,11 @@ let diag_of_exn ~phase ?unit_name ~line exn : Diag.t option =
     become [Error diag]; fatal conditions and unrecognized exceptions
     propagate. *)
 let guard ~phase ?unit_name ?(line = 0) f : ('a, Diag.t) result =
+  let start = Vhdl_util.Unix_compat.now () in
   try Ok (f ())
   with exn when not (is_fatal exn) -> (
-    match diag_of_exn ~phase ?unit_name ~line exn with
+    let elapsed_s = Vhdl_util.Unix_compat.now () -. start in
+    match diag_of_exn ~phase ?unit_name ~elapsed_s ~line exn with
     | Some d -> Error d
     | None -> raise exn)
 

@@ -30,7 +30,10 @@ type budgets = {
 val no_budgets : budgets
 (** All limits off — the default everywhere. *)
 
-exception Deadline of { seconds : float }
+exception Deadline of { seconds : float; elapsed_s : float }
+(** The configured limit and the wall time actually spent when the clock
+    tripped — both surface in the [budget:…] diagnostic so deadline
+    responses are self-describing. *)
 
 type clock
 (** A started deadline clock. *)
@@ -46,9 +49,16 @@ val guard :
 (** Run [f] under the firewall (see the module description). *)
 
 val diag_of_exn :
-  phase:phase -> ?unit_name:string -> line:int -> exn -> Diag.t option
+  phase:phase ->
+  ?unit_name:string ->
+  ?elapsed_s:float ->
+  line:int ->
+  exn ->
+  Diag.t option
 (** The classification [guard] uses; [None] for exceptions the firewall
-    does not contain. *)
+    does not contain.  [elapsed_s] (wall time spent in the guarded work)
+    is appended to budget diagnostics so they report both the configured
+    limit and the time actually consumed. *)
 
 (** {1 Partial-result reporting} *)
 

@@ -46,7 +46,9 @@ type t = {
   work : Library.t;
   timer : Timer.t;
   strategy : strategy;
-  budgets : Supervisor.budgets;
+  mutable budgets : Supervisor.budgets;
+      (* re-settable so a long-lived compiler (the serve daemon's warm
+         worker) can apply per-request limits; read at each compile start *)
   provenance : Provenance.t option; (* attribute-dependency recorder *)
   mutable compiled_units : int;
   mutable compiled_lines : int;
@@ -103,6 +105,7 @@ let work_library t = t.work
 let timer t = t.timer
 let strategy t = t.strategy
 let budgets t = t.budgets
+let set_budgets t budgets = t.budgets <- budgets
 let provenance t = t.provenance
 let diagnostics t = List.rev t.diagnostics
 let last_report t = t.last_report

@@ -88,3 +88,67 @@ let with_poison key f =
       poison_key := prev_key;
       Session.insert_hook := prev_hook)
     f
+
+(* ------------------------------------------------------------------ *)
+(* Wedge injection: a unit whose analysis never finishes.  The hook spins
+   (allocating, so asynchronous exceptions from signal handlers are
+   delivered at the allocation safepoints) when the selected unit reaches
+   [Session.insert_hook] — the evaluator's tick hook is never reached
+   again, so fuel and deadline budgets cannot fire.  Only an out-of-band
+   watchdog (the serve worker's SIGALRM timer) can break the loop. *)
+
+let wedge_key = ref None
+
+let wedge_hook (u : Unit_info.compiled_unit) =
+  match !wedge_key with
+  | Some key when u.Unit_info.u_key = key ->
+    while true do
+      ignore (Sys.opaque_identity (ref 0))
+    done
+  | _ -> ()
+
+let with_wedge key f =
+  let prev_key = !wedge_key in
+  let prev_hook = !Session.insert_hook in
+  wedge_key := Some key;
+  Session.insert_hook := wedge_hook;
+  Fun.protect
+    ~finally:(fun () ->
+      wedge_key := prev_key;
+      Session.insert_hook := prev_hook)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Serve-layer fault sites: the catalog the chaos campaign and the serve
+   unit battery draw from.  The serve layer maps each site to concrete
+   wire or request behavior (lib/serve/serve_chaos.ml); keeping the
+   catalog here keeps every injectable fault in one module. *)
+
+type serve_fault =
+  | Torn_frame (* header promises more payload than is ever sent *)
+  | Bad_magic (* frame does not start with the protocol magic *)
+  | Oversized_frame (* declared length beyond the daemon's max frame *)
+  | Poison_unit (* Pval.Internal raised mid-analysis via insert_hook *)
+  | Wedged_request (* request that spins past the watchdog deadline *)
+  | Deadline_bust (* work too large for the request's deadline budget *)
+  | Client_abort (* client disconnects before reading the response *)
+
+let serve_faults =
+  [
+    Torn_frame;
+    Bad_magic;
+    Oversized_frame;
+    Poison_unit;
+    Wedged_request;
+    Deadline_bust;
+    Client_abort;
+  ]
+
+let serve_fault_name = function
+  | Torn_frame -> "torn-frame"
+  | Bad_magic -> "bad-magic"
+  | Oversized_frame -> "oversized-frame"
+  | Poison_unit -> "poison-unit"
+  | Wedged_request -> "wedged-request"
+  | Deadline_bust -> "deadline-bust"
+  | Client_abort -> "client-abort"

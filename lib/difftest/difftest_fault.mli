@@ -28,3 +28,29 @@ val with_poison : string -> (unit -> 'a) -> 'a
     raised from inside its UNITS semantic rule via {!Session.insert_hook}.
     Exercises the per-unit exception firewall — the poisoned unit must
     surface as an internal-error diagnostic while sibling units compile. *)
+
+val with_wedge : string -> (unit -> 'a) -> 'a
+(** Run a thunk with a wedge installed on one unit key: as that unit
+    finishes analysis, the {!Session.insert_hook} spins forever (allocating,
+    so asynchronous exceptions are still delivered).  No in-band budget can
+    fire — only an out-of-band watchdog (the serve worker's SIGALRM timer)
+    breaks the loop.  Exercises wedged-request detection and worker
+    recycling. *)
+
+(** {1 Serve-layer fault sites}
+
+    The catalog the chaos campaign ([vhdlfuzz --serve-chaos]) and the serve
+    unit battery draw from.  The serve layer maps each site to concrete wire
+    or request behavior. *)
+
+type serve_fault =
+  | Torn_frame (* header promises more payload than is ever sent *)
+  | Bad_magic (* frame does not start with the protocol magic *)
+  | Oversized_frame (* declared length beyond the daemon's max frame *)
+  | Poison_unit (* Pval.Internal raised mid-analysis via insert_hook *)
+  | Wedged_request (* request that spins past the watchdog deadline *)
+  | Deadline_bust (* work too large for the request's deadline budget *)
+  | Client_abort (* client disconnects before reading the response *)
+
+val serve_faults : serve_fault list
+val serve_fault_name : serve_fault -> string

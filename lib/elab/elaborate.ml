@@ -15,7 +15,7 @@ type library_view = {
 
 exception Elaboration_error of string
 
-exception Budget_exhausted of { steps : int }
+exception Budget_exhausted of { steps : int; limit : int }
 
 let err fmt = Format.kasprintf (fun s -> raise (Elaboration_error s)) fmt
 
@@ -121,7 +121,7 @@ let charge ctx =
   Tm.incr m_steps;
   match ctx.step_budget with
   | Some limit when ctx.steps_used > limit ->
-    raise (Budget_exhausted { steps = ctx.steps_used })
+    raise (Budget_exhausted { steps = ctx.steps_used; limit })
   | _ -> ()
 
 let fresh_sig_id ctx =

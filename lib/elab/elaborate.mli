@@ -14,7 +14,7 @@ type library_view = {
 
 exception Elaboration_error of string
 
-exception Budget_exhausted of { steps : int }
+exception Budget_exhausted of { steps : int; limit : int }
 (** The [?step_budget] of {!elaborate} ran out: the design expanded into
     more signals + processes + instances than the budget allows. *)
 

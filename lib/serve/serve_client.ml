@@ -1,0 +1,99 @@
+(** Blocking client side of the compile service — `vhdlc request`, the
+    smoke scripts, and the chaos campaign all speak through it.
+
+    [roundtrip] is the healthy path.  [send_raw] sends arbitrary bytes —
+    the chaos campaign uses it to deliver torn frames, bad magic, and
+    oversized declarations exactly as a broken client would. *)
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "connect %s: %s" socket (Unix.error_message e))
+
+let send_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "send: %s" (Unix.error_message e))
+    else Ok ()
+  in
+  go 0
+
+(** Read until one complete response frame (or EOF / timeout). *)
+let recv_response ?(timeout_s = 30.0) fd =
+  let deadline = Vhdl_util.Unix_compat.now () +. timeout_s in
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Serve_protocol.parse_frame (Buffer.contents buf) with
+    | `Frame (payload, _) -> Serve_protocol.decode_response payload
+    | `Error err -> Error (Serve_protocol.frame_error_to_string err)
+    | `Incomplete _ ->
+      let left = deadline -. Vhdl_util.Unix_compat.now () in
+      if left <= 0.0 then Error "timed out waiting for the response"
+      else (
+        match Unix.select [ fd ] [] [] left with
+        | [], _, _ -> Error "timed out waiting for the response"
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 ->
+            if Buffer.length buf = 0 then Error "connection closed before any response"
+            else Error "connection closed mid-response"
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "recv: %s" (Unix.error_message e)))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+let with_conn socket f =
+  match connect socket with
+  | Error _ as e -> e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> f fd)
+
+(** One request, one response. *)
+let roundtrip ?timeout_s ~socket (rq : Serve_protocol.request) :
+    (Serve_protocol.response, string) result =
+  with_conn socket (fun fd ->
+      match send_all fd (Serve_protocol.frame (Serve_protocol.encode_request rq)) with
+      | Error _ as e -> e
+      | Ok () -> recv_response ?timeout_s fd)
+
+(** Deliver arbitrary bytes.  [await_reply] additionally reads and decodes
+    a response frame; without it the connection just closes — from the
+    daemon's side, a client that vanished. *)
+let send_raw ?timeout_s ?(await_reply = false) ~socket bytes :
+    (Serve_protocol.response option, string) result =
+  with_conn socket (fun fd ->
+      match send_all fd bytes with
+      | Error _ as e -> e
+      | Ok () ->
+        if not await_reply then Ok None
+        else (
+          match recv_response ?timeout_s fd with
+          | Ok r -> Ok (Some r)
+          | Error _ as e -> e))
+
+(** Poll until the daemon answers a ping (it may still be binding). *)
+let wait_ready ?(attempts = 100) ?(interval_s = 0.05) ~socket () =
+  let rec go n =
+    if n <= 0 then Error (Printf.sprintf "daemon on %s never became ready" socket)
+    else
+      match roundtrip ~timeout_s:1.0 ~socket (Serve_protocol.request Serve_protocol.Ping) with
+      | Ok _ -> Ok ()
+      | Error _ ->
+        ignore (Unix.select [] [] [] interval_s);
+        go (n - 1)
+  in
+  go attempts

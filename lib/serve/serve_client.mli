@@ -1,0 +1,32 @@
+(** Blocking client side of the compile service.  Transport failures are
+    [Error msg]; protocol-level failures arrive as structured responses. *)
+
+val connect : string -> (Unix.file_descr, string) result
+(** Open a connection to the daemon's socket. *)
+
+val send_all : Unix.file_descr -> string -> (unit, string) result
+
+val recv_response :
+  ?timeout_s:float -> Unix.file_descr -> (Serve_protocol.response, string) result
+(** Read until one complete response frame (or EOF / timeout). *)
+
+val roundtrip :
+  ?timeout_s:float ->
+  socket:string ->
+  Serve_protocol.request ->
+  (Serve_protocol.response, string) result
+(** One request, one response ([timeout_s] bounds the wait; default 30s). *)
+
+val send_raw :
+  ?timeout_s:float ->
+  ?await_reply:bool ->
+  socket:string ->
+  string ->
+  (Serve_protocol.response option, string) result
+(** Deliver arbitrary bytes — the chaos campaign's torn frames, bad magic,
+    and oversized declarations.  [await_reply] (default false) also reads
+    and decodes a response frame. *)
+
+val wait_ready :
+  ?attempts:int -> ?interval_s:float -> socket:string -> unit -> (unit, string) result
+(** Poll with pings until the daemon answers (it may still be binding). *)

@@ -1,0 +1,353 @@
+(** The compile-service daemon: a select-based event loop over a
+    Unix-domain socket, one request and one response per connection.
+
+    Robustness layers, outermost first:
+
+    - {b framing}: per-connection bytes accumulate through the pure
+      {!Serve_protocol.parse_frame}; bad magic, oversized declarations,
+      and torn frames (EOF or idle timeout mid-frame) are answered
+      [bad-request] and counted without disturbing the loop;
+    - {b admission}: a complete frame must clear the bounded
+      {!Serve_queue} — a full queue sheds with [overload] and an honest
+      retry-after hint, a draining daemon sheds with [draining];
+    - {b processing}: one queued request per loop tick runs on the warm
+      {!Serve_worker}, whose firewall and watchdog guarantee a structured
+      response;
+    - {b shutdown}: SIGTERM/SIGINT start a graceful drain — in-flight and
+      already-queued requests are answered, new ones shed, telemetry
+      flushed — and the socket file is removed.
+
+    Accounting invariant, asserted by the chaos campaign: every complete
+    or failed frame resolves to exactly one of [answered], [shed], or
+    [client_gone], so [serve.requests = serve.answered + serve.shed +
+    serve.client_gone] at all times. *)
+
+module Tm = Vhdl_telemetry.Telemetry
+
+let m_requests = Tm.counter "serve.requests"
+let m_answered = Tm.counter "serve.answered"
+let m_shed = Tm.counter "serve.shed"
+let m_client_gone = Tm.counter "serve.client_gone"
+let m_torn = Tm.counter "serve.torn_frames"
+let m_oversized = Tm.counter "serve.oversized"
+let m_bad_requests = Tm.counter "serve.bad_requests"
+let m_connections = Tm.counter "serve.connections"
+let m_latency = Tm.histogram "serve.latency_us"
+let g_queue_depth = Tm.gauge "serve.queue_depth"
+
+type config = {
+  d_socket : string;
+  d_queue_capacity : int;
+  d_max_frame : int;
+  d_idle_timeout_s : float; (* partial frame older than this is torn *)
+  d_worker : Serve_worker.config;
+  d_metrics_out : string option; (* flush telemetry JSON here on exit *)
+  d_log : string -> unit;
+}
+
+let default_config =
+  {
+    d_socket = "vhdl-serve.sock";
+    d_queue_capacity = 16;
+    d_max_frame = Serve_protocol.default_max_frame;
+    d_idle_timeout_s = 2.0;
+    d_worker = Serve_worker.default_config;
+    d_metrics_out = None;
+    d_log = ignore;
+  }
+
+(* one client connection, from accept to close *)
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable last_read : float;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  worker : Serve_worker.t;
+  queue : (conn * Serve_protocol.request * float) Serve_queue.t;
+  mutable conns : conn list; (* still reading their request frame *)
+  mutable draining : bool;
+  mutable stop : bool; (* drain finished: leave the loop *)
+}
+
+let now = Vhdl_util.Unix_compat.now
+
+(* ------------------------------------------------------------------ *)
+(* Response delivery.  The write is blocking (responses are small and
+   local); a peer that vanished mid-response surfaces as EPIPE/ECONNRESET
+   — with SIGPIPE ignored — and is accounted [client_gone]. *)
+
+type fate =
+  | Answered
+  | Shed_
+  | Client_gone
+
+let count_fate = function
+  | Answered -> Tm.incr m_answered
+  | Shed_ -> Tm.incr m_shed
+  | Client_gone -> Tm.incr m_client_gone
+
+let send_response conn (resp : Serve_protocol.response) : fate =
+  let bytes = Serve_protocol.frame (Serve_protocol.encode_response resp) in
+  let shed_status =
+    match resp.Serve_protocol.rs_status with
+    | Serve_protocol.Overload | Serve_protocol.Draining -> true
+    | _ -> false
+  in
+  match
+    Unix.clear_nonblock conn.fd;
+    let n = String.length bytes in
+    let rec write_all off =
+      if off < n then
+        let w = Unix.write_substring conn.fd bytes off (n - off) in
+        write_all (off + w)
+    in
+    write_all 0
+  with
+  | () -> if shed_status then Shed_ else Answered
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+    Client_gone
+
+let close_conn t conn =
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  t.conns <- List.filter (fun c -> c != conn) t.conns
+
+(** Resolve one request attempt: count it, deliver, count the fate. *)
+let finish t conn resp =
+  Tm.incr m_requests;
+  count_fate (send_response conn resp);
+  close_conn t conn
+
+(* ------------------------------------------------------------------ *)
+(* Frame and request intake *)
+
+let stats_body t =
+  let b = Buffer.create 256 in
+  let c name = Printf.bprintf b "%s %d\n" name (Tm.counter_value name) in
+  List.iter c
+    [
+      "serve.requests"; "serve.answered"; "serve.shed"; "serve.client_gone";
+      "serve.torn_frames"; "serve.oversized"; "serve.bad_requests";
+      "serve.faults_contained"; "serve.timeouts"; "serve.wedges";
+      "serve.worker_recycles"; "serve.connections";
+    ];
+  Printf.bprintf b "serve.queue_depth %d\n" (Serve_queue.length t.queue);
+  Printf.bprintf b "serve.latency_us.p50 %.0f\n" (Tm.percentile m_latency 0.50);
+  Printf.bprintf b "serve.latency_us.p99 %.0f\n" (Tm.percentile m_latency 0.99);
+  Printf.bprintf b "serve.worker_generation %d\n" (Serve_worker.generation t.worker);
+  Printf.bprintf b "serve.worker_served %d\n" (Serve_worker.served t.worker);
+  Buffer.contents b
+
+(** A complete frame arrived on [conn]: decode, dispatch daemon-level
+    verbs, or pass admission. *)
+let intake t conn payload =
+  match Serve_protocol.decode_request payload with
+  | Error msg ->
+    Tm.incr m_bad_requests;
+    finish t conn
+      (Serve_protocol.response Serve_protocol.Bad_request ~body:(msg ^ "\n"))
+  | Ok rq -> (
+    match rq.Serve_protocol.rq_verb with
+    | Serve_protocol.Stats ->
+      finish t conn (Serve_protocol.response Serve_protocol.Ok_ ~body:(stats_body t))
+    | Serve_protocol.Shutdown ->
+      t.cfg.d_log "shutdown requested; draining";
+      t.draining <- true;
+      finish t conn (Serve_protocol.response Serve_protocol.Ok_ ~body:"draining\n")
+    | _ when t.draining ->
+      finish t conn (Serve_protocol.response Serve_protocol.Draining ~body:"daemon is draining\n")
+    | _ -> (
+      match Serve_queue.admit t.queue (conn, rq, now ()) with
+      | Serve_queue.Admitted ->
+        Tm.set g_queue_depth (float_of_int (Serve_queue.length t.queue));
+        (* admitted: the conn leaves the reading list; it is answered when
+           its request is popped and processed *)
+        t.conns <- List.filter (fun c -> c != conn) t.conns
+      | Serve_queue.Shed { retry_after_s } ->
+        finish t conn
+          (Serve_protocol.response Serve_protocol.Overload ~retry_after_s
+             ~body:
+               (Printf.sprintf "queue full (%d deep); retry after %.3fs\n"
+                  (Serve_queue.capacity t.queue) retry_after_s))))
+
+let frame_failure t conn err =
+  (match err with
+  | Serve_protocol.Torn _ -> Tm.incr m_torn
+  | Serve_protocol.Oversized _ -> Tm.incr m_oversized
+  | Serve_protocol.Bad_magic -> Tm.incr m_bad_requests);
+  finish t conn
+    (Serve_protocol.response Serve_protocol.Bad_request
+       ~body:(Serve_protocol.frame_error_to_string err ^ "\n"))
+
+(** Drain readable bytes from [conn]; act once a frame completes or the
+    framing fails.  EOF with a partial frame is a torn frame from a
+    vanished client. *)
+let service_readable t conn =
+  let chunk = Bytes.create 4096 in
+  let rec read_avail () =
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> `Eof
+    | n ->
+      Buffer.add_subbytes conn.buf chunk 0 n;
+      conn.last_read <- now ();
+      read_avail ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> `More
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) -> `Eof
+  in
+  let eof = read_avail () = `Eof in
+  match Serve_protocol.parse_frame ~max_frame:t.cfg.d_max_frame (Buffer.contents conn.buf) with
+  | `Frame (payload, _) -> intake t conn payload
+  | `Error err -> frame_failure t conn err
+  | `Incomplete _ when eof ->
+    if Buffer.length conn.buf = 0 then begin
+      (* connected and left without a byte: not a request *)
+      close_conn t conn
+    end
+    else begin
+      Tm.incr m_torn;
+      Tm.incr m_requests;
+      Tm.incr m_client_gone;
+      close_conn t conn
+    end
+  | `Incomplete _ -> ()
+
+(** Partial frames whose client stopped sending: torn after the idle
+    timeout, so a stalled writer cannot pin a connection forever. *)
+let reap_idle t =
+  let deadline = now () -. t.cfg.d_idle_timeout_s in
+  List.iter
+    (fun conn ->
+      if conn.last_read < deadline && Buffer.length conn.buf > 0 then
+        frame_failure t conn
+          (Serve_protocol.Torn
+             (Printf.sprintf "idle %.1fs mid-frame" t.cfg.d_idle_timeout_s))
+      else if conn.last_read < deadline then close_conn t conn)
+    t.conns
+
+(* ------------------------------------------------------------------ *)
+(* Processing *)
+
+(** Pop and answer one admitted request.  The compile itself is blocking —
+    the daemon is single-threaded by design; boundedness comes from the
+    per-request deadline and the watchdog, not concurrency.  (Frames that
+    arrive during a long compile sit in kernel socket buffers and are read
+    on the next tick; the admission queue fills — and sheds — then.) *)
+let process_one t =
+  match Serve_queue.pop t.queue with
+  | None -> false
+  | Some (conn, rq, admitted_at) ->
+    Tm.set g_queue_depth (float_of_int (Serve_queue.length t.queue));
+    let resp = Serve_worker.handle t.worker rq in
+    let elapsed = now () -. admitted_at in
+    Serve_queue.note_service_time t.queue elapsed;
+    Tm.observe m_latency (elapsed *. 1e6);
+    finish t conn resp;
+    true
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let signal_drain = ref false
+
+let create (cfg : config) =
+  (* every write to a peer that hung up must surface as EPIPE for the
+     fate accounting, never as a fatal signal — also covers callers that
+     drive [tick] directly instead of going through [serve] *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (try Unix.unlink cfg.d_socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.d_socket);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  {
+    cfg;
+    listen_fd;
+    worker = Serve_worker.create cfg.d_worker;
+    queue = Serve_queue.create ~capacity:cfg.d_queue_capacity;
+    conns = [];
+    draining = false;
+    stop = false;
+  }
+
+let accept_ready t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      Tm.incr m_connections;
+      let c = { fd; buf = Buffer.create 256; last_read = now () } in
+      t.conns <- c :: t.conns;
+      loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  loop ()
+
+let flush_metrics t =
+  match t.cfg.d_metrics_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Tm.metrics_json ());
+    close_out oc
+
+(** Graceful drain: answer everything already admitted, shed the rest,
+    flush telemetry, remove the socket. *)
+let shutdown t =
+  t.cfg.d_log "draining: answering queued requests";
+  while process_one t do () done;
+  List.iter
+    (fun conn ->
+      Tm.incr m_requests;
+      count_fate
+        (send_response conn
+           (Serve_protocol.response Serve_protocol.Draining ~body:"daemon is draining\n"));
+      close_conn t conn)
+    t.conns;
+  flush_metrics t;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.d_socket with Unix.Unix_error _ -> ());
+  t.cfg.d_log "stopped"
+
+(** One event-loop tick: accept, read, reap idle partials, process one
+    queued request.  Exposed for the unit battery; {!serve} loops it. *)
+let tick ?(timeout_s = 0.05) t =
+  if !signal_drain then begin
+    signal_drain := false;
+    if t.draining then t.stop <- true else t.draining <- true;
+    t.cfg.d_log "signal received; draining"
+  end;
+  let read_fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+  (match Unix.select read_fds [] [] timeout_s with
+  | ready, _, _ ->
+    if List.mem t.listen_fd ready then accept_ready t;
+    (* oldest connection first, so same-tick admission is FIFO-fair *)
+    List.iter
+      (fun conn -> if List.mem conn.fd ready then service_readable t conn)
+      (List.rev (List.filter (fun c -> List.mem c.fd ready) t.conns))
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+  reap_idle t;
+  while process_one t do () done;
+  if t.draining && Serve_queue.length t.queue = 0 then t.stop <- true
+
+(** Run the daemon until a drain completes.  Installs SIGTERM/SIGINT
+    drain handlers and ignores SIGPIPE for the duration. *)
+let serve t =
+  let drain_handler = Sys.Signal_handle (fun _ -> signal_drain := true) in
+  let old_term = Sys.signal Sys.sigterm drain_handler in
+  let old_int = Sys.signal Sys.sigint drain_handler in
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigint old_int;
+      Sys.set_signal Sys.sigpipe old_pipe)
+    (fun () ->
+      t.cfg.d_log (Printf.sprintf "listening on %s" t.cfg.d_socket);
+      while not t.stop do
+        tick t
+      done;
+      shutdown t)

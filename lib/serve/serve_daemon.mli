@@ -1,0 +1,39 @@
+(** The compile-service daemon: a select-based event loop over a
+    Unix-domain socket, one request and one response per connection.
+
+    Framing failures are answered [bad-request]; admission sheds with
+    [overload] (retry-after hint) or [draining]; processing runs on the
+    warm {!Serve_worker} whose firewall and watchdog guarantee a
+    structured response; SIGTERM/SIGINT drain gracefully.  Invariant:
+    [serve.requests = serve.answered + serve.shed + serve.client_gone]. *)
+
+type config = {
+  d_socket : string;
+  d_queue_capacity : int;
+  d_max_frame : int;
+  d_idle_timeout_s : float; (* partial frame older than this is torn *)
+  d_worker : Serve_worker.config;
+  d_metrics_out : string option; (* flush telemetry JSON here on exit *)
+  d_log : string -> unit;
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+(** Bind and listen on [d_socket] (an existing socket file is replaced)
+    and warm up the worker. *)
+
+val tick : ?timeout_s:float -> t -> unit
+(** One event-loop turn: accept, read, reap idle partial frames, drain the
+    admission queue.  Exposed for the unit battery; {!serve} loops it. *)
+
+val serve : t -> unit
+(** Run until a drain completes (SIGTERM/SIGINT or a [shutdown] request).
+    Installs drain handlers and ignores SIGPIPE for the duration; on exit
+    the telemetry is flushed and the socket file removed. *)
+
+val shutdown : t -> unit
+(** Drain immediately: answer queued requests, shed reading connections,
+    flush telemetry, close and unlink the socket. *)

@@ -1,0 +1,44 @@
+(** The daemon's warm worker: one long-lived compiler servicing requests
+    behind a request-level firewall and an out-of-band watchdog.
+
+    {!handle} is total: every admitted request gets a structured response.
+    Budget escapes become [timeout], contained internal escapes become
+    [internal], and a request wedged past its deadline is broken by the
+    SIGALRM watchdog, answered [timeout wedged=1], and the worker state
+    recycled.  Only process-fatal conditions ([Out_of_memory],
+    [Sys.Break]) propagate. *)
+
+type config = {
+  w_default_deadline_s : float; (* when the request names none *)
+  w_max_deadline_s : float; (* requests cannot ask for more *)
+  w_watchdog_grace_s : float; (* watchdog = deadline + grace *)
+  w_allow_faults : bool; (* honor poison= / spin_ms= request fields *)
+  w_recycle_every : int; (* fresh compiler every N requests; 0 = never *)
+  w_budgets : Supervisor.budgets; (* base limits under request overrides *)
+  w_ref_libs : (string * string) list; (* reference libraries (name, dir) *)
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+
+val generation : t -> int
+(** Bumped by every {!recycle}. *)
+
+val served : t -> int
+(** Requests handled so far (across recycles). *)
+
+val recycle : t -> unit
+(** Replace the warm compiler with a fresh one. *)
+
+exception Wedged of { after_s : float }
+(** Raised by the watchdog's SIGALRM handler inside the wedged request. *)
+
+val with_watchdog : seconds:float -> (unit -> 'a) -> 'a
+(** Run [f] under an interval-timer watchdog that raises {!Wedged} in it
+    after [seconds].  Exposed for the unit battery. *)
+
+val handle : t -> Serve_protocol.request -> Serve_protocol.response
+(** Process one admitted request (see module description). *)

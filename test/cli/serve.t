@@ -1,0 +1,73 @@
+The resilient compile service: daemon lifecycle, fault containment,
+overload shedding, and graceful drain.
+
+  $ SOCK="$PWD/serve.sock"
+  $ cat > good.vhd <<'VHDL'
+  > entity good is end good;
+  > VHDL
+
+Start a daemon with fault injection allowed (so a poisoned request can be
+demonstrated) and a one-deep admission queue (so overload can be forced).
+
+  $ ../../bin/vhdlc.exe serve --socket "$SOCK" --quiet --allow-faults --grace 0.3 --queue 1 &
+  $ DAEMON=$!
+
+A healthy request compiles into the warm library (exit 0).
+
+  $ ../../bin/vhdlc.exe request --socket "$SOCK" --wait-ready good.vhd
+  compiled entity:GOOD
+  unit compiled entity GOOD
+
+A poisoned request is answered with a structured [internal] response
+(exit 2) — the firewall contains the injected escape...
+
+  $ ../../bin/vhdlc.exe request --socket "$SOCK" --poison entity:GOOD good.vhd > poisoned.out 2> poisoned.err; echo "exit $?"
+  exit 2
+  $ grep -c 'internal:' poisoned.out
+  1
+  $ cat poisoned.err
+  vhdlc request: [internal]
+
+...while the daemon keeps serving:
+
+  $ ../../bin/vhdlc.exe request --socket "$SOCK" --ping
+  pong
+
+Overload: while the worker is pinned by a slow request, the one-deep
+queue fills and the next request is shed with [overload] and a
+retry-after hint (exit 4).
+
+  $ ../../bin/vhdlc.exe request --socket "$SOCK" --spin-ms 700 --deadline 5 good.vhd > /dev/null 2>&1 &
+  $ SLOW=$!
+  $ sleep 0.2
+  $ ../../bin/vhdlc.exe request --socket "$SOCK" good.vhd > /dev/null 2>&1 &
+  $ QUEUED=$!
+  $ sleep 0.2
+  $ ../../bin/vhdlc.exe request --socket "$SOCK" good.vhd > shed.out 2> shed.err; echo "exit $?"
+  exit 4
+  $ sed -E 's/[0-9]+[.][0-9]+s/Ts/g' shed.err
+  vhdlc request: [overload] retry after Ts
+  $ sed -E -e 's/\(1 deep\)/(queue-cap)/' -e 's/[0-9]+[.][0-9]+s/Ts/g' shed.out
+  queue full (queue-cap); retry after Ts
+  $ wait $SLOW $QUEUED
+
+The daemon's ledger balances: every request was answered or shed.
+
+  $ ../../bin/vhdlc.exe request --socket "$SOCK" --stats | awk '
+  >   /^serve\.(requests|answered|shed|client_gone) /{ c[$1]=$2 }
+  >   END {
+  >     if (c["serve.requests"] == c["serve.answered"] + c["serve.shed"] + c["serve.client_gone"])
+  >       print "ledger balances"
+  >     else
+  >       printf "imbalance: %d != %d + %d + %d\n", c["serve.requests"], c["serve.answered"], c["serve.shed"], c["serve.client_gone"]
+  >   }'
+  ledger balances
+
+Graceful drain on SIGTERM: in-flight work is finished, the daemon exits
+cleanly, and the socket file is removed.
+
+  $ kill -TERM $DAEMON
+  $ wait $DAEMON; echo "daemon exit $?"
+  daemon exit 0
+  $ test -S "$SOCK" && echo "socket still there" || echo "socket removed"
+  socket removed

@@ -150,10 +150,10 @@ analysis (numbers normalized here — they move with the grammar):
 Resource budgets exhaust into diagnostics, never hangs; the failing
 unit's report line shows the partial work it did before the budget died:
 
-  $ ../../bin/vhdlc.exe compile --fuel 40 --report multi.vhd 2>&1 | sed -E 's/\[rules [0-9]+, attrs [0-9]+\]/[rules N, attrs N]/'
+  $ ../../bin/vhdlc.exe compile --fuel 40 --report multi.vhd 2>&1 | sed -E -e 's/\[rules [0-9]+, attrs [0-9]+\]/[rules N, attrs N]/' -e 's/; [0-9.]+s elapsed/; Es elapsed/'
   multi.vhd: line 3: error: syntax error: unexpected ID (skipped 6 tokens to resynchronize)
   multi.vhd: line 7: error: syntax error: unexpected ) (skipped 6 tokens to resynchronize)
-  multi.vhd: line 9: error: [budget:analysis:entity GOOD3] evaluation fuel exhausted after 41 rule applications
+  multi.vhd: line 9: error: [budget:analysis:entity GOOD3] evaluation fuel exhausted after 41 rule applications (limit 40); Es elapsed
   compiled   entity GOOD1 (line 1)  [rules N, attrs N]
   compiled   entity GOOD2 (line 5)  [rules N, attrs N]
   skipped    entity GOOD3 (line 9)  [rules N, attrs N]

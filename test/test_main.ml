@@ -24,4 +24,5 @@ let () =
       ("generated", Test_generated.suite);
       ("cascade", Test_cascade_memo.suite);
       ("difftest", Test_difftest.suite);
+      ("serve", Test_serve.suite);
     ]

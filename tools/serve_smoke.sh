@@ -1,0 +1,95 @@
+#!/bin/sh
+# serve_smoke.sh — CI gate for the resilient compile service.
+#
+# Three checks:
+#   1. chaos burst: vhdlfuzz --serve-chaos forks a daemon and fires a mixed
+#      healthy/faulty campaign; the zero-deaths invariant and the telemetry
+#      ledger (requests = answered + shed + client_gone) must hold;
+#   2. lifecycle: a daemon we boot ourselves answers a healthy request, then
+#      a poisoned request as [internal] while staying up, then drains
+#      gracefully on a shutdown request (socket removed, clean exit);
+#   3. warmth: the daemon's p50 request latency must beat one-shot
+#      `vhdlc compile` p50 — the reason the daemon exists.
+#
+# Run from the workspace root (dune does this via the @serve-smoke alias):
+#   VHDLC=bin/vhdlc.exe VHDLFUZZ=bin/vhdlfuzz.exe sh tools/serve_smoke.sh
+set -eu
+
+VHDLC="${VHDLC:-bin/vhdlc.exe}"
+VHDLFUZZ="${VHDLFUZZ:-bin/vhdlfuzz.exe}"
+SHOTS="${SERVE_SMOKE_SHOTS:-120}"
+
+TMP="$(mktemp -d "${TMPDIR:-/tmp}/serve-smoke.XXXXXX")"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "serve_smoke: FAIL: $1" >&2
+  [ -f "$TMP/chaos.log" ] && tail -40 "$TMP/chaos.log" >&2
+  exit 1
+}
+
+# ---- 1. chaos burst ------------------------------------------------------
+"$VHDLFUZZ" --serve-chaos --shots "$SHOTS" --quiet > "$TMP/chaos.log" 2>&1 \
+  || fail "chaos campaign exited non-zero"
+grep -q "zero daemon deaths, all invariants hold" "$TMP/chaos.log" \
+  || fail "chaos campaign did not report the zero-deaths invariant"
+grep -q "invariants: all hold" "$TMP/chaos.log" \
+  || fail "telemetry ledger check missing from the campaign summary"
+
+# ---- 2. lifecycle --------------------------------------------------------
+SOCK="$TMP/serve.sock"
+printf 'entity smoke is end smoke;\n' > "$TMP/u.vhd"
+
+"$VHDLC" serve --socket "$SOCK" --quiet --allow-faults --grace 0.3 &
+DAEMON_PID=$!
+
+"$VHDLC" request --socket "$SOCK" --wait-ready "$TMP/u.vhd" > /dev/null \
+  || fail "healthy request failed"
+
+# a poisoned request is answered [internal] (exit 2) while the daemon lives
+rc=0
+"$VHDLC" request --socket "$SOCK" --poison entity:SMOKE "$TMP/u.vhd" \
+  > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || fail "poisoned request: expected exit 2 (internal), got $rc"
+kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died on a poisoned request"
+"$VHDLC" request --socket "$SOCK" --ping > /dev/null \
+  || fail "daemon does not answer after containing a fault"
+
+# ---- 3. warmth: warm p50 must beat one-shot p50 --------------------------
+ms_now() { date +%s%N; }
+p50_of() { sort -n | awk '{ a[NR] = $1 } END { print a[int((NR + 1) / 2)] }'; }
+
+warm_p50=$(
+  i=0
+  while [ $i -lt 15 ]; do
+    t0=$(ms_now)
+    "$VHDLC" request --socket "$SOCK" "$TMP/u.vhd" > /dev/null
+    echo $((($(ms_now) - t0) / 1000))
+    i=$((i + 1))
+  done | p50_of
+)
+oneshot_p50=$(
+  i=0
+  while [ $i -lt 5 ]; do
+    t0=$(ms_now)
+    "$VHDLC" compile --work "$TMP/work" "$TMP/u.vhd" > /dev/null
+    echo $((($(ms_now) - t0) / 1000))
+    i=$((i + 1))
+  done | p50_of
+)
+[ "$warm_p50" -lt "$oneshot_p50" ] \
+  || fail "warm p50 (${warm_p50}us) not below one-shot p50 (${oneshot_p50}us)"
+
+# ---- graceful drain ------------------------------------------------------
+"$VHDLC" request --socket "$SOCK" --shutdown > /dev/null \
+  || fail "shutdown request failed"
+wait "$DAEMON_PID" || fail "daemon exited non-zero after drain"
+DAEMON_PID=""
+[ ! -S "$SOCK" ] || fail "socket file left behind after drain"
+
+echo "serve_smoke: OK ($SHOTS chaos shots, zero deaths; warm p50 ${warm_p50}us vs one-shot ${oneshot_p50}us)"

@@ -26,6 +26,15 @@ SIZE=${3:-3}
 LOG=${SOAK_LOG:-_soak/soak.log}
 mkdir -p "$(dirname "$LOG")"
 
+# Size-based rotation so long chaos/soak runs never fill the disk: once
+# the log passes SOAK_LOG_MAX bytes (default 1 MiB) it is rotated to
+# "$LOG.1", replacing any previous rotation — at most two files (current
+# + one previous generation) ever exist.
+MAX=${SOAK_LOG_MAX:-1048576}
+if [ -f "$LOG" ] && [ "$(wc -c < "$LOG")" -gt "$MAX" ]; then
+  mv -f "$LOG" "$LOG.1"
+fi
+
 dune build bin/vhdlfuzz.exe
 
 OUT=$(mktemp "${TMPDIR:-/tmp}/soak.XXXXXX")
