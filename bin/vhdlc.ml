@@ -734,8 +734,60 @@ let serve_cmd =
           ~doc:"Replace the warm compiler every N requests (0 = never).")
   in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the lifecycle log.") in
+  let events =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Append the structured event log (one JSON object per line: \
+             accept/admit/shed/start/finish/... with request ids) here.")
+  in
+  let flight_dir =
+    Arg.(
+      value & opt string "."
+      & info [ "flight-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for flight-recorder dumps (firewall trips, watchdog \
+             fires, SIGUSR1).")
+  in
+  let flight_size =
+    Arg.(
+      value & opt int 256
+      & info [ "flight-size" ] ~docv:"N"
+          ~doc:"Events retained in the in-memory flight-recorder ring.")
+  in
+  let metrics_flush_every =
+    Arg.(
+      value & opt int 200
+      & info [ "metrics-flush-every" ] ~docv:"TICKS"
+          ~doc:
+            "Flush telemetry JSON to --metrics-out every N event-loop ticks \
+             (atomic rename; 0 = only at drain).")
+  in
+  let slo_window =
+    Arg.(
+      value & opt float 60.0
+      & info [ "slo-window" ] ~docv:"SECONDS"
+          ~doc:"Width of the rolling SLO window (`vhdlc request --slo`).")
+  in
+  let slo_p99_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-p99-ms" ] ~docv:"MS"
+          ~doc:"Objective: windowed p99 service latency; breaches are logged.")
+  in
+  let slo_shed_pct =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-shed-pct" ] ~docv:"PCT"
+          ~doc:"Objective: windowed shed rate in percent; breaches are logged.")
+  in
   let run socket queue max_frame default_deadline max_deadline grace idle_timeout
-      allow_faults recycle_every quiet refs fuel metrics_out =
+      allow_faults recycle_every quiet refs fuel metrics_out events flight_dir
+      flight_size metrics_flush_every slo_window slo_p99_ms slo_shed_pct =
     Telemetry.reset ();
     let log = if quiet then ignore else fun m -> Printf.eprintf "vhdlc serve: %s\n%!" m in
     let worker =
@@ -767,6 +819,16 @@ let serve_cmd =
           d_idle_timeout_s = idle_timeout;
           d_worker = worker;
           d_metrics_out = metrics_out;
+          d_metrics_flush_ticks = metrics_flush_every;
+          d_obs =
+            {
+              Obs_log.o_events_out = events;
+              o_ring_events = flight_size;
+              o_ring_requests = Obs_log.default_config.Obs_log.o_ring_requests;
+              o_flight_dir = flight_dir;
+            };
+          d_slo_window_s = slo_window;
+          d_slo = { Obs_slo.o_p99_ms = slo_p99_ms; o_shed_pct = slo_shed_pct };
           d_log = log;
         }
     in
@@ -782,12 +844,26 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ queue $ max_frame $ default_deadline $ max_deadline
       $ grace $ idle_timeout $ allow_faults $ recycle_every $ quiet
-      $ ref_arg $ fuel_arg $ metrics_out_arg)
+      $ ref_arg $ fuel_arg $ metrics_out_arg $ events $ flight_dir $ flight_size
+      $ metrics_flush_every $ slo_window $ slo_p99_ms $ slo_shed_pct)
 
 let request_cmd =
   let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Send a liveness probe.") in
   let stats_serve =
     Arg.(value & flag & info [ "stats" ] ~doc:"Fetch the daemon's serve.* counters.")
+  in
+  let slo =
+    Arg.(
+      value & flag
+      & info [ "slo" ]
+          ~doc:
+            "Fetch the daemon's rolling SLO window: p50/p95/p99 service \
+             latency, shed and internal rates, objective status.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"With --stats or --slo: answer with a JSON body.")
   in
   let shutdown =
     Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit.")
@@ -833,21 +909,22 @@ let request_cmd =
       value & pos_all file []
       & info [] ~docv:"FILE" ~doc:"VHDL sources forming the request body.")
   in
-  let run socket ping stats_serve shutdown top ns poison spin_ms fuel deadline
-      timeout wait_ xs =
+  let run socket ping stats_serve slo json shutdown top ns poison spin_ms fuel
+      deadline timeout wait_ xs =
     let source =
       String.concat "\n" (List.map Vhdl_util.Unix_compat.read_file xs)
     in
     let verb =
       if ping then Serve_protocol.Ping
       else if stats_serve then Serve_protocol.Stats
+      else if slo then Serve_protocol.Slo
       else if shutdown then Serve_protocol.Shutdown
       else if top <> None then Serve_protocol.Simulate
       else Serve_protocol.Compile
     in
     let rq =
       Serve_protocol.request verb ?deadline_s:deadline ?fuel ?top ~max_ns:ns ?poison
-        ~spin_ms ~source
+        ~spin_ms ~json ~source
     in
     let ready =
       if wait_ then Serve_client.wait_ready ~socket () else Ok ()
@@ -866,7 +943,10 @@ let request_cmd =
         (match resp.Serve_protocol.rs_status with
         | Serve_protocol.Ok_ -> ()
         | st ->
-          Printf.eprintf "vhdlc request: [%s]%s%s\n" (Serve_protocol.status_name st)
+          Printf.eprintf "vhdlc request: [%s]%s%s%s\n" (Serve_protocol.status_name st)
+            (match resp.Serve_protocol.rs_request_id with
+            | Some rid -> Printf.sprintf " rid=%d" rid
+            | None -> "")
             (match resp.Serve_protocol.rs_retry_after_s with
             | Some s -> Printf.sprintf " retry after %.3fs" s
             | None -> "")
@@ -881,8 +961,131 @@ let request_cmd =
   in
   Cmd.v (Cmd.info "request" ~doc)
     Term.(
-      const run $ socket_arg $ ping $ stats_serve $ shutdown $ top $ ns $ poison
-      $ spin_ms $ fuel_arg $ deadline_arg $ timeout $ wait_ready $ files)
+      const run $ socket_arg $ ping $ stats_serve $ slo $ json $ shutdown $ top
+      $ ns $ poison $ spin_ms $ fuel_arg $ deadline_arg $ timeout $ wait_ready
+      $ files)
+
+(* `vhdlc top`: a live dashboard over the daemon's machine-readable stats
+   (the same JSON document `vhdlc request --stats --json` prints). *)
+
+let top_cmd =
+  let module J = Perf.Json_in in
+  let once =
+    Arg.(value & flag & info [ "once" ] ~doc:"Render one frame and exit.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the raw stats JSON instead of the dashboard (scripting).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period.")
+  in
+  let frames =
+    Arg.(
+      value & opt int 0
+      & info [ "frames" ] ~docv:"N"
+          ~doc:"Stop after N frames (0 = run until interrupted).")
+  in
+  let jpath doc path =
+    List.fold_left (fun acc k -> Option.bind acc (J.mem k)) (Some doc) path
+  in
+  let jint doc path =
+    Option.value ~default:0 (Option.bind (jpath doc path) J.to_int)
+  in
+  let jnum doc path =
+    Option.value ~default:0.0 (Option.bind (jpath doc path) J.to_num)
+  in
+  let jstr doc path =
+    Option.value ~default:"-" (Option.bind (jpath doc path) J.to_str)
+  in
+  let ms us = Printf.sprintf "%.1fms" (us /. 1000.0) in
+  let render socket doc =
+    let b = Buffer.create 512 in
+    let led k = jint doc [ "ledger"; "serve." ^ k ] in
+    Printf.bprintf b "compile service @ %s — uptime %.1fs%s\n" socket
+      (jnum doc [ "uptime_s" ])
+      (if jpath doc [ "draining" ] = Some (J.Bool true) then " — DRAINING" else "");
+    Printf.bprintf b "queue    %d/%d deep   retry-after %.3fs\n"
+      (jint doc [ "queue"; "depth" ])
+      (jint doc [ "queue"; "capacity" ])
+      (jnum doc [ "queue"; "retry_after_s" ]);
+    Printf.bprintf b "worker   generation %d   served %d\n"
+      (jint doc [ "worker"; "generation" ])
+      (jint doc [ "worker"; "served" ]);
+    Printf.bprintf b "latency  p50 %s   p90 %s   p99 %s   (process lifetime)\n"
+      (ms (jnum doc [ "latency_us"; "p50" ]))
+      (ms (jnum doc [ "latency_us"; "p90" ]))
+      (ms (jnum doc [ "latency_us"; "p99" ]));
+    Printf.bprintf b
+      "window   %.0fs: %d requests   p50 %s  p95 %s  p99 %s   shed %.1f%%  \
+       internal %.1f%%\n"
+      (jnum doc [ "slo"; "window_s" ])
+      (jint doc [ "slo"; "requests" ])
+      (ms (jnum doc [ "slo"; "p50_us" ]))
+      (ms (jnum doc [ "slo"; "p95_us" ]))
+      (ms (jnum doc [ "slo"; "p99_us" ]))
+      (jnum doc [ "slo"; "shed_pct" ])
+      (jnum doc [ "slo"; "internal_pct" ]);
+    (match jpath doc [ "last_request" ] with
+    | Some (J.Obj _ as lr) ->
+      Printf.bprintf b "last     rid %d  %s  [%s]  %s\n"
+        (jint lr [ "rid" ]) (jstr lr [ "verb" ]) (jstr lr [ "status" ])
+        (ms (jnum lr [ "service_us" ]))
+    | _ -> Printf.bprintf b "last     (no request serviced yet)\n");
+    Printf.bprintf b "ledger   requests %d = answered %d + shed %d + client_gone %d\n"
+      (led "requests") (led "answered") (led "shed") (led "client_gone");
+    Printf.bprintf b
+      "faults   torn %d  oversized %d  bad-request %d  contained %d  timeouts \
+       %d  wedges %d  recycles %d\n"
+      (led "torn_frames") (led "oversized") (led "bad_requests")
+      (led "faults_contained") (led "timeouts") (led "wedges")
+      (led "worker_recycles");
+    Printf.bprintf b "obs      events %d   flight-dumps %d   slo-breaches %d\n"
+      (led "events") (led "flight_dumps") (led "slo_breaches");
+    Buffer.contents b
+  in
+  let run socket once json interval frames =
+    let rq = Serve_protocol.request ~json:true Serve_protocol.Stats in
+    let rec loop n =
+      match Serve_client.roundtrip ~timeout_s:5.0 ~socket rq with
+      | Error msg ->
+        Printf.eprintf "vhdlc top: %s\n" msg;
+        7
+      | Ok resp when resp.Serve_protocol.rs_status <> Serve_protocol.Ok_ ->
+        Printf.eprintf "vhdlc top: [%s]\n"
+          (Serve_protocol.status_name resp.Serve_protocol.rs_status);
+        Serve_protocol.status_exit_code resp.Serve_protocol.rs_status
+      | Ok resp -> (
+        match J.parse (String.trim resp.Serve_protocol.rs_body) with
+        | Error e ->
+          Printf.eprintf "vhdlc top: unparseable stats body: %s\n" e;
+          7
+        | Ok doc ->
+          if json then print_string resp.Serve_protocol.rs_body
+          else begin
+            if not once && n > 0 then print_string "\027[H\027[2J";
+            print_string (render socket doc);
+            flush stdout
+          end;
+          if once || (frames > 0 && n + 1 >= frames) then 0
+          else begin
+            Unix.sleepf interval;
+            loop (n + 1)
+          end)
+    in
+    loop 0
+  in
+  let doc =
+    "Live dashboard over a running compile service: queue depth, worker \
+     state, latency percentiles, rolling SLO window, fate ledger.  Use \
+     --once --json for scripting."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const run $ socket_arg $ once $ json $ interval $ frames)
 
 let () =
   let doc = "a VHDL compiler and simulator built from attribute grammars" in
@@ -892,5 +1095,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; simulate_cmd; dump_cmd; explain_cmd; stats_cmd; bench_cmd;
-            serve_cmd; request_cmd;
+            serve_cmd; request_cmd; top_cmd;
           ]))

@@ -12,6 +12,7 @@
 
 open Cmdliner
 module Telemetry = Vhdl_telemetry.Telemetry
+module Json_in = Vhdl_perf.Perf.Json_in
 
 (* headline telemetry counters accumulated over the whole campaign — how
    much work the pipeline actually did across every seed *)
@@ -26,17 +27,116 @@ let pp_campaign_telemetry fmt () =
     (c "sim.events")
     (Telemetry.gauge_value (Telemetry.gauge "gc.top_heap_words") /. 1e6)
 
+(* Observability invariants checked over the chaos daemon's event log
+   after the campaign drains:
+
+   - the log is well-formed (the [Obs_event.check_log] grammar: monotone
+     accept ids, every event names an accepted request, exactly one
+     start per substantive response with balanced finishes);
+   - every firewall trip (a [finish] with status [internal]) and every
+     watchdog fire (a [finish] flagged wedged) produced a flight dump
+     event naming the offending request id, and the dump file exists;
+   - the rolling SLO window's p99 agrees with the process-lifetime
+     telemetry histogram within 20% (same bucketing, window spans the
+     whole campaign). *)
+let check_chaos_obs ~events_path ~slo_p99_us ~hist_p99_us =
+  let violations = ref [] in
+  let notes = ref [] in
+  let violation fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  (match Obs_event.read_log events_path with
+  | Error msg -> violation "event log unreadable: %s" msg
+  | Ok events ->
+    List.iter (fun e -> violation "event log: %s" e) (Obs_event.check_log events);
+    let finishes_with pred =
+      List.filter
+        (fun (e : Obs_event.t) -> e.Obs_event.e_kind = Obs_event.Finish && pred e)
+        events
+    in
+    let dumps reason =
+      List.filter
+        (fun (e : Obs_event.t) ->
+          e.Obs_event.e_kind = Obs_event.Dump
+          && Obs_event.field_str e "reason" = Some reason)
+        events
+    in
+    let check_dumped ~what ~reason culprits =
+      let dump_rids =
+        List.filter_map (fun (e : Obs_event.t) -> e.Obs_event.e_rid) (dumps reason)
+      in
+      List.iter
+        (fun (e : Obs_event.t) ->
+          match e.Obs_event.e_rid with
+          | None -> violation "%s finish without a rid" what
+          | Some rid ->
+            if not (List.mem rid dump_rids) then
+              violation "%s on rid %d left no %s flight dump" what rid reason)
+        culprits
+    in
+    check_dumped ~what:"firewall trip" ~reason:"firewall"
+      (finishes_with (fun e -> Obs_event.field_str e "status" = Some "internal"));
+    check_dumped ~what:"watchdog fire" ~reason:"watchdog"
+      (finishes_with (fun e -> Obs_event.field e "wedged" <> None));
+    List.iter
+      (fun (e : Obs_event.t) ->
+        match (Obs_event.field_str e "path", e.Obs_event.e_rid) with
+        | Some path, rid ->
+          if not (Sys.file_exists path) then
+            violation "dump event names a missing file %s" path;
+          (match rid with
+          | Some r ->
+            let marker = Printf.sprintf "-rid%d-" r in
+            let contains s sub =
+              let n = String.length sub in
+              let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+              go 0
+            in
+            if not (contains (Filename.basename path) marker) then
+              violation "dump for rid %d not named after it: %s" r path
+          | None -> ())
+        | None, _ -> violation "dump event without a path field")
+      (dumps "firewall" @ dumps "watchdog");
+    let count k = List.length (List.filter (fun (e : Obs_event.t) -> e.Obs_event.e_kind = k) events) in
+    notes :=
+      Printf.sprintf
+        "serve-chaos: event log OK — %d events (%d accepts, %d start/finish \
+         pairs, %d sheds, %d dumps)"
+        (List.length events) (count Obs_event.Accept) (count Obs_event.Finish)
+        (count Obs_event.Shed) (count Obs_event.Dump)
+      :: !notes);
+  (match (slo_p99_us, hist_p99_us) with
+  | Some slo, Some hist ->
+    let drift = if hist = 0.0 then 0.0 else abs_float (slo -. hist) /. hist in
+    if drift > 0.20 then
+      violation "slo window p99 %.0fus disagrees with histogram p99 %.0fus (%.0f%%)"
+        slo hist (100.0 *. drift)
+    else
+      notes :=
+        Printf.sprintf
+          "serve-chaos: slo window p99 %.0fus vs histogram p99 %.0fus (%.1f%% apart)"
+          slo hist (100.0 *. drift)
+        :: !notes
+  | _ -> violation "could not compare slo p99 against the telemetry histogram");
+  (List.rev !notes, List.rev !violations)
+
 (* The serve chaos campaign: fork a daemon child with fault injection
    allowed and a deliberately small queue, fire hundreds of randomized
    healthy/faulty requests at it, then check the zero-deaths invariant —
    every shot resolved as the fault site predicts, the daemon's ledger
-   balances, it still answers pings, and it drains to a clean exit. *)
+   balances, it still answers pings, and it drains to a clean exit.
+   The child also keeps a structured event log and flight recorder,
+   checked post-mortem by {!check_chaos_obs}. *)
 let run_serve_chaos ~seed ~shots ~quiet =
   let log = if quiet then fun _ -> () else fun s -> print_endline s in
   let socket =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "vhdl-chaos-%d.sock" (Unix.getpid ()))
   in
+  let obs_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vhdl-chaos-%d.obs" (Unix.getpid ()))
+  in
+  Vhdl_util.Unix_compat.mkdir_p obs_dir;
+  let events_path = Filename.concat obs_dir "events.jsonl" in
   let daemon_cfg =
     {
       Serve_daemon.default_config with
@@ -50,6 +150,16 @@ let run_serve_chaos ~seed ~shots ~quiet =
           w_watchdog_grace_s = 0.3;
           w_recycle_every = 64;
         };
+      d_obs =
+        {
+          Obs_log.o_events_out = Some events_path;
+          o_ring_events = 512;
+          o_ring_requests = 64;
+          o_flight_dir = obs_dir;
+        };
+      (* one window spanning the whole campaign, so the windowed p99 is
+         comparable against the process-lifetime histogram *)
+      d_slo_window_s = 3600.0;
     }
   in
   match Unix.fork () with
@@ -74,6 +184,28 @@ let run_serve_chaos ~seed ~shots ~quiet =
       let s = Serve_chaos.run ~seed ~shots ~socket () in
       if not quiet then List.iter print_endline s.Serve_chaos.log;
       Format.printf "%a@?" Serve_chaos.pp_summary s;
+      (* live SLO window and lifetime histogram, straight from the daemon *)
+      let json_num rq path =
+        match Serve_client.roundtrip ~timeout_s:10.0 ~socket rq with
+        | Error _ -> None
+        | Ok resp -> (
+          match Json_in.parse (String.trim resp.Serve_protocol.rs_body) with
+          | Error _ -> None
+          | Ok doc ->
+            Option.bind
+              (List.fold_left
+                 (fun acc k -> Option.bind acc (Json_in.mem k))
+                 (Some doc) path)
+              Json_in.to_num)
+      in
+      let slo_p99_us =
+        json_num (Serve_protocol.request ~json:true Serve_protocol.Slo)
+          [ "slo"; "p99_us" ]
+      in
+      let hist_p99_us =
+        json_num (Serve_protocol.request ~json:true Serve_protocol.Stats)
+          [ "latency_us"; "p99" ]
+      in
       (* graceful shutdown must leave a clean exit status *)
       let clean_exit =
         match
@@ -90,12 +222,26 @@ let run_serve_chaos ~seed ~shots ~quiet =
           false
       in
       if not clean_exit then print_endline "VIOLATION: daemon did not exit cleanly";
-      if s.Serve_chaos.violations = [] && clean_exit then begin
+      (* the drained daemon's log is complete: run the post-mortem checks *)
+      let obs_notes, obs_violations =
+        check_chaos_obs ~events_path ~slo_p99_us ~hist_p99_us
+      in
+      List.iter print_endline obs_notes;
+      List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) obs_violations;
+      if s.Serve_chaos.violations = [] && obs_violations = [] && clean_exit then begin
         Printf.printf "serve-chaos: %d shots, zero daemon deaths, all invariants hold\n"
           s.Serve_chaos.shots;
+        (* clean campaign: clear the scratch log and dumps *)
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat obs_dir f) with Sys_error _ -> ())
+          (try Sys.readdir obs_dir with Sys_error _ -> [||]);
+        (try Unix.rmdir obs_dir with Unix.Unix_error _ -> ());
         0
       end
-      else 1)
+      else begin
+        Printf.printf "serve-chaos: forensics kept in %s\n" obs_dir;
+        1
+      end)
 
 let run smoke soak replay_files seed count size max_ns inject_fault budget
     corpus_dir gen_only serve_chaos shots quiet =

@@ -1,0 +1,117 @@
+(** The observability hub a daemon carries: every emitted event goes to
+    the always-on flight-recorder ring and, when configured, to the
+    append-only JSONL sink; flight dumps serialize the ring (plus a full
+    metrics snapshot and the SLO window) to a timestamped file.
+
+    The sink is line-buffered and flushed per event: an event line is
+    durable once {!emit} returns, so a log read after a clean drain — or
+    after a crash — never ends mid-line.  The write is one small
+    [output_string] on a buffered channel; the serve smoke test gates
+    its cost on the warm request path. *)
+
+module Tm = Vhdl_telemetry.Telemetry
+
+let m_events = Tm.counter "serve.events"
+let m_dumps = Tm.counter "serve.flight_dumps"
+
+type config = {
+  o_events_out : string option; (* JSONL sink; None = ring only *)
+  o_ring_events : int; (* flight-recorder event capacity *)
+  o_ring_requests : int; (* per-request counter-delta capacity *)
+  o_flight_dir : string; (* where flight dumps land *)
+}
+
+let default_config =
+  {
+    o_events_out = None;
+    o_ring_events = 256;
+    o_ring_requests = 32;
+    o_flight_dir = ".";
+  }
+
+type t = {
+  cfg : config;
+  ring : Obs_ring.t;
+  sink : out_channel option;
+  mutable dump_seq : int;
+}
+
+let create (cfg : config) =
+  let sink =
+    match cfg.o_events_out with
+    | None -> None
+    | Some path ->
+      Some (open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644 path)
+  in
+  {
+    cfg;
+    ring = Obs_ring.create ~events:cfg.o_ring_events ~requests:cfg.o_ring_requests ();
+    sink;
+    dump_seq = 0;
+  }
+
+let ring t = t.ring
+
+(** Record an event: always into the ring, and durably onto the JSONL
+    sink when one is configured.  A sink that went away (disk error,
+    already-closed channel during double shutdown) degrades to
+    ring-only; observability must never kill the daemon. *)
+let emit t (e : Obs_event.t) =
+  Tm.incr m_events;
+  Obs_ring.push t.ring e;
+  match t.sink with
+  | None -> ()
+  | Some oc -> (
+    try
+      output_string oc (Obs_event.to_line e);
+      flush oc
+    with Sys_error _ -> ())
+
+(** Convenience: build and emit in one step. *)
+let event t ?rid ?fields kind = emit t (Obs_event.make ?rid ?fields kind)
+
+let note_request_delta t ~rid counters =
+  Obs_ring.note_request_delta t.ring ~rid counters
+
+(* ------------------------------------------------------------------ *)
+(* Flight dumps *)
+
+let timestamp () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d%02d%02d-%02d%02d%02d" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(** Write a flight dump: the ring (events + per-request counter deltas),
+    the reason and implicated request id, a full metrics snapshot, and
+    any extra top-level fields — to
+    [FLIGHT_DIR/flight-<utc>-<pid>-<seq>[-rid<N>]-<reason>.json].
+    Returns the path written. *)
+let dump_flight t ?(extra = []) ~reason ?rid () : (string, string) result =
+  t.dump_seq <- t.dump_seq + 1;
+  let name =
+    Printf.sprintf "flight-%s-%d-%03d%s-%s.json" (timestamp ()) (Unix.getpid ())
+      t.dump_seq
+      (match rid with Some r -> Printf.sprintf "-rid%d" r | None -> "")
+      reason
+  in
+  let path = Filename.concat t.cfg.o_flight_dir name in
+  let body =
+    Obs_ring.dump_json
+      ~extra:(("metrics", Tm.metrics_json ()) :: extra)
+      ~reason ?rid t.ring
+  in
+  match
+    Vhdl_util.Unix_compat.mkdir_p t.cfg.o_flight_dir;
+    Vhdl_util.Unix_compat.write_file path body
+  with
+  | () ->
+    Tm.incr m_dumps;
+    Ok path
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let close t =
+  match t.sink with
+  | None -> ()
+  | Some oc -> ( try close_out oc with Sys_error _ -> ())

@@ -1,0 +1,39 @@
+(** The observability hub a daemon carries: events go to the always-on
+    flight-recorder ring and, when configured, to a per-event-flushed
+    append-only JSONL sink; {!dump_flight} serializes the ring plus a
+    metrics snapshot to a timestamped file for post-mortems. *)
+
+type config = {
+  o_events_out : string option; (* JSONL sink; None = ring only *)
+  o_ring_events : int; (* flight-recorder event capacity *)
+  o_ring_requests : int; (* per-request counter-delta capacity *)
+  o_flight_dir : string; (* where flight dumps land *)
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+(** Opens the sink in append mode when [o_events_out] is set. *)
+
+val ring : t -> Obs_ring.t
+
+val emit : t -> Obs_event.t -> unit
+(** Ring push + durable JSONL line (flushed before returning). *)
+
+val event :
+  t -> ?rid:int -> ?fields:(string * Obs_event.field_value) list ->
+  Obs_event.kind -> unit
+(** Build with the telemetry clock and emit in one step. *)
+
+val note_request_delta : t -> rid:int -> (string * int) list -> unit
+
+val dump_flight :
+  t -> ?extra:(string * string) list -> reason:string -> ?rid:int -> unit ->
+  (string, string) result
+(** Write [FLIGHT_DIR/flight-<utc>-<pid>-<seq>[-rid<N>]-<reason>.json]
+    containing the ring, a metrics snapshot, and [extra] top-level
+    fields; returns the path written. *)
+
+val close : t -> unit

@@ -1,0 +1,29 @@
+(** The flight recorder's memory: fixed-size rings of the last N events
+    and the per-request telemetry-counter deltas of the last M requests.
+    Always on (a push is an array store), dumped on demand. *)
+
+type t
+
+type request_delta = {
+  rd_rid : int;
+  rd_counters : (string * int) list; (* telemetry counters this request moved *)
+}
+
+val create : ?events:int -> ?requests:int -> unit -> t
+(** Capacities: last [events] events (default 256), last [requests]
+    per-request counter deltas (default 32). *)
+
+val push : t -> Obs_event.t -> unit
+val note_request_delta : t -> rid:int -> (string * int) list -> unit
+
+val events : t -> Obs_event.t list
+(** Recorded window, oldest first. *)
+
+val request_deltas : t -> request_delta list
+val pushed : t -> int
+(** Total events ever pushed (≥ the recorded window). *)
+
+val dump_json :
+  ?extra:(string * string) list -> reason:string -> ?rid:int -> t -> string
+(** Render the recorder as a self-contained flight-dump JSON document;
+    [extra] adds top-level fields (metrics snapshot, SLO summary). *)

@@ -1,0 +1,218 @@
+(** Rolling SLO windows: time-sliced summaries of service latency, shed
+    rate, and contained-escape ([internal]) rate, checked against
+    configurable objectives.
+
+    The telemetry histograms (PR 3) summarize a whole process lifetime;
+    a service needs "the last minute".  The window here is a ring of
+    fixed-width time buckets: observing a request lands it in the bucket
+    of [now / bucket width], reusing slots ring-wise and resetting a
+    slot whose epoch has passed — O(1) per observation, constant
+    memory, and no timer thread (expiry happens lazily on the next
+    observe/summary touching a stale slot).
+
+    Latency inside each bucket uses the same power-of-two buckets as
+    {!Vhdl_telemetry.Telemetry}'s histograms, so a window that spans the
+    whole run reports the very percentiles the process-lifetime
+    histogram does — the chaos campaign checks that agreement
+    end-to-end. *)
+
+module Tm = Vhdl_telemetry.Telemetry
+
+let hist_buckets = Tm.histogram_buckets
+
+type bucket = {
+  mutable b_epoch : int; (* absolute bucket index; -1 = never used *)
+  mutable b_requests : int;
+  mutable b_shed : int;
+  mutable b_internal : int;
+  mutable b_observed : int; (* latency samples *)
+  mutable b_min : float;
+  mutable b_max : float;
+  b_hist : int array;
+}
+
+type t = {
+  bucket_s : float;
+  buckets : bucket array;
+}
+
+let window_s t = t.bucket_s *. float_of_int (Array.length t.buckets)
+
+(** [create ~window_s ~buckets ()] — a sliding window of [window_s]
+    seconds (default 60) sliced into [buckets] slots (default 12, i.e.
+    5-second granularity at the default width). *)
+let create ?(window_s = 60.0) ?(buckets = 12) () =
+  let buckets = max 1 buckets and window_s = Float.max window_s 1e-3 in
+  {
+    bucket_s = window_s /. float_of_int buckets;
+    buckets =
+      Array.init buckets (fun _ ->
+          {
+            b_epoch = -1;
+            b_requests = 0;
+            b_shed = 0;
+            b_internal = 0;
+            b_observed = 0;
+            b_min = infinity;
+            b_max = neg_infinity;
+            b_hist = Array.make hist_buckets 0;
+          });
+  }
+
+let reset_bucket b epoch =
+  b.b_epoch <- epoch;
+  b.b_requests <- 0;
+  b.b_shed <- 0;
+  b.b_internal <- 0;
+  b.b_observed <- 0;
+  b.b_min <- infinity;
+  b.b_max <- neg_infinity;
+  Array.fill b.b_hist 0 hist_buckets 0
+
+let slot_for t ~now =
+  let epoch = int_of_float (now /. t.bucket_s) in
+  let b = t.buckets.(epoch mod Array.length t.buckets) in
+  if b.b_epoch <> epoch then reset_bucket b epoch;
+  b
+
+(** Record one request outcome.  [latency_us] is given for requests that
+    ran (the same value the [serve.latency_us] telemetry histogram
+    observes); sheds have no service latency. *)
+let observe t ~now ?latency_us ~shed ~internal () =
+  let b = slot_for t ~now in
+  b.b_requests <- b.b_requests + 1;
+  if shed then b.b_shed <- b.b_shed + 1;
+  if internal then b.b_internal <- b.b_internal + 1;
+  match latency_us with
+  | None -> ()
+  | Some x ->
+    b.b_observed <- b.b_observed + 1;
+    if x < b.b_min then b.b_min <- x;
+    if x > b.b_max then b.b_max <- x;
+    let i = Tm.bucket_of x in
+    b.b_hist.(i) <- b.b_hist.(i) + 1
+
+(* ------------------------------------------------------------------ *)
+(* Summaries *)
+
+type summary = {
+  s_window_s : float;
+  s_requests : int;
+  s_observed : int; (* requests with a measured service latency *)
+  s_shed : int;
+  s_internal : int;
+  s_p50_us : float;
+  s_p95_us : float;
+  s_p99_us : float;
+  s_shed_pct : float; (* shed / requests, as a percentage *)
+  s_internal_pct : float;
+}
+
+(* merged percentile over live buckets: same walk as
+   Telemetry.percentile, clamped to the observed min/max *)
+let percentile_merged ~count ~min_v ~max_v hist p =
+  if count = 0 then 0.0
+  else begin
+    let target = max 1 (int_of_float (Float.ceil (p *. float_of_int count))) in
+    let target = min target count in
+    let rec walk i cum =
+      if i >= hist_buckets then max_v
+      else
+        let cum = cum + hist.(i) in
+        if cum >= target then if i = 0 then 1.0 else Float.pow 2.0 (float_of_int i)
+        else walk (i + 1) cum
+    in
+    Float.min max_v (Float.max min_v (walk 0 0))
+  end
+
+(** Summarize the buckets still inside the window ending at [now]. *)
+let summary t ~now : summary =
+  let now_epoch = int_of_float (now /. t.bucket_s) in
+  let n = Array.length t.buckets in
+  let requests = ref 0 and observed = ref 0 and shed = ref 0 and internal = ref 0 in
+  let min_v = ref infinity and max_v = ref neg_infinity in
+  let hist = Array.make hist_buckets 0 in
+  Array.iter
+    (fun b ->
+      if b.b_epoch >= 0 && now_epoch - b.b_epoch < n then begin
+        requests := !requests + b.b_requests;
+        observed := !observed + b.b_observed;
+        shed := !shed + b.b_shed;
+        internal := !internal + b.b_internal;
+        if b.b_min < !min_v then min_v := b.b_min;
+        if b.b_max > !max_v then max_v := b.b_max;
+        Array.iteri (fun i k -> hist.(i) <- hist.(i) + k) b.b_hist
+      end)
+    t.buckets;
+  let pct k = if !requests = 0 then 0.0 else 100.0 *. float_of_int k /. float_of_int !requests in
+  let pc p = percentile_merged ~count:!observed ~min_v:!min_v ~max_v:!max_v hist p in
+  {
+    s_window_s = window_s t;
+    s_requests = !requests;
+    s_observed = !observed;
+    s_shed = !shed;
+    s_internal = !internal;
+    s_p50_us = pc 0.50;
+    s_p95_us = pc 0.95;
+    s_p99_us = pc 0.99;
+    s_shed_pct = pct !shed;
+    s_internal_pct = pct !internal;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Objectives *)
+
+type objectives = {
+  o_p99_ms : float option; (* window p99 service latency must stay below *)
+  o_shed_pct : float option; (* window shed rate must stay below *)
+}
+
+let no_objectives = { o_p99_ms = None; o_shed_pct = None }
+
+type breach = {
+  br_metric : string; (* "p99_ms" | "shed_pct" *)
+  br_value : float;
+  br_objective : float;
+}
+
+(** Objectives violated by [s].  Latency objectives need at least one
+    observed request; rate objectives need at least one request in the
+    window (an empty window breaches nothing). *)
+let breaches (o : objectives) (s : summary) : breach list =
+  List.concat
+    [
+      (match o.o_p99_ms with
+      | Some limit when s.s_observed > 0 && s.s_p99_us /. 1000.0 > limit ->
+        [ { br_metric = "p99_ms"; br_value = s.s_p99_us /. 1000.0; br_objective = limit } ]
+      | _ -> []);
+      (match o.o_shed_pct with
+      | Some limit when s.s_requests > 0 && s.s_shed_pct > limit ->
+        [ { br_metric = "shed_pct"; br_value = s.s_shed_pct; br_objective = limit } ]
+      | _ -> []);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let pp_summary fmt (s : summary) =
+  Format.fprintf fmt
+    "window %.0fs: %d requests (%d measured) — p50 %.0fus p95 %.0fus p99 %.0fus, \
+     shed %.1f%%, internal %.1f%%"
+    s.s_window_s s.s_requests s.s_observed s.s_p50_us s.s_p95_us s.s_p99_us
+    s.s_shed_pct s.s_internal_pct
+
+let summary_json (s : summary) =
+  let j = Tm.Json.float in
+  Tm.Json.obj
+    [
+      ("window_s", j s.s_window_s);
+      ("requests", Tm.Json.int s.s_requests);
+      ("observed", Tm.Json.int s.s_observed);
+      ("shed", Tm.Json.int s.s_shed);
+      ("internal", Tm.Json.int s.s_internal);
+      ("p50_us", j s.s_p50_us);
+      ("p95_us", j s.s_p95_us);
+      ("p99_us", j s.s_p99_us);
+      ("shed_pct", j s.s_shed_pct);
+      ("internal_pct", j s.s_internal_pct);
+    ]

@@ -17,10 +17,31 @@
       already-queued requests are answered, new ones shed, telemetry
       flushed — and the socket file is removed.
 
+    Observability (lib/obs), threaded through every layer above:
+
+    - every accepted connection is assigned a monotone {b request id},
+      echoed in the response header ([rid=N]), carried by every event
+      about that request, and attached to the request's telemetry span —
+      one number correlates the client's response, the log, and the
+      trace;
+    - the daemon narrates itself as {b typed events} (accept / admit /
+      shed / start / finish / reject / recycle / drain / breach / dump /
+      flush) into the always-on flight-recorder ring and, when
+      configured, an append-only JSONL sink;
+    - the {b flight recorder} is dumped to a timestamped file when the
+      request firewall trips, when the watchdog breaks a wedged request,
+      and on SIGUSR1 — crash forensics without always-on logging cost;
+    - {b rolling SLO windows} summarize the last window of service
+      latency (p50/p95/p99), shed rate and [internal] rate, are
+      queryable live via the [slo] verb, and are checked each second
+      against configured objectives (breaches are events).
+
     Accounting invariant, asserted by the chaos campaign: every complete
     or failed frame resolves to exactly one of [answered], [shed], or
     [client_gone], so [serve.requests = serve.answered + serve.shed +
-    serve.client_gone] at all times. *)
+    serve.client_gone] at all times.  Event-grammar invariant, asserted
+    over the log: every substantive response has exactly one [start] and
+    one [finish] sharing its request id. *)
 
 module Tm = Vhdl_telemetry.Telemetry
 
@@ -32,6 +53,7 @@ let m_torn = Tm.counter "serve.torn_frames"
 let m_oversized = Tm.counter "serve.oversized"
 let m_bad_requests = Tm.counter "serve.bad_requests"
 let m_connections = Tm.counter "serve.connections"
+let m_breaches = Tm.counter "serve.slo_breaches"
 let m_latency = Tm.histogram "serve.latency_us"
 let g_queue_depth = Tm.gauge "serve.queue_depth"
 
@@ -41,7 +63,11 @@ type config = {
   d_max_frame : int;
   d_idle_timeout_s : float; (* partial frame older than this is torn *)
   d_worker : Serve_worker.config;
-  d_metrics_out : string option; (* flush telemetry JSON here on exit *)
+  d_metrics_out : string option; (* telemetry JSON: periodic + at drain *)
+  d_metrics_flush_ticks : int; (* flush every N ticks (0 = drain only) *)
+  d_obs : Obs_log.config; (* event log + flight recorder *)
+  d_slo_window_s : float; (* rolling-window width *)
+  d_slo : Obs_slo.objectives; (* breach thresholds (may be empty) *)
   d_log : string -> unit;
 }
 
@@ -53,12 +79,17 @@ let default_config =
     d_idle_timeout_s = 2.0;
     d_worker = Serve_worker.default_config;
     d_metrics_out = None;
+    d_metrics_flush_ticks = 200;
+    d_obs = Obs_log.default_config;
+    d_slo_window_s = 60.0;
+    d_slo = Obs_slo.no_objectives;
     d_log = ignore;
   }
 
 (* one client connection, from accept to close *)
 type conn = {
   fd : Unix.file_descr;
+  rid : int; (* the request id, assigned at accept *)
   buf : Buffer.t;
   mutable last_read : float;
 }
@@ -68,6 +99,14 @@ type t = {
   listen_fd : Unix.file_descr;
   worker : Serve_worker.t;
   queue : (conn * Serve_protocol.request * float) Serve_queue.t;
+  obs : Obs_log.t;
+  slo : Obs_slo.t;
+  mutable next_rid : int;
+  mutable ticks : int;
+  mutable last_slo_check : float;
+  mutable breached : string list; (* metrics currently in breach *)
+  mutable last_request : (int * string * string * float) option;
+      (* rid, verb, status, service seconds — for stats and dumps *)
   mutable conns : conn list; (* still reading their request frame *)
   mutable draining : bool;
   mutable stop : bool; (* drain finished: leave the loop *)
@@ -89,6 +128,11 @@ let count_fate = function
   | Answered -> Tm.incr m_answered
   | Shed_ -> Tm.incr m_shed
   | Client_gone -> Tm.incr m_client_gone
+
+let fate_name = function
+  | Answered -> "answered"
+  | Shed_ -> "shed"
+  | Client_gone -> "client_gone"
 
 let send_response conn (resp : Serve_protocol.response) : fate =
   let bytes = Serve_protocol.frame (Serve_protocol.encode_response resp) in
@@ -115,11 +159,93 @@ let close_conn t conn =
   (try Unix.close conn.fd with Unix.Unix_error _ -> ());
   t.conns <- List.filter (fun c -> c != conn) t.conns
 
-(** Resolve one request attempt: count it, deliver, count the fate. *)
-let finish t conn resp =
+(** The [start] event: response computation for [conn]'s request begins.
+    Every substantive response is bracketed by exactly one of these and
+    the [finish] that {!finish} emits. *)
+let emit_start t conn ~verb ?queue_wait_us ?reason () =
+  Obs_log.event t.obs ~rid:conn.rid
+    ~fields:
+      (List.concat
+         [
+           [ ("verb", Obs_event.S verb) ];
+           (match queue_wait_us with
+           | Some x -> [ ("queue_wait_us", Obs_event.F x) ]
+           | None -> []);
+           (match reason with
+           | Some r -> [ ("reason", Obs_event.S r) ]
+           | None -> []);
+         ])
+    Obs_event.Start
+
+(** Resolve one request attempt: count it, stamp the request id into the
+    response header, deliver, count and log the fate, feed the SLO
+    window.  Admission rejections become [shed] events; everything else
+    becomes the [finish] that pairs with the request's [start]. *)
+let finish ?service_us t conn resp =
   Tm.incr m_requests;
-  count_fate (send_response conn resp);
+  let resp = { resp with Serve_protocol.rs_request_id = Some conn.rid } in
+  let fate = send_response conn resp in
+  count_fate fate;
+  let status = resp.Serve_protocol.rs_status in
+  let shed =
+    match status with
+    | Serve_protocol.Overload | Serve_protocol.Draining -> true
+    | _ -> false
+  in
+  Obs_slo.observe t.slo ~now:(now ()) ?latency_us:service_us ~shed
+    ~internal:(status = Serve_protocol.Internal) ();
+  let base =
+    [
+      ( (if shed then "reason" else "status"),
+        Obs_event.S (Serve_protocol.status_name status) );
+      ("fate", Obs_event.S (fate_name fate));
+    ]
+  in
+  if shed then
+    Obs_log.event t.obs ~rid:conn.rid
+      ~fields:
+        (base
+        @
+        match resp.Serve_protocol.rs_retry_after_s with
+        | Some s -> [ ("retry_after_s", Obs_event.F s) ]
+        | None -> [])
+      Obs_event.Shed
+  else
+    Obs_log.event t.obs ~rid:conn.rid
+      ~fields:
+        (List.concat
+           [
+             base;
+             (match service_us with
+             | Some x -> [ ("service_us", Obs_event.F x) ]
+             | None -> []);
+             (if resp.Serve_protocol.rs_wedged then [ ("wedged", Obs_event.I 1) ]
+              else []);
+           ])
+      Obs_event.Finish;
   close_conn t conn
+
+(* ------------------------------------------------------------------ *)
+(* Flight dumps *)
+
+(** Dump the flight recorder (plus the live SLO summary) to a
+    timestamped file — on firewall trips, watchdog fires, SIGUSR1, or by
+    an embedder's explicit request. *)
+let flight_dump t ~reason ?rid () =
+  let extra =
+    [ ("slo", Obs_slo.summary_json (Obs_slo.summary t.slo ~now:(now ()))) ]
+  in
+  match Obs_log.dump_flight t.obs ~extra ~reason ?rid () with
+  | Ok path ->
+    Obs_log.event t.obs ?rid
+      ~fields:[ ("path", Obs_event.S path); ("reason", Obs_event.S reason) ]
+      Obs_event.Dump;
+    t.cfg.d_log (Printf.sprintf "flight dump %s (%s)" path reason)
+  | Error msg -> t.cfg.d_log (Printf.sprintf "flight dump failed: %s" msg)
+
+let dump_flight_now ?(reason = "manual") t =
+  let rid = Option.map (fun (r, _, _, _) -> r) t.last_request in
+  flight_dump t ~reason ?rid ()
 
 (* ------------------------------------------------------------------ *)
 (* Frame and request intake *)
@@ -132,7 +258,8 @@ let stats_body t =
       "serve.requests"; "serve.answered"; "serve.shed"; "serve.client_gone";
       "serve.torn_frames"; "serve.oversized"; "serve.bad_requests";
       "serve.faults_contained"; "serve.timeouts"; "serve.wedges";
-      "serve.worker_recycles"; "serve.connections";
+      "serve.worker_recycles"; "serve.connections"; "serve.events";
+      "serve.flight_dumps"; "serve.slo_breaches";
     ];
   Printf.bprintf b "serve.queue_depth %d\n" (Serve_queue.length t.queue);
   Printf.bprintf b "serve.latency_us.p50 %.0f\n" (Tm.percentile m_latency 0.50);
@@ -141,21 +268,132 @@ let stats_body t =
   Printf.bprintf b "serve.worker_served %d\n" (Serve_worker.served t.worker);
   Buffer.contents b
 
+(** The machine-readable stats document `vhdlc request stats --json` and
+    `vhdlc top` read: ledger, queue, worker, latency percentiles, the
+    last serviced request, and the live SLO window. *)
+let stats_json t =
+  let module J = Tm.Json in
+  let c name = (name, J.int (Tm.counter_value name)) in
+  J.obj
+    [
+      ("uptime_s", J.float (now ()));
+      ("draining", (if t.draining then "true" else "false"));
+      ( "ledger",
+        J.obj
+          (List.map c
+             [
+               "serve.requests"; "serve.answered"; "serve.shed";
+               "serve.client_gone"; "serve.torn_frames"; "serve.oversized";
+               "serve.bad_requests"; "serve.faults_contained"; "serve.timeouts";
+               "serve.wedges"; "serve.worker_recycles"; "serve.connections";
+               "serve.events"; "serve.flight_dumps"; "serve.slo_breaches";
+             ]) );
+      ( "queue",
+        J.obj
+          [
+            ("depth", J.int (Serve_queue.length t.queue));
+            ("capacity", J.int (Serve_queue.capacity t.queue));
+            ("retry_after_s", J.float (Serve_queue.retry_after_s t.queue));
+          ] );
+      ( "worker",
+        J.obj
+          [
+            ("generation", J.int (Serve_worker.generation t.worker));
+            ("served", J.int (Serve_worker.served t.worker));
+          ] );
+      ( "latency_us",
+        J.obj
+          [
+            ("p50", J.float (Tm.percentile m_latency 0.50));
+            ("p90", J.float (Tm.percentile m_latency 0.90));
+            ("p99", J.float (Tm.percentile m_latency 0.99));
+          ] );
+      ( "last_request",
+        match t.last_request with
+        | None -> "null"
+        | Some (rid, verb, status, service_s) ->
+          J.obj
+            [
+              ("rid", J.int rid);
+              ("verb", J.str verb);
+              ("status", J.str status);
+              ("service_us", J.float (service_s *. 1e6));
+            ] );
+      ("slo", Obs_slo.summary_json (Obs_slo.summary t.slo ~now:(now ())));
+    ]
+
+let pp_objective b name limit value breached =
+  match limit with
+  | None -> ()
+  | Some l ->
+    Printf.bprintf b "objective %s <= %.3f: %.3f (%s)\n" name l value
+      (if breached then "BREACHED" else "ok")
+
+let slo_body t =
+  let s = Obs_slo.summary t.slo ~now:(now ()) in
+  let b = Buffer.create 256 in
+  Printf.bprintf b "%s\n" (Format.asprintf "%a" Obs_slo.pp_summary s);
+  let breached metric = List.mem metric t.breached in
+  pp_objective b "p99_ms" t.cfg.d_slo.Obs_slo.o_p99_ms
+    (s.Obs_slo.s_p99_us /. 1000.0) (breached "p99_ms");
+  pp_objective b "shed_pct" t.cfg.d_slo.Obs_slo.o_shed_pct s.Obs_slo.s_shed_pct
+    (breached "shed_pct");
+  Printf.bprintf b "breaches_total %d\n" (Tm.counter_value "serve.slo_breaches");
+  Buffer.contents b
+
+let slo_json t =
+  let module J = Tm.Json in
+  let opt = function None -> "null" | Some x -> J.float x in
+  J.obj
+    [
+      ("slo", Obs_slo.summary_json (Obs_slo.summary t.slo ~now:(now ())));
+      ( "objectives",
+        J.obj
+          [
+            ("p99_ms", opt t.cfg.d_slo.Obs_slo.o_p99_ms);
+            ("shed_pct", opt t.cfg.d_slo.Obs_slo.o_shed_pct);
+          ] );
+      ("breached", J.arr (List.map J.str t.breached));
+      ("breaches_total", J.int (Tm.counter_value "serve.slo_breaches"));
+    ]
+
+(** Flip into draining exactly once, with the event that records why. *)
+let begin_drain t ~reason =
+  if not t.draining then begin
+    t.draining <- true;
+    Obs_log.event t.obs
+      ~fields:
+        [ ("phase", Obs_event.S "begin"); ("reason", Obs_event.S reason) ]
+      Obs_event.Drain;
+    t.cfg.d_log (reason ^ "; draining")
+  end
+
 (** A complete frame arrived on [conn]: decode, dispatch daemon-level
     verbs, or pass admission. *)
 let intake t conn payload =
   match Serve_protocol.decode_request payload with
   | Error msg ->
     Tm.incr m_bad_requests;
+    emit_start t conn ~verb:"invalid" ~reason:msg ();
     finish t conn
       (Serve_protocol.response Serve_protocol.Bad_request ~body:(msg ^ "\n"))
   | Ok rq -> (
     match rq.Serve_protocol.rq_verb with
     | Serve_protocol.Stats ->
-      finish t conn (Serve_protocol.response Serve_protocol.Ok_ ~body:(stats_body t))
+      emit_start t conn ~verb:"stats" ();
+      let body =
+        if rq.Serve_protocol.rq_json then stats_json t ^ "\n" else stats_body t
+      in
+      finish t conn (Serve_protocol.response Serve_protocol.Ok_ ~body)
+    | Serve_protocol.Slo ->
+      emit_start t conn ~verb:"slo" ();
+      let body =
+        if rq.Serve_protocol.rq_json then slo_json t ^ "\n" else slo_body t
+      in
+      finish t conn (Serve_protocol.response Serve_protocol.Ok_ ~body)
     | Serve_protocol.Shutdown ->
-      t.cfg.d_log "shutdown requested; draining";
-      t.draining <- true;
+      emit_start t conn ~verb:"shutdown" ();
+      begin_drain t ~reason:"shutdown requested";
       finish t conn (Serve_protocol.response Serve_protocol.Ok_ ~body:"draining\n")
     | _ when t.draining ->
       finish t conn (Serve_protocol.response Serve_protocol.Draining ~body:"daemon is draining\n")
@@ -163,6 +401,9 @@ let intake t conn payload =
       match Serve_queue.admit t.queue (conn, rq, now ()) with
       | Serve_queue.Admitted ->
         Tm.set g_queue_depth (float_of_int (Serve_queue.length t.queue));
+        Obs_log.event t.obs ~rid:conn.rid
+          ~fields:[ ("queue_depth", Obs_event.I (Serve_queue.length t.queue)) ]
+          Obs_event.Admit;
         (* admitted: the conn leaves the reading list; it is answered when
            its request is popped and processed *)
         t.conns <- List.filter (fun c -> c != conn) t.conns
@@ -178,6 +419,8 @@ let frame_failure t conn err =
   | Serve_protocol.Torn _ -> Tm.incr m_torn
   | Serve_protocol.Oversized _ -> Tm.incr m_oversized
   | Serve_protocol.Bad_magic -> Tm.incr m_bad_requests);
+  emit_start t conn ~verb:"invalid"
+    ~reason:(Serve_protocol.frame_error_to_string err) ();
   finish t conn
     (Serve_protocol.response Serve_protocol.Bad_request
        ~body:(Serve_protocol.frame_error_to_string err ^ "\n"))
@@ -204,12 +447,22 @@ let service_readable t conn =
   | `Incomplete _ when eof ->
     if Buffer.length conn.buf = 0 then begin
       (* connected and left without a byte: not a request *)
+      Obs_log.event t.obs ~rid:conn.rid
+        ~fields:[ ("reason", Obs_event.S "closed without a request") ]
+        Obs_event.Reject;
       close_conn t conn
     end
     else begin
       Tm.incr m_torn;
       Tm.incr m_requests;
       Tm.incr m_client_gone;
+      Obs_log.event t.obs ~rid:conn.rid
+        ~fields:
+          [
+            ("reason", Obs_event.S "torn frame: client vanished mid-frame");
+            ("fate", Obs_event.S "client_gone");
+          ]
+        Obs_event.Reject;
       close_conn t conn
     end
   | `Incomplete _ -> ()
@@ -240,17 +493,54 @@ let process_one t =
   | None -> false
   | Some (conn, rq, admitted_at) ->
     Tm.set g_queue_depth (float_of_int (Serve_queue.length t.queue));
-    let resp = Serve_worker.handle t.worker rq in
+    let verb = Serve_protocol.verb_name rq.Serve_protocol.rq_verb in
+    let started = now () in
+    emit_start t conn ~verb ~queue_wait_us:((started -. admitted_at) *. 1e6) ();
+    let snap = Tm.snapshot () in
+    let gen0 = Serve_worker.generation t.worker in
+    let resp =
+      Tm.with_span ~cat:"serve"
+        ~args:[ ("rid", string_of_int conn.rid); ("verb", verb) ]
+        "serve.request"
+        (fun () -> Serve_worker.handle t.worker rq)
+    in
     let elapsed = now () -. admitted_at in
     Serve_queue.note_service_time t.queue elapsed;
     Tm.observe m_latency (elapsed *. 1e6);
-    finish t conn resp;
+    Obs_log.note_request_delta t.obs ~rid:conn.rid (Tm.delta snap);
+    if Serve_worker.generation t.worker > gen0 then
+      Obs_log.event t.obs ~rid:conn.rid
+        ~fields:
+          [
+            ("generation", Obs_event.I (Serve_worker.generation t.worker));
+            ( "reason",
+              Obs_event.S
+                (if resp.Serve_protocol.rs_wedged then "wedged"
+                 else if resp.Serve_protocol.rs_status = Serve_protocol.Internal
+                 then "firewall"
+                 else "periodic") );
+          ]
+        Obs_event.Recycle;
+    (* the post-mortem moments: a tripped firewall or a fired watchdog
+       leaves its evidence on disk, named after the offending request *)
+    if resp.Serve_protocol.rs_wedged then
+      flight_dump t ~reason:"watchdog" ~rid:conn.rid ()
+    else if resp.Serve_protocol.rs_status = Serve_protocol.Internal then
+      flight_dump t ~reason:"firewall" ~rid:conn.rid ();
+    t.last_request <-
+      Some
+        ( conn.rid,
+          verb,
+          Serve_protocol.status_name resp.Serve_protocol.rs_status,
+          elapsed );
+    finish ~service_us:(elapsed *. 1e6) t conn resp;
     true
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle *)
 
 let signal_drain = ref false
+let signal_dump = ref false
 
 let create (cfg : config) =
   (* every write to a peer that hung up must surface as EPIPE for the
@@ -267,6 +557,13 @@ let create (cfg : config) =
     listen_fd;
     worker = Serve_worker.create cfg.d_worker;
     queue = Serve_queue.create ~capacity:cfg.d_queue_capacity;
+    obs = Obs_log.create cfg.d_obs;
+    slo = Obs_slo.create ~window_s:cfg.d_slo_window_s ();
+    next_rid = 0;
+    ticks = 0;
+    last_slo_check = now ();
+    breached = [];
+    last_request = None;
     conns = [];
     draining = false;
     stop = false;
@@ -278,7 +575,9 @@ let accept_ready t =
     | fd, _ ->
       Unix.set_nonblock fd;
       Tm.incr m_connections;
-      let c = { fd; buf = Buffer.create 256; last_read = now () } in
+      t.next_rid <- t.next_rid + 1;
+      let c = { fd; rid = t.next_rid; buf = Buffer.create 256; last_read = now () } in
+      Obs_log.event t.obs ~rid:c.rid Obs_event.Accept;
       t.conns <- c :: t.conns;
       loop ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
@@ -286,13 +585,52 @@ let accept_ready t =
   in
   loop ()
 
-let flush_metrics t =
+(** Write the telemetry JSON via a temp file + atomic rename, so a
+    SIGKILL mid-write can never leave a half-written metrics file — a
+    reader sees the previous interval or this one, nothing in between. *)
+let flush_metrics ?(event = true) t =
   match t.cfg.d_metrics_out with
   | None -> ()
   | Some path ->
-    let oc = open_out path in
-    output_string oc (Tm.metrics_json ());
-    close_out oc
+    let tmp = path ^ ".tmp" in
+    (try
+       Vhdl_util.Unix_compat.write_file tmp (Tm.metrics_json ());
+       Unix.rename tmp path;
+       if event then
+         Obs_log.event t.obs ~fields:[ ("path", Obs_event.S path) ] Obs_event.Flush
+     with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+       t.cfg.d_log (Printf.sprintf "metrics flush failed: %s" msg))
+
+(** Once a second: summarize the window, compare against the objectives,
+    and log transitions into breach (edge-triggered, one event per
+    metric per excursion — a sustained breach is one event, not a
+    torrent). *)
+let check_slo t =
+  let ts = now () in
+  if ts -. t.last_slo_check >= 1.0 then begin
+    t.last_slo_check <- ts;
+    let s = Obs_slo.summary t.slo ~now:ts in
+    let brs = Obs_slo.breaches t.cfg.d_slo s in
+    List.iter
+      (fun (b : Obs_slo.breach) ->
+        if not (List.mem b.Obs_slo.br_metric t.breached) then begin
+          Tm.incr m_breaches;
+          Obs_log.event t.obs
+            ~fields:
+              [
+                ("metric", Obs_event.S b.Obs_slo.br_metric);
+                ("value", Obs_event.F b.Obs_slo.br_value);
+                ("objective", Obs_event.F b.Obs_slo.br_objective);
+                ("window_requests", Obs_event.I s.Obs_slo.s_requests);
+              ]
+            Obs_event.Breach;
+          t.cfg.d_log
+            (Printf.sprintf "SLO breach: %s %.3f exceeds %.3f"
+               b.Obs_slo.br_metric b.Obs_slo.br_value b.Obs_slo.br_objective)
+        end)
+      brs;
+    t.breached <- List.map (fun (b : Obs_slo.breach) -> b.Obs_slo.br_metric) brs
+  end
 
 (** Graceful drain: answer everything already admitted, shed the rest,
     flush telemetry, remove the socket. *)
@@ -301,25 +639,31 @@ let shutdown t =
   while process_one t do () done;
   List.iter
     (fun conn ->
-      Tm.incr m_requests;
-      count_fate
-        (send_response conn
-           (Serve_protocol.response Serve_protocol.Draining ~body:"daemon is draining\n"));
-      close_conn t conn)
+      finish t conn
+        (Serve_protocol.response Serve_protocol.Draining ~body:"daemon is draining\n"))
     t.conns;
-  flush_metrics t;
+  flush_metrics ~event:false t;
+  Obs_log.event t.obs
+    ~fields:[ ("phase", Obs_event.S "stopped") ]
+    Obs_event.Drain;
+  Obs_log.close t.obs;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   (try Unix.unlink t.cfg.d_socket with Unix.Unix_error _ -> ());
   t.cfg.d_log "stopped"
 
-(** One event-loop tick: accept, read, reap idle partials, process one
-    queued request.  Exposed for the unit battery; {!serve} loops it. *)
+(** One event-loop tick: accept, read, reap idle partials, process the
+    queued requests, keep the periodic duties (SLO check, metrics
+    flush).  Exposed for the unit battery; {!serve} loops it. *)
 let tick ?(timeout_s = 0.05) t =
   if !signal_drain then begin
     signal_drain := false;
-    if t.draining then t.stop <- true else t.draining <- true;
-    t.cfg.d_log "signal received; draining"
+    if t.draining then t.stop <- true else begin_drain t ~reason:"signal received"
   end;
+  if !signal_dump then begin
+    signal_dump := false;
+    dump_flight_now ~reason:"sigusr1" t
+  end;
+  t.ticks <- t.ticks + 1;
   let read_fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
   (match Unix.select read_fds [] [] timeout_s with
   | ready, _, _ ->
@@ -331,19 +675,26 @@ let tick ?(timeout_s = 0.05) t =
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
   reap_idle t;
   while process_one t do () done;
+  check_slo t;
+  if t.cfg.d_metrics_flush_ticks > 0 && t.ticks mod t.cfg.d_metrics_flush_ticks = 0
+  then flush_metrics t;
   if t.draining && Serve_queue.length t.queue = 0 then t.stop <- true
 
 (** Run the daemon until a drain completes.  Installs SIGTERM/SIGINT
-    drain handlers and ignores SIGPIPE for the duration. *)
+    drain handlers and a SIGUSR1 flight-dump handler, and ignores
+    SIGPIPE for the duration. *)
 let serve t =
   let drain_handler = Sys.Signal_handle (fun _ -> signal_drain := true) in
+  let dump_handler = Sys.Signal_handle (fun _ -> signal_dump := true) in
   let old_term = Sys.signal Sys.sigterm drain_handler in
   let old_int = Sys.signal Sys.sigint drain_handler in
+  let old_usr1 = Sys.signal Sys.sigusr1 dump_handler in
   let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   Fun.protect
     ~finally:(fun () ->
       Sys.set_signal Sys.sigterm old_term;
       Sys.set_signal Sys.sigint old_int;
+      Sys.set_signal Sys.sigusr1 old_usr1;
       Sys.set_signal Sys.sigpipe old_pipe)
     (fun () ->
       t.cfg.d_log (Printf.sprintf "listening on %s" t.cfg.d_socket);

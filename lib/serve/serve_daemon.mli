@@ -5,7 +5,17 @@
     [overload] (retry-after hint) or [draining]; processing runs on the
     warm {!Serve_worker} whose firewall and watchdog guarantee a
     structured response; SIGTERM/SIGINT drain gracefully.  Invariant:
-    [serve.requests = serve.answered + serve.shed + serve.client_gone]. *)
+    [serve.requests = serve.answered + serve.shed + serve.client_gone].
+
+    Observability: every accepted connection gets a monotone request id
+    (echoed as [rid=N] in the response header and attached to the
+    request's trace span); the daemon narrates itself as typed
+    {!Obs_event} events into the {!Obs_ring} flight recorder and an
+    optional JSONL sink; rolling {!Obs_slo} windows are queryable via
+    the [slo] verb and checked against objectives once a second; the
+    flight recorder is dumped on firewall trips, watchdog fires, and
+    SIGUSR1.  Event-grammar invariant: every substantive response has
+    exactly one [start] and one [finish] sharing its request id. *)
 
 type config = {
   d_socket : string;
@@ -13,7 +23,11 @@ type config = {
   d_max_frame : int;
   d_idle_timeout_s : float; (* partial frame older than this is torn *)
   d_worker : Serve_worker.config;
-  d_metrics_out : string option; (* flush telemetry JSON here on exit *)
+  d_metrics_out : string option; (* telemetry JSON: periodic + at drain *)
+  d_metrics_flush_ticks : int; (* flush every N ticks (0 = drain only) *)
+  d_obs : Obs_log.config; (* event log + flight recorder *)
+  d_slo_window_s : float; (* rolling-window width *)
+  d_slo : Obs_slo.objectives; (* breach thresholds (may be empty) *)
   d_log : string -> unit;
 }
 
@@ -27,13 +41,20 @@ val create : config -> t
 
 val tick : ?timeout_s:float -> t -> unit
 (** One event-loop turn: accept, read, reap idle partial frames, drain the
-    admission queue.  Exposed for the unit battery; {!serve} loops it. *)
+    admission queue, check SLO objectives, run a periodic metrics flush
+    when due.  Exposed for the unit battery; {!serve} loops it. *)
+
+val dump_flight_now : ?reason:string -> t -> unit
+(** Dump the flight recorder on demand (what the SIGUSR1 handler does),
+    tagged with the last serviced request's id. *)
 
 val serve : t -> unit
 (** Run until a drain completes (SIGTERM/SIGINT or a [shutdown] request).
-    Installs drain handlers and ignores SIGPIPE for the duration; on exit
-    the telemetry is flushed and the socket file removed. *)
+    Installs drain and SIGUSR1 flight-dump handlers and ignores SIGPIPE
+    for the duration; on exit the telemetry is flushed and the socket
+    file removed. *)
 
 val shutdown : t -> unit
 (** Drain immediately: answer queued requests, shed reading connections,
-    flush telemetry, close and unlink the socket. *)
+    flush telemetry (atomic rename), close the event log, unlink the
+    socket. *)

@@ -74,6 +74,7 @@ type verb =
   | Compile (* compile the body into the warm working library *)
   | Simulate (* compile the body (if any), elaborate rq_top, run *)
   | Stats (* serve.* telemetry counters and latency percentiles *)
+  | Slo (* rolling SLO windows: p50/p95/p99, shed and internal rates *)
   | Shutdown (* answer, then drain and exit *)
 
 let verb_name = function
@@ -81,6 +82,7 @@ let verb_name = function
   | Compile -> "compile"
   | Simulate -> "simulate"
   | Stats -> "stats"
+  | Slo -> "slo"
   | Shutdown -> "shutdown"
 
 let verb_of_name = function
@@ -88,6 +90,7 @@ let verb_of_name = function
   | "compile" -> Some Compile
   | "simulate" -> Some Simulate
   | "stats" -> Some Stats
+  | "slo" -> Some Slo
   | "shutdown" -> Some Shutdown
   | _ -> None
 
@@ -99,11 +102,12 @@ type request = {
   rq_max_ns : int; (* Simulate: horizon *)
   rq_poison : string option; (* fault injection (daemon must allow) *)
   rq_spin_ms : int; (* fault injection: busy-wait before work *)
+  rq_json : bool; (* Stats/Slo: answer with a JSON body *)
   rq_source : string; (* VHDL source text *)
 }
 
 let request ?deadline_s ?fuel ?top ?(max_ns = 1000) ?poison ?(spin_ms = 0)
-    ?(source = "") verb =
+    ?(json = false) ?(source = "") verb =
   {
     rq_verb = verb;
     rq_deadline_s = deadline_s;
@@ -112,6 +116,7 @@ let request ?deadline_s ?fuel ?top ?(max_ns = 1000) ?poison ?(spin_ms = 0)
     rq_max_ns = max_ns;
     rq_poison = poison;
     rq_spin_ms = spin_ms;
+    rq_json = json;
     rq_source = source;
   }
 
@@ -161,11 +166,18 @@ type response = {
   rs_status : status;
   rs_retry_after_s : float option; (* Overload: when to try again *)
   rs_wedged : bool; (* Timeout: the watchdog fired, worker recycled *)
+  rs_request_id : int option; (* the daemon's id for this request *)
   rs_body : string;
 }
 
-let response ?retry_after_s ?(wedged = false) ?(body = "") status =
-  { rs_status = status; rs_retry_after_s = retry_after_s; rs_wedged = wedged; rs_body = body }
+let response ?retry_after_s ?(wedged = false) ?request_id ?(body = "") status =
+  {
+    rs_status = status;
+    rs_retry_after_s = retry_after_s;
+    rs_wedged = wedged;
+    rs_request_id = request_id;
+    rs_body = body;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Encoding: one header line, then the body *)
@@ -199,6 +211,7 @@ let encode_request (r : request) =
         (if r.rq_max_ns <> 1000 then [ Printf.sprintf "ns=%d" r.rq_max_ns ] else []);
         opt_field "poison" Fun.id r.rq_poison;
         (if r.rq_spin_ms <> 0 then [ Printf.sprintf "spin_ms=%d" r.rq_spin_ms ] else []);
+        (if r.rq_json then [ "json=1" ] else []);
       ]
   in
   String.concat " " (version_tag :: verb_name r.rq_verb :: fields)
@@ -245,6 +258,7 @@ let decode_request payload : (request, string) result =
             rq_max_ns = max_ns;
             rq_poison = f "poison";
             rq_spin_ms = spin_ms;
+            rq_json = List.mem_assoc "json" fields;
             rq_source = body;
           }))
   | tag :: _ when tag <> version_tag ->
@@ -257,6 +271,7 @@ let encode_response (r : response) =
       [
         opt_field "retry_after" (Printf.sprintf "%.3f") r.rs_retry_after_s;
         (if r.rs_wedged then [ "wedged=1" ] else []);
+        opt_field "rid" string_of_int r.rs_request_id;
       ]
   in
   String.concat " " (version_tag :: status_name r.rs_status :: fields)
@@ -276,6 +291,7 @@ let decode_response payload : (response, string) result =
           rs_retry_after_s =
             Option.bind (List.assoc_opt "retry_after" fields) float_of_string_opt;
           rs_wedged = List.mem_assoc "wedged" fields;
+          rs_request_id = Option.bind (List.assoc_opt "rid" fields) int_of_string_opt;
           rs_body = body;
         })
   | tag :: _ when tag <> version_tag ->

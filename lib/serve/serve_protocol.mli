@@ -39,6 +39,7 @@ type verb =
   | Compile
   | Simulate
   | Stats
+  | Slo (* rolling SLO windows: p50/p95/p99, shed and internal rates *)
   | Shutdown
 
 val verb_name : verb -> string
@@ -52,6 +53,7 @@ type request = {
   rq_max_ns : int; (* Simulate: horizon (default 1000) *)
   rq_poison : string option; (* fault injection (daemon must allow) *)
   rq_spin_ms : int; (* fault injection: busy-wait before work *)
+  rq_json : bool; (* Stats/Slo: answer with a JSON body *)
   rq_source : string;
 }
 
@@ -62,6 +64,7 @@ val request :
   ?max_ns:int ->
   ?poison:string ->
   ?spin_ms:int ->
+  ?json:bool ->
   ?source:string ->
   verb ->
   request
@@ -90,11 +93,14 @@ type response = {
   rs_status : status;
   rs_retry_after_s : float option;
   rs_wedged : bool; (* the watchdog fired; the worker was recycled *)
+  rs_request_id : int option; (* the daemon's id: correlates the response
+                                 with event-log lines and trace spans *)
   rs_body : string;
 }
 
 val response :
-  ?retry_after_s:float -> ?wedged:bool -> ?body:string -> status -> response
+  ?retry_after_s:float -> ?wedged:bool -> ?request_id:int -> ?body:string ->
+  status -> response
 
 val encode_response : response -> string
 val decode_response : string -> (response, string) result

@@ -23,4 +23,5 @@ val admit : 'a t -> 'a -> 'a admission
 val pop : 'a t -> 'a option
 
 val drain : 'a t -> 'a list
-(** Empty the queue, returning the entries in arrival order. *)
+(** Empty the queue, returning the entries in arrival order.  Also
+    resets the service-time EWMA: a drained queue starts a new epoch. *)

@@ -248,7 +248,7 @@ let run_verb t (rq : Serve_protocol.request) : Serve_protocol.response =
   | Serve_protocol.Ping -> Serve_protocol.response Serve_protocol.Ok_ ~body:"pong\n"
   | Serve_protocol.Compile -> run_compile t rq
   | Serve_protocol.Simulate -> run_simulate t rq
-  | Serve_protocol.Stats | Serve_protocol.Shutdown ->
+  | Serve_protocol.Stats | Serve_protocol.Slo | Serve_protocol.Shutdown ->
     (* daemon-level verbs; reaching the worker is a dispatch bug upstream *)
     Serve_protocol.response Serve_protocol.Bad_request
       ~body:"verb handled by the daemon\n"

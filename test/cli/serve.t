@@ -1,5 +1,5 @@
 The resilient compile service: daemon lifecycle, fault containment,
-overload shedding, and graceful drain.
+overload shedding, observability, and graceful drain.
 
   $ SOCK="$PWD/serve.sock"
   $ cat > good.vhd <<'VHDL'
@@ -7,9 +7,10 @@ overload shedding, and graceful drain.
   > VHDL
 
 Start a daemon with fault injection allowed (so a poisoned request can be
-demonstrated) and a one-deep admission queue (so overload can be forced).
+demonstrated), a one-deep admission queue (so overload can be forced), a
+structured event log, and a flight-recorder dump directory.
 
-  $ ../../bin/vhdlc.exe serve --socket "$SOCK" --quiet --allow-faults --grace 0.3 --queue 1 &
+  $ ../../bin/vhdlc.exe serve --socket "$SOCK" --quiet --allow-faults --grace 0.3 --queue 1 --events "$PWD/events.jsonl" --flight-dir "$PWD/dumps" &
   $ DAEMON=$!
 
 A healthy request compiles into the warm library (exit 0).
@@ -19,14 +20,21 @@ A healthy request compiles into the warm library (exit 0).
   unit compiled entity GOOD
 
 A poisoned request is answered with a structured [internal] response
-(exit 2) — the firewall contains the injected escape...
+(exit 2) — the firewall contains the injected escape — and the response
+names the daemon's request id, the key into the event log and trace.
 
   $ ../../bin/vhdlc.exe request --socket "$SOCK" --poison entity:GOOD good.vhd > poisoned.out 2> poisoned.err; echo "exit $?"
   exit 2
   $ grep -c 'internal:' poisoned.out
   1
-  $ cat poisoned.err
-  vhdlc request: [internal]
+  $ sed -E 's/rid=[0-9]+/rid=N/' poisoned.err
+  vhdlc request: [internal] rid=N
+
+The firewall trip left a flight dump on disk, named after the offending
+request id:
+
+  $ ls dumps | sed -E 's/flight-[0-9]{8}-[0-9]{6}-[0-9]+-[0-9]{3}-rid[0-9]+-/flight-DUMP-rid-/'
+  flight-DUMP-rid-firewall.json
 
 ...while the daemon keeps serving:
 
@@ -45,8 +53,8 @@ retry-after hint (exit 4).
   $ sleep 0.2
   $ ../../bin/vhdlc.exe request --socket "$SOCK" good.vhd > shed.out 2> shed.err; echo "exit $?"
   exit 4
-  $ sed -E 's/[0-9]+[.][0-9]+s/Ts/g' shed.err
-  vhdlc request: [overload] retry after Ts
+  $ sed -E -e 's/rid=[0-9]+/rid=N/' -e 's/[0-9]+[.][0-9]+s/Ts/g' shed.err
+  vhdlc request: [overload] rid=N retry after Ts
   $ sed -E -e 's/\(1 deep\)/(queue-cap)/' -e 's/[0-9]+[.][0-9]+s/Ts/g' shed.out
   queue full (queue-cap); retry after Ts
   $ wait $SLOW $QUEUED
@@ -63,6 +71,23 @@ The daemon's ledger balances: every request was answered or shed.
   >   }'
   ledger balances
 
+The rolling SLO window is queryable live, as text or JSON; the stats
+document is machine-readable too.
+
+  $ ../../bin/vhdlc.exe request --socket "$SOCK" --slo | grep -c '^window'
+  1
+  $ ../../bin/vhdlc.exe request --socket "$SOCK" --slo --json | grep -c '"p99_us"'
+  1
+  $ ../../bin/vhdlc.exe request --socket "$SOCK" --stats --json | grep -c '"ledger"'
+  1
+
+`vhdlc top` renders a dashboard frame from the same stats document.
+
+  $ ../../bin/vhdlc.exe top --socket "$SOCK" --once | sed -e "s#$SOCK#SOCK#" -e 's/[0-9][0-9.]*/N/g' | head -3
+  compile service @ SOCK — uptime Ns
+  queue    N/N deep   retry-after Ns
+  worker   generation N   served N
+
 Graceful drain on SIGTERM: in-flight work is finished, the daemon exits
 cleanly, and the socket file is removed.
 
@@ -71,3 +96,11 @@ cleanly, and the socket file is removed.
   daemon exit 0
   $ test -S "$SOCK" && echo "socket still there" || echo "socket removed"
   socket removed
+
+The event log narrates the whole run in well-formed JSONL: balanced
+start/finish pairs and a recorded drain.
+
+  $ awk -F'"' '/"ev":"start"/{s++} /"ev":"finish"/{f++} END { if (s==f && s>0) print "balanced start/finish"; else print "unbalanced: " s " vs " f }' events.jsonl
+  balanced start/finish
+  $ grep -c '"ev":"drain"' events.jsonl
+  2

@@ -25,4 +25,5 @@ let () =
       ("cascade", Test_cascade_memo.suite);
       ("difftest", Test_difftest.suite);
       ("serve", Test_serve.suite);
+      ("servobs", Test_obs.suite);
     ]

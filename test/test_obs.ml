@@ -1,0 +1,283 @@
+(* The observability battery: event-line round-trips, the lifecycle
+   grammar checker, flight-recorder ring semantics, dump documents, the
+   JSONL sink, and the rolling SLO windows (including their agreement
+   with the process-lifetime telemetry histograms, which the chaos
+   campaign's ±20% acceptance check leans on). *)
+
+module E = Obs_event
+module Tm = Vhdl_telemetry.Telemetry
+module J = Vhdl_perf.Perf.Json_in
+
+(* ------------------------------------------------------------------ *)
+(* Events *)
+
+let all_kinds =
+  [
+    E.Accept; E.Admit; E.Shed; E.Start; E.Finish; E.Reject; E.Recycle; E.Drain;
+    E.Breach; E.Dump; E.Flush;
+  ]
+
+let test_kind_names_roundtrip () =
+  List.iter
+    (fun k ->
+      match E.kind_of_name (E.kind_name k) with
+      | Some k' -> Alcotest.(check bool) (E.kind_name k) true (k = k')
+      | None -> Alcotest.failf "kind %s does not parse back" (E.kind_name k))
+    all_kinds
+
+let test_event_line_roundtrip () =
+  let e =
+    E.make ~rid:42
+      ~fields:
+        [ ("verb", E.S "compile"); ("queue_depth", E.I 3); ("service_us", E.F 1234.5) ]
+      E.Finish
+  in
+  match E.of_line (E.to_line e) with
+  | Error msg -> Alcotest.fail msg
+  | Ok got ->
+    Alcotest.(check bool) "kind" true (got.E.e_kind = E.Finish);
+    Alcotest.(check (option int)) "rid" (Some 42) got.E.e_rid;
+    Alcotest.(check (option string)) "string field" (Some "compile")
+      (E.field_str got "verb");
+    (match E.field got "queue_depth" with
+    | Some (E.I 3) -> ()
+    | _ -> Alcotest.fail "int field lost");
+    (match E.field got "service_us" with
+    | Some (E.F x) -> Alcotest.(check (float 1e-6)) "float field" 1234.5 x
+    | _ -> Alcotest.fail "float field lost")
+
+let test_event_line_no_rid () =
+  let e = E.make ~fields:[ ("phase", E.S "begin") ] E.Drain in
+  match E.of_line (E.to_line e) with
+  | Ok got -> Alcotest.(check (option int)) "no rid" None got.E.e_rid
+  | Error msg -> Alcotest.fail msg
+
+let test_of_line_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match E.of_line line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" line)
+    [ ""; "not json"; "{\"ts\":1.0}"; "{\"ts\":1.0,\"ev\":\"no-such-kind\"}" ]
+
+(* a well-formed request lifecycle passes the checker *)
+let test_check_log_accepts_valid () =
+  let log =
+    [
+      E.make ~rid:1 E.Accept;
+      E.make ~rid:1 ~fields:[ ("queue_depth", E.I 1) ] E.Admit;
+      E.make ~rid:1 ~fields:[ ("verb", E.S "compile") ] E.Start;
+      E.make ~rid:1 ~fields:[ ("status", E.S "ok") ] E.Finish;
+      E.make ~rid:2 E.Accept;
+      E.make ~rid:2 ~fields:[ ("reason", E.S "overload") ] E.Shed;
+      E.make ~rid:3 E.Accept;
+      E.make ~rid:3 ~fields:[ ("reason", E.S "torn") ] E.Reject;
+      E.make ~fields:[ ("phase", E.S "stopped") ] E.Drain;
+    ]
+  in
+  Alcotest.(check (list string)) "no violations" [] (E.check_log log)
+
+let test_check_log_detects_violations () =
+  let expect_violation name log =
+    Alcotest.(check bool) name true (E.check_log log <> [])
+  in
+  expect_violation "non-monotone accept rids"
+    [ E.make ~rid:2 E.Accept; E.make ~rid:1 E.Accept ];
+  expect_violation "start for an unaccepted rid"
+    [ E.make ~rid:1 E.Accept; E.make ~rid:7 E.Start ];
+  expect_violation "two starts for one rid"
+    [
+      E.make ~rid:1 E.Accept; E.make ~rid:1 E.Start; E.make ~rid:1 E.Start;
+      E.make ~rid:1 E.Finish;
+    ];
+  expect_violation "finish without start"
+    [ E.make ~rid:1 E.Accept; E.make ~rid:1 E.Finish ];
+  expect_violation "start without finish"
+    [ E.make ~rid:1 E.Accept; E.make ~rid:1 E.Start ]
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder ring *)
+
+let test_ring_keeps_last_n () =
+  let r = Obs_ring.create ~events:4 () in
+  for i = 1 to 10 do
+    Obs_ring.push r (E.make ~rid:i E.Accept)
+  done;
+  Alcotest.(check int) "pushed total" 10 (Obs_ring.pushed r);
+  let rids = List.filter_map (fun e -> e.E.e_rid) (Obs_ring.events r) in
+  Alcotest.(check (list int)) "last four, oldest first" [ 7; 8; 9; 10 ] rids
+
+let test_ring_request_deltas () =
+  let r = Obs_ring.create ~requests:2 () in
+  Obs_ring.note_request_delta r ~rid:1 [ ("lexer.tokens", 10) ];
+  Obs_ring.note_request_delta r ~rid:2 [ ("lexer.tokens", 20) ];
+  Obs_ring.note_request_delta r ~rid:3 [ ("lexer.tokens", 30) ];
+  let rids = List.map (fun d -> d.Obs_ring.rd_rid) (Obs_ring.request_deltas r) in
+  Alcotest.(check (list int)) "last two requests" [ 2; 3 ] rids
+
+let test_dump_json_parses () =
+  let r = Obs_ring.create ~events:8 () in
+  Obs_ring.push r (E.make ~rid:5 E.Accept);
+  Obs_ring.push r (E.make ~rid:5 ~fields:[ ("verb", E.S "compile") ] E.Start);
+  Obs_ring.note_request_delta r ~rid:5 [ ("ag.attrs_evaluated", 7) ];
+  let doc = Obs_ring.dump_json ~extra:[ ("answer", "42") ] ~reason:"firewall" ~rid:5 r in
+  match J.parse doc with
+  | Error msg -> Alcotest.fail msg
+  | Ok j ->
+    Alcotest.(check (option string)) "reason" (Some "firewall")
+      (Option.bind (J.mem "reason" j) J.to_str);
+    Alcotest.(check (option int)) "rid" (Some 5) (Option.bind (J.mem "rid" j) J.to_int);
+    Alcotest.(check (option int)) "extra field" (Some 42)
+      (Option.bind (J.mem "answer" j) J.to_int);
+    (match J.mem "events" j with
+    | Some (J.Arr evs) -> Alcotest.(check int) "both events dumped" 2 (List.length evs)
+    | _ -> Alcotest.fail "events array missing");
+    match J.mem "request_deltas" j with
+    | Some (J.Arr [ d ]) ->
+      Alcotest.(check (option int)) "delta rid" (Some 5)
+        (Option.bind (J.mem "rid" d) J.to_int)
+    | _ -> Alcotest.fail "request_deltas missing"
+
+(* ------------------------------------------------------------------ *)
+(* The sink + dump hub *)
+
+let temp_path suffix =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "vhdl-obs-test-%d-%d%s" (Unix.getpid ()) (Random.int 100000) suffix)
+
+let test_log_sink_roundtrip () =
+  let path = temp_path ".jsonl" in
+  let t =
+    Obs_log.create
+      { Obs_log.default_config with Obs_log.o_events_out = Some path }
+  in
+  Obs_log.event t ~rid:1 Obs_event.Accept;
+  Obs_log.event t ~rid:1 ~fields:[ ("verb", E.S "ping") ] Obs_event.Start;
+  Obs_log.event t ~rid:1 ~fields:[ ("status", E.S "ok") ] Obs_event.Finish;
+  Obs_log.close t;
+  (match E.read_log path with
+  | Error msg -> Alcotest.fail msg
+  | Ok events ->
+    Alcotest.(check int) "three lines" 3 (List.length events);
+    Alcotest.(check (list string)) "grammar holds" [] (E.check_log events));
+  Sys.remove path
+
+let test_flight_dump_writes_file () =
+  let dir = temp_path ".dumps" in
+  let t =
+    Obs_log.create { Obs_log.default_config with Obs_log.o_flight_dir = dir }
+  in
+  Obs_log.event t ~rid:9 Obs_event.Accept;
+  (match Obs_log.dump_flight t ~reason:"watchdog" ~rid:9 () with
+  | Error msg -> Alcotest.fail msg
+  | Ok path ->
+    Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+    Alcotest.(check bool) "named after the rid" true
+      (Astring_contains.contains (Filename.basename path) "-rid9-");
+    Alcotest.(check bool) "named after the reason" true
+      (Astring_contains.contains (Filename.basename path) "watchdog");
+    (match J.parse (Vhdl_util.Unix_compat.read_file path) with
+    | Error msg -> Alcotest.fail msg
+    | Ok j ->
+      Alcotest.(check bool) "metrics snapshot embedded" true (J.mem "metrics" j <> None));
+    Sys.remove path);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Rolling SLO windows *)
+
+let observe_each slo ~now latencies =
+  List.iter
+    (fun l -> Obs_slo.observe slo ~now ~latency_us:l ~shed:false ~internal:false ())
+    latencies
+
+(* the acceptance property the chaos campaign checks end-to-end: a window
+   spanning the samples reports the same percentiles as a telemetry
+   histogram fed the same values (shared bucketing) *)
+let test_slo_agrees_with_histogram () =
+  let h = Tm.histogram "test.obs.slo_agreement" in
+  let slo = Obs_slo.create ~window_s:60.0 () in
+  let latencies =
+    List.init 200 (fun i -> float_of_int ((i * 37 mod 997) + 1) *. 10.0)
+  in
+  List.iter (fun l -> Tm.observe h l) latencies;
+  observe_each slo ~now:1.0 latencies;
+  let s = Obs_slo.summary slo ~now:2.0 in
+  List.iter
+    (fun (p, got) ->
+      let want = Tm.percentile h p in
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "p%.0f matches histogram" (p *. 100.0))
+        want got)
+    [ (0.50, s.Obs_slo.s_p50_us); (0.95, s.Obs_slo.s_p95_us); (0.99, s.Obs_slo.s_p99_us) ]
+
+let test_slo_window_expires () =
+  let slo = Obs_slo.create ~window_s:1.0 ~buckets:4 () in
+  observe_each slo ~now:0.1 [ 100.0; 200.0; 300.0 ];
+  let live = Obs_slo.summary slo ~now:0.5 in
+  Alcotest.(check int) "inside the window" 3 live.Obs_slo.s_requests;
+  let later = Obs_slo.summary slo ~now:10.0 in
+  Alcotest.(check int) "expired" 0 later.Obs_slo.s_requests;
+  Alcotest.(check (float 1e-9)) "empty window has no p99" 0.0 later.Obs_slo.s_p99_us
+
+let test_slo_rates () =
+  let slo = Obs_slo.create ~window_s:60.0 () in
+  for _ = 1 to 8 do
+    Obs_slo.observe slo ~now:1.0 ~latency_us:50.0 ~shed:false ~internal:false ()
+  done;
+  Obs_slo.observe slo ~now:1.0 ~shed:true ~internal:false ();
+  Obs_slo.observe slo ~now:1.0 ~latency_us:70.0 ~shed:false ~internal:true ();
+  let s = Obs_slo.summary slo ~now:1.5 in
+  Alcotest.(check int) "requests" 10 s.Obs_slo.s_requests;
+  Alcotest.(check int) "observed latencies" 9 s.Obs_slo.s_observed;
+  Alcotest.(check (float 1e-6)) "shed rate" 10.0 s.Obs_slo.s_shed_pct;
+  Alcotest.(check (float 1e-6)) "internal rate" 10.0 s.Obs_slo.s_internal_pct
+
+let test_slo_breaches () =
+  let slo = Obs_slo.create ~window_s:60.0 () in
+  (* quiet window: objectives cannot breach on no traffic *)
+  let empty = Obs_slo.summary slo ~now:0.5 in
+  let strict = { Obs_slo.o_p99_ms = Some 0.001; o_shed_pct = Some 1.0 } in
+  Alcotest.(check int) "empty window breaches nothing" 0
+    (List.length (Obs_slo.breaches strict empty));
+  (* slow, shedding window: both objectives blow *)
+  observe_each slo ~now:1.0 [ 90_000.0; 95_000.0; 99_000.0 ];
+  Obs_slo.observe slo ~now:1.0 ~shed:true ~internal:false ();
+  let s = Obs_slo.summary slo ~now:1.5 in
+  let brs = Obs_slo.breaches strict s in
+  let metrics = List.sort compare (List.map (fun b -> b.Obs_slo.br_metric) brs) in
+  Alcotest.(check (list string)) "both objectives breached" [ "p99_ms"; "shed_pct" ]
+    metrics;
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "breach value exceeds objective" true
+        (b.Obs_slo.br_value > b.Obs_slo.br_objective))
+    brs;
+  (* generous objectives: the same window is healthy *)
+  let lax = { Obs_slo.o_p99_ms = Some 10_000.0; o_shed_pct = Some 90.0 } in
+  Alcotest.(check int) "lax objectives hold" 0 (List.length (Obs_slo.breaches lax s))
+
+let suite =
+  [
+    Alcotest.test_case "event kind names round-trip" `Quick test_kind_names_roundtrip;
+    Alcotest.test_case "event line round-trip" `Quick test_event_line_roundtrip;
+    Alcotest.test_case "event without a rid" `Quick test_event_line_no_rid;
+    Alcotest.test_case "garbage lines rejected" `Quick test_of_line_rejects_garbage;
+    Alcotest.test_case "lifecycle grammar: valid log accepted" `Quick
+      test_check_log_accepts_valid;
+    Alcotest.test_case "lifecycle grammar: violations detected" `Quick
+      test_check_log_detects_violations;
+    Alcotest.test_case "ring keeps the last N events" `Quick test_ring_keeps_last_n;
+    Alcotest.test_case "ring keeps the last M request deltas" `Quick
+      test_ring_request_deltas;
+    Alcotest.test_case "flight dump document parses" `Quick test_dump_json_parses;
+    Alcotest.test_case "JSONL sink round-trips through read_log" `Quick
+      test_log_sink_roundtrip;
+    Alcotest.test_case "flight dump lands on disk, named for rid+reason" `Quick
+      test_flight_dump_writes_file;
+    Alcotest.test_case "slo window agrees with telemetry histogram" `Quick
+      test_slo_agrees_with_histogram;
+    Alcotest.test_case "slo window expires" `Quick test_slo_window_expires;
+    Alcotest.test_case "slo shed/internal rates" `Quick test_slo_rates;
+    Alcotest.test_case "slo breach detection" `Quick test_slo_breaches;
+  ]

@@ -115,6 +115,40 @@ let test_queue_retry_hint_tracks_service_time () =
     (Printf.sprintf "hint grows with service time (%.3f -> %.3f)" before after)
     true (after > before)
 
+(* EWMA edge cases: the hint before any measurement, after exactly one,
+   and across a drain (which starts a new service epoch) *)
+
+let test_queue_retry_hint_edges () =
+  let q = Serve_queue.create ~capacity:4 in
+  (* no completed request yet: the default service estimate, x backlog *)
+  Alcotest.(check (float 1e-9)) "no samples, empty queue" 0.05
+    (Serve_queue.retry_after_s q);
+  ignore (Serve_queue.admit q ());
+  Alcotest.(check (float 1e-9)) "no samples, one queued" 0.10
+    (Serve_queue.retry_after_s q);
+  ignore (Serve_queue.pop q);
+  (* a single sample moves the EWMA one alpha step toward it *)
+  Serve_queue.note_service_time q 1.0;
+  Alcotest.(check (float 1e-9)) "single sample"
+    ((0.8 *. 0.05) +. (0.2 *. 1.0))
+    (Serve_queue.retry_after_s q);
+  (* clock hiccups (negative elapsed) must not poison the average *)
+  Serve_queue.note_service_time q (-5.0);
+  Alcotest.(check (float 1e-9)) "negative sample ignored"
+    ((0.8 *. 0.05) +. (0.2 *. 1.0))
+    (Serve_queue.retry_after_s q)
+
+let test_queue_drain_resets_ewma () =
+  let q = Serve_queue.create ~capacity:4 in
+  for _ = 1 to 50 do
+    Serve_queue.note_service_time q 2.0
+  done;
+  Alcotest.(check bool) "hint reflects the slow regime" true
+    (Serve_queue.retry_after_s q > 1.0);
+  ignore (Serve_queue.drain q);
+  Alcotest.(check (float 1e-9)) "drain starts a fresh epoch" 0.05
+    (Serve_queue.retry_after_s q)
+
 (* ------------------------------------------------------------------ *)
 (* Worker: deadlines, firewall, watchdog *)
 
@@ -209,17 +243,18 @@ let temp_socket () =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "vhdl-serve-test-%d-%d.sock" (Unix.getpid ()) (Random.int 100000))
 
-let with_daemon ?(queue = 4) f =
+let with_daemon ?(queue = 4) ?(cfg = fun c -> c) f =
   let socket = temp_socket () in
   let d =
     Serve_daemon.create
-      {
-        Serve_daemon.default_config with
-        Serve_daemon.d_socket = socket;
-        d_queue_capacity = queue;
-        d_idle_timeout_s = 0.2;
-        d_worker = worker_cfg;
-      }
+      (cfg
+         {
+           Serve_daemon.default_config with
+           Serve_daemon.d_socket = socket;
+           d_queue_capacity = queue;
+           d_idle_timeout_s = 0.2;
+           d_worker = worker_cfg;
+         })
   in
   Fun.protect ~finally:(fun () -> Serve_daemon.shutdown d) (fun () -> f socket d)
 
@@ -312,6 +347,116 @@ let test_daemon_rejects_torn_frame () =
                 (Astring_contains.contains r.P.rs_body "torn")
             | Error e -> Alcotest.fail e))
 
+(* ------------------------------------------------------------------ *)
+(* Daemon observability: request ids, the event log, flight dumps, the
+   periodic metrics flush *)
+
+let temp_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vhdl-serve-obs-%d-%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  Vhdl_util.Unix_compat.mkdir_p d;
+  d
+
+let rm_rf dir =
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let test_daemon_rids_echoed_and_logged () =
+  let dir = temp_dir () in
+  let events = Filename.concat dir "events.jsonl" in
+  with_daemon
+    ~cfg:(fun c ->
+      {
+        c with
+        Serve_daemon.d_obs =
+          {
+            Obs_log.o_events_out = Some events;
+            o_ring_events = 64;
+            o_ring_requests = 8;
+            o_flight_dir = dir;
+          };
+      })
+    (fun socket d ->
+      let r1 = tick_roundtrip socket d (P.request P.Ping) in
+      let r2 = tick_roundtrip socket d (P.request P.Compile ~source:"entity r is end r;\n") in
+      (* the response header carries the daemon's request id, monotone *)
+      match (r1.P.rs_request_id, r2.P.rs_request_id) with
+      | Some a, Some b ->
+        Alcotest.(check bool) (Printf.sprintf "rids monotone (%d < %d)" a b) true (a < b);
+        Serve_daemon.shutdown d;
+        (* the log tells the same story, and the grammar holds *)
+        (match Obs_event.read_log events with
+        | Error msg -> Alcotest.fail msg
+        | Ok log ->
+          Alcotest.(check (list string)) "event grammar holds" [] (Obs_event.check_log log);
+          let finish_rids =
+            List.filter_map
+              (fun (e : Obs_event.t) ->
+                if e.Obs_event.e_kind = Obs_event.Finish then e.Obs_event.e_rid else None)
+              log
+          in
+          Alcotest.(check bool) "both requests finished in the log" true
+            (List.mem a finish_rids && List.mem b finish_rids));
+        rm_rf dir
+      | _ -> Alcotest.fail "responses carry no request id")
+
+let test_daemon_firewall_trip_dumps_flight () =
+  let dir = temp_dir () in
+  with_daemon
+    ~cfg:(fun c ->
+      {
+        c with
+        Serve_daemon.d_obs =
+          { Obs_log.default_config with Obs_log.o_flight_dir = dir };
+      })
+    (fun socket d ->
+      let r =
+        tick_roundtrip socket d
+          (P.request P.Compile ~poison:"entity:BAD" ~source:"entity bad is end bad;\n")
+      in
+      Alcotest.(check bool) "poison answered internal" true (r.P.rs_status = P.Internal);
+      let rid = Option.get r.P.rs_request_id in
+      let dumps =
+        List.filter
+          (fun f -> Astring_contains.contains f "firewall")
+          (Array.to_list (Sys.readdir dir))
+      in
+      Alcotest.(check int) "one firewall dump" 1 (List.length dumps);
+      Alcotest.(check bool) "dump named after the offending rid" true
+        (Astring_contains.contains (List.hd dumps) (Printf.sprintf "-rid%d-" rid));
+      rm_rf dir)
+
+let test_daemon_periodic_metrics_flush () =
+  let dir = temp_dir () in
+  let metrics = Filename.concat dir "metrics.json" in
+  with_daemon
+    ~cfg:(fun c ->
+      {
+        c with
+        Serve_daemon.d_metrics_out = Some metrics;
+        d_metrics_flush_ticks = 2;
+        d_obs = { Obs_log.default_config with Obs_log.o_flight_dir = dir };
+      })
+    (fun _socket d ->
+      Alcotest.(check bool) "nothing flushed yet" false (Sys.file_exists metrics);
+      for _ = 1 to 3 do
+        Serve_daemon.tick ~timeout_s:0.01 d
+      done;
+      Alcotest.(check bool) "flushed while running (not just at drain)" true
+        (Sys.file_exists metrics);
+      (* the atomic rename leaves no half-written temp file behind *)
+      Alcotest.(check bool) "no lingering temp file" false
+        (Sys.file_exists (metrics ^ ".tmp"));
+      Alcotest.(check bool) "flushed document parses" true
+        (match Vhdl_perf.Perf.Json_in.parse (Vhdl_util.Unix_compat.read_file metrics) with
+        | Ok _ -> true
+        | Error _ -> false);
+      rm_rf dir)
+
 let suite =
   [
     Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
@@ -323,6 +468,10 @@ let suite =
     Alcotest.test_case "queue bounds and shedding" `Quick test_queue_bounds;
     Alcotest.test_case "retry hint tracks service time" `Quick
       test_queue_retry_hint_tracks_service_time;
+    Alcotest.test_case "retry hint edges: no samples, one sample" `Quick
+      test_queue_retry_hint_edges;
+    Alcotest.test_case "drain resets the service EWMA" `Quick
+      test_queue_drain_resets_ewma;
     Alcotest.test_case "worker: healthy compile" `Quick test_worker_healthy;
     Alcotest.test_case "worker: fuel budget becomes timeout" `Quick
       test_worker_fuel_timeout;
@@ -339,4 +488,10 @@ let suite =
       test_daemon_sheds_when_full;
     Alcotest.test_case "daemon: torn frame rejected" `Quick
       test_daemon_rejects_torn_frame;
+    Alcotest.test_case "daemon: rids echoed, event grammar holds" `Quick
+      test_daemon_rids_echoed_and_logged;
+    Alcotest.test_case "daemon: firewall trip leaves a flight dump" `Quick
+      test_daemon_firewall_trip_dumps_flight;
+    Alcotest.test_case "daemon: periodic metrics flush is atomic" `Quick
+      test_daemon_periodic_metrics_flush;
   ]
