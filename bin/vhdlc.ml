@@ -765,6 +765,33 @@ let serve_cmd =
             "Flush telemetry JSON to --metrics-out every N event-loop ticks \
              (atomic rename; 0 = only at drain).")
   in
+  let max_dumps =
+    Arg.(
+      value & opt int 32
+      & info [ "max-dumps" ] ~docv:"N"
+          ~doc:
+            "Retention cap on flight/exemplar dump files in --flight-dir: \
+             the oldest are deleted so a flapping firewall cannot fill the \
+             disk (0 = unlimited).")
+  in
+  let span_cap =
+    Arg.(
+      value & opt int 512
+      & info [ "span-cap" ] ~docv:"N"
+          ~doc:
+            "Per-request telemetry span buffer: each request's spans are \
+             recorded (bounded by N) so slow requests can dump an exemplar \
+             trace; 0 disables buffering and exemplars.")
+  in
+  let exemplar_k =
+    Arg.(
+      value & opt float 4.0
+      & info [ "exemplar-k" ] ~docv:"K"
+          ~doc:
+            "Adaptive slow-request threshold when no --slo-p99-ms objective \
+             is set: a request slower than K x the window p50 earns an \
+             exemplar dump.")
+  in
   let slo_window =
     Arg.(
       value & opt float 60.0
@@ -787,7 +814,8 @@ let serve_cmd =
   in
   let run socket queue max_frame default_deadline max_deadline grace idle_timeout
       allow_faults recycle_every quiet refs fuel metrics_out events flight_dir
-      flight_size metrics_flush_every slo_window slo_p99_ms slo_shed_pct =
+      flight_size metrics_flush_every max_dumps span_cap exemplar_k slo_window
+      slo_p99_ms slo_shed_pct =
     Telemetry.reset ();
     let log = if quiet then ignore else fun m -> Printf.eprintf "vhdlc serve: %s\n%!" m in
     let worker =
@@ -826,9 +854,15 @@ let serve_cmd =
               o_ring_events = flight_size;
               o_ring_requests = Obs_log.default_config.Obs_log.o_ring_requests;
               o_flight_dir = flight_dir;
+              o_max_dumps = max_dumps;
+              o_exemplar_min_gap_s =
+                Obs_log.default_config.Obs_log.o_exemplar_min_gap_s;
             };
           d_slo_window_s = slo_window;
           d_slo = { Obs_slo.o_p99_ms = slo_p99_ms; o_shed_pct = slo_shed_pct };
+          d_span_cap = span_cap;
+          d_exemplar_k = exemplar_k;
+          d_exemplar_min_obs = Serve_daemon.default_config.Serve_daemon.d_exemplar_min_obs;
           d_log = log;
         }
     in
@@ -845,7 +879,8 @@ let serve_cmd =
       const run $ socket_arg $ queue $ max_frame $ default_deadline $ max_deadline
       $ grace $ idle_timeout $ allow_faults $ recycle_every $ quiet
       $ ref_arg $ fuel_arg $ metrics_out_arg $ events $ flight_dir $ flight_size
-      $ metrics_flush_every $ slo_window $ slo_p99_ms $ slo_shed_pct)
+      $ metrics_flush_every $ max_dumps $ span_cap $ exemplar_k $ slo_window
+      $ slo_p99_ms $ slo_shed_pct)
 
 let request_cmd =
   let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Send a liveness probe.") in
@@ -990,6 +1025,17 @@ let top_cmd =
       & info [ "frames" ] ~docv:"N"
           ~doc:"Stop after N frames (0 = run until interrupted).")
   in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"FILE"
+          ~doc:
+            "Render from the daemon's periodically-flushed telemetry JSON \
+             (--metrics-out) instead of the socket.  A missing or \
+             partially-written file is retried on the next refresh, never \
+             a crash.")
+  in
   let jpath doc path =
     List.fold_left (fun acc k -> Option.bind acc (J.mem k)) (Some doc) path
   in
@@ -1030,6 +1076,17 @@ let top_cmd =
       (ms (jnum doc [ "slo"; "p99_us" ]))
       (jnum doc [ "slo"; "shed_pct" ])
       (jnum doc [ "slo"; "internal_pct" ]);
+    (match jpath doc [ "slo"; "phase_us" ] with
+    | Some (J.Obj pairs) -> (
+      let phases =
+        List.filter_map
+          (fun (k, v) -> Option.map (fun x -> (k, x)) (J.to_num v))
+          pairs
+      in
+      match Obs_attr.attribution phases with
+      | "" -> ()
+      | att -> Printf.bprintf b "driven   by %s\n" att)
+    | _ -> ());
     (match jpath doc [ "last_request" ] with
     | Some (J.Obj _ as lr) ->
       Printf.bprintf b "last     rid %d  %s  [%s]  %s\n"
@@ -1048,36 +1105,90 @@ let top_cmd =
       (led "events") (led "flight_dumps") (led "slo_breaches");
     Buffer.contents b
   in
-  let run socket once json interval frames =
-    let rq = Serve_protocol.request ~json:true Serve_protocol.Stats in
-    let rec loop n =
-      match Serve_client.roundtrip ~timeout_s:5.0 ~socket rq with
-      | Error msg ->
-        Printf.eprintf "vhdlc top: %s\n" msg;
-        7
-      | Ok resp when resp.Serve_protocol.rs_status <> Serve_protocol.Ok_ ->
-        Printf.eprintf "vhdlc top: [%s]\n"
-          (Serve_protocol.status_name resp.Serve_protocol.rs_status);
-        Serve_protocol.status_exit_code resp.Serve_protocol.rs_status
-      | Ok resp -> (
-        match J.parse (String.trim resp.Serve_protocol.rs_body) with
-        | Error e ->
-          Printf.eprintf "vhdlc top: unparseable stats body: %s\n" e;
-          7
-        | Ok doc ->
-          if json then print_string resp.Serve_protocol.rs_body
+  (* the fallback view over the periodically-flushed telemetry JSON —
+     process-lifetime numbers, no live window, but it works with no
+     socket and survives the file not being there yet *)
+  let render_metrics path doc =
+    let b = Buffer.create 512 in
+    let c k = jint doc [ "counters"; "serve." ^ k ] in
+    let h k = jnum doc [ "histograms"; "serve.latency_us"; k ] in
+    Printf.bprintf b "compile service metrics @ %s (periodic flush)\n" path;
+    Printf.bprintf b "ledger   requests %d = answered %d + shed %d + client_gone %d\n"
+      (c "requests") (c "answered") (c "shed") (c "client_gone");
+    Printf.bprintf b "latency  p50 %s   p90 %s   p99 %s   (%d samples, process lifetime)\n"
+      (ms (h "p50")) (ms (h "p90")) (ms (h "p99"))
+      (jint doc [ "histograms"; "serve.latency_us"; "count" ]);
+    Printf.bprintf b
+      "faults   torn %d  oversized %d  bad-request %d  contained %d  timeouts \
+       %d  wedges %d  recycles %d\n"
+      (c "torn_frames") (c "oversized") (c "bad_requests")
+      (c "faults_contained") (c "timeouts") (c "wedges") (c "worker_recycles");
+    Printf.bprintf b
+      "obs      events %d   flight-dumps %d   exemplars %d   slo-breaches %d\n"
+      (c "events") (c "flight_dumps") (c "exemplars") (c "slo_breaches");
+    Buffer.contents b
+  in
+  let run socket metrics_file once json interval frames =
+    match metrics_file with
+    | Some path ->
+      (* flushes are periodic: the file may not exist yet, and a foreign
+         writer may leave junk — both are "not ready", retried on the
+         next refresh, never a crash *)
+      let rec mloop n =
+        (match
+           match Vhdl_util.Unix_compat.read_file path with
+           | exception Sys_error msg -> Error msg
+           | text -> (
+             match J.parse (String.trim text) with
+             | Error e -> Error (Printf.sprintf "%s: unparseable (%s)" path e)
+             | Ok doc -> Ok (text, doc))
+         with
+        | Error msg ->
+          Printf.eprintf "vhdlc top: metrics not ready (%s); retrying\n%!" msg
+        | Ok (text, doc) ->
+          if json then print_string text
           else begin
             if not once && n > 0 then print_string "\027[H\027[2J";
-            print_string (render socket doc);
+            print_string (render_metrics path doc);
             flush stdout
-          end;
-          if once || (frames > 0 && n + 1 >= frames) then 0
-          else begin
-            Unix.sleepf interval;
-            loop (n + 1)
-          end)
-    in
-    loop 0
+          end);
+        if once || (frames > 0 && n + 1 >= frames) then 0
+        else begin
+          Unix.sleepf interval;
+          mloop (n + 1)
+        end
+      in
+      mloop 0
+    | None ->
+      let rq = Serve_protocol.request ~json:true Serve_protocol.Stats in
+      let rec loop n =
+        match Serve_client.roundtrip ~timeout_s:5.0 ~socket rq with
+        | Error msg ->
+          Printf.eprintf "vhdlc top: %s\n" msg;
+          7
+        | Ok resp when resp.Serve_protocol.rs_status <> Serve_protocol.Ok_ ->
+          Printf.eprintf "vhdlc top: [%s]\n"
+            (Serve_protocol.status_name resp.Serve_protocol.rs_status);
+          Serve_protocol.status_exit_code resp.Serve_protocol.rs_status
+        | Ok resp -> (
+          match J.parse (String.trim resp.Serve_protocol.rs_body) with
+          | Error e ->
+            Printf.eprintf "vhdlc top: unparseable stats body: %s\n" e;
+            7
+          | Ok doc ->
+            if json then print_string resp.Serve_protocol.rs_body
+            else begin
+              if not once && n > 0 then print_string "\027[H\027[2J";
+              print_string (render socket doc);
+              flush stdout
+            end;
+            if once || (frames > 0 && n + 1 >= frames) then 0
+            else begin
+              Unix.sleepf interval;
+              loop (n + 1)
+            end)
+      in
+      loop 0
   in
   let doc =
     "Live dashboard over a running compile service: queue depth, worker \
@@ -1085,7 +1196,123 @@ let top_cmd =
      --once --json for scripting."
   in
   Cmd.v (Cmd.info "top" ~doc)
-    Term.(const run $ socket_arg $ once $ json $ interval $ frames)
+    Term.(
+      const run $ socket_arg $ metrics_file $ once $ json $ interval $ frames)
+
+(* `vhdlc analyze`: offline analytics over a serve event log — the
+   post-mortem counterpart of `vhdlc top`.  Percentiles replay the log
+   through the live window's own estimator (Obs_analyze), so offline and
+   online numbers agree; --against diffs two logs with the bench gate's
+   noise-aware significance rule. *)
+
+let analyze_cmd =
+  let log_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"EVENTS.jsonl"
+          ~doc:"Event log written by `vhdlc serve --events`.")
+  in
+  let against =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "against" ] ~docv:"BASE.jsonl"
+          ~doc:
+            "Baseline event log: diff per-request latency and per-phase \
+             self-time against it; only median shifts that clear \
+             --threshold with disjoint bootstrap confidence intervals are \
+             called regressions (exit 1 when any are).")
+  in
+  let window =
+    Arg.(
+      value & opt float 60.0
+      & info [ "window" ] ~docv:"SECONDS" ~doc:"Timeline slice width.")
+  in
+  let top_k =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K" ~doc:"How many slowest requests to list.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.25
+      & info [ "threshold" ] ~docv:"FRACTION"
+          ~doc:"--against significance threshold on the median ratio.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  let load path =
+    match Obs_event.read_log path with
+    | Error msg -> Error msg
+    | Ok (events, warnings) ->
+      List.iter (fun w -> Printf.eprintf "vhdlc analyze: warning: %s\n" w) warnings;
+      Ok events
+  in
+  let diff_row_json (r : Perf.Diff.row) =
+    let module J = Telemetry.Json in
+    let num x = if Float.is_nan x then "null" else J.float x in
+    J.obj
+      [
+        ("name", J.str r.Perf.Diff.d_name);
+        ("base_s", num r.Perf.Diff.d_base);
+        ("cur_s", num r.Perf.Diff.d_cur);
+        ("ratio", num r.Perf.Diff.d_ratio);
+        ("verdict", J.str (Perf.Diff.verdict_name r.Perf.Diff.d_verdict));
+      ]
+  in
+  let run log_file against window top_k threshold json =
+    match load log_file with
+    | Error msg ->
+      Printf.eprintf "vhdlc analyze: %s\n" msg;
+      2
+    | Ok events -> (
+      (match Obs_event.check_log events with
+      | [] -> ()
+      | v :: _ as vs ->
+        Printf.eprintf "vhdlc analyze: %d event-grammar violation(s); first: %s\n"
+          (List.length vs) v);
+      let report = Obs_analyze.analyze ~window_s:window ~top_k events in
+      match against with
+      | None ->
+        if json then print_endline (Obs_analyze.to_json report)
+        else Format.printf "%a@." Obs_analyze.pp report;
+        0
+      | Some base_path -> (
+        match load base_path with
+        | Error msg ->
+          Printf.eprintf "vhdlc analyze: %s\n" msg;
+          2
+        | Ok base_events ->
+          let rows =
+            Obs_analyze.against ~threshold ~base:base_events ~cur:events ()
+          in
+          let regressions = Perf.Diff.regressions rows in
+          if json then
+            print_endline
+              (Telemetry.Json.obj
+                 [
+                   ("report", Obs_analyze.to_json report);
+                   ("baseline", Telemetry.Json.str base_path);
+                   ("diff", Telemetry.Json.arr (List.map diff_row_json rows));
+                   ("regressions", Telemetry.Json.int (List.length regressions));
+                 ])
+          else begin
+            Format.printf "%a@." Obs_analyze.pp report;
+            Format.printf "vs %s:@.%a" base_path Perf.Diff.pp rows
+          end;
+          if regressions <> [] then 1 else 0))
+  in
+  let doc =
+    "Offline analytics over a compile-service event log: windowed \
+     percentiles with per-phase attribution, shed/internal breakdown, the \
+     slowest requests, a timeline — and --against to flag real latency or \
+     phase regressions between two serving runs."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      const run $ log_file $ against $ window $ top_k $ threshold $ json)
 
 let () =
   let doc = "a VHDL compiler and simulator built from attribute grammars" in
@@ -1095,5 +1322,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; simulate_cmd; dump_cmd; explain_cmd; stats_cmd; bench_cmd;
-            serve_cmd; request_cmd; top_cmd;
+            serve_cmd; request_cmd; top_cmd; analyze_cmd;
           ]))

@@ -36,16 +36,24 @@ let pp_campaign_telemetry fmt () =
    - every firewall trip (a [finish] with status [internal]) and every
      watchdog fire (a [finish] flagged wedged) produced a flight dump
      event naming the offending request id, and the dump file exists;
+   - every [finish] carries a phase breakdown ([ph_*] fields) summing
+     to within 10% of its [service_us] (the sum itself is checked by
+     [Obs_event.check_log]; presence is checked here);
+   - at least one slow shot produced a rid-named exemplar dump whose
+     embedded Chrome trace loads as a JSON array;
+   - the number of dump files on disk never exceeds the retention cap;
    - the rolling SLO window's p99 agrees with the process-lifetime
      telemetry histogram within 20% (same bucketing, window spans the
-     whole campaign). *)
-let check_chaos_obs ~events_path ~slo_p99_us ~hist_p99_us =
+     whole campaign), and [Obs_analyze] reproduces it offline within
+     the same bound. *)
+let check_chaos_obs ~events_path ~obs_dir ~max_dumps ~slo_p99_us ~hist_p99_us =
   let violations = ref [] in
   let notes = ref [] in
   let violation fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
   (match Obs_event.read_log events_path with
   | Error msg -> violation "event log unreadable: %s" msg
-  | Ok events ->
+  | Ok (events, warnings) ->
+    List.iter (fun w -> notes := ("serve-chaos: " ^ w) :: !notes) warnings;
     List.iter (fun e -> violation "event log: %s" e) (Obs_event.check_log events);
     let finishes_with pred =
       List.filter
@@ -95,6 +103,85 @@ let check_chaos_obs ~events_path ~slo_p99_us ~hist_p99_us =
           | None -> ())
         | None, _ -> violation "dump event without a path field")
       (dumps "firewall" @ dumps "watchdog");
+    (* tail triage: every finish explains its latency phase by phase *)
+    List.iter
+      (fun (e : Obs_event.t) ->
+        let rid = Option.value e.Obs_event.e_rid ~default:(-1) in
+        if Obs_event.phase_fields e = [] then
+          violation "finish rid %d carries no phase attribution" rid;
+        if Obs_event.field_num e "service_us" = None then
+          violation "finish rid %d carries no service_us" rid)
+      (finishes_with (fun _ -> true));
+    (* slow shots leave exemplars: rid-named, with a loadable trace *)
+    (match dumps "exemplar" with
+    | [] ->
+      violation
+        "no slow shot produced an exemplar dump (wedge shots should clear \
+         the adaptive threshold)"
+    | exemplars ->
+      List.iter
+        (fun (e : Obs_event.t) ->
+          match (Obs_event.field_str e "path", e.Obs_event.e_rid) with
+          | Some path, Some rid ->
+            let base = Filename.basename path in
+            let marker = Printf.sprintf "-rid%d." rid in
+            let contains s sub =
+              let n = String.length sub in
+              let rec go i =
+                i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+              in
+              go 0
+            in
+            if not (contains base marker) then
+              violation "exemplar for rid %d not named after it: %s" rid path;
+            if not (Sys.file_exists path) then
+              violation "exemplar event names a missing file %s" path
+            else (
+              match
+                Json_in.parse (Vhdl_util.Unix_compat.read_file path)
+              with
+              | Error msg -> violation "exemplar %s unparseable: %s" path msg
+              | Ok doc -> (
+                match Json_in.mem "trace" doc with
+                | Some (Json_in.Arr _) -> ()
+                | _ ->
+                  violation "exemplar %s: no loadable Chrome trace array" path))
+          | _, _ -> violation "exemplar dump event missing path or rid")
+        exemplars;
+      notes :=
+        Printf.sprintf "serve-chaos: %d exemplar dump(s), traces load"
+          (List.length exemplars)
+        :: !notes);
+    (* retention: dump files on disk never exceed the cap *)
+    let dump_files =
+      try
+        Array.to_list (Sys.readdir obs_dir)
+        |> List.filter (fun f ->
+               Filename.check_suffix f ".json"
+               && (String.length f >= 7 && String.sub f 0 7 = "flight-"
+                  || String.length f >= 9 && String.sub f 0 9 = "exemplar-"))
+      with Sys_error _ -> []
+    in
+    if max_dumps > 0 && List.length dump_files > max_dumps then
+      violation "%d dump files on disk exceed the --max-dumps cap %d"
+        (List.length dump_files) max_dumps;
+    (* offline analytics agree with the live window *)
+    (match slo_p99_us with
+    | Some slo when slo > 0.0 ->
+      let offline =
+        (Obs_analyze.analyze events).Obs_analyze.a_summary.Obs_slo.s_p99_us
+      in
+      let drift = abs_float (offline -. slo) /. slo in
+      if drift > 0.20 then
+        violation "analyze p99 %.0fus disagrees with live slo p99 %.0fus (%.0f%%)"
+          offline slo (100.0 *. drift)
+      else
+        notes :=
+          Printf.sprintf
+            "serve-chaos: analyze p99 %.0fus vs live slo p99 %.0fus (%.1f%% apart)"
+            offline slo (100.0 *. drift)
+          :: !notes
+    | _ -> ());
     let count k = List.length (List.filter (fun (e : Obs_event.t) -> e.Obs_event.e_kind = k) events) in
     notes :=
       Printf.sprintf
@@ -156,6 +243,12 @@ let run_serve_chaos ~seed ~shots ~quiet =
           o_ring_events = 512;
           o_ring_requests = 64;
           o_flight_dir = obs_dir;
+          (* generous cap: the per-fault dump-coverage checks need every
+             flight dump to still exist; the count-vs-cap invariant is
+             still asserted post-mortem (prune mechanics get a tight cap
+             in the unit battery) *)
+          o_max_dumps = 128;
+          o_exemplar_min_gap_s = 0.5;
         };
       (* one window spanning the whole campaign, so the windowed p99 is
          comparable against the process-lifetime histogram *)
@@ -224,7 +317,8 @@ let run_serve_chaos ~seed ~shots ~quiet =
       if not clean_exit then print_endline "VIOLATION: daemon did not exit cleanly";
       (* the drained daemon's log is complete: run the post-mortem checks *)
       let obs_notes, obs_violations =
-        check_chaos_obs ~events_path ~slo_p99_us ~hist_p99_us
+        check_chaos_obs ~events_path ~obs_dir ~max_dumps:128 ~slo_p99_us
+          ~hist_p99_us
       in
       List.iter print_endline obs_notes;
       List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) obs_violations;

@@ -1,0 +1,30 @@
+(** Phase attribution: maps the compiler's prose phase names to the
+    short ["ph_<name>"] event fields, renders "p99 driven by" strings,
+    and decides the adaptive slow-request (exemplar) threshold.
+    Microseconds throughout. *)
+
+val short_phase : string -> string
+(** ["attribute evaluation"] → ["attrs"], ["codegen+link (elaboration)"]
+    → ["elaborate"], …; unknown names are sanitized to [[A-Za-z0-9_]]. *)
+
+val with_other : service_us:float -> (string * float) list -> (string * float) list
+(** Short-named positive phase self-times plus the ["other"] residual
+    (service time no compiler phase claimed), summing to [service_us]. *)
+
+val fields : (string * float) list -> (string * Obs_event.field_value) list
+(** One numeric ["ph_<name>"] event field per phase. *)
+
+val attribution : ?top:int -> (string * float) list -> string
+(** ["elaborate 48%, cascade 31%"] — the largest [top] (default 3)
+    shares, sub-1% shares elided; [""] when nothing to attribute. *)
+
+val exemplar_threshold_us :
+  objectives:Obs_slo.objectives ->
+  summary:Obs_slo.summary ->
+  k:float ->
+  min_observed:int ->
+  float option
+(** Latency above which a finished request earns an exemplar dump: the
+    p99 objective when one is configured, else [k] × the window p50
+    once the window holds [min_observed] measured requests ([None]
+    before that — no defensible baseline, no dumping). *)

@@ -98,6 +98,29 @@ let field_str t name =
   | Some (F x) -> Some (Printf.sprintf "%g" x)
   | None -> None
 
+let field_num t name =
+  match field t name with
+  | Some (F x) -> Some x
+  | Some (I n) -> Some (float_of_int n)
+  | Some (S _) | None -> None
+
+(* the per-phase attribution a finish event carries: one ["ph_<name>"]
+   numeric field (microseconds of self time) per phase, "other" holding
+   whatever service time no compiler phase claimed *)
+let phase_prefix = "ph_"
+
+let phase_fields t : (string * float) list =
+  List.filter_map
+    (fun (k, v) ->
+      let p = String.length phase_prefix in
+      if String.length k > p && String.sub k 0 p = phase_prefix then
+        match v with
+        | F x -> Some (String.sub k p (String.length k - p), x)
+        | I n -> Some (String.sub k p (String.length k - p), float_of_int n)
+        | S _ -> None
+      else None)
+    t.e_fields
+
 (* ------------------------------------------------------------------ *)
 (* JSONL encoding *)
 
@@ -168,22 +191,35 @@ let of_line line =
   | Ok j -> of_json j
 
 (** Parse a whole event log (one JSON object per line; blank lines
-    ignored).  The first malformed line fails the read — a log that does
-    not parse end-to-end is itself a finding. *)
-let read_log path : (t list, string) result =
+    ignored).  A malformed {e final} line is the signature of a crash
+    mid-write (the sink flushes per event, so only the very last line
+    can be torn): it is skipped with a counted warning rather than
+    failing the read, so post-mortem analytics still run on a log whose
+    writer died.  A malformed line {e followed by} well-formed ones is
+    real corruption and still fails — a log that does not parse
+    end-to-end is itself a finding. *)
+let read_log path : (t list * string list, string) result =
   let text = Vhdl_util.Unix_compat.read_file path in
   let lines = String.split_on_char '\n' text in
-  let rec go n acc = function
-    | [] -> Ok (List.rev acc)
+  let rec go n acc warnings = function
+    | [] -> Ok (List.rev acc, List.rev warnings)
     | line :: rest ->
       let trimmed = String.trim line in
-      if trimmed = "" then go (n + 1) acc rest
+      if trimmed = "" then go (n + 1) acc warnings rest
       else (
         match of_line trimmed with
-        | Ok e -> go (n + 1) (e :: acc) rest
-        | Error msg -> Error (Printf.sprintf "%s:%d: %s" path n msg))
+        | Ok e -> go (n + 1) (e :: acc) warnings rest
+        | Error msg ->
+          if List.exists (fun l -> String.trim l <> "") rest then
+            Error (Printf.sprintf "%s:%d: %s" path n msg)
+          else
+            go (n + 1) acc
+              (Printf.sprintf "%s:%d: skipped truncated trailing line (%s)"
+                 path n msg
+              :: warnings)
+              rest)
   in
-  go 1 [] lines
+  go 1 [] [] lines
 
 (* ------------------------------------------------------------------ *)
 (* Log invariants — the request-lifecycle grammar, checked over a real
@@ -220,7 +256,26 @@ let check_log (events : t list) : string list =
         if not (Hashtbl.mem accepts rid) then
           bad "%s names rid %d that no accept assigned" (kind_name e.e_kind) rid;
         if e.e_kind = Start then count starts rid;
-        if e.e_kind = Finish then count finishes rid
+        if e.e_kind = Finish then begin
+          count finishes rid;
+          (* phase attribution must account for the latency it explains:
+             a finish that carries both service_us and ph_* fields has
+             their sum within 10% of the latency (1us floor so a
+             sub-microsecond daemon-verb answer never false-positives) *)
+          match field_num e "service_us" with
+          | None -> ()
+          | Some svc -> (
+            match phase_fields e with
+            | [] -> ()
+            | phases ->
+              let sum = List.fold_left (fun a (_, v) -> a +. v) 0.0 phases in
+              let tolerance = Float.max (0.10 *. svc) 1.0 in
+              if Float.abs (sum -. svc) > tolerance then
+                bad
+                  "rid %d finish: phase sum %.0fus disagrees with service_us \
+                   %.0fus (tolerance %.0fus)"
+                  rid sum svc tolerance)
+        end
       | (Recycle | Drain | Breach | Dump | Flush), _ -> ())
     events;
   Hashtbl.iter

@@ -40,16 +40,31 @@ val make : ?rid:int -> ?fields:(string * field_value) list -> kind -> t
 val field : t -> string -> field_value option
 val field_str : t -> string -> string option
 
+val field_num : t -> string -> float option
+(** Numeric field ([F] or [I]); [None] for strings and absences. *)
+
+val phase_prefix : string
+(** ["ph_"] — the field-name prefix of per-phase attribution. *)
+
+val phase_fields : t -> (string * float) list
+(** The phase breakdown a finish event carries: [(short name,
+    microseconds)] for every numeric ["ph_<name>"] field. *)
+
 val to_json : t -> string
 val to_line : t -> string
 (** One flat JSON object, newline-terminated. *)
 
 val of_line : string -> (t, string) result
-val read_log : string -> (t list, string) result
-(** Parse a whole JSONL event log; the first malformed line fails the
-    read. *)
+
+val read_log : string -> (t list * string list, string) result
+(** Parse a whole JSONL event log.  A malformed {e final} line (crash
+    mid-write) is skipped and reported as a warning in the second
+    component; malformed lines with well-formed lines after them are
+    real corruption and fail the read. *)
 
 val check_log : t list -> string list
 (** Violations of the request-lifecycle grammar: monotone accept rids,
     exactly one start/finish pair per substantive response, no orphan
-    rids.  Empty means well-formed. *)
+    rids, and — on finish events carrying both — the per-phase
+    attribution summing to within 10% of [service_us].  Empty means
+    well-formed. *)

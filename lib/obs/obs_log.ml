@@ -13,12 +13,17 @@ module Tm = Vhdl_telemetry.Telemetry
 
 let m_events = Tm.counter "serve.events"
 let m_dumps = Tm.counter "serve.flight_dumps"
+let m_exemplars = Tm.counter "serve.exemplars"
+let m_exemplars_suppressed = Tm.counter "serve.exemplars_suppressed"
+let m_dumps_pruned = Tm.counter "serve.dumps_pruned"
 
 type config = {
   o_events_out : string option; (* JSONL sink; None = ring only *)
   o_ring_events : int; (* flight-recorder event capacity *)
   o_ring_requests : int; (* per-request counter-delta capacity *)
   o_flight_dir : string; (* where flight dumps land *)
+  o_max_dumps : int; (* retention cap on dump files; 0 = unlimited *)
+  o_exemplar_min_gap_s : float; (* rate limit between exemplar dumps *)
 }
 
 let default_config =
@@ -27,6 +32,8 @@ let default_config =
     o_ring_events = 256;
     o_ring_requests = 32;
     o_flight_dir = ".";
+    o_max_dumps = 32;
+    o_exemplar_min_gap_s = 1.0;
   }
 
 type t = {
@@ -34,6 +41,7 @@ type t = {
   ring : Obs_ring.t;
   sink : out_channel option;
   mutable dump_seq : int;
+  mutable last_exemplar_s : float; (* telemetry clock of the last one *)
 }
 
 let create (cfg : config) =
@@ -48,6 +56,7 @@ let create (cfg : config) =
     ring = Obs_ring.create ~events:cfg.o_ring_events ~requests:cfg.o_ring_requests ();
     sink;
     dump_seq = 0;
+    last_exemplar_s = neg_infinity;
   }
 
 let ring t = t.ring
@@ -82,6 +91,48 @@ let timestamp () =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
+(* retention only touches files this module wrote *)
+let is_dump_file name =
+  let has_prefix p =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  (has_prefix "flight-" || has_prefix "exemplar-")
+  && Filename.check_suffix name ".json"
+
+(** Enforce [o_max_dumps]: delete the oldest dump files (flight and
+    exemplar alike) until at most the cap remain, so a flapping firewall
+    or a sustained slow spell cannot fill the disk.  Oldest = smallest
+    mtime, file name as the tiebreak (the UTC-timestamped names sort
+    chronologically).  Best-effort: a dump directory that cannot be
+    listed or a file that cannot be removed is not worth failing the
+    daemon over. *)
+let prune_dumps t =
+  if t.cfg.o_max_dumps > 0 then
+    match Sys.readdir t.cfg.o_flight_dir with
+    | exception Sys_error _ -> ()
+    | names ->
+      let dumps =
+        List.filter_map
+          (fun name ->
+            if not (is_dump_file name) then None
+            else
+              let path = Filename.concat t.cfg.o_flight_dir name in
+              match Unix.stat path with
+              | st -> Some (st.Unix.st_mtime, name, path)
+              | exception Unix.Unix_error _ -> None)
+          (Array.to_list names)
+      in
+      let excess = List.length dumps - t.cfg.o_max_dumps in
+      if excess > 0 then
+        List.iteri
+          (fun i (_, _, path) ->
+            if i < excess then (
+              try
+                Sys.remove path;
+                Tm.incr m_dumps_pruned
+              with Sys_error _ -> ()))
+          (List.sort compare dumps)
+
 (** Write a flight dump: the ring (events + per-request counter deltas),
     the reason and implicated request id, a full metrics snapshot, and
     any extra top-level fields — to
@@ -107,9 +158,85 @@ let dump_flight t ?(extra = []) ~reason ?rid () : (string, string) result =
   with
   | () ->
     Tm.incr m_dumps;
+    prune_dumps t;
     Ok path
   | exception Sys_error msg -> Error msg
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+(* ------------------------------------------------------------------ *)
+(* Exemplar dumps: the full story of one slow request *)
+
+type exemplar = {
+  x_rid : int;
+  x_verb : string;
+  x_status : string;
+  x_service_us : float;
+  x_threshold_us : float; (* what made it slow *)
+  x_phases_us : (string * float) list; (* short-named, with "other" *)
+  x_trace : string; (* Chrome trace-event JSON of the request's spans *)
+  x_spans_dropped : int; (* spans past the per-request buffer cap *)
+}
+
+module Json = Tm.Json
+
+(** Write a slow-request exemplar to
+    [FLIGHT_DIR/exemplar-<utc>-<pid>-<seq>-rid<N>.json]: the request's
+    own span tree as an embedded Chrome trace, its phase breakdown, the
+    threshold it exceeded, and its recorded counter delta.  Rate-limited
+    to one per [o_exemplar_min_gap_s] on the telemetry clock ([Ok None]
+    when suppressed — a slow spell is a handful of exemplars, not one
+    dump per slow request) and subject to the same retention cap as
+    flight dumps. *)
+let dump_exemplar ?now t (x : exemplar) : (string option, string) result =
+  let now = match now with Some s -> s | None -> Tm.now_s () in
+  if now -. t.last_exemplar_s < t.cfg.o_exemplar_min_gap_s then begin
+    Tm.incr m_exemplars_suppressed;
+    Ok None
+  end
+  else begin
+    t.last_exemplar_s <- now;
+    t.dump_seq <- t.dump_seq + 1;
+    let name =
+      Printf.sprintf "exemplar-%s-%d-%03d-rid%d.json" (timestamp ())
+        (Unix.getpid ()) t.dump_seq x.x_rid
+    in
+    let path = Filename.concat t.cfg.o_flight_dir name in
+    let counters =
+      match Obs_ring.find_request_delta t.ring ~rid:x.x_rid with
+      | Some d ->
+        Json.obj
+          (List.map (fun (k, v) -> (k, Json.int v)) d.Obs_ring.rd_counters)
+      | None -> "null"
+    in
+    let body =
+      Json.obj
+        [
+          ("dumped_at_s", Json.float now);
+          ("reason", Json.str "exemplar");
+          ("rid", Json.int x.x_rid);
+          ("verb", Json.str x.x_verb);
+          ("status", Json.str x.x_status);
+          ("service_us", Json.float x.x_service_us);
+          ("threshold_us", Json.float x.x_threshold_us);
+          ( "phases_us",
+            Json.obj (List.map (fun (k, v) -> (k, Json.float v)) x.x_phases_us)
+          );
+          ("spans_dropped", Json.int x.x_spans_dropped);
+          ("counters", counters);
+          ("trace", x.x_trace);
+        ]
+    in
+    match
+      Vhdl_util.Unix_compat.mkdir_p t.cfg.o_flight_dir;
+      Vhdl_util.Unix_compat.write_file path body
+    with
+    | () ->
+      Tm.incr m_exemplars;
+      prune_dumps t;
+      Ok (Some path)
+    | exception Sys_error msg -> Error msg
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  end
 
 let close t =
   match t.sink with

@@ -8,6 +8,8 @@ type config = {
   o_ring_events : int; (* flight-recorder event capacity *)
   o_ring_requests : int; (* per-request counter-delta capacity *)
   o_flight_dir : string; (* where flight dumps land *)
+  o_max_dumps : int; (* retention cap on dump files; 0 = unlimited *)
+  o_exemplar_min_gap_s : float; (* rate limit between exemplar dumps *)
 }
 
 val default_config : config
@@ -34,6 +36,30 @@ val dump_flight :
   (string, string) result
 (** Write [FLIGHT_DIR/flight-<utc>-<pid>-<seq>[-rid<N>]-<reason>.json]
     containing the ring, a metrics snapshot, and [extra] top-level
-    fields; returns the path written. *)
+    fields; returns the path written.  Retention ([o_max_dumps]) is
+    enforced after every write. *)
+
+type exemplar = {
+  x_rid : int;
+  x_verb : string;
+  x_status : string;
+  x_service_us : float;
+  x_threshold_us : float; (* what made it slow *)
+  x_phases_us : (string * float) list; (* short-named, with "other" *)
+  x_trace : string; (* Chrome trace-event JSON of the request's spans *)
+  x_spans_dropped : int; (* spans past the per-request buffer cap *)
+}
+
+val dump_exemplar : ?now:float -> t -> exemplar -> (string option, string) result
+(** Write a slow-request exemplar to
+    [FLIGHT_DIR/exemplar-<utc>-<pid>-<seq>-rid<N>.json] — the request's
+    span tree as an embedded Chrome trace, its phase breakdown, its
+    counter delta from the flight-recorder ring.  Rate-limited to one
+    per [o_exemplar_min_gap_s] ([Ok None] when suppressed); retention
+    ([o_max_dumps]) is enforced after every write.  [now] overrides the
+    telemetry clock (tests). *)
+
+val prune_dumps : t -> unit
+(** Enforce the retention cap now (also runs after every dump). *)
 
 val close : t -> unit

@@ -49,6 +49,13 @@ let note_request_delta t ~rid counters =
 
 let events t = ring_to_list t.events
 let request_deltas t = ring_to_list t.deltas
+
+(* newest match wins: a rid can recur across a very long run once the
+   (monotone) daemon counter wraps a restart — the recent one is the one
+   an exemplar is about *)
+let find_request_delta t ~rid =
+  List.find_opt (fun d -> d.rd_rid = rid) (List.rev (ring_to_list t.deltas))
+
 let pushed t = t.events.next
 
 (* ------------------------------------------------------------------ *)

@@ -20,6 +20,11 @@ val events : t -> Obs_event.t list
 (** Recorded window, oldest first. *)
 
 val request_deltas : t -> request_delta list
+
+val find_request_delta : t -> rid:int -> request_delta option
+(** The recorded counter delta of request [rid], newest match first —
+    what an exemplar dump embeds. *)
+
 val pushed : t -> int
 (** Total events ever pushed (≥ the recorded window). *)
 

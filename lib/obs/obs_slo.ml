@@ -29,6 +29,7 @@ type bucket = {
   mutable b_min : float;
   mutable b_max : float;
   b_hist : int array;
+  b_phase : (string, float ref) Hashtbl.t; (* per-phase self-time, us *)
 }
 
 type t = {
@@ -56,6 +57,7 @@ let create ?(window_s = 60.0) ?(buckets = 12) () =
             b_min = infinity;
             b_max = neg_infinity;
             b_hist = Array.make hist_buckets 0;
+            b_phase = Hashtbl.create 8;
           });
   }
 
@@ -67,7 +69,8 @@ let reset_bucket b epoch =
   b.b_observed <- 0;
   b.b_min <- infinity;
   b.b_max <- neg_infinity;
-  Array.fill b.b_hist 0 hist_buckets 0
+  Array.fill b.b_hist 0 hist_buckets 0;
+  Hashtbl.reset b.b_phase
 
 let slot_for t ~now =
   let epoch = int_of_float (now /. t.bucket_s) in
@@ -77,12 +80,20 @@ let slot_for t ~now =
 
 (** Record one request outcome.  [latency_us] is given for requests that
     ran (the same value the [serve.latency_us] telemetry histogram
-    observes); sheds have no service latency. *)
-let observe t ~now ?latency_us ~shed ~internal () =
+    observes); sheds have no service latency.  [phases] is the request's
+    per-phase attribution [(phase, microseconds)] — aggregated per
+    bucket so the window can say where its time went. *)
+let observe t ~now ?latency_us ?(phases = []) ~shed ~internal () =
   let b = slot_for t ~now in
   b.b_requests <- b.b_requests + 1;
   if shed then b.b_shed <- b.b_shed + 1;
   if internal then b.b_internal <- b.b_internal + 1;
+  List.iter
+    (fun (name, us) ->
+      match Hashtbl.find_opt b.b_phase name with
+      | Some r -> r := !r +. us
+      | None -> Hashtbl.add b.b_phase name (ref us))
+    phases;
   match latency_us with
   | None -> ()
   | Some x ->
@@ -106,6 +117,7 @@ type summary = {
   s_p99_us : float;
   s_shed_pct : float; (* shed / requests, as a percentage *)
   s_internal_pct : float;
+  s_phase_us : (string * float) list; (* per-phase self-time, largest first *)
 }
 
 (* merged percentile over live buckets: same walk as
@@ -132,6 +144,7 @@ let summary t ~now : summary =
   let requests = ref 0 and observed = ref 0 and shed = ref 0 and internal = ref 0 in
   let min_v = ref infinity and max_v = ref neg_infinity in
   let hist = Array.make hist_buckets 0 in
+  let phase = Hashtbl.create 8 in
   Array.iter
     (fun b ->
       if b.b_epoch >= 0 && now_epoch - b.b_epoch < n then begin
@@ -141,7 +154,12 @@ let summary t ~now : summary =
         internal := !internal + b.b_internal;
         if b.b_min < !min_v then min_v := b.b_min;
         if b.b_max > !max_v then max_v := b.b_max;
-        Array.iteri (fun i k -> hist.(i) <- hist.(i) + k) b.b_hist
+        Array.iteri (fun i k -> hist.(i) <- hist.(i) + k) b.b_hist;
+        Hashtbl.iter
+          (fun name r ->
+            Hashtbl.replace phase name
+              (!r +. Option.value (Hashtbl.find_opt phase name) ~default:0.0))
+          b.b_phase
       end)
     t.buckets;
   let pct k = if !requests = 0 then 0.0 else 100.0 *. float_of_int k /. float_of_int !requests in
@@ -157,6 +175,10 @@ let summary t ~now : summary =
     s_p99_us = pc 0.99;
     s_shed_pct = pct !shed;
     s_internal_pct = pct !internal;
+    s_phase_us =
+      List.sort
+        (fun (_, a) (_, b) -> compare b a)
+        (Hashtbl.fold (fun name us acc -> (name, us) :: acc) phase []);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -215,4 +237,6 @@ let summary_json (s : summary) =
       ("p99_us", j s.s_p99_us);
       ("shed_pct", j s.s_shed_pct);
       ("internal_pct", j s.s_internal_pct);
+      ( "phase_us",
+        Tm.Json.obj (List.map (fun (name, us) -> (name, j us)) s.s_phase_us) );
     ]

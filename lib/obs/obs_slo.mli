@@ -14,10 +14,19 @@ val create : ?window_s:float -> ?buckets:int -> unit -> t
 val window_s : t -> float
 
 val observe :
-  t -> now:float -> ?latency_us:float -> shed:bool -> internal:bool -> unit -> unit
+  t ->
+  now:float ->
+  ?latency_us:float ->
+  ?phases:(string * float) list ->
+  shed:bool ->
+  internal:bool ->
+  unit ->
+  unit
 (** Record one request outcome into the bucket holding [now].
     [latency_us] is supplied for requests that ran (the same value the
-    [serve.latency_us] histogram observes); sheds have none. *)
+    [serve.latency_us] histogram observes); sheds have none.  [phases]
+    is the request's per-phase attribution [(phase, microseconds)],
+    aggregated per bucket. *)
 
 type summary = {
   s_window_s : float;
@@ -30,6 +39,7 @@ type summary = {
   s_p99_us : float;
   s_shed_pct : float;
   s_internal_pct : float;
+  s_phase_us : (string * float) list; (* per-phase self-time, largest first *)
 }
 
 val summary : t -> now:float -> summary

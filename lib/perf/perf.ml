@@ -664,14 +664,17 @@ module Diff = struct
      statistical one ("and it must exceed the run-to-run noise") — a
      2x slowdown with tight reps trips both, sub-noise jitter overlaps
      the intervals and is ignored no matter the ratio. *)
-  let verdict ~threshold (base : Sample.t) (cur : Sample.t) =
-    let bm = Sample.median base and cm = Sample.median cur in
-    let blo, bhi = Sample.ci base and clo, chi = Sample.ci cur in
+  let verdict_of_stats ~threshold ~base:(bm, (blo, bhi)) ~cur:(cm, (clo, chi)) =
     let disjoint_above = clo > bhi in
     let disjoint_below = chi < blo in
     if cm > bm *. (1.0 +. threshold) && disjoint_above then Regression
     else if cm < bm /. (1.0 +. threshold) && disjoint_below then Improvement
     else Unchanged
+
+  let verdict ~threshold (base : Sample.t) (cur : Sample.t) =
+    verdict_of_stats ~threshold
+      ~base:(Sample.median base, Sample.ci base)
+      ~cur:(Sample.median cur, Sample.ci cur)
 
   let compare_reports ?(threshold = 0.25) ~(baseline : Report.t)
       ~(current : Report.t) () =
@@ -719,6 +722,65 @@ module Diff = struct
                 d_verdict = Removed;
               })
         base_by_name
+    in
+    rows @ removed
+
+  (** Same gate over raw named series (seconds) instead of persisted
+      reports — what `vhdlc analyze --against` feeds with per-request
+      latency and per-phase samples extracted from two event logs.  The
+      significance rule is identical to {!compare_reports}: median ratio
+      over [threshold] {e and} disjoint bootstrap CIs.  A side with
+      fewer than [min_samples] (default 3) observations has no
+      defensible CI, so the row is [Unchanged] rather than a verdict
+      built on one or two points. *)
+  let compare_series ?(threshold = 0.25) ?(min_samples = 3)
+      ~(base : (string * float array) list)
+      ~(cur : (string * float array) list) () =
+    let median vs = if Array.length vs = 0 then nan else Stat.median vs in
+    let stats vs = (Stat.median vs, Stat.bootstrap_ci vs) in
+    let cur_names = List.map fst cur in
+    let rows =
+      List.map
+        (fun (name, cvs) ->
+          match List.assoc_opt name base with
+          | None ->
+            {
+              d_name = name;
+              d_base = nan;
+              d_cur = median cvs;
+              d_ratio = nan;
+              d_verdict = Added;
+            }
+          | Some bvs ->
+            let bm = median bvs and cm = median cvs in
+            let verdict =
+              if Array.length bvs < min_samples || Array.length cvs < min_samples
+              then Unchanged
+              else verdict_of_stats ~threshold ~base:(stats bvs) ~cur:(stats cvs)
+            in
+            {
+              d_name = name;
+              d_base = bm;
+              d_cur = cm;
+              d_ratio = (if bm > 0.0 then cm /. bm else nan);
+              d_verdict = verdict;
+            })
+        cur
+    in
+    let removed =
+      List.filter_map
+        (fun (name, bvs) ->
+          if List.mem name cur_names then None
+          else
+            Some
+              {
+                d_name = name;
+                d_base = median bvs;
+                d_cur = nan;
+                d_ratio = nan;
+                d_verdict = Removed;
+              })
+        base
     in
     rows @ removed
 

@@ -146,6 +146,19 @@ module Diff : sig
       two medians are disjoint — so a 2x slowdown is flagged while
       sub-noise jitter is not, regardless of sample luck. *)
 
+  val compare_series :
+    ?threshold:float ->
+    ?min_samples:int ->
+    base:(string * float array) list ->
+    cur:(string * float array) list ->
+    unit ->
+    row list
+  (** The same noise-aware gate over raw named series (values in
+      seconds) instead of persisted reports — used by
+      [vhdlc analyze --against] on per-request latency and per-phase
+      samples from two event logs.  A side with fewer than
+      [min_samples] (default 3) observations yields [Unchanged]. *)
+
   val regressions : row list -> row list
   val verdict_name : verdict -> string
   val pp : Format.formatter -> row list -> unit

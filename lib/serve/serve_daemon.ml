@@ -68,6 +68,9 @@ type config = {
   d_obs : Obs_log.config; (* event log + flight recorder *)
   d_slo_window_s : float; (* rolling-window width *)
   d_slo : Obs_slo.objectives; (* breach thresholds (may be empty) *)
+  d_span_cap : int; (* per-request span buffer (0 = no exemplars) *)
+  d_exemplar_k : float; (* slow = k x window p50, absent an objective *)
+  d_exemplar_min_obs : int; (* window samples before k*p50 is trusted *)
   d_log : string -> unit;
 }
 
@@ -83,6 +86,9 @@ let default_config =
     d_obs = Obs_log.default_config;
     d_slo_window_s = 60.0;
     d_slo = Obs_slo.no_objectives;
+    d_span_cap = 512;
+    d_exemplar_k = 4.0;
+    d_exemplar_min_obs = 8;
     d_log = ignore;
   }
 
@@ -180,8 +186,15 @@ let emit_start t conn ~verb ?queue_wait_us ?reason () =
 (** Resolve one request attempt: count it, stamp the request id into the
     response header, deliver, count and log the fate, feed the SLO
     window.  Admission rejections become [shed] events; everything else
-    becomes the [finish] that pairs with the request's [start]. *)
-let finish ?service_us t conn resp =
+    becomes the [finish] that pairs with the request's [start], stamped
+    with its per-phase attribution ([ph_*] fields, microseconds).
+
+    [observe_latency:false] keeps daemon-verb answers (stats, slo,
+    bad-request) out of the SLO window's latency sample — the window
+    summarizes compile service time, not bookkeeping — while their
+    finish events still carry [service_us] and phases so the log-level
+    phase-sum invariant holds for every finish. *)
+let finish ?service_us ?(phases = []) ?(observe_latency = true) t conn resp =
   Tm.incr m_requests;
   let resp = { resp with Serve_protocol.rs_request_id = Some conn.rid } in
   let fate = send_response conn resp in
@@ -192,7 +205,10 @@ let finish ?service_us t conn resp =
     | Serve_protocol.Overload | Serve_protocol.Draining -> true
     | _ -> false
   in
-  Obs_slo.observe t.slo ~now:(now ()) ?latency_us:service_us ~shed
+  Obs_slo.observe t.slo ~now:(now ())
+    ?latency_us:(if observe_latency then service_us else None)
+    ~phases:(if observe_latency then phases else [])
+    ~shed
     ~internal:(status = Serve_protocol.Internal) ();
   let base =
     [
@@ -219,11 +235,21 @@ let finish ?service_us t conn resp =
              (match service_us with
              | Some x -> [ ("service_us", Obs_event.F x) ]
              | None -> []);
+             Obs_attr.fields phases;
              (if resp.Serve_protocol.rs_wedged then [ ("wedged", Obs_event.I 1) ]
               else []);
            ])
       Obs_event.Finish;
   close_conn t conn
+
+(** Finish for requests the daemon answers inline (stats, slo, shutdown,
+    bad frames): the whole service time is daemon bookkeeping, so the
+    attribution is all ["other"], and the SLO window is not fed. *)
+let finish_inline ~t0 t conn resp =
+  let svc = (now () -. t0) *. 1e6 in
+  finish ~service_us:svc
+    ~phases:[ ("other", svc) ]
+    ~observe_latency:false t conn resp
 
 (* ------------------------------------------------------------------ *)
 (* Flight dumps *)
@@ -333,6 +359,9 @@ let slo_body t =
   let s = Obs_slo.summary t.slo ~now:(now ()) in
   let b = Buffer.create 256 in
   Printf.bprintf b "%s\n" (Format.asprintf "%a" Obs_slo.pp_summary s);
+  (match Obs_attr.attribution s.Obs_slo.s_phase_us with
+  | "" -> ()
+  | att -> Printf.bprintf b "driven by: %s\n" att);
   let breached metric = List.mem metric t.breached in
   pp_objective b "p99_ms" t.cfg.d_slo.Obs_slo.o_p99_ms
     (s.Obs_slo.s_p99_us /. 1000.0) (breached "p99_ms");
@@ -371,11 +400,12 @@ let begin_drain t ~reason =
 (** A complete frame arrived on [conn]: decode, dispatch daemon-level
     verbs, or pass admission. *)
 let intake t conn payload =
+  let t0 = now () in
   match Serve_protocol.decode_request payload with
   | Error msg ->
     Tm.incr m_bad_requests;
     emit_start t conn ~verb:"invalid" ~reason:msg ();
-    finish t conn
+    finish_inline ~t0 t conn
       (Serve_protocol.response Serve_protocol.Bad_request ~body:(msg ^ "\n"))
   | Ok rq -> (
     match rq.Serve_protocol.rq_verb with
@@ -384,17 +414,18 @@ let intake t conn payload =
       let body =
         if rq.Serve_protocol.rq_json then stats_json t ^ "\n" else stats_body t
       in
-      finish t conn (Serve_protocol.response Serve_protocol.Ok_ ~body)
+      finish_inline ~t0 t conn (Serve_protocol.response Serve_protocol.Ok_ ~body)
     | Serve_protocol.Slo ->
       emit_start t conn ~verb:"slo" ();
       let body =
         if rq.Serve_protocol.rq_json then slo_json t ^ "\n" else slo_body t
       in
-      finish t conn (Serve_protocol.response Serve_protocol.Ok_ ~body)
+      finish_inline ~t0 t conn (Serve_protocol.response Serve_protocol.Ok_ ~body)
     | Serve_protocol.Shutdown ->
       emit_start t conn ~verb:"shutdown" ();
       begin_drain t ~reason:"shutdown requested";
-      finish t conn (Serve_protocol.response Serve_protocol.Ok_ ~body:"draining\n")
+      finish_inline ~t0 t conn
+        (Serve_protocol.response Serve_protocol.Ok_ ~body:"draining\n")
     | _ when t.draining ->
       finish t conn (Serve_protocol.response Serve_protocol.Draining ~body:"daemon is draining\n")
     | _ -> (
@@ -415,13 +446,14 @@ let intake t conn payload =
                   (Serve_queue.capacity t.queue) retry_after_s))))
 
 let frame_failure t conn err =
+  let t0 = now () in
   (match err with
   | Serve_protocol.Torn _ -> Tm.incr m_torn
   | Serve_protocol.Oversized _ -> Tm.incr m_oversized
   | Serve_protocol.Bad_magic -> Tm.incr m_bad_requests);
   emit_start t conn ~verb:"invalid"
     ~reason:(Serve_protocol.frame_error_to_string err) ();
-  finish t conn
+  finish_inline ~t0 t conn
     (Serve_protocol.response Serve_protocol.Bad_request
        ~body:(Serve_protocol.frame_error_to_string err ^ "\n"))
 
@@ -483,6 +515,40 @@ let reap_idle t =
 (* ------------------------------------------------------------------ *)
 (* Processing *)
 
+(** Write the slow-request exemplar for [rid]: the request's span tree
+    as a Chrome trace, its phase breakdown, its counter delta.  Quiet on
+    rate-limit suppression; a failed write is logged, never fatal. *)
+let exemplar_dump t ~rid ~verb ~status ~service_us ~threshold_us ~phases
+    ~spans ~spans_dropped =
+  let x =
+    {
+      Obs_log.x_rid = rid;
+      x_verb = verb;
+      x_status = status;
+      x_service_us = service_us;
+      x_threshold_us = threshold_us;
+      x_phases_us = phases;
+      x_trace = Tm.to_chrome_trace ~process_name:"vhdlc-serve" ~spans ();
+      x_spans_dropped = spans_dropped;
+    }
+  in
+  match Obs_log.dump_exemplar t.obs x with
+  | Ok None -> () (* rate-limited: the counter remembers, the disk rests *)
+  | Ok (Some path) ->
+    Obs_log.event t.obs ~rid
+      ~fields:
+        [
+          ("path", Obs_event.S path);
+          ("reason", Obs_event.S "exemplar");
+          ("service_us", Obs_event.F service_us);
+          ("threshold_us", Obs_event.F threshold_us);
+        ]
+      Obs_event.Dump;
+    t.cfg.d_log
+      (Printf.sprintf "exemplar %s (rid %d: %.0fus over %.0fus threshold)"
+         path rid service_us threshold_us)
+  | Error msg -> t.cfg.d_log (Printf.sprintf "exemplar dump failed: %s" msg)
+
 (** Pop and answer one admitted request.  The compile itself is blocking —
     the daemon is single-threaded by design; boundedness comes from the
     per-request deadline and the watchdog, not concurrency.  (Frames that
@@ -498,11 +564,18 @@ let process_one t =
     emit_start t conn ~verb ~queue_wait_us:((started -. admitted_at) *. 1e6) ();
     let snap = Tm.snapshot () in
     let gen0 = Serve_worker.generation t.worker in
-    let resp =
+    let run () =
       Tm.with_span ~cat:"serve"
         ~args:[ ("rid", string_of_int conn.rid); ("verb", verb) ]
         "serve.request"
         (fun () -> Serve_worker.handle t.worker rq)
+    in
+    (* the request's spans are buffered (bounded) whether or not global
+       tracing is on, so a slow request can always produce an exemplar *)
+    let resp, req_spans, spans_dropped =
+      if t.cfg.d_span_cap > 0 then
+        Tm.with_request_spans ~cap:t.cfg.d_span_cap run
+      else (run (), [], 0)
     in
     let elapsed = now () -. admitted_at in
     Serve_queue.note_service_time t.queue elapsed;
@@ -527,13 +600,31 @@ let process_one t =
       flight_dump t ~reason:"watchdog" ~rid:conn.rid ()
     else if resp.Serve_protocol.rs_status = Serve_protocol.Internal then
       flight_dump t ~reason:"firewall" ~rid:conn.rid ();
-    t.last_request <-
-      Some
-        ( conn.rid,
-          verb,
-          Serve_protocol.status_name resp.Serve_protocol.rs_status,
-          elapsed );
-    finish ~service_us:(elapsed *. 1e6) t conn resp;
+    let status = Serve_protocol.status_name resp.Serve_protocol.rs_status in
+    t.last_request <- Some (conn.rid, verb, status, elapsed);
+    let service_us = elapsed *. 1e6 in
+    let phases =
+      Obs_attr.with_other ~service_us
+        (List.map
+           (fun (name, s) -> (name, s *. 1e6))
+           (Serve_worker.last_phases t.worker))
+    in
+    (* the slow bar is set by the window as it was BEFORE this request
+       is observed — a request cannot raise its own threshold *)
+    let threshold_us =
+      if t.cfg.d_span_cap > 0 then
+        Obs_attr.exemplar_threshold_us ~objectives:t.cfg.d_slo
+          ~summary:(Obs_slo.summary t.slo ~now:(now ()))
+          ~k:t.cfg.d_exemplar_k ~min_observed:t.cfg.d_exemplar_min_obs
+      else None
+    in
+    let rid = conn.rid in
+    finish ~service_us ~phases t conn resp;
+    (match threshold_us with
+    | Some th when service_us > th ->
+      exemplar_dump t ~rid ~verb ~status ~service_us ~threshold_us:th ~phases
+        ~spans:req_spans ~spans_dropped
+    | Some _ | None -> ());
     true
 
 (* ------------------------------------------------------------------ *)
@@ -611,22 +702,30 @@ let check_slo t =
     t.last_slo_check <- ts;
     let s = Obs_slo.summary t.slo ~now:ts in
     let brs = Obs_slo.breaches t.cfg.d_slo s in
+    let attribution = Obs_attr.attribution s.Obs_slo.s_phase_us in
     List.iter
       (fun (b : Obs_slo.breach) ->
         if not (List.mem b.Obs_slo.br_metric t.breached) then begin
           Tm.incr m_breaches;
           Obs_log.event t.obs
             ~fields:
-              [
-                ("metric", Obs_event.S b.Obs_slo.br_metric);
-                ("value", Obs_event.F b.Obs_slo.br_value);
-                ("objective", Obs_event.F b.Obs_slo.br_objective);
-                ("window_requests", Obs_event.I s.Obs_slo.s_requests);
-              ]
+              (List.concat
+                 [
+                   [
+                     ("metric", Obs_event.S b.Obs_slo.br_metric);
+                     ("value", Obs_event.F b.Obs_slo.br_value);
+                     ("objective", Obs_event.F b.Obs_slo.br_objective);
+                     ("window_requests", Obs_event.I s.Obs_slo.s_requests);
+                   ];
+                   (if attribution = "" then []
+                    else [ ("attribution", Obs_event.S attribution) ]);
+                 ])
             Obs_event.Breach;
           t.cfg.d_log
-            (Printf.sprintf "SLO breach: %s %.3f exceeds %.3f"
-               b.Obs_slo.br_metric b.Obs_slo.br_value b.Obs_slo.br_objective)
+            (Printf.sprintf "SLO breach: %s %.3f exceeds %.3f%s"
+               b.Obs_slo.br_metric b.Obs_slo.br_value b.Obs_slo.br_objective
+               (if attribution = "" then ""
+                else " (driven by: " ^ attribution ^ ")"))
         end)
       brs;
     t.breached <- List.map (fun (b : Obs_slo.breach) -> b.Obs_slo.br_metric) brs

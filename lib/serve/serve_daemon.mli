@@ -15,7 +15,15 @@
     the [slo] verb and checked against objectives once a second; the
     flight recorder is dumped on firewall trips, watchdog fires, and
     SIGUSR1.  Event-grammar invariant: every substantive response has
-    exactly one [start] and one [finish] sharing its request id. *)
+    exactly one [start] and one [finish] sharing its request id.
+
+    Tail triage: every [finish] carries the request's per-phase
+    attribution ([ph_*] fields summing to [service_us]); each request's
+    spans are buffered (bounded by [d_span_cap]) whether or not global
+    tracing is on, and a request slower than the adaptive threshold
+    (the p99 objective, else [d_exemplar_k] x window p50) produces a
+    rid-named exemplar dump — phase breakdown, counter delta, Chrome
+    trace — rate-limited and retention-capped. *)
 
 type config = {
   d_socket : string;
@@ -28,6 +36,9 @@ type config = {
   d_obs : Obs_log.config; (* event log + flight recorder *)
   d_slo_window_s : float; (* rolling-window width *)
   d_slo : Obs_slo.objectives; (* breach thresholds (may be empty) *)
+  d_span_cap : int; (* per-request span buffer (0 = no exemplars) *)
+  d_exemplar_k : float; (* slow = k x window p50, absent an objective *)
+  d_exemplar_min_obs : int; (* window samples before k*p50 is trusted *)
   d_log : string -> unit;
 }
 

@@ -58,6 +58,8 @@ type t = {
   mutable compiler : Vhdl_compiler.t;
   mutable served : int; (* requests handled by this worker *)
   mutable generation : int; (* bumped by every recycle *)
+  mutable last_phases : (string * float) list;
+      (* per-phase self-time (seconds) of the last handled request *)
 }
 
 let fresh_compiler cfg =
@@ -67,10 +69,18 @@ let fresh_compiler cfg =
     cfg.w_ref_libs;
   c
 
-let create cfg = { cfg; compiler = fresh_compiler cfg; served = 0; generation = 0 }
+let create cfg =
+  {
+    cfg;
+    compiler = fresh_compiler cfg;
+    served = 0;
+    generation = 0;
+    last_phases = [];
+  }
 
 let generation t = t.generation
 let served t = t.served
+let last_phases t = t.last_phases
 
 (** Replace the warm compiler — after a wedge or an unclassified escape
     (the interrupted state may be inconsistent), and periodically to bound
@@ -255,8 +265,25 @@ let run_verb t (rq : Serve_protocol.request) : Serve_protocol.response =
 
 (** Handle one admitted request.  Total: always returns a response, never
     raises (fatal conditions like [Out_of_memory] excepted). *)
+(* this request's phase self-times: the compiler's (cumulative) phase
+   timer diffed around the request.  The timer OBJECT is captured before
+   the work so a mid-request recycle — which swaps in a fresh compiler
+   and fresh timer — still diffs against the timer the request actually
+   charged. *)
+let phase_delta ~before ~after =
+  List.filter_map
+    (fun (name, total) ->
+      let prior =
+        Option.value (List.assoc_opt name before) ~default:0.0
+      in
+      let d = total -. prior in
+      if d > 0.0 then Some (name, d) else None)
+    after
+
 let handle t (rq : Serve_protocol.request) : Serve_protocol.response =
   t.served <- t.served + 1;
+  let timer0 = Vhdl_compiler.timer t.compiler in
+  let phases_before = Vhdl_util.Phase_timer.report timer0 in
   let deadline_s = effective_deadline t.cfg rq in
   Vhdl_compiler.set_budgets t.compiler (request_budgets t.cfg rq ~deadline_s);
   let fault_denied =
@@ -298,6 +325,9 @@ let handle t (rq : Serve_protocol.request) : Serve_protocol.response =
             (Printf.sprintf "diag [internal:serve] request firewall: %s; worker recycled\n"
                (Printexc.to_string exn))
   in
+  t.last_phases <-
+    phase_delta ~before:phases_before
+      ~after:(Vhdl_util.Phase_timer.report timer0);
   (match resp.Serve_protocol.rs_status with
   | Serve_protocol.Internal -> Tm.incr m_faults_contained
   | Serve_protocol.Timeout -> Tm.incr m_timeouts

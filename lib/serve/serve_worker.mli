@@ -30,6 +30,11 @@ val generation : t -> int
 val served : t -> int
 (** Requests handled so far (across recycles). *)
 
+val last_phases : t -> (string * float) list
+(** Per-phase self-time (compiler phase name, seconds) charged by the
+    last {!handle} — the compiler's phase timer diffed around the
+    request, robust to mid-request recycles. *)
+
 val recycle : t -> unit
 (** Replace the warm compiler with a fresh one. *)
 

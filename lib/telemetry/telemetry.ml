@@ -221,8 +221,16 @@ type span = {
 
 let tracing_on = ref false
 let spans_acc : span list ref = ref [] (* completion order, newest first *)
+let spans_count = ref 0 (* length of spans_acc *)
 let open_depth = ref 0
 let open_args : (string * string) list list ref = ref [] (* per open span *)
+
+(* Bounded-capture mode for {!with_request_spans}: [Some (base, cap)]
+   means at most [cap] spans may accumulate past the [base] count; the
+   excess is counted, not stored, so a pathological request cannot grow
+   the heap while it is being traced. *)
+let span_limit : (int * int) option ref = ref None
+let span_dropped = ref 0
 
 let set_tracing b =
   tracing_on := b;
@@ -238,17 +246,22 @@ let tracing () = !tracing_on
     from the same two clock reads and cannot disagree).  No-op when tracing
     is off.  [depth] defaults to the current open-span depth. *)
 let record_span ?(cat = "phase") ?(args = []) ?depth ~name ~start_s ~dur_s () =
-  if !tracing_on then
-    spans_acc :=
-      {
-        sp_name = name;
-        sp_cat = cat;
-        sp_start = start_s;
-        sp_dur = dur_s;
-        sp_depth = (match depth with Some d -> d | None -> !open_depth);
-        sp_args = args;
-      }
-      :: !spans_acc
+  if !tracing_on then (
+    match !span_limit with
+    | Some (base, cap) when !spans_count - base >= cap ->
+      span_dropped := !span_dropped + 1
+    | _ ->
+      spans_acc :=
+        {
+          sp_name = name;
+          sp_cat = cat;
+          sp_start = start_s;
+          sp_dur = dur_s;
+          sp_depth = (match depth with Some d -> d | None -> !open_depth);
+          sp_args = args;
+        }
+        :: !spans_acc;
+      spans_count := !spans_count + 1)
 
 (** [with_span ~cat name f] runs [f] inside a span.  With tracing off this
     is a single flag test around [f].  Spans close even when [f] escapes
@@ -286,7 +299,54 @@ let annotate key v =
 (** Completed spans, oldest first. *)
 let spans () = List.rev !spans_acc
 
-let clear_spans () = spans_acc := []
+let clear_spans () =
+  spans_acc := [];
+  spans_count := 0
+
+(** [with_request_spans ~cap f] runs [f] with tracing forced on and the
+    spans it completes captured into a bounded buffer: returns
+    [(result, spans, dropped)] where [spans] is oldest-first and
+    [dropped] counts completions past [cap] (earliest spans win — the
+    request's opening structure is the diagnostic payload).  When
+    tracing was off on entry the global accumulator is restored on
+    exit, so a long-lived daemon can trace every request without the
+    process-wide span list growing; when tracing was already on the
+    captured spans also stay in the global list, as a plain
+    {!with_span} nest would.  Exceptions restore state and re-raise. *)
+let with_request_spans ?(cap = 512) f =
+  let was_on = !tracing_on in
+  let saved_acc = !spans_acc and base_count = !spans_count in
+  let saved_depth = !open_depth and saved_args = !open_args in
+  tracing_on := true;
+  span_limit := Some (base_count, cap);
+  let saved_dropped = !span_dropped in
+  span_dropped := 0;
+  let restore () =
+    span_limit := None;
+    let fresh = !spans_count - base_count in
+    let rec take n l =
+      if n <= 0 then []
+      else match l with [] -> [] | x :: tl -> x :: take (n - 1) tl
+    in
+    let captured = List.rev (take fresh !spans_acc) in
+    let dropped = !span_dropped in
+    span_dropped := saved_dropped;
+    if not was_on then begin
+      tracing_on := false;
+      spans_acc := saved_acc;
+      spans_count := base_count;
+      open_depth := saved_depth;
+      open_args := saved_args
+    end;
+    (captured, dropped)
+  in
+  match f () with
+  | v ->
+    let captured, dropped = restore () in
+    (v, captured, dropped)
+  | exception exn ->
+    ignore (restore ());
+    raise exn
 
 (* ------------------------------------------------------------------ *)
 (* Reset *)
@@ -406,8 +466,9 @@ let metrics_json () =
     ("ph":"X") events with microsecond [ts]/[dur], one process, one thread
     — the format [chrome://tracing] and Perfetto load directly.  Nesting is
     carried by timestamp containment, which the single-threaded span stack
-    guarantees. *)
-let to_chrome_trace ?(process_name = "vhdlc") () =
+    guarantees.  [spans] (oldest first, e.g. a {!with_request_spans}
+    capture) overrides the process-global recording. *)
+let to_chrome_trace ?(process_name = "vhdlc") ?spans:span_override () =
   let us x = Printf.sprintf "%.3f" (x *. 1e6) in
   let events =
     List.map
@@ -428,7 +489,9 @@ let to_chrome_trace ?(process_name = "vhdlc") () =
           :: List.rev_map (fun (k, v) -> (k, Json.str v)) sp.sp_args
         in
         Json.obj (base @ [ ("args", Json.obj args) ]))
-      (List.sort (fun a b -> compare a.sp_start b.sp_start) (spans ()))
+      (List.sort
+         (fun a b -> compare a.sp_start b.sp_start)
+         (match span_override with Some l -> l | None -> spans ()))
   in
   let meta =
     Json.obj

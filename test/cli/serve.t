@@ -104,3 +104,11 @@ start/finish pairs and a recorded drain.
   balanced start/finish
   $ grep -c '"ev":"drain"' events.jsonl
   2
+
+The offline analytics digest the same log: the report opens with the
+event census, and the --json rendering carries the schema marker.
+
+  $ ../../bin/vhdlc.exe analyze events.jsonl | head -1 | sed 's/[0-9][0-9.]*/N/g'
+  event log: N events over Ns — N finishes, N sheds, N rejects, N recycles, N breaches, N dumps
+  $ ../../bin/vhdlc.exe analyze events.jsonl --json | grep -c '"schema":"vhdl-analyze/1"'
+  1

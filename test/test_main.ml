@@ -26,4 +26,5 @@ let () =
       ("difftest", Test_difftest.suite);
       ("serve", Test_serve.suite);
       ("servobs", Test_obs.suite);
+      ("analyze", Test_analyze.suite);
     ]

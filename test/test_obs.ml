@@ -157,8 +157,9 @@ let test_log_sink_roundtrip () =
   Obs_log.close t;
   (match E.read_log path with
   | Error msg -> Alcotest.fail msg
-  | Ok events ->
+  | Ok (events, warnings) ->
     Alcotest.(check int) "three lines" 3 (List.length events);
+    Alcotest.(check (list string)) "no warnings" [] warnings;
     Alcotest.(check (list string)) "grammar holds" [] (E.check_log events));
   Sys.remove path
 
@@ -183,13 +184,198 @@ let test_flight_dump_writes_file () =
     Sys.remove path);
   (try Unix.rmdir dir with Unix.Unix_error _ -> ())
 
-(* ------------------------------------------------------------------ *)
-(* Rolling SLO windows *)
-
 let observe_each slo ~now latencies =
   List.iter
     (fun l -> Obs_slo.observe slo ~now ~latency_us:l ~shed:false ~internal:false ())
     latencies
+
+(* ------------------------------------------------------------------ *)
+(* Tail triage: phase attribution, exemplar thresholds, exemplar dumps,
+   retention *)
+
+let finish_with ~rid ~service_us phases =
+  E.make ~rid
+    ~fields:
+      (( "status", E.S "ok" )
+      :: ("service_us", E.F service_us)
+      :: Obs_attr.fields phases)
+    E.Finish
+
+let lifecycle ~rid finish =
+  [ E.make ~rid E.Accept; E.make ~rid ~fields:[ ("verb", E.S "compile") ] E.Start; finish ]
+
+(* the tentpole invariant: a finish's ph_* fields must sum to within 10%
+   of the service_us they explain *)
+let test_check_log_phase_sum () =
+  let ok =
+    lifecycle ~rid:1
+      (finish_with ~rid:1 ~service_us:1000.0
+         [ ("parse", 300.0); ("attrs", 650.0); ("other", 50.0) ])
+  in
+  Alcotest.(check (list string)) "agreeing sum accepted" [] (E.check_log ok);
+  let off =
+    lifecycle ~rid:1
+      (finish_with ~rid:1 ~service_us:1000.0 [ ("parse", 300.0); ("attrs", 400.0) ])
+  in
+  Alcotest.(check bool) "30% disagreement flagged" true (E.check_log off <> []);
+  (* no phases at all is fine: pre-attribution logs still check clean *)
+  let bare =
+    lifecycle ~rid:1
+      (E.make ~rid:1 ~fields:[ ("status", E.S "ok"); ("service_us", E.F 1000.0) ] E.Finish)
+  in
+  Alcotest.(check (list string)) "phase-free finish accepted" [] (E.check_log bare);
+  (* sub-microsecond services never false-positive (1us tolerance floor) *)
+  let tiny =
+    lifecycle ~rid:1 (finish_with ~rid:1 ~service_us:0.4 [ ("other", 1.1) ])
+  in
+  Alcotest.(check (list string)) "tiny service tolerated" [] (E.check_log tiny)
+
+let test_with_other_accounts_service () =
+  let phases =
+    Obs_attr.with_other ~service_us:1000.0
+      [ ("parser", 200.0); ("attribute evaluation", 300.0); ("VIF write", 0.0) ]
+  in
+  let sum = List.fold_left (fun a (_, v) -> a +. v) 0.0 phases in
+  Alcotest.(check (float 1e-6)) "phases sum to the service time" 1000.0 sum;
+  Alcotest.(check (option (float 1e-6))) "residual is other" (Some 500.0)
+    (List.assoc_opt "other" phases);
+  Alcotest.(check (option (float 1e-6))) "prose names shortened" (Some 300.0)
+    (List.assoc_opt "attrs" phases);
+  Alcotest.(check (option (float 1e-6))) "zero phases elided" None
+    (List.assoc_opt "vif_write" phases)
+
+(* adaptive exemplar threshold: the p99 objective when configured, else
+   k x window p50 once the window holds enough measurements *)
+let test_exemplar_threshold_semantics () =
+  let slo = Obs_slo.create ~window_s:60.0 () in
+  let summary n =
+    observe_each slo ~now:1.0 (List.init n (fun _ -> 100.0));
+    Obs_slo.summary slo ~now:1.5
+  in
+  let thin = summary 4 in
+  Alcotest.(check (option (float 1e-6))) "too few samples, no objective: off" None
+    (Obs_attr.exemplar_threshold_us ~objectives:Obs_slo.no_objectives
+       ~summary:thin ~k:4.0 ~min_observed:8);
+  (* but an explicit objective arms it immediately *)
+  Alcotest.(check (option (float 1e-6))) "objective p99 wins" (Some 50_000.0)
+    (Obs_attr.exemplar_threshold_us
+       ~objectives:{ Obs_slo.o_p99_ms = Some 50.0; o_shed_pct = None }
+       ~summary:thin ~k:4.0 ~min_observed:8);
+  let warm = summary 8 in
+  Alcotest.(check bool) "window warm" true (warm.Obs_slo.s_observed >= 8);
+  (match
+     Obs_attr.exemplar_threshold_us ~objectives:Obs_slo.no_objectives
+       ~summary:warm ~k:4.0 ~min_observed:8
+   with
+  | Some th ->
+    Alcotest.(check (float 1e-6)) "k x window p50" (4.0 *. warm.Obs_slo.s_p50_us) th
+  | None -> Alcotest.fail "warm window should arm the threshold")
+
+(* the window aggregates per-phase time so a breach can say what drove it *)
+let test_slo_phase_attribution () =
+  let slo = Obs_slo.create ~window_s:60.0 () in
+  Obs_slo.observe slo ~now:1.0 ~latency_us:1000.0
+    ~phases:[ ("attrs", 600.0); ("other", 400.0) ] ~shed:false ~internal:false ();
+  Obs_slo.observe slo ~now:1.1 ~latency_us:2000.0
+    ~phases:[ ("attrs", 1400.0); ("cascade", 500.0); ("other", 100.0) ]
+    ~shed:false ~internal:false ();
+  let s = Obs_slo.summary slo ~now:1.5 in
+  Alcotest.(check (option (float 1e-6))) "attrs merged" (Some 2000.0)
+    (List.assoc_opt "attrs" s.Obs_slo.s_phase_us);
+  (match s.Obs_slo.s_phase_us with
+  | (top, _) :: _ -> Alcotest.(check string) "sorted by share" "attrs" top
+  | [] -> Alcotest.fail "no phase table");
+  let att = Obs_attr.attribution s.Obs_slo.s_phase_us in
+  Alcotest.(check bool) "attribution names the top phase"
+    true
+    (Astring_contains.contains att "attrs 67%")
+
+let exemplar ~rid =
+  {
+    Obs_log.x_rid = rid;
+    x_verb = "compile";
+    x_status = "ok";
+    x_service_us = 5000.0;
+    x_threshold_us = 1000.0;
+    x_phases_us = [ ("attrs", 4000.0); ("other", 1000.0) ];
+    x_trace = "[]";
+    x_spans_dropped = 0;
+  }
+
+let test_exemplar_dump_and_rate_limit () =
+  let dir = temp_path ".exemplars" in
+  let t =
+    Obs_log.create { Obs_log.default_config with Obs_log.o_flight_dir = dir }
+  in
+  (match Obs_log.dump_exemplar ~now:10.0 t (exemplar ~rid:7) with
+  | Error msg -> Alcotest.fail msg
+  | Ok None -> Alcotest.fail "first exemplar must not be suppressed"
+  | Ok (Some path) ->
+    Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+    Alcotest.(check bool) "named after the rid" true
+      (Astring_contains.contains (Filename.basename path) "-rid7.");
+    (match J.parse (Vhdl_util.Unix_compat.read_file path) with
+    | Error msg -> Alcotest.fail msg
+    | Ok j ->
+      (match J.mem "trace" j with
+      | Some (J.Arr _) -> ()
+      | _ -> Alcotest.fail "trace array missing");
+      Alcotest.(check (option string)) "reason" (Some "exemplar")
+        (Option.bind (J.mem "reason" j) J.to_str)));
+  (* inside the min gap: suppressed, not an error *)
+  (match Obs_log.dump_exemplar ~now:10.5 t (exemplar ~rid:8) with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "exemplar inside the min gap not suppressed"
+  | Error msg -> Alcotest.fail msg);
+  (* past the gap: dumping resumes *)
+  (match Obs_log.dump_exemplar ~now:12.0 t (exemplar ~rid:9) with
+  | Ok (Some _) -> ()
+  | Ok None -> Alcotest.fail "exemplar past the gap still suppressed"
+  | Error msg -> Alcotest.fail msg);
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
+let test_dump_retention_cap () =
+  let dir = temp_path ".retention" in
+  let t =
+    Obs_log.create
+      {
+        Obs_log.default_config with
+        Obs_log.o_flight_dir = dir;
+        o_max_dumps = 2;
+        o_exemplar_min_gap_s = 0.0;
+      }
+  in
+  let paths =
+    List.map
+      (fun i ->
+        match Obs_log.dump_exemplar ~now:(float_of_int i) t (exemplar ~rid:i) with
+        | Ok (Some p) -> p
+        | Ok None -> Alcotest.failf "exemplar %d suppressed with a zero gap" i
+        | Error msg -> Alcotest.fail msg)
+      [ 1; 2; 3; 4 ]
+  in
+  let on_disk =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  Alcotest.(check int) "cap enforced" 2 (List.length on_disk);
+  (* the survivors are the newest two (deletion is oldest-first) *)
+  let newest =
+    List.filteri (fun i _ -> i >= 2) (List.map Filename.basename paths)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "oldest deleted" newest on_disk;
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Rolling SLO windows *)
 
 (* the acceptance property the chaos campaign checks end-to-end: a window
    spanning the samples reports the same percentiles as a telemetry
@@ -275,6 +461,18 @@ let suite =
       test_log_sink_roundtrip;
     Alcotest.test_case "flight dump lands on disk, named for rid+reason" `Quick
       test_flight_dump_writes_file;
+    Alcotest.test_case "phase sum vs service_us invariant" `Quick
+      test_check_log_phase_sum;
+    Alcotest.test_case "with_other accounts the full service time" `Quick
+      test_with_other_accounts_service;
+    Alcotest.test_case "adaptive exemplar threshold semantics" `Quick
+      test_exemplar_threshold_semantics;
+    Alcotest.test_case "slo window phase attribution" `Quick
+      test_slo_phase_attribution;
+    Alcotest.test_case "exemplar dump + rate limiting" `Quick
+      test_exemplar_dump_and_rate_limit;
+    Alcotest.test_case "dump retention cap deletes oldest" `Quick
+      test_dump_retention_cap;
     Alcotest.test_case "slo window agrees with telemetry histogram" `Quick
       test_slo_agrees_with_histogram;
     Alcotest.test_case "slo window expires" `Quick test_slo_window_expires;

@@ -374,6 +374,7 @@ let test_daemon_rids_echoed_and_logged () =
         c with
         Serve_daemon.d_obs =
           {
+            Obs_log.default_config with
             Obs_log.o_events_out = Some events;
             o_ring_events = 64;
             o_ring_requests = 8;
@@ -391,7 +392,7 @@ let test_daemon_rids_echoed_and_logged () =
         (* the log tells the same story, and the grammar holds *)
         (match Obs_event.read_log events with
         | Error msg -> Alcotest.fail msg
-        | Ok log ->
+        | Ok (log, _) ->
           Alcotest.(check (list string)) "event grammar holds" [] (Obs_event.check_log log);
           let finish_rids =
             List.filter_map

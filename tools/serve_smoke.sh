@@ -16,10 +16,14 @@
 #      `vhdlc compile` p50 — the reason the daemon exists;
 #   4. event log: after the drain, the JSONL log must be well-formed —
 #      every line a {"ts":...,"ev":...} object, accept request ids
-#      strictly monotone, start/finish pairs balanced;
-#   5. overhead: the event-logging daemon's warm p50 must stay within 5%
-#      of a plain daemon's (one re-measure allowed; these are whole-client
-#      round-trips, so scheduler noise dwarfs the per-event write).
+#      strictly monotone, start/finish pairs balanced — and `vhdlc
+#      analyze` must digest it cleanly (exit 0, no invariant
+#      violations on stderr);
+#   5. overhead: the full-observability daemon (event log + the
+#      always-on per-request span buffer) must keep its warm p50
+#      within 5% of a bare daemon's (--span-cap 0, no events; one
+#      re-measure allowed — these are whole-client round-trips, so
+#      scheduler noise dwarfs the per-event write).
 #
 # Run from the workspace root (dune does this via the @serve-smoke alias):
 #   VHDLC=bin/vhdlc.exe VHDLFUZZ=bin/vhdlfuzz.exe sh tools/serve_smoke.sh
@@ -116,11 +120,13 @@ oneshot_p50=$(
 [ "$warm_p50" -lt "$oneshot_p50" ] \
   || fail "warm p50 (${warm_p50}us) not below one-shot p50 (${oneshot_p50}us)"
 
-# ---- 5a. overhead: events daemon vs plain daemon -------------------------
+# ---- 5a. overhead: full-observability daemon vs bare daemon --------------
 # (measured before the drain so both daemons are equally warm; verdict
-# computed below once the plain daemon has answered its burst)
+# computed below once the bare daemon has answered its burst.  The bare
+# daemon runs --span-cap 0 so the comparison prices the always-on span
+# buffer as well as the event log.)
 PLAIN_SOCK="$TMP/plain.sock"
-"$VHDLC" serve --socket "$PLAIN_SOCK" --quiet &
+"$VHDLC" serve --socket "$PLAIN_SOCK" --quiet --span-cap 0 &
 PLAIN_PID=$!
 "$VHDLC" request --socket "$PLAIN_SOCK" --wait-ready "$TMP/u.vhd" > /dev/null \
   || fail "plain daemon did not come up"
@@ -134,7 +140,7 @@ check_overhead() {
 overhead_ok=1
 check_overhead || check_overhead || overhead_ok=0
 [ "$overhead_ok" -eq 1 ] \
-  || fail "event logging costs more than 5% at p50 (events ${events_p50}us vs plain ${plain_p50}us)"
+  || fail "observability (events + span buffer) costs more than 5% at p50 (full ${events_p50}us vs bare ${plain_p50}us)"
 
 "$VHDLC" request --socket "$PLAIN_SOCK" --shutdown > /dev/null \
   || fail "plain daemon shutdown failed"
@@ -170,4 +176,14 @@ awk '
     print "event log: " NR " lines, " accepts " accepts, " starts " start/finish pairs"
   }' "$EVENTS" || fail "event log validation failed"
 
-echo "serve_smoke: OK ($SHOTS chaos shots, zero deaths; warm p50 ${warm_p50}us vs one-shot ${oneshot_p50}us; events p50 ${events_p50}us vs plain ${plain_p50}us)"
+# ---- 4b. analyze: the offline analytics digest the smoke log cleanly -----
+"$VHDLC" analyze "$EVENTS" > "$TMP/analyze.out" 2> "$TMP/analyze.err" \
+  || fail "vhdlc analyze exited non-zero on the smoke event log ($(cat "$TMP/analyze.err"))"
+[ ! -s "$TMP/analyze.err" ] \
+  || fail "vhdlc analyze reported warnings/violations on a clean log: $(cat "$TMP/analyze.err")"
+grep -q "^event log:" "$TMP/analyze.out" \
+  || fail "vhdlc analyze output missing the event-log summary line"
+grep -q "finishes" "$TMP/analyze.out" \
+  || fail "vhdlc analyze output missing the finish count"
+
+echo "serve_smoke: OK ($SHOTS chaos shots, zero deaths; warm p50 ${warm_p50}us vs one-shot ${oneshot_p50}us; events p50 ${events_p50}us vs bare p50 ${plain_p50}us)"
