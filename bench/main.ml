@@ -582,6 +582,7 @@ let run_experiment label f =
       Perf.Sample.s_name = "harness/" ^ label;
       s_warmup = 0;
       s_times = [| elapsed |];
+      s_allocs = [||];
       s_gc = Perf.Gc_delta.zero;
       s_counters = [];
       s_phases = [];

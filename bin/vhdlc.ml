@@ -87,13 +87,23 @@ let flame_arg =
   in
   Arg.(value & opt (some string) None & info [ "flame" ] ~docv:"FILE" ~doc)
 
+let flame_alloc_arg =
+  let doc =
+    "Write the span tree as collapsed stacks to $(docv) with line values \
+     in self-allocated bytes instead of self time — an allocation \
+     flamegraph.  Same folded format as --flame; totals conserve the \
+     measured allocation exactly."
+  in
+  Arg.(value & opt (some string) None & info [ "flame-alloc" ] ~docv:"FILE" ~doc)
+
 (* Run [f] with tracing armed if a trace or flame file was requested, then
    write the requested exports.  Exports are written even when [f] exits
    non-zero — the trace of a failing compile is the one you want to look
    at. *)
-let with_telemetry ?(flame = None) ~trace ~metrics ~metrics_out f =
+let with_telemetry ?(flame = None) ?(flame_alloc = None) ~trace ~metrics
+    ~metrics_out f =
   Telemetry.reset ();
-  let tracing = trace <> None || flame <> None in
+  let tracing = trace <> None || flame <> None || flame_alloc <> None in
   if tracing then Telemetry.set_tracing true;
   Fun.protect
     ~finally:(fun () ->
@@ -104,6 +114,11 @@ let with_telemetry ?(flame = None) ~trace ~metrics ~metrics_out f =
       (match flame with
       | Some path ->
         Vhdl_util.Unix_compat.write_file path (Perf.Flame.folded (Telemetry.spans ()))
+      | None -> ());
+      (match flame_alloc with
+      | Some path ->
+        Vhdl_util.Unix_compat.write_file path
+          (Perf.Flame.folded_alloc (Telemetry.spans ()))
       | None -> ());
       if tracing then begin
         Telemetry.set_tracing false;
@@ -147,9 +162,14 @@ let compile_cmd =
              the oracle the plan-based default is differentially tested \
              against. Slower; results must be identical.")
   in
-  let run work refs phases report profile_rules reference trace flame metrics
-      metrics_out fuel deadline files =
-    with_telemetry ~flame ~trace ~metrics ~metrics_out @@ fun () ->
+  let run work refs phases report profile_rules reference trace flame
+      flame_alloc metrics metrics_out fuel deadline files =
+    with_telemetry ~flame ~flame_alloc ~trace ~metrics ~metrics_out @@ fun () ->
+    (* everything allocated before this point — runtime and module init,
+       parse tables, cmdliner — predates any phase frame; it is published
+       below as the "startup" pseudo-phase so the phase.alloc_b.* table
+       sums to gc.allocated_words instead of silently undercounting *)
+    let startup_w = Telemetry.allocated_words_now () in
     let recorder = if profile_rules then Some (Provenance.create ()) else None in
     let strategy = if reference then Some Vhdl_compiler.Demand else None in
     let c =
@@ -176,14 +196,27 @@ let compile_cmd =
     | None -> ());
     if phases then
       Format.printf "%a@." Vhdl_util.Phase_timer.pp (Vhdl_compiler.timer c);
+    (* close the attribution ledger: "startup" is pre-driver allocation,
+       "driver" the in-region residual outside every phase frame, so
+       the phase.alloc_b counters sum to gc.allocated_words *)
+    let attributed_w = Vhdl_util.Phase_timer.total_alloc (Vhdl_compiler.timer c) in
+    let lifetime_w = Telemetry.allocated_words_now () in
+    let publish name w =
+      if w > 0.0 then
+        Telemetry.add
+          (Telemetry.counter ("phase.alloc_b." ^ name))
+          (int_of_float (w *. float_of_int Telemetry.bytes_per_word))
+    in
+    publish "startup" startup_w;
+    publish "driver" (Float.max 0.0 (lifetime_w -. startup_w -. attributed_w));
     if !ok then 0 else 1
   in
   let doc = "Compile VHDL source files into the working library." in
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
       const run $ work_arg $ ref_arg $ phases $ report $ profile_rules $ reference
-      $ trace_arg $ flame_arg $ metrics_arg $ metrics_out_arg $ fuel_arg
-      $ deadline_arg $ files)
+      $ trace_arg $ flame_arg $ flame_alloc_arg $ metrics_arg $ metrics_out_arg
+      $ fuel_arg $ deadline_arg $ files)
 
 let simulate_cmd =
   let top =
@@ -602,6 +635,14 @@ let bench_cmd =
     let doc = "Regression threshold as a fraction (0.25 = flag changes beyond +25%)." in
     Arg.(value & opt float 0.25 & info [ "threshold" ] ~docv:"FRACTION" ~doc)
   in
+  let alloc_threshold =
+    let doc =
+      "Regression threshold for the allocation ([alloc]) rows: allocation \
+       is near-deterministic rep to rep, so the default (0.5 = +50%) sits \
+       far above its noise while catching real allocation regressions."
+    in
+    Arg.(value & opt float 0.5 & info [ "alloc-threshold" ] ~docv:"FRACTION" ~doc)
+  in
   let repeats =
     Arg.(value & opt int 5 & info [ "repeats" ] ~docv:"N" ~doc:"Measured repetitions per experiment.")
   in
@@ -621,7 +662,7 @@ let bench_cmd =
              across sizes and report tokens/s, attrs/s, delta-cycles/s \
              versus design size.")
   in
-  let run save against out threshold repeats warmup quota scaling =
+  let run save against out threshold alloc_threshold repeats warmup quota scaling =
     Telemetry.reset ();
     let samples = bench_suite ~scaling ~warmup ~repeats ~quota in
     List.iter print_sample samples;
@@ -644,7 +685,10 @@ let bench_cmd =
         Printf.eprintf "cannot load baseline: %s\n" msg;
         2
       | Ok baseline ->
-        let rows = Perf.Diff.compare_reports ~threshold ~baseline ~current:report () in
+        let rows =
+          Perf.Diff.compare_reports ~threshold ~alloc_threshold ~baseline
+            ~current:report ()
+        in
         Format.printf "%a@." Perf.Diff.pp rows;
         let regs = Perf.Diff.regressions rows in
         if regs = [] then begin
@@ -665,8 +709,8 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
-      const run $ save_baseline $ against $ out $ threshold $ repeats $ warmup
-      $ quota $ scaling)
+      const run $ save_baseline $ against $ out $ threshold $ alloc_threshold
+      $ repeats $ warmup $ quota $ scaling)
 
 (* ------------------------------------------------------------------ *)
 (* serve / request: the resilient long-lived compile service.
@@ -812,10 +856,19 @@ let serve_cmd =
       & info [ "slo-shed-pct" ] ~docv:"PCT"
           ~doc:"Objective: windowed shed rate in percent; breaches are logged.")
   in
+  let heap_growth_pct =
+    Arg.(
+      value & opt float 0.0
+      & info [ "heap-growth-pct" ] ~docv:"PCT"
+          ~doc:
+            "Heap-health watchdog: when the linear fit over the sampled \
+             live-words window grows past PCT percent, emit one heap_breach \
+             event and dump the flight recorder (0 = disabled).")
+  in
   let run socket queue max_frame default_deadline max_deadline grace idle_timeout
       allow_faults recycle_every quiet refs fuel metrics_out events flight_dir
       flight_size metrics_flush_every max_dumps span_cap exemplar_k slo_window
-      slo_p99_ms slo_shed_pct =
+      slo_p99_ms slo_shed_pct heap_growth_pct =
     Telemetry.reset ();
     let log = if quiet then ignore else fun m -> Printf.eprintf "vhdlc serve: %s\n%!" m in
     let worker =
@@ -863,6 +916,7 @@ let serve_cmd =
           d_span_cap = span_cap;
           d_exemplar_k = exemplar_k;
           d_exemplar_min_obs = Serve_daemon.default_config.Serve_daemon.d_exemplar_min_obs;
+          d_heap_growth_pct = heap_growth_pct;
           d_log = log;
         }
     in
@@ -880,7 +934,7 @@ let serve_cmd =
       $ grace $ idle_timeout $ allow_faults $ recycle_every $ quiet
       $ ref_arg $ fuel_arg $ metrics_out_arg $ events $ flight_dir $ flight_size
       $ metrics_flush_every $ max_dumps $ span_cap $ exemplar_k $ slo_window
-      $ slo_p99_ms $ slo_shed_pct)
+      $ slo_p99_ms $ slo_shed_pct $ heap_growth_pct)
 
 let request_cmd =
   let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Send a liveness probe.") in
@@ -1087,6 +1141,23 @@ let top_cmd =
       | "" -> ()
       | att -> Printf.bprintf b "driven   by %s\n" att)
     | _ -> ());
+    (match jpath doc [ "slo"; "alloc_phase_b" ] with
+    | Some (J.Obj pairs) -> (
+      let allocs =
+        List.filter_map
+          (fun (k, v) -> Option.map (fun x -> (k, x)) (J.to_num v))
+          pairs
+      in
+      match Obs_attr.attribution allocs with
+      | "" -> ()
+      | att ->
+        Printf.bprintf b "alloc    %.0fkB in window — by %s\n"
+          (jnum doc [ "slo"; "alloc_b" ] /. 1024.0)
+          att)
+    | _ -> ());
+    Printf.bprintf b "heap     live %.1fMB   top %.1fMB\n"
+      (jnum doc [ "heap"; "live_words" ] *. 8.0 /. 1048576.0)
+      (jnum doc [ "heap"; "top_words" ] *. 8.0 /. 1048576.0);
     (match jpath doc [ "last_request" ] with
     | Some (J.Obj _ as lr) ->
       Printf.bprintf b "last     rid %d  %s  [%s]  %s\n"
@@ -1101,8 +1172,11 @@ let top_cmd =
       (led "torn_frames") (led "oversized") (led "bad_requests")
       (led "faults_contained") (led "timeouts") (led "wedges")
       (led "worker_recycles");
-    Printf.bprintf b "obs      events %d   flight-dumps %d   slo-breaches %d\n"
-      (led "events") (led "flight_dumps") (led "slo_breaches");
+    Printf.bprintf b
+      "obs      events %d   flight-dumps %d   slo-breaches %d   heap-breaches \
+       %d\n"
+      (led "events") (led "flight_dumps") (led "slo_breaches")
+      (led "heap_breaches");
     Buffer.contents b
   in
   (* the fallback view over the periodically-flushed telemetry JSON —
@@ -1124,8 +1198,13 @@ let top_cmd =
       (c "torn_frames") (c "oversized") (c "bad_requests")
       (c "faults_contained") (c "timeouts") (c "wedges") (c "worker_recycles");
     Printf.bprintf b
-      "obs      events %d   flight-dumps %d   exemplars %d   slo-breaches %d\n"
-      (c "events") (c "flight_dumps") (c "exemplars") (c "slo_breaches");
+      "obs      events %d   flight-dumps %d   exemplars %d   slo-breaches %d  \
+       heap-breaches %d\n"
+      (c "events") (c "flight_dumps") (c "exemplars") (c "slo_breaches")
+      (c "heap_breaches");
+    Printf.bprintf b "heap     live %.1fMB   top %.1fMB\n"
+      (jnum doc [ "gauges"; "gc.heap_words" ] *. 8.0 /. 1048576.0)
+      (jnum doc [ "gauges"; "gc.top_heap_words" ] *. 8.0 /. 1048576.0);
     Buffer.contents b
   in
   let run socket metrics_file once json interval frames =

@@ -38,7 +38,10 @@ let pp_campaign_telemetry fmt () =
      event naming the offending request id, and the dump file exists;
    - every [finish] carries a phase breakdown ([ph_*] fields) summing
      to within 10% of its [service_us] (the sum itself is checked by
-     [Obs_event.check_log]; presence is checked here);
+     [Obs_event.check_log]; presence is checked here), and an allocation
+     breakdown ([al_*] fields + [alloc_b], whose sum invariant
+     [Obs_event.check_log] also enforces);
+   - every [heap_breach] event left a flight dump with reason ["heap"];
    - at least one slow shot produced a rid-named exemplar dump whose
      embedded Chrome trace loads as a JSON array;
    - the number of dump files on disk never exceeds the retention cap;
@@ -110,8 +113,21 @@ let check_chaos_obs ~events_path ~obs_dir ~max_dumps ~slo_p99_us ~hist_p99_us =
         if Obs_event.phase_fields e = [] then
           violation "finish rid %d carries no phase attribution" rid;
         if Obs_event.field_num e "service_us" = None then
-          violation "finish rid %d carries no service_us" rid)
+          violation "finish rid %d carries no service_us" rid;
+        if Obs_event.field_num e "alloc_b" = None then
+          violation "finish rid %d carries no alloc_b" rid)
       (finishes_with (fun _ -> true));
+    (* heap watchdog: every breach dumped the flight recorder *)
+    let heap_breach_count =
+      List.length
+        (List.filter
+           (fun (e : Obs_event.t) -> e.Obs_event.e_kind = Obs_event.Heap_breach)
+           events)
+    in
+    let heap_dumps = List.length (dumps "heap") in
+    if heap_dumps < heap_breach_count then
+      violation "%d heap_breach event(s) but only %d heap flight dump(s)"
+        heap_breach_count heap_dumps;
     (* slow shots leave exemplars: rid-named, with a loadable trace *)
     (match dumps "exemplar" with
     | [] ->
@@ -253,6 +269,8 @@ let run_serve_chaos ~seed ~shots ~quiet =
       (* one window spanning the whole campaign, so the windowed p99 is
          comparable against the process-lifetime histogram *)
       d_slo_window_s = 3600.0;
+      (* armed so the post-campaign planted hog has something to trip *)
+      d_heap_growth_pct = 25.0;
     }
   in
   match Unix.fork () with
@@ -299,6 +317,54 @@ let run_serve_chaos ~seed ~shots ~quiet =
         json_num (Serve_protocol.request ~json:true Serve_protocol.Stats)
           [ "latency_us"; "p99" ]
       in
+      (* planted hog: one request retains 64 MB on the worker; the heap
+         watchdog must notice the step and — being edge-triggered — fire
+         exactly one heap_breach for the whole episode *)
+      let heap_breaches () =
+        match
+          json_num (Serve_protocol.request ~json:true Serve_protocol.Stats)
+            [ "ledger"; "serve.heap_breaches" ]
+        with
+        | Some n -> int_of_float n
+        | None -> -1
+      in
+      let hog_violation =
+        let before = heap_breaches () in
+        match
+          Serve_client.roundtrip ~timeout_s:10.0 ~socket
+            (Serve_protocol.request ~hog_kb:(64 * 1024) Serve_protocol.Ping)
+        with
+        | Error msg -> Some (Printf.sprintf "hog request failed: %s" msg)
+        | Ok _ -> (
+          (* the watchdog samples once per tick: give the ring time to
+             see the step, then time to prove it does not re-fire *)
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          let rec wait () =
+            if heap_breaches () > before then None
+            else if Unix.gettimeofday () > deadline then
+              Some "planted 64MB hog tripped no heap_breach within 10s"
+            else begin
+              Unix.sleepf 0.2;
+              wait ()
+            end
+          in
+          match wait () with
+          | Some v -> Some v
+          | None ->
+            Unix.sleepf 2.0;
+            let fired = heap_breaches () - before in
+            if fired <> 1 then
+              Some
+                (Printf.sprintf
+                   "planted hog tripped %d heap_breaches; the edge trigger \
+                    promises exactly 1"
+                   fired)
+            else None)
+      in
+      (match hog_violation with
+      | Some v -> Printf.printf "VIOLATION: %s\n" v
+      | None ->
+        log "serve-chaos: planted hog tripped exactly one heap_breach + dump");
       (* graceful shutdown must leave a clean exit status *)
       let clean_exit =
         match
@@ -322,7 +388,10 @@ let run_serve_chaos ~seed ~shots ~quiet =
       in
       List.iter print_endline obs_notes;
       List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) obs_violations;
-      if s.Serve_chaos.violations = [] && obs_violations = [] && clean_exit then begin
+      if
+        s.Serve_chaos.violations = [] && obs_violations = [] && clean_exit
+        && hog_violation = None
+      then begin
         Printf.printf "serve-chaos: %d shots, zero daemon deaths, all invariants hold\n"
           s.Serve_chaos.shots;
         (* clean campaign: clear the scratch log and dumps *)

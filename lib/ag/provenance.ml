@@ -49,6 +49,8 @@ type record = {
   mutable r_value : string;
   mutable r_self_s : float;
   mutable r_total_s : float;
+  mutable r_self_aw : float; (* minor words allocated, children excluded *)
+  mutable r_total_aw : float;
   mutable r_memo_hits : int;
   mutable r_applications : int;
   mutable r_deps : int list; (* newest first while open, read order once done *)
@@ -61,7 +63,9 @@ type record = {
 type frame = {
   f_record : record;
   f_start : float;
+  f_start_aw : float; (* minor-words snapshot at open (allocation-free) *)
   mutable f_child_s : float;
+  mutable f_child_aw : float;
 }
 
 type t = {
@@ -113,6 +117,8 @@ let begin_instance t ~ag ~prod ~node ~attr ~line =
       r_value = "";
       r_self_s = 0.0;
       r_total_s = 0.0;
+      r_self_aw = 0.0;
+      r_total_aw = 0.0;
       r_memo_hits = 0;
       r_applications = 0;
       r_deps = [];
@@ -124,7 +130,15 @@ let begin_instance t ~ag ~prod ~node ~attr ~line =
   Hashtbl.add t.by_id r.r_id r;
   t.order <- r :: t.order;
   add_edge t r.r_id;
-  t.stack <- { f_record = r; f_start = now_s (); f_child_s = 0.0 } :: t.stack;
+  t.stack <-
+    {
+      f_record = r;
+      f_start = now_s ();
+      f_start_aw = Tm.minor_words_now ();
+      f_child_s = 0.0;
+      f_child_aw = 0.0;
+    }
+    :: t.stack;
   r
 
 (* Close the open computation for [r].  The stack top must be [r]'s frame:
@@ -134,14 +148,19 @@ let close t r ~aborted ~value =
   match t.stack with
   | frame :: rest when frame.f_record == r ->
     t.stack <- rest;
+    let total_aw = Tm.minor_words_now () -. frame.f_start_aw in
     let total = now_s () -. frame.f_start in
     r.r_total_s <- total;
     r.r_self_s <- Float.max 0.0 (total -. frame.f_child_s);
+    r.r_total_aw <- total_aw;
+    r.r_self_aw <- Float.max 0.0 (total_aw -. frame.f_child_aw);
     r.r_value <- value;
     r.r_aborted <- aborted;
     r.r_deps <- List.rev r.r_deps;
     (match rest with
-    | parent :: _ -> parent.f_child_s <- parent.f_child_s +. total
+    | parent :: _ ->
+      parent.f_child_s <- parent.f_child_s +. total;
+      parent.f_child_aw <- parent.f_child_aw +. total_aw
     | [] -> ());
     if not aborted then Hashtbl.replace t.index (r.r_node, r.r_attr) r.r_id
   | _ -> invalid_arg "Provenance: finish/abort does not match the open record"
@@ -207,8 +226,9 @@ let describe r =
   in
   let memo = if r.r_memo_hits > 0 then Printf.sprintf ", memo x%d" r.r_memo_hits else "" in
   let line = if r.r_line > 0 then Printf.sprintf ", line %d" r.r_line else "" in
-  Printf.sprintf "n%d.%s @ %s (%s%s) = %s  [%s%s%s, self %s]" r.r_node r.r_attr
-    r.r_prod r.r_ag line r.r_value (kind_label r.r_kind) rule memo (ms r.r_self_s)
+  Printf.sprintf "n%d.%s @ %s (%s%s) = %s  [%s%s%s, self %s, alloc %.0fw]"
+    r.r_node r.r_attr r.r_prod r.r_ag line r.r_value (kind_label r.r_kind) rule
+    memo (ms r.r_self_s) r.r_self_aw
 
 (** The why-chain: the record, then (indented) the records it read,
     transitively, down to [depth].  A record already printed is referenced
@@ -298,6 +318,7 @@ type profile_row = {
   p_applications : int;
   p_memo_hits : int;
   p_self_s : float;
+  p_self_aw : float; (* summed self-allocated minor words *)
 }
 
 (** Aggregate by (AG, defining production, attribute).  Instances not
@@ -331,6 +352,7 @@ let profile t =
                 p_applications = 0;
                 p_memo_hits = 0;
                 p_self_s = 0.0;
+                p_self_aw = 0.0;
               }
           in
           Hashtbl.add acc key row;
@@ -343,6 +365,7 @@ let profile t =
           p_applications = !row.p_applications + r.r_applications;
           p_memo_hits = !row.p_memo_hits + r.r_memo_hits;
           p_self_s = !row.p_self_s +. r.r_self_s;
+          p_self_aw = !row.p_self_aw +. r.r_self_aw;
         })
     t.order;
   Hashtbl.fold (fun _ row acc -> !row :: acc) acc []

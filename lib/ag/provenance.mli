@@ -43,6 +43,12 @@ type record = {
   mutable r_value : string;  (** compact summary of the computed value *)
   mutable r_self_s : float;  (** cost minus the cost of its dependencies *)
   mutable r_total_s : float;
+  mutable r_self_aw : float;
+      (** minor-heap words allocated by this computation, its dependencies
+          excluded — the allocation mirror of [r_self_s], snapshotted
+          allocation-free ([Gc.minor_words]) so recording does not perturb
+          what it measures *)
+  mutable r_total_aw : float;
   mutable r_memo_hits : int;  (** later reads served from the memo cache *)
   mutable r_applications : int;  (** semantic-rule applications charged here *)
   mutable r_deps : int list;  (** record ids read, in read order *)
@@ -137,6 +143,7 @@ type profile_row = {
   p_applications : int;  (** semantic-rule applications *)
   p_memo_hits : int;
   p_self_s : float;  (** summed self-cost *)
+  p_self_aw : float;  (** summed self-allocated minor words *)
 }
 
 val profile : t -> profile_row list

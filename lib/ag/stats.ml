@@ -100,28 +100,33 @@ let pp_profile ?(limit = 24) fmt (rows : Provenance.profile_row list) =
       ( List.filteri (fun i _ -> i < limit) rows,
         List.length rows - limit )
   in
-  Format.fprintf fmt "@[<v>%-5s %-34s %-10s %8s %8s %8s %10s@," "ag" "production"
-    "attribute" "evals" "apps" "memo" "self-ms";
+  let kb aw =
+    aw *. float_of_int Vhdl_telemetry.Telemetry.bytes_per_word /. 1024.0
+  in
+  Format.fprintf fmt "@[<v>%-5s %-34s %-10s %8s %8s %8s %10s %10s@," "ag"
+    "production" "attribute" "evals" "apps" "memo" "self-ms" "alloc-kb";
   List.iter
     (fun (r : Provenance.profile_row) ->
-      Format.fprintf fmt "%-5s %-34s %-10s %8d %8d %8d %10.2f@," r.Provenance.p_ag
-        r.Provenance.p_prod r.Provenance.p_attr r.Provenance.p_count
-        r.Provenance.p_applications r.Provenance.p_memo_hits
-        (r.Provenance.p_self_s *. 1000.0))
+      Format.fprintf fmt "%-5s %-34s %-10s %8d %8d %8d %10.2f %10.1f@,"
+        r.Provenance.p_ag r.Provenance.p_prod r.Provenance.p_attr
+        r.Provenance.p_count r.Provenance.p_applications r.Provenance.p_memo_hits
+        (r.Provenance.p_self_s *. 1000.0)
+        (kb r.Provenance.p_self_aw))
     shown;
   if dropped > 0 then Format.fprintf fmt "... %d cooler rows not shown@," dropped;
-  let tc, ta, tm, ts =
+  let tc, ta, tm, ts, taw =
     List.fold_left
-      (fun (c, a, m, s) (r : Provenance.profile_row) ->
+      (fun (c, a, m, s, aw) (r : Provenance.profile_row) ->
         ( c + r.Provenance.p_count,
           a + r.Provenance.p_applications,
           m + r.Provenance.p_memo_hits,
-          s +. r.Provenance.p_self_s ))
-      (0, 0, 0, 0.0) rows
+          s +. r.Provenance.p_self_s,
+          aw +. r.Provenance.p_self_aw ))
+      (0, 0, 0, 0.0, 0.0) rows
   in
-  Format.fprintf fmt "%-5s %-34s %-10s %8d %8d %8d %10.2f@]" "total"
+  Format.fprintf fmt "%-5s %-34s %-10s %8d %8d %8d %10.2f %10.1f@]" "total"
     (Printf.sprintf "(%d rows)" (List.length rows))
-    "" tc ta tm (ts *. 1000.0)
+    "" tc ta tm (ts *. 1000.0) (kb taw)
 
 let profile_json (rows : Provenance.profile_row list) =
   let module J = Vhdl_telemetry.Telemetry.Json in
@@ -137,6 +142,10 @@ let profile_json (rows : Provenance.profile_row list) =
              ("applications", J.int r.Provenance.p_applications);
              ("memo_hits", J.int r.Provenance.p_memo_hits);
              ("self_s", J.float r.Provenance.p_self_s);
+             ( "self_alloc_b",
+               J.float
+                 (r.Provenance.p_self_aw
+                 *. float_of_int Vhdl_telemetry.Telemetry.bytes_per_word) );
            ])
        rows)
 

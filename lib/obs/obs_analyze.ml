@@ -27,6 +27,8 @@ type request = {
   rq_status : string;
   rq_service_us : float option;
   rq_phases_us : (string * float) list;
+  rq_allocs_b : (string * float) list;
+  rq_alloc_b : float option;
 }
 
 type slow = {
@@ -50,6 +52,7 @@ type report = {
   a_rejects : int;
   a_recycles : int;
   a_breaches : int;
+  a_heap_breaches : int;
   a_dumps : int;
   a_statuses : (string * int) list; (* finish statuses, most common first *)
   a_shed_reasons : (string * int) list;
@@ -59,9 +62,17 @@ type report = {
   a_slices : slice list; (* per-window timeline *)
 }
 
-(* (ts, latency, phases, shed, internal) — the observable outcome of one
-   request, ready to replay into an Obs_slo window *)
-type outcome = float * float option * (string * float) list * bool * bool
+(* (ts, latency, phases, allocs, alloc_b, shed, internal) — the
+   observable outcome of one request, ready to replay into an Obs_slo
+   window *)
+type outcome =
+  float
+  * float option
+  * (string * float) list
+  * (string * float) list
+  * float
+  * bool
+  * bool
 
 let count_into tbl key =
   Hashtbl.replace tbl key (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0)
@@ -89,7 +100,7 @@ let sum_phases (requests : request list) =
 let replay_window (outcomes : outcome list) =
   let first, last =
     List.fold_left
-      (fun (lo, hi) (ts, _, _, _, _) -> (Float.min lo ts, Float.max hi ts))
+      (fun (lo, hi) (ts, _, _, _, _, _, _) -> (Float.min lo ts, Float.max hi ts))
       (infinity, neg_infinity) outcomes
   in
   let first = if first = infinity then 0.0 else first in
@@ -97,8 +108,9 @@ let replay_window (outcomes : outcome list) =
   let span_s = Float.max 0.0 (last -. first) in
   let slo = Obs_slo.create ~window_s:(Float.max 1.0 ((span_s +. 1.0) *. 2.0)) () in
   List.iter
-    (fun (ts, latency_us, phases, shed, internal) ->
-      Obs_slo.observe slo ~now:ts ?latency_us ~phases ~shed ~internal ())
+    (fun (ts, latency_us, phases, allocs, alloc_b, shed, internal) ->
+      Obs_slo.observe slo ~now:ts ?latency_us ~phases ~allocs ~alloc_b ~shed
+        ~internal ())
     outcomes;
   Obs_slo.summary slo ~now:last
 
@@ -127,6 +139,7 @@ let analyze ?(window_s = 60.0) ?(top_k = 5) (events : Obs_event.t list) : report
   let finishes = ref [] in
   let shed_outcomes = ref [] in
   let rejects = ref 0 and recycles = ref 0 and breaches = ref 0 and dumps = ref 0 in
+  let heap_breaches = ref 0 in
   List.iter
     (fun e ->
       match e.Obs_event.e_kind with
@@ -142,15 +155,19 @@ let analyze ?(window_s = 60.0) ?(top_k = 5) (events : Obs_event.t list) : report
             rq_status = status;
             rq_service_us = Obs_event.field_num e "service_us";
             rq_phases_us = Obs_event.phase_fields e;
+            rq_allocs_b = Obs_event.alloc_fields e;
+            rq_alloc_b = Obs_event.field_num e "alloc_b";
           }
           :: !finishes
       | Obs_event.Shed ->
         count_into shed_reasons
           (Option.value (Obs_event.field_str e "reason") ~default:"?");
-        shed_outcomes := (e.Obs_event.e_ts, None, [], true, false) :: !shed_outcomes
+        shed_outcomes :=
+          (e.Obs_event.e_ts, None, [], [], 0.0, true, false) :: !shed_outcomes
       | Obs_event.Reject -> incr rejects
       | Obs_event.Recycle -> incr recycles
       | Obs_event.Breach -> incr breaches
+      | Obs_event.Heap_breach -> incr heap_breaches
       | Obs_event.Dump -> incr dumps
       | _ -> ())
     events;
@@ -169,6 +186,8 @@ let analyze ?(window_s = 60.0) ?(top_k = 5) (events : Obs_event.t list) : report
         ( r.rq_ts,
           (if inline then None else r.rq_service_us),
           (if inline then [] else r.rq_phases_us),
+          (if inline then [] else r.rq_allocs_b),
+          (if inline then 0.0 else Option.value r.rq_alloc_b ~default:0.0),
           false,
           r.rq_status = "internal" ))
       finishes
@@ -204,7 +223,7 @@ let analyze ?(window_s = 60.0) ?(top_k = 5) (events : Obs_event.t list) : report
   let window_s = Float.max 1e-3 window_s in
   let slice_tbl = Hashtbl.create 8 in
   List.iter
-    (fun ((ts, _, _, _, _) as o) ->
+    (fun ((ts, _, _, _, _, _, _) as o) ->
       let i = int_of_float ((ts -. first_ts) /. window_s) in
       Hashtbl.replace slice_tbl i
         (o :: Option.value (Hashtbl.find_opt slice_tbl i) ~default:[]))
@@ -226,6 +245,7 @@ let analyze ?(window_s = 60.0) ?(top_k = 5) (events : Obs_event.t list) : report
     a_rejects = !rejects;
     a_recycles = !recycles;
     a_breaches = !breaches;
+    a_heap_breaches = !heap_breaches;
     a_dumps = !dumps;
     a_statuses = sorted_counts statuses;
     a_shed_reasons = sorted_counts shed_reasons;
@@ -288,9 +308,9 @@ let pp fmt (r : report) =
   Format.fprintf fmt "@[<v>";
   Format.fprintf fmt
     "event log: %d events over %.1fs — %d finishes, %d sheds, %d rejects, %d \
-     recycles, %d breaches, %d dumps@,"
+     recycles, %d breaches, %d heap breaches, %d dumps@,"
     r.a_events r.a_span_s r.a_finishes r.a_sheds r.a_rejects r.a_recycles
-    r.a_breaches r.a_dumps;
+    r.a_breaches r.a_heap_breaches r.a_dumps;
   Format.fprintf fmt "%a@," Obs_slo.pp_summary r.a_summary;
   (match Obs_attr.attribution ~top:4 r.a_summary.Obs_slo.s_phase_us with
   | "" -> ()
@@ -298,6 +318,9 @@ let pp fmt (r : report) =
   (match Obs_attr.attribution ~top:4 r.a_tail_phase_us with
   | "" -> ()
   | s -> Format.fprintf fmt "tail attribution (slowest 10%%): %s@," s);
+  (match Obs_attr.attribution ~top:4 r.a_summary.Obs_slo.s_alloc_phase_b with
+  | "" -> ()
+  | s -> Format.fprintf fmt "allocated by: %s@," s);
   if r.a_statuses <> [] then
     Format.fprintf fmt "statuses: %a@," pp_counts r.a_statuses;
   if r.a_shed_reasons <> [] then
@@ -338,6 +361,7 @@ let to_json (r : report) =
       ("rejects", Json.int r.a_rejects);
       ("recycles", Json.int r.a_recycles);
       ("breaches", Json.int r.a_breaches);
+      ("heap_breaches", Json.int r.a_heap_breaches);
       ("dumps", Json.int r.a_dumps);
       ("statuses", counts_obj r.a_statuses);
       ("shed_reasons", counts_obj r.a_shed_reasons);

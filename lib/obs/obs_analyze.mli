@@ -25,6 +25,7 @@ type report = {
   a_rejects : int;
   a_recycles : int;
   a_breaches : int;
+  a_heap_breaches : int;
   a_dumps : int;
   a_statuses : (string * int) list; (* finish statuses, most common first *)
   a_shed_reasons : (string * int) list;

@@ -59,6 +59,25 @@ let fields (phases_us : (string * float) list) =
     (fun (name, us) -> (Obs_event.phase_prefix ^ name, Obs_event.F us))
     phases_us
 
+(** The allocation twin of {!with_other}: short-named positive per-phase
+    self-allocated bytes plus the ["other"] residual (request allocation
+    no compiler phase claimed — protocol framing, span bookkeeping), so
+    the ["al_*"] fields sum to [alloc_b] by construction. *)
+let with_other_alloc ~alloc_b (allocs_b : (string * float) list) =
+  let named =
+    List.filter_map
+      (fun (name, b) -> if b > 0.0 then Some (short_phase name, b) else None)
+      allocs_b
+  in
+  let sum = List.fold_left (fun a (_, v) -> a +. v) 0.0 named in
+  named @ [ ("other", Float.max 0.0 (alloc_b -. sum)) ]
+
+(** One numeric ["al_<name>"] event field (bytes) per phase. *)
+let fields_alloc (allocs_b : (string * float) list) =
+  List.map
+    (fun (name, b) -> (Obs_event.alloc_prefix ^ name, Obs_event.F b))
+    allocs_b
+
 (** ["elaborate 48%, cascade 31%"] — the largest [top] shares of a
     phase table, shares below 1% elided; [""] when there is nothing to
     attribute. *)

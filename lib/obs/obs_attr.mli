@@ -14,6 +14,15 @@ val with_other : service_us:float -> (string * float) list -> (string * float) l
 val fields : (string * float) list -> (string * Obs_event.field_value) list
 (** One numeric ["ph_<name>"] event field per phase. *)
 
+val with_other_alloc :
+  alloc_b:float -> (string * float) list -> (string * float) list
+(** The allocation twin of {!with_other}: short-named positive per-phase
+    self-allocated bytes plus the ["other"] residual, summing to
+    [alloc_b]. *)
+
+val fields_alloc : (string * float) list -> (string * Obs_event.field_value) list
+(** One numeric ["al_<name>"] event field (bytes) per phase. *)
+
 val attribution : ?top:int -> (string * float) list -> string
 (** ["elaborate 48%, cascade 31%"] — the largest [top] (default 3)
     shares, sub-1% shares elided; [""] when nothing to attribute. *)

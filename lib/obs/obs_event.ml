@@ -42,6 +42,7 @@ type kind =
   | Recycle (* the warm worker was replaced *)
   | Drain (* lifecycle: drain begins / daemon stopped *)
   | Breach (* a rolling SLO objective was violated *)
+  | Heap_breach (* the heap-health watchdog detected sustained growth *)
   | Dump (* a flight-recorder dump was written *)
   | Flush (* periodic metrics flush *)
 
@@ -55,6 +56,7 @@ let kind_name = function
   | Recycle -> "recycle"
   | Drain -> "drain"
   | Breach -> "breach"
+  | Heap_breach -> "heap_breach"
   | Dump -> "dump"
   | Flush -> "flush"
 
@@ -68,6 +70,7 @@ let kind_of_name = function
   | "recycle" -> Some Recycle
   | "drain" -> Some Drain
   | "breach" -> Some Breach
+  | "heap_breach" -> Some Heap_breach
   | "dump" -> Some Dump
   | "flush" -> Some Flush
   | _ -> None
@@ -106,20 +109,27 @@ let field_num t name =
 
 (* the per-phase attribution a finish event carries: one ["ph_<name>"]
    numeric field (microseconds of self time) per phase, "other" holding
-   whatever service time no compiler phase claimed *)
+   whatever service time no compiler phase claimed; the allocation twin
+   is one ["al_<name>"] field (bytes of self-allocation) per phase.
+   "al_" cannot collide with the "alloc_b"/"alloc_minor_b" totals: those
+   continue "all…", not "al_". *)
 let phase_prefix = "ph_"
+let alloc_prefix = "al_"
 
-let phase_fields t : (string * float) list =
+let prefixed_fields prefix t : (string * float) list =
   List.filter_map
     (fun (k, v) ->
-      let p = String.length phase_prefix in
-      if String.length k > p && String.sub k 0 p = phase_prefix then
+      let p = String.length prefix in
+      if String.length k > p && String.sub k 0 p = prefix then
         match v with
         | F x -> Some (String.sub k p (String.length k - p), x)
         | I n -> Some (String.sub k p (String.length k - p), float_of_int n)
         | S _ -> None
       else None)
     t.e_fields
+
+let phase_fields t = prefixed_fields phase_prefix t
+let alloc_fields t = prefixed_fields alloc_prefix t
 
 (* ------------------------------------------------------------------ *)
 (* JSONL encoding *)
@@ -262,7 +272,7 @@ let check_log (events : t list) : string list =
              a finish that carries both service_us and ph_* fields has
              their sum within 10% of the latency (1us floor so a
              sub-microsecond daemon-verb answer never false-positives) *)
-          match field_num e "service_us" with
+          (match field_num e "service_us" with
           | None -> ()
           | Some svc -> (
             match phase_fields e with
@@ -274,9 +284,26 @@ let check_log (events : t list) : string list =
                 bad
                   "rid %d finish: phase sum %.0fus disagrees with service_us \
                    %.0fus (tolerance %.0fus)"
-                  rid sum svc tolerance)
+                  rid sum svc tolerance));
+          (* allocation attribution must likewise account for the total
+             it explains: al_* bytes sum to alloc_b within 10%, with a
+             page-ish floor so GC-counter granularity on a tiny request
+             never false-positives *)
+          match field_num e "alloc_b" with
+          | None -> ()
+          | Some total -> (
+            match alloc_fields e with
+            | [] -> ()
+            | allocs ->
+              let sum = List.fold_left (fun a (_, v) -> a +. v) 0.0 allocs in
+              let tolerance = Float.max (0.10 *. total) 4096.0 in
+              if Float.abs (sum -. total) > tolerance then
+                bad
+                  "rid %d finish: alloc sum %.0fB disagrees with alloc_b \
+                   %.0fB (tolerance %.0fB)"
+                  rid sum total tolerance)
         end
-      | (Recycle | Drain | Breach | Dump | Flush), _ -> ())
+      | (Recycle | Drain | Breach | Heap_breach | Dump | Flush), _ -> ())
     events;
   Hashtbl.iter
     (fun rid n ->

@@ -16,6 +16,7 @@ type kind =
   | Recycle (* the warm worker was replaced *)
   | Drain (* lifecycle: drain begins / daemon stopped *)
   | Breach (* a rolling SLO objective was violated *)
+  | Heap_breach (* the heap-health watchdog detected sustained growth *)
   | Dump (* a flight-recorder dump was written *)
   | Flush (* periodic metrics flush *)
 
@@ -50,6 +51,15 @@ val phase_fields : t -> (string * float) list
 (** The phase breakdown a finish event carries: [(short name,
     microseconds)] for every numeric ["ph_<name>"] field. *)
 
+val alloc_prefix : string
+(** ["al_"] — the field-name prefix of per-phase allocation attribution
+    (bytes).  Distinct from the ["alloc_b"]/["alloc_minor_b"]/
+    ["alloc_major_b"] totals, which do not start with ["al_"]. *)
+
+val alloc_fields : t -> (string * float) list
+(** The allocation breakdown a finish event carries: [(short name,
+    bytes)] for every numeric ["al_<name>"] field. *)
+
 val to_json : t -> string
 val to_line : t -> string
 (** One flat JSON object, newline-terminated. *)
@@ -66,5 +76,6 @@ val check_log : t list -> string list
 (** Violations of the request-lifecycle grammar: monotone accept rids,
     exactly one start/finish pair per substantive response, no orphan
     rids, and — on finish events carrying both — the per-phase
-    attribution summing to within 10% of [service_us].  Empty means
-    well-formed. *)
+    attribution summing to within 10% of [service_us], and the [al_*]
+    allocation attribution summing to within 10% of [alloc_b] (4 KiB
+    floor).  Empty means well-formed. *)

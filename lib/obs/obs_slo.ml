@@ -30,6 +30,8 @@ type bucket = {
   mutable b_max : float;
   b_hist : int array;
   b_phase : (string, float ref) Hashtbl.t; (* per-phase self-time, us *)
+  b_alloc : (string, float ref) Hashtbl.t; (* per-phase allocation, bytes *)
+  mutable b_alloc_b : float; (* total request allocation, bytes *)
 }
 
 type t = {
@@ -58,6 +60,8 @@ let create ?(window_s = 60.0) ?(buckets = 12) () =
             b_max = neg_infinity;
             b_hist = Array.make hist_buckets 0;
             b_phase = Hashtbl.create 8;
+            b_alloc = Hashtbl.create 8;
+            b_alloc_b = 0.0;
           });
   }
 
@@ -70,7 +74,9 @@ let reset_bucket b epoch =
   b.b_min <- infinity;
   b.b_max <- neg_infinity;
   Array.fill b.b_hist 0 hist_buckets 0;
-  Hashtbl.reset b.b_phase
+  Hashtbl.reset b.b_phase;
+  Hashtbl.reset b.b_alloc;
+  b.b_alloc_b <- 0.0
 
 let slot_for t ~now =
   let epoch = int_of_float (now /. t.bucket_s) in
@@ -81,9 +87,12 @@ let slot_for t ~now =
 (** Record one request outcome.  [latency_us] is given for requests that
     ran (the same value the [serve.latency_us] telemetry histogram
     observes); sheds have no service latency.  [phases] is the request's
-    per-phase attribution [(phase, microseconds)] — aggregated per
-    bucket so the window can say where its time went. *)
-let observe t ~now ?latency_us ?(phases = []) ~shed ~internal () =
+    per-phase attribution [(phase, microseconds)] and [allocs] its
+    allocation twin [(phase, bytes)], [alloc_b] the request's total
+    allocated bytes — all aggregated per bucket so the window can say
+    where its time {e and} its memory went. *)
+let observe t ~now ?latency_us ?(phases = []) ?(allocs = []) ?(alloc_b = 0.0)
+    ~shed ~internal () =
   let b = slot_for t ~now in
   b.b_requests <- b.b_requests + 1;
   if shed then b.b_shed <- b.b_shed + 1;
@@ -94,6 +103,13 @@ let observe t ~now ?latency_us ?(phases = []) ~shed ~internal () =
       | Some r -> r := !r +. us
       | None -> Hashtbl.add b.b_phase name (ref us))
     phases;
+  List.iter
+    (fun (name, bytes) ->
+      match Hashtbl.find_opt b.b_alloc name with
+      | Some r -> r := !r +. bytes
+      | None -> Hashtbl.add b.b_alloc name (ref bytes))
+    allocs;
+  b.b_alloc_b <- b.b_alloc_b +. alloc_b;
   match latency_us with
   | None -> ()
   | Some x ->
@@ -118,6 +134,8 @@ type summary = {
   s_shed_pct : float; (* shed / requests, as a percentage *)
   s_internal_pct : float;
   s_phase_us : (string * float) list; (* per-phase self-time, largest first *)
+  s_alloc_b : float; (* total request allocation in the window, bytes *)
+  s_alloc_phase_b : (string * float) list; (* per-phase allocation, largest first *)
 }
 
 (* merged percentile over live buckets: same walk as
@@ -145,6 +163,8 @@ let summary t ~now : summary =
   let min_v = ref infinity and max_v = ref neg_infinity in
   let hist = Array.make hist_buckets 0 in
   let phase = Hashtbl.create 8 in
+  let alloc = Hashtbl.create 8 in
+  let alloc_b = ref 0.0 in
   Array.iter
     (fun b ->
       if b.b_epoch >= 0 && now_epoch - b.b_epoch < n then begin
@@ -159,7 +179,13 @@ let summary t ~now : summary =
           (fun name r ->
             Hashtbl.replace phase name
               (!r +. Option.value (Hashtbl.find_opt phase name) ~default:0.0))
-          b.b_phase
+          b.b_phase;
+        Hashtbl.iter
+          (fun name r ->
+            Hashtbl.replace alloc name
+              (!r +. Option.value (Hashtbl.find_opt alloc name) ~default:0.0))
+          b.b_alloc;
+        alloc_b := !alloc_b +. b.b_alloc_b
       end)
     t.buckets;
   let pct k = if !requests = 0 then 0.0 else 100.0 *. float_of_int k /. float_of_int !requests in
@@ -179,6 +205,11 @@ let summary t ~now : summary =
       List.sort
         (fun (_, a) (_, b) -> compare b a)
         (Hashtbl.fold (fun name us acc -> (name, us) :: acc) phase []);
+    s_alloc_b = !alloc_b;
+    s_alloc_phase_b =
+      List.sort
+        (fun (_, a) (_, b) -> compare b a)
+        (Hashtbl.fold (fun name bts acc -> (name, bts) :: acc) alloc []);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -219,9 +250,9 @@ let breaches (o : objectives) (s : summary) : breach list =
 let pp_summary fmt (s : summary) =
   Format.fprintf fmt
     "window %.0fs: %d requests (%d measured) — p50 %.0fus p95 %.0fus p99 %.0fus, \
-     shed %.1f%%, internal %.1f%%"
+     shed %.1f%%, internal %.1f%%, alloc %.0fkB"
     s.s_window_s s.s_requests s.s_observed s.s_p50_us s.s_p95_us s.s_p99_us
-    s.s_shed_pct s.s_internal_pct
+    s.s_shed_pct s.s_internal_pct (s.s_alloc_b /. 1024.0)
 
 let summary_json (s : summary) =
   let j = Tm.Json.float in
@@ -239,4 +270,8 @@ let summary_json (s : summary) =
       ("internal_pct", j s.s_internal_pct);
       ( "phase_us",
         Tm.Json.obj (List.map (fun (name, us) -> (name, j us)) s.s_phase_us) );
+      ("alloc_b", j s.s_alloc_b);
+      ( "alloc_phase_b",
+        Tm.Json.obj
+          (List.map (fun (name, bts) -> (name, j bts)) s.s_alloc_phase_b) );
     ]

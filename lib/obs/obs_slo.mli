@@ -18,6 +18,8 @@ val observe :
   now:float ->
   ?latency_us:float ->
   ?phases:(string * float) list ->
+  ?allocs:(string * float) list ->
+  ?alloc_b:float ->
   shed:bool ->
   internal:bool ->
   unit ->
@@ -26,7 +28,8 @@ val observe :
     [latency_us] is supplied for requests that ran (the same value the
     [serve.latency_us] histogram observes); sheds have none.  [phases]
     is the request's per-phase attribution [(phase, microseconds)],
-    aggregated per bucket. *)
+    [allocs] its allocation twin [(phase, bytes)], and [alloc_b] the
+    request's total allocated bytes — all aggregated per bucket. *)
 
 type summary = {
   s_window_s : float;
@@ -40,6 +43,8 @@ type summary = {
   s_shed_pct : float;
   s_internal_pct : float;
   s_phase_us : (string * float) list; (* per-phase self-time, largest first *)
+  s_alloc_b : float; (* total request allocation in the window, bytes *)
+  s_alloc_phase_b : (string * float) list; (* per-phase allocation, largest first *)
 }
 
 val summary : t -> now:float -> summary

@@ -150,6 +150,7 @@ module Sample = struct
     s_name : string;
     s_warmup : int;
     s_times : float array; (* seconds per repetition, monotonic wall clock *)
+    s_allocs : float array; (* words allocated per repetition *)
     s_gc : Gc_delta.t; (* over all measured repetitions *)
     s_counters : (string * int) list; (* telemetry counter deltas, name order *)
     s_phases : (string * float) list; (* phase self-time seconds *)
@@ -160,6 +161,17 @@ module Sample = struct
   let median s = Stat.median s.s_times
   let mad s = Stat.mad s.s_times
   let ci s = Stat.bootstrap_ci s.s_times
+
+  (** Median words allocated per repetition (nan when the sample predates
+      allocation capture — old baselines load with [s_allocs = [||]]). *)
+  let alloc_median s =
+    if Array.length s.s_allocs = 0 then nan else Stat.median s.s_allocs
+
+  let alloc_ci s = Stat.bootstrap_ci s.s_allocs
+
+  (** Median bytes allocated per repetition. *)
+  let alloc_bytes_median s =
+    alloc_median s *. float_of_int Telemetry.bytes_per_word
 
   (** Counter delta per second of median repetition — the tokens/s,
       attrs/s, delta-cycles/s figures of the scaling curves. *)
@@ -214,6 +226,33 @@ let spin seconds =
     ()
   done
 
+(* The allocation twin of VHDLC_PERF_PERTURB: "BYTES" allocates an extra
+   BYTES bytes in every measured repetition, "NAME:BYTES" only in
+   experiments whose name contains NAME.  This is how the alloc half of
+   the regression gate is tested end to end — a planted 2x bytes/compile
+   blow-up must flip [vhdlc bench --against] to a non-zero exit. *)
+
+let perturb_alloc_env = "VHDLC_PERF_PERTURB_ALLOC"
+
+let perturb_alloc_b ~name =
+  match Sys.getenv_opt perturb_alloc_env with
+  | None -> 0
+  | Some v ->
+    let target, bytes =
+      match String.rindex_opt v ':' with
+      | Some i -> (String.sub v 0 i, String.sub v (i + 1) (String.length v - i - 1))
+      | None -> ("", v)
+    in
+    if target = "" || contains ~sub:target name then
+      max 0 (Option.value (int_of_string_opt bytes) ~default:0)
+    else 0
+
+(* visible to the GC allocation counters whether or not the block
+   survives; opaque_identity keeps flambda-style optimizers from
+   deleting the dead allocation *)
+let alloc_ballast bytes =
+  if bytes > 0 then ignore (Sys.opaque_identity (Bytes.create bytes))
+
 (* ------------------------------------------------------------------ *)
 (* The session runner *)
 
@@ -225,9 +264,11 @@ let spin seconds =
     (read after the last repetition) supplies the phase self-times. *)
 let run ?(warmup = 1) ?(repeats = 5) ?quota_s ?phases ~name f =
   let extra = perturb_s ~name in
+  let extra_b = perturb_alloc_b ~name in
   let call () =
     f ();
-    if extra > 0.0 then spin extra
+    if extra > 0.0 then spin extra;
+    alloc_ballast extra_b
   in
   for _ = 1 to warmup do
     call ()
@@ -235,6 +276,7 @@ let run ?(warmup = 1) ?(repeats = 5) ?quota_s ?phases ~name f =
   let snap = Telemetry.snapshot () in
   let gc0 = Gc.quick_stat () in
   let times = ref [] in
+  let allocs = ref [] in
   let t_begin = now () in
   let n = ref 0 in
   let within_quota () =
@@ -242,8 +284,14 @@ let run ?(warmup = 1) ?(repeats = 5) ?quota_s ?phases ~name f =
   in
   while !n < max 1 repeats && within_quota () do
     let t0 = now () in
+    let a0 = Telemetry.allocated_words_now () in
     call ();
+    (* the counter read itself allocates a tuple, charged to the *next*
+       repetition's delta — a few words against millions, not worth a
+       correction term *)
+    let a1 = Telemetry.allocated_words_now () in
     times := (now () -. t0) :: !times;
+    allocs := Float.max 0.0 (a1 -. a0) :: !allocs;
     incr n
   done;
   let gc = Gc_delta.between gc0 (Gc.quick_stat ()) in
@@ -251,6 +299,7 @@ let run ?(warmup = 1) ?(repeats = 5) ?quota_s ?phases ~name f =
     Sample.s_name = name;
     s_warmup = warmup;
     s_times = Array.of_list (List.rev !times);
+    s_allocs = Array.of_list (List.rev !allocs);
     s_gc = gc;
     s_counters = Telemetry.delta snap;
     s_phases = (match phases with Some f -> f () | None -> []);
@@ -525,6 +574,9 @@ module Report = struct
         ("mad_s", Json.float (Sample.mad s));
         ("ci_lo_s", Json.float lo);
         ("ci_hi_s", Json.float hi);
+        ( "allocs_w",
+          Json.arr (Array.to_list (Array.map Json.float s.Sample.s_allocs)) );
+        ("alloc_b_per_rep", Json.float (Sample.alloc_bytes_median s));
         ( "gc",
           Json.obj
             [
@@ -573,6 +625,14 @@ module Report = struct
     let warmup =
       Option.value (Option.bind (Json_in.mem "warmup" j) Json_in.to_int) ~default:0
     in
+    (* absent in pre-alloc baselines: load as [||], the diff then skips
+       the alloc row for that experiment rather than failing the parse *)
+    let allocs =
+      match Json_in.mem "allocs_w" j with
+      | Some (Json_in.Arr items) ->
+        Array.of_list (List.filter_map Json_in.to_num items)
+      | _ -> [||]
+    in
     let gc =
       match Json_in.mem "gc" j with
       | None -> Gc_delta.zero
@@ -602,6 +662,7 @@ module Report = struct
         Sample.s_name = name;
         s_warmup = warmup;
         s_times = times;
+        s_allocs = allocs;
         s_gc = gc;
         s_counters = int_fields "counters";
         s_phases = num_fields "phases";
@@ -676,8 +737,39 @@ module Diff = struct
       ~base:(Sample.median base, Sample.ci base)
       ~cur:(Sample.median cur, Sample.ci cur)
 
-  let compare_reports ?(threshold = 0.25) ~(baseline : Report.t)
-      ~(current : Report.t) () =
+  (* Allocation rows ride the same row type with a marker suffix; their
+     d_base/d_cur are bytes per repetition, and [pp] formats them as
+     such.  The default alloc threshold is tighter than the time one:
+     repetition-to-repetition allocation is near-deterministic (no
+     scheduler in the way), so 50% is already far above the noise while
+     a planted 2x blow-up clears it with room to spare. *)
+  let alloc_suffix = " [alloc]"
+
+  let is_alloc_row r =
+    let n = String.length r.d_name and l = String.length alloc_suffix in
+    n >= l && String.sub r.d_name (n - l) l = alloc_suffix
+
+  let alloc_row ~alloc_threshold ~name (base : Sample.t) (cur : Sample.t) =
+    if Array.length base.Sample.s_allocs = 0 || Array.length cur.Sample.s_allocs = 0
+    then None (* one side predates allocation capture: nothing to gate *)
+    else begin
+      let bpw = float_of_int Telemetry.bytes_per_word in
+      let bm = Sample.alloc_median base and cm = Sample.alloc_median cur in
+      Some
+        {
+          d_name = name ^ alloc_suffix;
+          d_base = bm *. bpw;
+          d_cur = cm *. bpw;
+          d_ratio = (if bm > 0.0 then cm /. bm else nan);
+          d_verdict =
+            verdict_of_stats ~threshold:alloc_threshold
+              ~base:(bm, Sample.alloc_ci base)
+              ~cur:(cm, Sample.alloc_ci cur);
+        }
+    end
+
+  let compare_reports ?(threshold = 0.25) ?(alloc_threshold = 0.5)
+      ~(baseline : Report.t) ~(current : Report.t) () =
     let base_by_name =
       List.map (fun (s : Sample.t) -> (s.Sample.s_name, s)) baseline.Report.r_samples
     in
@@ -685,18 +777,20 @@ module Diff = struct
       List.map (fun (s : Sample.t) -> s.Sample.s_name) current.Report.r_samples
     in
     let rows =
-      List.map
+      List.concat_map
         (fun (cur : Sample.t) ->
           let name = cur.Sample.s_name in
           match List.assoc_opt name base_by_name with
           | None ->
-            {
-              d_name = name;
-              d_base = nan;
-              d_cur = Sample.median cur;
-              d_ratio = nan;
-              d_verdict = Added;
-            }
+            [
+              {
+                d_name = name;
+                d_base = nan;
+                d_cur = Sample.median cur;
+                d_ratio = nan;
+                d_verdict = Added;
+              };
+            ]
           | Some base ->
             let bm = Sample.median base and cm = Sample.median cur in
             {
@@ -705,7 +799,8 @@ module Diff = struct
               d_cur = cm;
               d_ratio = (if bm > 0.0 then cm /. bm else nan);
               d_verdict = verdict ~threshold base cur;
-            })
+            }
+            :: Option.to_list (alloc_row ~alloc_threshold ~name base cur))
         current.Report.r_samples
     in
     let removed =
@@ -799,13 +894,20 @@ module Diff = struct
     else if s >= 1e-3 then Format.fprintf fmt "%8.2fms" (s *. 1e3)
     else Format.fprintf fmt "%8.1fus" (s *. 1e6)
 
+  let pp_bytes fmt b =
+    if Float.is_nan b then Format.fprintf fmt "%10s" "-"
+    else if b >= 1048576.0 then Format.fprintf fmt "%8.2fMB" (b /. 1048576.0)
+    else if b >= 1024.0 then Format.fprintf fmt "%8.2fkB" (b /. 1024.0)
+    else Format.fprintf fmt "%9.0fB" b
+
   let pp fmt rows =
     Format.fprintf fmt "@[<v>%-36s %10s %10s %8s  %s@,"
       "experiment" "baseline" "current" "ratio" "verdict";
     List.iter
       (fun r ->
-        Format.fprintf fmt "%-36s %a %a %7s  %s@," r.d_name pp_seconds r.d_base
-          pp_seconds r.d_cur
+        let pp_value = if is_alloc_row r then pp_bytes else pp_seconds in
+        Format.fprintf fmt "%-36s %a %a %7s  %s@," r.d_name pp_value r.d_base
+          pp_value r.d_cur
           (if Float.is_nan r.d_ratio then "-"
            else Printf.sprintf "%.2fx" r.d_ratio)
           (verdict_name r.d_verdict))
@@ -827,13 +929,17 @@ module Flame = struct
   type frame = {
     fr_start : float;
     fr_end : float;
+    fr_alloc : float; (* words allocated while open, children included *)
     fr_path : string list; (* innermost first *)
     mutable fr_child : float; (* seconds spent in direct children *)
+    mutable fr_child_aw : float; (* words allocated by direct children *)
   }
 
   let eps = 1e-9
 
-  (* (reversed path, self seconds) per span, in visit order *)
+  (* (reversed path, self seconds, self allocated words) per span, in
+     visit order.  Allocation self-attribution is the same subtraction
+     as time: a span's total minus its direct children's totals. *)
   let annotate (spans : Telemetry.span list) =
     let spans =
       List.sort
@@ -862,6 +968,7 @@ module Flame = struct
           match !stack with
           | parent :: _ ->
             parent.fr_child <- parent.fr_child +. sp.Telemetry.sp_dur;
+            parent.fr_child_aw <- parent.fr_child_aw +. sp.Telemetry.sp_alloc_w;
             parent.fr_path
           | [] -> []
         in
@@ -869,53 +976,77 @@ module Flame = struct
           {
             fr_start = s;
             fr_end = e;
+            fr_alloc = sp.Telemetry.sp_alloc_w;
             fr_path = sp.Telemetry.sp_name :: parent_path;
             fr_child = 0.0;
+            fr_child_aw = 0.0;
           }
         in
         stack := fr :: !stack;
         finished := fr :: !finished)
       spans;
     List.rev_map
-      (fun fr -> (fr.fr_path, Float.max 0.0 (fr.fr_end -. fr.fr_start -. fr.fr_child)))
+      (fun fr ->
+        ( fr.fr_path,
+          Float.max 0.0 (fr.fr_end -. fr.fr_start -. fr.fr_child),
+          Float.max 0.0 (fr.fr_alloc -. fr.fr_child_aw) ))
       !finished
 
-  (** Aggregated self time per span name, in seconds — the totals the
-      folded output must add up to. *)
-  let self_times spans =
+  let sum_by_name extract spans =
     let tbl = Hashtbl.create 16 in
     List.iter
-      (fun (path, self) ->
+      (fun ((path, _, _) as entry) ->
         match path with
         | name :: _ ->
           Hashtbl.replace tbl name
-            (self +. Option.value (Hashtbl.find_opt tbl name) ~default:0.0)
+            (extract entry
+            +. Option.value (Hashtbl.find_opt tbl name) ~default:0.0)
         | [] -> ())
       (annotate spans);
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
     |> List.sort compare
 
-  (** Collapsed-stack ("folded") output: one line per distinct stack,
-      [root;child;leaf <self-microseconds>], the input format of
-      flamegraph.pl and of speedscope's "from text" importer.  Stacks
-      whose self time rounds to zero microseconds are dropped. *)
-  let folded spans =
+  (** Aggregated self time per span name, in seconds — the totals the
+      folded output must add up to. *)
+  let self_times spans = sum_by_name (fun (_, self, _) -> self) spans
+
+  (** Aggregated self-allocated words per span name — the totals
+      {!folded_alloc} conserves exactly. *)
+  let self_allocs spans = sum_by_name (fun (_, _, aw) -> aw) spans
+
+  let folded_by extract ~scale spans =
     let tbl = Hashtbl.create 64 in
     let order = ref [] in
     List.iter
-      (fun (path, self) ->
+      (fun ((path, _, _) as entry) ->
         let key = String.concat ";" (List.rev path) in
         if not (Hashtbl.mem tbl key) then order := key :: !order;
         Hashtbl.replace tbl key
-          (self +. Option.value (Hashtbl.find_opt tbl key) ~default:0.0))
+          (extract entry +. Option.value (Hashtbl.find_opt tbl key) ~default:0.0))
       (annotate spans);
     let buf = Buffer.create 256 in
     List.iter
       (fun key ->
-        let us =
-          int_of_float (Float.round (Hashtbl.find tbl key *. 1e6))
-        in
-        if us > 0 then Buffer.add_string buf (Printf.sprintf "%s %d\n" key us))
+        let count = int_of_float (Float.round (Hashtbl.find tbl key *. scale)) in
+        if count > 0 then
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" key count))
       (List.rev !order);
     Buffer.contents buf
+
+  (** Collapsed-stack ("folded") output: one line per distinct stack,
+      [root;child;leaf <self-microseconds>], the input format of
+      flamegraph.pl and of speedscope's "from text" importer.  Stacks
+      whose self time rounds to zero microseconds are dropped. *)
+  let folded spans = folded_by (fun (_, self, _) -> self) ~scale:1e6 spans
+
+  (** The allocation flamegraph: same folded format with self-allocated
+      {e bytes} as the counts.  Word counts are integral, so the per-line
+      byte conversion is exact and the folded totals equal
+      {!self_allocs} (times the word size) with no rounding drift;
+      zero-allocation stacks are dropped. *)
+  let folded_alloc spans =
+    folded_by
+      (fun (_, _, aw) -> aw)
+      ~scale:(float_of_int Telemetry.bytes_per_word)
+      spans
 end

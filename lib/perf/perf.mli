@@ -44,6 +44,7 @@ module Sample : sig
     s_name : string;
     s_warmup : int;
     s_times : float array; (* seconds per repetition, monotonic wall clock *)
+    s_allocs : float array; (* words allocated per repetition *)
     s_gc : Gc_delta.t; (* over all measured repetitions *)
     s_counters : (string * int) list; (* telemetry counter deltas *)
     s_phases : (string * float) list; (* phase self-time seconds *)
@@ -54,6 +55,16 @@ module Sample : sig
   val median : t -> float
   val mad : t -> float
   val ci : t -> float * float
+
+  val alloc_median : t -> float
+  (** Median words allocated per repetition; [nan] when the sample
+      predates allocation capture ([s_allocs = [||]]). *)
+
+  val alloc_ci : t -> float * float
+
+  val alloc_bytes_median : t -> float
+  (** {!alloc_median} in bytes — the bytes/compile figure the report
+      persists and the gate compares. *)
 
   val rate : t -> string -> float option
   (** [rate s counter] is the counter's per-repetition delta divided by
@@ -71,6 +82,16 @@ val perturb_env : string
 val perturb_s : name:string -> float
 (** Extra seconds the hook injects into experiment [name] (0 when the
     variable is unset or names a different experiment). *)
+
+val perturb_alloc_env : string
+(** ["VHDLC_PERF_PERTURB_ALLOC"] — the allocation twin of the slowdown
+    seam: ["BYTES"] allocates BYTES extra bytes in every measured
+    repetition, ["NAME:BYTES"] only in experiments whose name contains
+    NAME.  Exercises the alloc half of the regression gate end to end. *)
+
+val perturb_alloc_b : name:string -> int
+(** Extra bytes the hook injects into experiment [name] (0 when unset or
+    targeting a different experiment). *)
 
 val run :
   ?warmup:int ->
@@ -138,13 +159,31 @@ module Diff : sig
     d_verdict : verdict;
   }
 
+  val alloc_suffix : string
+  (** [" [alloc]"] — appended to the experiment name on allocation rows,
+      whose [d_base]/[d_cur] are bytes per repetition, not seconds. *)
+
+  val is_alloc_row : row -> bool
+
   val compare_reports :
-    ?threshold:float -> baseline:Report.t -> current:Report.t -> unit -> row list
+    ?threshold:float ->
+    ?alloc_threshold:float ->
+    baseline:Report.t ->
+    current:Report.t ->
+    unit ->
+    row list
   (** Match experiments by name and classify each.  A change is only
       significant when the median ratio clears [threshold] (default
       0.25, i.e. 25%) {e and} the bootstrap confidence intervals of the
       two medians are disjoint — so a 2x slowdown is flagged while
-      sub-noise jitter is not, regardless of sample luck. *)
+      sub-noise jitter is not, regardless of sample luck.
+
+      When both sides carry per-repetition allocation samples, each
+      experiment also yields a ["name [alloc]"] row gated the same way
+      at [alloc_threshold] (default 0.5 — allocation is near-
+      deterministic rep to rep, so 50% is far above noise while a
+      planted 2x blow-up trips it).  Experiments whose baseline predates
+      allocation capture get no alloc row. *)
 
   val compare_series :
     ?threshold:float ->
@@ -170,9 +209,19 @@ module Flame : sig
   (** Aggregated self time (duration minus direct children) per span
       name, seconds, sorted by name. *)
 
+  val self_allocs : Telemetry.span list -> (string * float) list
+  (** Aggregated self-allocated words ([sp_alloc_w] minus direct
+      children's) per span name, sorted by name. *)
+
   val folded : Telemetry.span list -> string
   (** One line per distinct stack, [root;child;leaf <self-us>] — the
       input format of flamegraph.pl and speedscope.  Lines whose self
       time rounds to zero microseconds are dropped, so the folded totals
       equal {!self_times} within rounding. *)
+
+  val folded_alloc : Telemetry.span list -> string
+  (** The allocation flamegraph: same folded format with self-allocated
+      bytes as the counts.  Word counts are integral, so the folded
+      totals equal {!self_allocs} (times the word size) {e exactly};
+      zero-allocation stacks are dropped. *)
 end

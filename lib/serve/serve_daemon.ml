@@ -54,6 +54,7 @@ let m_oversized = Tm.counter "serve.oversized"
 let m_bad_requests = Tm.counter "serve.bad_requests"
 let m_connections = Tm.counter "serve.connections"
 let m_breaches = Tm.counter "serve.slo_breaches"
+let m_heap_breaches = Tm.counter "serve.heap_breaches"
 let m_latency = Tm.histogram "serve.latency_us"
 let g_queue_depth = Tm.gauge "serve.queue_depth"
 
@@ -71,6 +72,7 @@ type config = {
   d_span_cap : int; (* per-request span buffer (0 = no exemplars) *)
   d_exemplar_k : float; (* slow = k x window p50, absent an objective *)
   d_exemplar_min_obs : int; (* window samples before k*p50 is trusted *)
+  d_heap_growth_pct : float; (* heap watchdog threshold (0 = disabled) *)
   d_log : string -> unit;
 }
 
@@ -89,6 +91,7 @@ let default_config =
     d_span_cap = 512;
     d_exemplar_k = 4.0;
     d_exemplar_min_obs = 8;
+    d_heap_growth_pct = 0.0;
     d_log = ignore;
   }
 
@@ -113,6 +116,10 @@ type t = {
   mutable breached : string list; (* metrics currently in breach *)
   mutable last_request : (int * string * string * float) option;
       (* rid, verb, status, service seconds — for stats and dumps *)
+  heap_ts : float array; (* heap watchdog ring: sample times ... *)
+  heap_w : float array; (* ... and live heap words *)
+  mutable heap_len : int; (* samples currently in the ring *)
+  mutable heap_pos : int; (* next slot to write *)
   mutable conns : conn list; (* still reading their request frame *)
   mutable draining : bool;
   mutable stop : bool; (* drain finished: leave the loop *)
@@ -194,7 +201,9 @@ let emit_start t conn ~verb ?queue_wait_us ?reason () =
     summarizes compile service time, not bookkeeping — while their
     finish events still carry [service_us] and phases so the log-level
     phase-sum invariant holds for every finish. *)
-let finish ?service_us ?(phases = []) ?(observe_latency = true) t conn resp =
+let finish ?service_us ?(phases = []) ?(allocs = []) ?alloc_b
+    ?(alloc_minor_b = 0.0) ?(alloc_major_b = 0.0) ?(observe_latency = true) t
+    conn resp =
   Tm.incr m_requests;
   let resp = { resp with Serve_protocol.rs_request_id = Some conn.rid } in
   let fate = send_response conn resp in
@@ -208,6 +217,9 @@ let finish ?service_us ?(phases = []) ?(observe_latency = true) t conn resp =
   Obs_slo.observe t.slo ~now:(now ())
     ?latency_us:(if observe_latency then service_us else None)
     ~phases:(if observe_latency then phases else [])
+    ~allocs:(if observe_latency then allocs else [])
+    ~alloc_b:
+      (if observe_latency then Option.value alloc_b ~default:0.0 else 0.0)
     ~shed
     ~internal:(status = Serve_protocol.Internal) ();
   let base =
@@ -236,6 +248,17 @@ let finish ?service_us ?(phases = []) ?(observe_latency = true) t conn resp =
              | Some x -> [ ("service_us", Obs_event.F x) ]
              | None -> []);
              Obs_attr.fields phases;
+             (* the allocation attribution: al_* per phase plus the
+                totals the check_log invariant ties them to *)
+             (match alloc_b with
+             | Some total ->
+               Obs_attr.fields_alloc allocs
+               @ [
+                   ("alloc_b", Obs_event.F total);
+                   ("alloc_minor_b", Obs_event.F alloc_minor_b);
+                   ("alloc_major_b", Obs_event.F alloc_major_b);
+                 ]
+             | None -> []);
              (if resp.Serve_protocol.rs_wedged then [ ("wedged", Obs_event.I 1) ]
               else []);
            ])
@@ -249,7 +272,8 @@ let finish_inline ~t0 t conn resp =
   let svc = (now () -. t0) *. 1e6 in
   finish ~service_us:svc
     ~phases:[ ("other", svc) ]
-    ~observe_latency:false t conn resp
+    ~allocs:[ ("other", 0.0) ]
+    ~alloc_b:0.0 ~observe_latency:false t conn resp
 
 (* ------------------------------------------------------------------ *)
 (* Flight dumps *)
@@ -277,6 +301,8 @@ let dump_flight_now ?(reason = "manual") t =
 (* Frame and request intake *)
 
 let stats_body t =
+  Tm.sample_gc (); (* stats must show the heap as of now, not of the
+                      last phase close *)
   let b = Buffer.create 256 in
   let c name = Printf.bprintf b "%s %d\n" name (Tm.counter_value name) in
   List.iter c
@@ -285,21 +311,26 @@ let stats_body t =
       "serve.torn_frames"; "serve.oversized"; "serve.bad_requests";
       "serve.faults_contained"; "serve.timeouts"; "serve.wedges";
       "serve.worker_recycles"; "serve.connections"; "serve.events";
-      "serve.flight_dumps"; "serve.slo_breaches";
+      "serve.flight_dumps"; "serve.slo_breaches"; "serve.heap_breaches";
     ];
   Printf.bprintf b "serve.queue_depth %d\n" (Serve_queue.length t.queue);
   Printf.bprintf b "serve.latency_us.p50 %.0f\n" (Tm.percentile m_latency 0.50);
   Printf.bprintf b "serve.latency_us.p99 %.0f\n" (Tm.percentile m_latency 0.99);
   Printf.bprintf b "serve.worker_generation %d\n" (Serve_worker.generation t.worker);
   Printf.bprintf b "serve.worker_served %d\n" (Serve_worker.served t.worker);
+  let st = Gc.quick_stat () in
+  Printf.bprintf b "gc.heap_words %d\n" st.Gc.heap_words;
+  Printf.bprintf b "gc.top_heap_words %d\n" st.Gc.top_heap_words;
   Buffer.contents b
 
 (** The machine-readable stats document `vhdlc request stats --json` and
     `vhdlc top` read: ledger, queue, worker, latency percentiles, the
     last serviced request, and the live SLO window. *)
 let stats_json t =
+  Tm.sample_gc ();
   let module J = Tm.Json in
   let c name = (name, J.int (Tm.counter_value name)) in
+  let st = Gc.quick_stat () in
   J.obj
     [
       ("uptime_s", J.float (now ()));
@@ -313,6 +344,7 @@ let stats_json t =
                "serve.bad_requests"; "serve.faults_contained"; "serve.timeouts";
                "serve.wedges"; "serve.worker_recycles"; "serve.connections";
                "serve.events"; "serve.flight_dumps"; "serve.slo_breaches";
+               "serve.heap_breaches";
              ]) );
       ( "queue",
         J.obj
@@ -333,6 +365,13 @@ let stats_json t =
             ("p50", J.float (Tm.percentile m_latency 0.50));
             ("p90", J.float (Tm.percentile m_latency 0.90));
             ("p99", J.float (Tm.percentile m_latency 0.99));
+          ] );
+      ( "heap",
+        J.obj
+          [
+            ("live_words", J.int st.Gc.heap_words);
+            ("top_words", J.int st.Gc.top_heap_words);
+            ("allocated_words", J.float (Tm.allocated_words_now ()));
           ] );
       ( "last_request",
         match t.last_request with
@@ -362,6 +401,9 @@ let slo_body t =
   (match Obs_attr.attribution s.Obs_slo.s_phase_us with
   | "" -> ()
   | att -> Printf.bprintf b "driven by: %s\n" att);
+  (match Obs_attr.attribution s.Obs_slo.s_alloc_phase_b with
+  | "" -> ()
+  | att -> Printf.bprintf b "allocated by: %s\n" att);
   let breached metric = List.mem metric t.breached in
   pp_objective b "p99_ms" t.cfg.d_slo.Obs_slo.o_p99_ms
     (s.Obs_slo.s_p99_us /. 1000.0) (breached "p99_ms");
@@ -618,8 +660,19 @@ let process_one t =
           ~k:t.cfg.d_exemplar_k ~min_observed:t.cfg.d_exemplar_min_obs
       else None
     in
+    let bpw = float_of_int Tm.bytes_per_word in
+    let alloc_b = Serve_worker.last_alloc_w t.worker *. bpw in
+    let allocs =
+      Obs_attr.with_other_alloc ~alloc_b
+        (List.map
+           (fun (name, w) -> (name, w *. bpw))
+           (Serve_worker.last_allocs t.worker))
+    in
     let rid = conn.rid in
-    finish ~service_us ~phases t conn resp;
+    finish ~service_us ~phases ~allocs ~alloc_b
+      ~alloc_minor_b:(Serve_worker.last_alloc_minor_w t.worker *. bpw)
+      ~alloc_major_b:(Serve_worker.last_alloc_major_w t.worker *. bpw)
+      t conn resp;
     (match threshold_us with
     | Some th when service_us > th ->
       exemplar_dump t ~rid ~verb ~status ~service_us ~threshold_us:th ~phases
@@ -655,6 +708,10 @@ let create (cfg : config) =
     last_slo_check = now ();
     breached = [];
     last_request = None;
+    heap_ts = Array.make 64 0.0;
+    heap_w = Array.make 64 0.0;
+    heap_len = 0;
+    heap_pos = 0;
     conns = [];
     draining = false;
     stop = false;
@@ -683,6 +740,9 @@ let flush_metrics ?(event = true) t =
   match t.cfg.d_metrics_out with
   | None -> ()
   | Some path ->
+    (* the gc.* gauges otherwise refresh only at phase-frame close, so an
+       idle daemon would flush stale heap numbers forever *)
+    Tm.sample_gc ();
     let tmp = path ^ ".tmp" in
     (try
        Vhdl_util.Unix_compat.write_file tmp (Tm.metrics_json ());
@@ -731,6 +791,71 @@ let check_slo t =
     t.breached <- List.map (fun (b : Obs_slo.breach) -> b.Obs_slo.br_metric) brs
   end
 
+(** Heap-health watchdog: push one (time, live words) sample into the
+    ring per tick and, once the ring holds enough history, least-squares
+    fit live words against time.  When the fitted growth across the
+    sampled window exceeds [d_heap_growth_pct] percent, emit one
+    [heap_breach] event, dump the flight recorder, and clear the ring —
+    the edge trigger: a heap that leaked and then plateaus fires exactly
+    once, and re-arming requires fresh post-breach history. *)
+let heap_check t ~live_w =
+  let n = t.heap_len in
+  if t.cfg.d_heap_growth_pct > 0.0 && n >= 16 then begin
+    let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+    let t_min = ref infinity and t_max = ref neg_infinity in
+    for i = 0 to n - 1 do
+      if t.heap_ts.(i) < !t_min then t_min := t.heap_ts.(i);
+      if t.heap_ts.(i) > !t_max then t_max := t.heap_ts.(i)
+    done;
+    for i = 0 to n - 1 do
+      let x = t.heap_ts.(i) -. !t_min and y = t.heap_w.(i) in
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y)
+    done;
+    let fn = float_of_int n in
+    let denom = (fn *. !sxx) -. (!sx *. !sx) in
+    if denom > 0.0 then begin
+      let slope = ((fn *. !sxy) -. (!sx *. !sy)) /. denom in
+      let intercept = (!sy -. (slope *. !sx)) /. fn in
+      let span = !t_max -. !t_min in
+      let growth_pct = 100.0 *. slope *. span /. Float.max intercept 1.0 in
+      if growth_pct > t.cfg.d_heap_growth_pct then begin
+        Tm.incr m_heap_breaches;
+        Obs_log.event t.obs
+          ~fields:
+            [
+              ("live_words", Obs_event.F live_w);
+              ("growth_pct", Obs_event.F growth_pct);
+              ("window_s", Obs_event.F span);
+              ("objective", Obs_event.F t.cfg.d_heap_growth_pct);
+            ]
+          Obs_event.Heap_breach;
+        t.cfg.d_log
+          (Printf.sprintf
+             "heap breach: live words grew %.1f%% over %.1fs (objective %.1f%%)"
+             growth_pct span t.cfg.d_heap_growth_pct);
+        flight_dump t ~reason:"heap"
+          ?rid:(Option.map (fun (r, _, _, _) -> r) t.last_request)
+          ();
+        (* re-arm: drop the pre-breach history so the plateau that
+           follows a one-time step does not re-fire *)
+        t.heap_len <- 0;
+        t.heap_pos <- 0
+      end
+    end
+  end
+
+let heap_sample t =
+  let ts = now () in
+  let live_w = float_of_int (Gc.quick_stat ()).Gc.heap_words in
+  t.heap_ts.(t.heap_pos) <- ts;
+  t.heap_w.(t.heap_pos) <- live_w;
+  t.heap_pos <- (t.heap_pos + 1) mod Array.length t.heap_ts;
+  if t.heap_len < Array.length t.heap_ts then t.heap_len <- t.heap_len + 1;
+  heap_check t ~live_w
+
 (** Graceful drain: answer everything already admitted, shed the rest,
     flush telemetry, remove the socket. *)
 let shutdown t =
@@ -775,6 +900,7 @@ let tick ?(timeout_s = 0.05) t =
   reap_idle t;
   while process_one t do () done;
   check_slo t;
+  heap_sample t;
   if t.cfg.d_metrics_flush_ticks > 0 && t.ticks mod t.cfg.d_metrics_flush_ticks = 0
   then flush_metrics t;
   if t.draining && Serve_queue.length t.queue = 0 then t.stop <- true

@@ -23,7 +23,17 @@
     tracing is on, and a request slower than the adaptive threshold
     (the p99 objective, else [d_exemplar_k] x window p50) produces a
     rid-named exemplar dump — phase breakdown, counter delta, Chrome
-    trace — rate-limited and retention-capped. *)
+    trace — rate-limited and retention-capped.
+
+    Allocation attribution: every [finish] also carries per-phase
+    allocated bytes ([al_*] fields summing to [alloc_b], split into
+    [alloc_minor_b]/[alloc_major_b]), measured by GC-counter deltas on
+    the worker; SLO windows fold them into bytes-per-window and a
+    per-phase "allocated by" breakdown.  A heap-health watchdog samples
+    live words into a ring each tick and, when the least-squares fit
+    grows past [d_heap_growth_pct] over the window, emits one
+    edge-triggered [heap_breach] event plus a flight dump, then re-arms
+    on the next episode. *)
 
 type config = {
   d_socket : string;
@@ -39,6 +49,10 @@ type config = {
   d_span_cap : int; (* per-request span buffer (0 = no exemplars) *)
   d_exemplar_k : float; (* slow = k x window p50, absent an objective *)
   d_exemplar_min_obs : int; (* window samples before k*p50 is trusted *)
+  d_heap_growth_pct : float;
+      (* heap-health watchdog: emit [heap_breach] + flight dump when the
+         linear fit over the live-words ring grows past this percentage
+         across the sampled window (0 = disabled) *)
   d_log : string -> unit;
 }
 

@@ -102,12 +102,13 @@ type request = {
   rq_max_ns : int; (* Simulate: horizon *)
   rq_poison : string option; (* fault injection (daemon must allow) *)
   rq_spin_ms : int; (* fault injection: busy-wait before work *)
+  rq_hog_kb : int; (* fault injection: retain this many kB in the worker *)
   rq_json : bool; (* Stats/Slo: answer with a JSON body *)
   rq_source : string; (* VHDL source text *)
 }
 
 let request ?deadline_s ?fuel ?top ?(max_ns = 1000) ?poison ?(spin_ms = 0)
-    ?(json = false) ?(source = "") verb =
+    ?(hog_kb = 0) ?(json = false) ?(source = "") verb =
   {
     rq_verb = verb;
     rq_deadline_s = deadline_s;
@@ -116,6 +117,7 @@ let request ?deadline_s ?fuel ?top ?(max_ns = 1000) ?poison ?(spin_ms = 0)
     rq_max_ns = max_ns;
     rq_poison = poison;
     rq_spin_ms = spin_ms;
+    rq_hog_kb = hog_kb;
     rq_json = json;
     rq_source = source;
   }
@@ -211,6 +213,7 @@ let encode_request (r : request) =
         (if r.rq_max_ns <> 1000 then [ Printf.sprintf "ns=%d" r.rq_max_ns ] else []);
         opt_field "poison" Fun.id r.rq_poison;
         (if r.rq_spin_ms <> 0 then [ Printf.sprintf "spin_ms=%d" r.rq_spin_ms ] else []);
+        (if r.rq_hog_kb <> 0 then [ Printf.sprintf "hog_kb=%d" r.rq_hog_kb ] else []);
         (if r.rq_json then [ "json=1" ] else []);
       ]
   in
@@ -243,9 +246,10 @@ let decode_request payload : (request, string) result =
           | None -> Error (Printf.sprintf "bad number for %s: %S" name s))
       in
       match (float_opt "deadline", int_field "ns" ~default:1000,
-             int_field "spin_ms" ~default:0) with
-      | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
-      | Ok deadline, Ok max_ns, Ok spin_ms ->
+             int_field "spin_ms" ~default:0, int_field "hog_kb" ~default:0) with
+      | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+        Error e
+      | Ok deadline, Ok max_ns, Ok spin_ms, Ok hog_kb ->
         let fuel =
           match f "fuel" with Some s -> int_of_string_opt s | None -> None
         in
@@ -258,6 +262,7 @@ let decode_request payload : (request, string) result =
             rq_max_ns = max_ns;
             rq_poison = f "poison";
             rq_spin_ms = spin_ms;
+            rq_hog_kb = hog_kb;
             rq_json = List.mem_assoc "json" fields;
             rq_source = body;
           }))

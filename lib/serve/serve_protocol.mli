@@ -53,6 +53,7 @@ type request = {
   rq_max_ns : int; (* Simulate: horizon (default 1000) *)
   rq_poison : string option; (* fault injection (daemon must allow) *)
   rq_spin_ms : int; (* fault injection: busy-wait before work *)
+  rq_hog_kb : int; (* fault injection: retain this many kB in the worker *)
   rq_json : bool; (* Stats/Slo: answer with a JSON body *)
   rq_source : string;
 }
@@ -64,6 +65,7 @@ val request :
   ?max_ns:int ->
   ?poison:string ->
   ?spin_ms:int ->
+  ?hog_kb:int ->
   ?json:bool ->
   ?source:string ->
   verb ->

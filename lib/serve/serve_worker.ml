@@ -36,7 +36,7 @@ type config = {
   w_default_deadline_s : float; (* when the request names none *)
   w_max_deadline_s : float; (* requests cannot ask for more *)
   w_watchdog_grace_s : float; (* watchdog = deadline + grace *)
-  w_allow_faults : bool; (* honor poison= / spin_ms= request fields *)
+  w_allow_faults : bool; (* honor poison= / spin_ms= / hog_kb= request fields *)
   w_recycle_every : int; (* fresh compiler every N requests *)
   w_budgets : Supervisor.budgets; (* base limits under request overrides *)
   w_ref_libs : (string * string) list; (* reference libraries (name, dir) *)
@@ -60,6 +60,13 @@ type t = {
   mutable generation : int; (* bumped by every recycle *)
   mutable last_phases : (string * float) list;
       (* per-phase self-time (seconds) of the last handled request *)
+  mutable last_allocs : (string * float) list;
+      (* per-phase self-allocated words of the last handled request *)
+  mutable last_alloc_minor_w : float; (* minor words of the last request *)
+  mutable last_alloc_major_w : float; (* direct-major words (promotions excluded) *)
+  mutable hog : Bytes.t list;
+      (* fault injection: blocks retained by hog_kb= requests — the planted
+         leak the heap-health watchdog must catch *)
 }
 
 let fresh_compiler cfg =
@@ -76,11 +83,21 @@ let create cfg =
     served = 0;
     generation = 0;
     last_phases = [];
+    last_allocs = [];
+    last_alloc_minor_w = 0.0;
+    last_alloc_major_w = 0.0;
+    hog = [];
   }
 
 let generation t = t.generation
 let served t = t.served
 let last_phases t = t.last_phases
+let last_allocs t = t.last_allocs
+let last_alloc_minor_w t = t.last_alloc_minor_w
+let last_alloc_major_w t = t.last_alloc_major_w
+
+(** Total words the last request allocated (minor + direct-major). *)
+let last_alloc_w t = t.last_alloc_minor_w +. t.last_alloc_major_w
 
 (** Replace the warm compiler — after a wedge or an unclassified escape
     (the interrupted state may be inconsistent), and periodically to bound
@@ -88,6 +105,7 @@ let last_phases t = t.last_phases
 let recycle t =
   t.compiler <- fresh_compiler t.cfg;
   t.generation <- t.generation + 1;
+  t.hog <- []; (* a fresh worker drops the planted leak with the rest *)
   Tm.incr m_recycles
 
 (* ------------------------------------------------------------------ *)
@@ -284,11 +302,18 @@ let handle t (rq : Serve_protocol.request) : Serve_protocol.response =
   t.served <- t.served + 1;
   let timer0 = Vhdl_compiler.timer t.compiler in
   let phases_before = Vhdl_util.Phase_timer.report timer0 in
+  let allocs_before = Vhdl_util.Phase_timer.report_alloc timer0 in
+  (* exact minor count from the external — [Gc.counters]' own word
+     fields are flushed only at collection boundaries on OCaml 5.1 *)
+  let mi0 = Gc.minor_words () in
+  let _, pr0, ma0 = Gc.counters () in
   let deadline_s = effective_deadline t.cfg rq in
   Vhdl_compiler.set_budgets t.compiler (request_budgets t.cfg rq ~deadline_s);
   let fault_denied =
     (not t.cfg.w_allow_faults)
-    && (rq.Serve_protocol.rq_poison <> None || rq.Serve_protocol.rq_spin_ms > 0)
+    && (rq.Serve_protocol.rq_poison <> None
+       || rq.Serve_protocol.rq_spin_ms > 0
+       || rq.Serve_protocol.rq_hog_kb > 0)
   in
   let resp =
     if fault_denied then
@@ -298,6 +323,10 @@ let handle t (rq : Serve_protocol.request) : Serve_protocol.response =
       match
         with_watchdog ~seconds:(deadline_s +. t.cfg.w_watchdog_grace_s) (fun () ->
             if rq.Serve_protocol.rq_spin_ms > 0 then spin_for rq.Serve_protocol.rq_spin_ms;
+            (* the planted leak: retain the block on the worker so the live
+               heap actually grows and stays grown *)
+            if rq.Serve_protocol.rq_hog_kb > 0 then
+              t.hog <- Bytes.create (rq.Serve_protocol.rq_hog_kb * 1024) :: t.hog;
             match rq.Serve_protocol.rq_poison with
             | Some key -> Difftest_fault.with_poison key (fun () -> run_verb t rq)
             | None -> run_verb t rq)
@@ -328,6 +357,13 @@ let handle t (rq : Serve_protocol.request) : Serve_protocol.response =
   t.last_phases <-
     phase_delta ~before:phases_before
       ~after:(Vhdl_util.Phase_timer.report timer0);
+  t.last_allocs <-
+    phase_delta ~before:allocs_before
+      ~after:(Vhdl_util.Phase_timer.report_alloc timer0);
+  let mi1 = Gc.minor_words () in
+  let _, pr1, ma1 = Gc.counters () in
+  t.last_alloc_minor_w <- Float.max 0.0 (mi1 -. mi0);
+  t.last_alloc_major_w <- Float.max 0.0 (ma1 -. pr1 -. (ma0 -. pr0));
   (match resp.Serve_protocol.rs_status with
   | Serve_protocol.Internal -> Tm.incr m_faults_contained
   | Serve_protocol.Timeout -> Tm.incr m_timeouts

@@ -12,7 +12,7 @@ type config = {
   w_default_deadline_s : float; (* when the request names none *)
   w_max_deadline_s : float; (* requests cannot ask for more *)
   w_watchdog_grace_s : float; (* watchdog = deadline + grace *)
-  w_allow_faults : bool; (* honor poison= / spin_ms= request fields *)
+  w_allow_faults : bool; (* honor poison= / spin_ms= / hog_kb= request fields *)
   w_recycle_every : int; (* fresh compiler every N requests; 0 = never *)
   w_budgets : Supervisor.budgets; (* base limits under request overrides *)
   w_ref_libs : (string * string) list; (* reference libraries (name, dir) *)
@@ -34,6 +34,20 @@ val last_phases : t -> (string * float) list
 (** Per-phase self-time (compiler phase name, seconds) charged by the
     last {!handle} — the compiler's phase timer diffed around the
     request, robust to mid-request recycles. *)
+
+val last_allocs : t -> (string * float) list
+(** Per-phase self-allocated words charged by the last {!handle} — the
+    phase timer's allocation table diffed around the request, same
+    discipline as {!last_phases}. *)
+
+val last_alloc_minor_w : t -> float
+(** Minor-heap words the last {!handle} allocated. *)
+
+val last_alloc_major_w : t -> float
+(** Direct major-heap words (promotions excluded) of the last {!handle}. *)
+
+val last_alloc_w : t -> float
+(** Total words of the last {!handle}: minor + direct-major. *)
 
 val recycle : t -> unit
 (** Replace the warm compiler with a fresh one. *)

@@ -203,7 +203,41 @@ let sample_gc () =
   g "gc.compactions" (float_of_int s.Gc.compactions);
   g "gc.heap_words" (float_of_int s.Gc.heap_words);
   g "gc.top_heap_words" (float_of_int s.Gc.top_heap_words);
-  g "gc.allocated_words" (s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words)
+  (* [quick_stat]'s word counters are flushed only at collection
+     boundaries on OCaml 5.1; the [Gc.minor_words] external reads the
+     live young pointer, so splice it in for an exact total *)
+  g "gc.allocated_words" (Gc.minor_words () +. s.Gc.major_words -. s.Gc.promoted_words)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation accounting primitives.
+
+   OCaml 5.1 has no [Gc.Memprof], so allocation attribution rides on the
+   GC's own word counters, exactly as time attribution rides on the
+   monotonic clock.  Two tiers:
+
+   - [minor_words_now] is the allocation-free snapshot ([Gc.minor_words]
+     is an unboxed external): the per-span and per-rule mechanism, where
+     the snapshot itself must not perturb what it measures.  It counts
+     minor-heap allocation only — the overwhelming share in this
+     allocation profile — so a span that allocates nothing reports
+     exactly 0.
+   - [allocated_words_now] is the full count (minor + direct-major,
+     promotions excluded); it allocates a tuple, so it is reserved for
+     coarse boundaries — phase frames, whole requests, bench
+     repetitions — where a dozen words of bookkeeping vanish against
+     megabytes of work.  The minor component comes from the exact
+     external, NOT from [Gc.counters]: on OCaml 5.1 the latter's word
+     counts are flushed only at collection boundaries, so a window
+     without a minor collection would otherwise read as (nearly) zero
+     and the deferred words would land in the next window's delta. *)
+
+let bytes_per_word = Sys.word_size / 8
+
+let minor_words_now () = Gc.minor_words ()
+
+let allocated_words_now () =
+  let _, pr, ma = Gc.counters () in
+  Gc.minor_words () +. ma -. pr
 
 (* ------------------------------------------------------------------ *)
 (* Spans *)
@@ -216,6 +250,10 @@ type span = {
   sp_start : float;
   sp_dur : float;
   sp_depth : int;
+  sp_alloc_w : float;
+      (* words allocated while the span was open (children included);
+         self-allocation is derived by the flame exporter exactly as
+         self-time is — total minus direct children *)
   sp_args : (string * string) list;
 }
 
@@ -245,7 +283,8 @@ let tracing () = !tracing_on
     {!Vhdl_util.Phase_timer} so the phase accounting and the span tree come
     from the same two clock reads and cannot disagree).  No-op when tracing
     is off.  [depth] defaults to the current open-span depth. *)
-let record_span ?(cat = "phase") ?(args = []) ?depth ~name ~start_s ~dur_s () =
+let record_span ?(cat = "phase") ?(args = []) ?depth ?(alloc_w = 0.0) ~name
+    ~start_s ~dur_s () =
   if !tracing_on then (
     match !span_limit with
     | Some (base, cap) when !spans_count - base >= cap ->
@@ -258,6 +297,7 @@ let record_span ?(cat = "phase") ?(args = []) ?depth ~name ~start_s ~dur_s () =
           sp_start = start_s;
           sp_dur = dur_s;
           sp_depth = (match depth with Some d -> d | None -> !open_depth);
+          sp_alloc_w = alloc_w;
           sp_args = args;
         }
         :: !spans_acc;
@@ -265,27 +305,61 @@ let record_span ?(cat = "phase") ?(args = []) ?depth ~name ~start_s ~dur_s () =
 
 (** [with_span ~cat name f] runs [f] inside a span.  With tracing off this
     is a single flag test around [f].  Spans close even when [f] escapes
-    with an exception, so the tree stays well-formed. *)
+    with an exception, so the tree stays well-formed.
+
+    Allocation accounting: the allocation snapshot ([Gc.minor_words], an
+    allocation-free external) is read {e last} before [f] and {e first}
+    after it, so the span's own bookkeeping — the closing clock read,
+    the span record — never charges to the span itself.  A span whose
+    body allocates nothing reports [sp_alloc_w = 0.0] exactly; the few
+    words of per-child bookkeeping charge to the parent. *)
+(* Per-depth allocation snapshots.  A [float array] holds its floats
+   unboxed, so writing and reading a snapshot allocates nothing —
+   whereas a [let]-bound float from the unboxed [Gc.minor_words]
+   external gets boxed (2 words) the moment it is stored or passed,
+   and that boxing would land inside the span's own window.  This
+   array is the invariant behind [sp_alloc_w = 0.0] for
+   allocation-free spans. *)
+let alloc_snap = ref (Array.make 64 0.0)
+
 let with_span ?(cat = "span") ?(args = []) name f =
   if not !tracing_on then f ()
   else begin
     let depth = !open_depth in
     open_depth := depth + 1;
     open_args := args :: !open_args;
+    if depth >= Array.length !alloc_snap then begin
+      let bigger = Array.make (2 * Array.length !alloc_snap) 0.0 in
+      Array.blit !alloc_snap 0 bigger 0 (Array.length !alloc_snap);
+      alloc_snap := bigger
+    end;
+    (* [aw1] is read at the call site, before any boxing for the call
+       itself — the order that keeps the span's closing bookkeeping out
+       of its own allocation window *)
+    let close start aw1 =
+      let alloc_w = aw1 -. !alloc_snap.(depth) in
+      let dur = now_s () -. start in
+      let args =
+        match !open_args with
+        | a :: rest ->
+          open_args := rest;
+          a
+        | [] -> []
+      in
+      open_depth := depth;
+      record_span ~cat ~args ~depth ~alloc_w ~name ~start_s:start ~dur_s:dur ()
+    in
     let start = now_s () in
-    Fun.protect
-      ~finally:(fun () ->
-        let dur = now_s () -. start in
-        let args =
-          match !open_args with
-          | a :: rest ->
-            open_args := rest;
-            a
-          | [] -> []
-        in
-        open_depth := depth;
-        record_span ~cat ~args ~depth ~name ~start_s:start ~dur_s:dur ())
-      f
+    !alloc_snap.(depth) <- Gc.minor_words ();
+    match f () with
+    | v ->
+      let aw1 = Gc.minor_words () in
+      close start aw1;
+      v
+    | exception exn ->
+      let aw1 = Gc.minor_words () in
+      close start aw1;
+      raise exn
   end
 
 (** Attach a key/value argument to the innermost open span (no-op when
@@ -486,6 +560,7 @@ let to_chrome_trace ?(process_name = "vhdlc") ?spans:span_override () =
         in
         let args =
           ("depth", Json.int sp.sp_depth)
+          :: ("alloc_w", Json.float sp.sp_alloc_w)
           :: List.rev_map (fun (k, v) -> (k, Json.str v)) sp.sp_args
         in
         Json.obj (base @ [ ("args", Json.obj args) ]))

@@ -23,7 +23,17 @@ val time_ambient : string -> (unit -> 'a) -> 'a
 
 val total : t -> float
 
+val total_alloc : t -> float
+(** Summed self-allocated words across all phases. *)
+
 val report : t -> (string * float) list
 (** Phases in order of first use with accumulated self-time seconds. *)
+
+val report_alloc : t -> (string * float) list
+(** Phases in order of first use with accumulated self-allocated words
+    (minor + direct-major, promotions excluded) — same child-subtraction
+    discipline as {!report}, so the table sums to the run's allocation
+    delta.  Each phase's self-allocation is also published as the
+    [phase.alloc_b.<name>] telemetry counter, in bytes. *)
 
 val pp : Format.formatter -> t -> unit

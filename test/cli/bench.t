@@ -39,9 +39,9 @@ the verdict is deterministic.)
   >   --warmup 0 --repeats 3 --quota 0.3 --threshold 3.0 --against base.json > slow.out; echo "exit $?"
   exit 1
   $ grep -c 'REGRESSION' slow.out
-  1
+  2
   $ grep 'regression(s) against' slow.out
-  1 regression(s) against base.json (threshold +300%)
+  2 regression(s) against base.json (threshold +300%)
 
 A missing or unreadable baseline is a usage error, exit 2:
 

@@ -109,6 +109,6 @@ The offline analytics digest the same log: the report opens with the
 event census, and the --json rendering carries the schema marker.
 
   $ ../../bin/vhdlc.exe analyze events.jsonl | head -1 | sed 's/[0-9][0-9.]*/N/g'
-  event log: N events over Ns — N finishes, N sheds, N rejects, N recycles, N breaches, N dumps
+  event log: N events over Ns — N finishes, N sheds, N rejects, N recycles, N breaches, N heap breaches, N dumps
   $ ../../bin/vhdlc.exe analyze events.jsonl --json | grep -c '"schema":"vhdl-analyze/1"'
   1

@@ -169,8 +169,8 @@ prints the why-chain of an attribute instance (node ids and timings
 normalized — they move with the grammar):
 
   $ ../../bin/vhdlc.exe explain design.vhd counter UNITS --depth 1 --dot slice.dot | sed -E 's/n[0-9]+/nID/g; s/self [0-9.]+ms/self T/'
-  nID.UNITS @ design_unit_plain (vhdl, line 1) = units[entity:COUNTER]  [elided implicit copy, self T]
-    nID.UNITS @ library_unit_entity (vhdl, line 1) = units[entity:COUNTER]  [elided implicit copy, self T]
+  nID.UNITS @ design_unit_plain (vhdl, line 1) = units[entity:COUNTER]  [elided implicit copy, self T, alloc 148w]
+    nID.UNITS @ library_unit_entity (vhdl, line 1) = units[entity:COUNTER]  [elided implicit copy, self T, alloc 100w]
       ... 1 dependencies below the depth bound
   
   DOT slice written to slice.dot
@@ -186,7 +186,7 @@ along with `compile --profile-rules` and `stats FILE`:
   $ grep -c 'self-ms' profile.out
   1
   $ grep '^total' profile.out | tr -s ' ' | sed -E 's/[0-9]+\.[0-9]+/T/; s/[0-9]+/N/g'
-  total (N rows) N N N T
+  total (N rows) N N N T N.N
 
   $ ../../bin/vhdlc.exe stats design.vhd | grep -c 'self-ms'
   1

@@ -1,0 +1,261 @@
+(* The allocation observatory's unit battery.
+
+   The load-bearing invariants:
+   - span allocation accounting is conservative: a span's [sp_alloc_w]
+     covers its children, the self-allocation table subtracts them, and
+     a span that allocates nothing reports exactly 0.0 (the snapshot
+     path itself is allocation-free);
+   - the allocation flamegraph conserves exactly: the folded lines'
+     byte total equals the per-name self-allocation total with no
+     tolerance (word counts are integral, so the per-line rounding is
+     exact);
+   - the phase timer's allocation table sums to the region's measured
+     GC allocation delta within 5%;
+   - [Obs_event.check_log] enforces the [al_*]-sum-vs-[alloc_b]
+     invariant on finish events;
+   - the bench diff's [alloc] rows flag a planted 2x allocation
+     regression while 8% jitter passes. *)
+
+module Telemetry = Vhdl_telemetry.Telemetry
+module Phase_timer = Vhdl_util.Phase_timer
+module Perf = Vhdl_perf.Perf
+module E = Obs_event
+
+(* allocate [n] words' worth of boxed data the optimizer cannot elide *)
+let churn_words n =
+  let blocks = n / 256 in
+  for _ = 1 to max 1 blocks do
+    ignore (Sys.opaque_identity (Bytes.create (254 * Telemetry.bytes_per_word)))
+  done
+
+let with_tracing f =
+  Telemetry.clear_spans ();
+  Telemetry.set_tracing true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.set_tracing false;
+      Telemetry.clear_spans ())
+    f
+
+(* a span whose body allocates nothing reports sp_alloc_w = 0.0 exactly:
+   the snapshot mechanism is Gc.minor_words, unboxed and allocation-free *)
+let test_zero_alloc_span_is_zero () =
+  with_tracing @@ fun () ->
+  Telemetry.with_span "idle" (fun () -> ());
+  match Telemetry.spans () with
+  | [ sp ] ->
+    Alcotest.(check (float 0.0)) "exactly zero words" 0.0 sp.Telemetry.sp_alloc_w
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+(* nested spans: the parent's total covers the child, and the self table
+   subtracts it *)
+let test_span_alloc_covers_children () =
+  with_tracing @@ fun () ->
+  Telemetry.with_span "parent" (fun () ->
+      churn_words 50_000;
+      Telemetry.with_span "child" (fun () -> churn_words 200_000));
+  let spans = Telemetry.spans () in
+  let find name =
+    List.find (fun sp -> sp.Telemetry.sp_name = name) spans
+  in
+  let parent = find "parent" and child = find "child" in
+  Alcotest.(check bool) "child allocated" true (child.Telemetry.sp_alloc_w > 0.0);
+  Alcotest.(check bool) "parent total covers child" true
+    (parent.Telemetry.sp_alloc_w >= child.Telemetry.sp_alloc_w);
+  let selfs = Perf.Flame.self_allocs spans in
+  let self name = Option.value (List.assoc_opt name selfs) ~default:nan in
+  Alcotest.(check (float 1.0)) "parent self = total - child"
+    (parent.Telemetry.sp_alloc_w -. child.Telemetry.sp_alloc_w)
+    (self "parent");
+  Alcotest.(check (float 1.0)) "child self = child total"
+    child.Telemetry.sp_alloc_w (self "child")
+
+(* exact conservation: the folded lines' byte total equals the
+   self-allocation byte total with zero tolerance *)
+let test_folded_alloc_conserves_exactly () =
+  with_tracing @@ fun () ->
+  Telemetry.with_span "root" (fun () ->
+      churn_words 30_000;
+      Telemetry.with_span "a" (fun () -> churn_words 120_000);
+      Telemetry.with_span "b" (fun () ->
+          churn_words 40_000;
+          Telemetry.with_span "leaf" (fun () -> churn_words 80_000)));
+  let spans = Telemetry.spans () in
+  let folded_total =
+    String.split_on_char '\n' (Perf.Flame.folded_alloc spans)
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.fold_left
+         (fun acc line ->
+           match String.rindex_opt line ' ' with
+           | None -> Alcotest.failf "malformed folded line %S" line
+           | Some i ->
+             let n = String.length line in
+             acc + int_of_string (String.sub line (i + 1) (n - i - 1)))
+         0
+  in
+  let self_total =
+    List.fold_left
+      (fun acc (_, w) ->
+        acc
+        + int_of_float
+            (Float.round (w *. float_of_int Telemetry.bytes_per_word)))
+      0
+      (Perf.Flame.self_allocs spans)
+  in
+  Alcotest.(check bool) "something was attributed" true (self_total > 0);
+  Alcotest.(check int) "folded bytes == self-alloc bytes, exactly"
+    self_total folded_total
+
+(* the phase table's allocation column sums to the measured GC delta of
+   the phased region within 5% *)
+let test_phase_alloc_sums_to_gc_delta () =
+  let t = Phase_timer.create () in
+  let a0 = Telemetry.allocated_words_now () in
+  Phase_timer.time t "parse" (fun () -> churn_words 300_000);
+  Phase_timer.time t "attrs" (fun () ->
+      churn_words 100_000;
+      Phase_timer.time t "cascade" (fun () -> churn_words 500_000));
+  let delta = Telemetry.allocated_words_now () -. a0 in
+  let table_sum =
+    List.fold_left (fun a (_, w) -> a +. w) 0.0 (Phase_timer.report_alloc t)
+  in
+  Alcotest.(check (float 1e-6)) "report_alloc sums to total_alloc"
+    (Phase_timer.total_alloc t) table_sum;
+  let tolerance = Float.max (0.05 *. delta) 2048.0 in
+  if Float.abs (table_sum -. delta) > tolerance then
+    Alcotest.failf "phase alloc table %.0fw disagrees with GC delta %.0fw"
+      table_sum delta
+
+(* check_log: the al_* fields of a finish must sum to alloc_b *)
+let lifecycle ~rid finish =
+  [
+    E.make ~rid E.Accept;
+    E.make ~rid ~fields:[ ("verb", E.S "compile") ] E.Start;
+    finish;
+  ]
+
+let finish_alloc ~rid ~alloc_b allocs =
+  E.make ~rid
+    ~fields:
+      (("status", E.S "ok")
+      :: ("alloc_b", E.F alloc_b)
+      :: List.map (fun (name, b) -> ("al_" ^ name, E.F b)) allocs)
+    E.Finish
+
+let test_check_log_alloc_sum () =
+  let ok =
+    lifecycle ~rid:1
+      (finish_alloc ~rid:1 ~alloc_b:1_000_000.0
+         [ ("parse", 300_000.0); ("cascade", 650_000.0); ("other", 50_000.0) ])
+  in
+  Alcotest.(check (list string)) "agreeing sum accepted" [] (E.check_log ok);
+  let off =
+    lifecycle ~rid:1
+      (finish_alloc ~rid:1 ~alloc_b:1_000_000.0 [ ("parse", 300_000.0) ])
+  in
+  Alcotest.(check bool) "70% disagreement flagged" true (E.check_log off <> []);
+  (* alloc-free logs (or pre-observatory ones) still check clean *)
+  let bare = lifecycle ~rid:1 (finish_alloc ~rid:1 ~alloc_b:0.0 []) in
+  Alcotest.(check (list string)) "alloc-field-free finish accepted" []
+    (E.check_log bare);
+  (* tiny requests never false-positive on counter granularity (4 KiB floor) *)
+  let tiny =
+    lifecycle ~rid:1 (finish_alloc ~rid:1 ~alloc_b:512.0 [ ("other", 3000.0) ])
+  in
+  Alcotest.(check (list string)) "4KiB tolerance floor holds" []
+    (E.check_log tiny)
+
+(* the regression gate's allocation axis: 2x trips, 8% jitter passes *)
+let sample_with_allocs name words =
+  {
+    Perf.Sample.s_name = name;
+    s_warmup = 0;
+    s_times = [| 0.010; 0.011; 0.010; 0.012; 0.011 |];
+    s_allocs = Array.map (fun x -> x *. words) [| 1.0; 1.001; 0.999; 1.0; 1.002 |];
+    s_gc = Perf.Gc_delta.zero;
+    s_counters = [];
+    s_phases = [];
+    s_metrics = [];
+  }
+
+let test_diff_alloc_gate () =
+  let report samples = Perf.Report.make samples in
+  let base = report [ sample_with_allocs "compile/adder" 1_000_000.0 ] in
+  let doubled = report [ sample_with_allocs "compile/adder" 2_000_000.0 ] in
+  let jitter = report [ sample_with_allocs "compile/adder" 1_080_000.0 ] in
+  let rows = Perf.Diff.compare_reports ~baseline:base ~current:doubled () in
+  let alloc_rows = List.filter Perf.Diff.is_alloc_row rows in
+  Alcotest.(check int) "one alloc row" 1 (List.length alloc_rows);
+  let regressed =
+    List.exists Perf.Diff.is_alloc_row (Perf.Diff.regressions rows)
+  in
+  Alcotest.(check bool) "planted 2x allocation regression trips" true regressed;
+  let rows = Perf.Diff.compare_reports ~baseline:base ~current:jitter () in
+  Alcotest.(check bool) "8% allocation jitter passes" false
+    (List.exists Perf.Diff.is_alloc_row (Perf.Diff.regressions rows));
+  (* a baseline predating allocation capture yields no alloc row *)
+  let old = report [ { (sample_with_allocs "compile/adder" 0.0) with Perf.Sample.s_allocs = [||] } ] in
+  let rows = Perf.Diff.compare_reports ~baseline:old ~current:doubled () in
+  Alcotest.(check int) "pre-capture baseline: no alloc row" 0
+    (List.length (List.filter Perf.Diff.is_alloc_row rows))
+
+(* the perturbation seam that lets the gate be tested end to end *)
+let test_perturb_alloc_parsing () =
+  let with_env v f =
+    Unix.putenv Perf.perturb_alloc_env v;
+    Fun.protect ~finally:(fun () -> Unix.putenv Perf.perturb_alloc_env "") f
+  in
+  with_env "adder:4096" (fun () ->
+      Alcotest.(check int) "named experiment perturbed" 4096
+        (Perf.perturb_alloc_b ~name:"compile/adder");
+      Alcotest.(check int) "other experiments untouched" 0
+        (Perf.perturb_alloc_b ~name:"compile/mux"));
+  with_env "8192" (fun () ->
+      Alcotest.(check int) "bare bytes perturb everything" 8192
+        (Perf.perturb_alloc_b ~name:"anything"));
+  Alcotest.(check int) "unset seam is inert" 0
+    (Perf.perturb_alloc_b ~name:"compile/adder")
+
+(* Perf.run captures per-repetition allocation and the report round-trips it *)
+let test_run_captures_allocs () =
+  let s =
+    Perf.run ~warmup:0 ~repeats:3 ~name:"alloc-probe" (fun () ->
+        churn_words 100_000)
+  in
+  Alcotest.(check int) "one alloc sample per rep" 3 (Array.length s.Perf.Sample.s_allocs);
+  Alcotest.(check bool) "median sees the churn" true
+    (Perf.Sample.alloc_median s >= 90_000.0);
+  let path = Filename.temp_file "vhdl-alloc" ".json" in
+  Perf.Report.save path (Perf.Report.make [ s ]);
+  (match Perf.Report.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok r -> (
+    match r.Perf.Report.r_samples with
+    | [ s' ] ->
+      (* the JSON floats keep 6 significant digits, so a ~1MB figure can
+         drift a few bytes through the round-trip *)
+      Alcotest.(check (float 16.0)) "bytes/compile round-trips"
+        (Perf.Sample.alloc_bytes_median s)
+        (Perf.Sample.alloc_bytes_median s')
+    | ss -> Alcotest.failf "expected 1 sample, got %d" (List.length ss)));
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "zero-allocation span reports exactly 0" `Quick
+      test_zero_alloc_span_is_zero;
+    Alcotest.test_case "span allocation covers children; self subtracts" `Quick
+      test_span_alloc_covers_children;
+    Alcotest.test_case "folded_alloc conserves bytes exactly" `Quick
+      test_folded_alloc_conserves_exactly;
+    Alcotest.test_case "phase alloc table sums to the GC delta" `Quick
+      test_phase_alloc_sums_to_gc_delta;
+    Alcotest.test_case "check_log enforces the al_* sum invariant" `Quick
+      test_check_log_alloc_sum;
+    Alcotest.test_case "diff gates allocation: 2x trips, 8% passes" `Quick
+      test_diff_alloc_gate;
+    Alcotest.test_case "perturbation seam parses and scopes" `Quick
+      test_perturb_alloc_parsing;
+    Alcotest.test_case "bench runs capture per-rep allocation" `Quick
+      test_run_captures_allocs;
+  ]

@@ -27,4 +27,5 @@ let () =
       ("serve", Test_serve.suite);
       ("servobs", Test_obs.suite);
       ("analyze", Test_analyze.suite);
+      ("alloc", Test_alloc.suite);
     ]

@@ -92,6 +92,7 @@ let sample_a =
     P.Sample.s_name = "compile/alpha";
     s_warmup = 1;
     s_times = [| 0.011; 0.0105; 0.0112 |];
+    s_allocs = [| 120000.0; 119000.0; 121000.0 |];
     s_gc =
       {
         P.Gc_delta.minor_collections = 7;
@@ -111,6 +112,7 @@ let sample_b =
     P.Sample.s_name = "simulate/beta";
     s_warmup = 0;
     s_times = [| 0.25 |];
+    s_allocs = [||];
     s_gc = P.Gc_delta.zero;
     s_counters = [];
     s_phases = [];
@@ -167,6 +169,7 @@ let mk_sample name times =
     P.Sample.s_name = name;
     s_warmup = 0;
     s_times = times;
+    s_allocs = [||];
     s_gc = P.Gc_delta.zero;
     s_counters = [];
     s_phases = [];

@@ -23,11 +23,17 @@
 #   BENCH_GATE_QUOTA      per-experiment measurement quota in seconds
 #                         (default 0.25)
 #   BENCH_GATE_REPEATS    measured repetitions per experiment (default 3)
+#   BENCH_GATE_ALLOC_THRESHOLD
+#                         allocation (bytes/compile) regression threshold
+#                         fraction (default 0.5 — allocation is near-
+#                         deterministic rep to rep, so +50% is far above
+#                         noise while a planted 2x blow-up fails the gate)
 set -eu
 cd "$(dirname "$0")/.."
 
 BASELINE=${BENCH_GATE_BASELINE:-${1:-BENCH_report.json}}
 THRESHOLD=${BENCH_GATE_THRESHOLD:-3.0}
+ALLOC_THRESHOLD=${BENCH_GATE_ALLOC_THRESHOLD:-0.5}
 QUOTA=${BENCH_GATE_QUOTA:-0.25}
 REPEATS=${BENCH_GATE_REPEATS:-3}
 
@@ -42,4 +48,5 @@ if [ -z "${VHDLC:-}" ]; then
 fi
 
 exec "$VHDLC" bench --against "$BASELINE" --threshold "$THRESHOLD" \
-  --quota "$QUOTA" --repeats "$REPEATS" --warmup 0
+  --alloc-threshold "$ALLOC_THRESHOLD" --quota "$QUOTA" --repeats "$REPEATS" \
+  --warmup 0

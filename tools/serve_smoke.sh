@@ -13,7 +13,9 @@
 #      the offending request id — while staying up, then drains
 #      gracefully on a shutdown request (socket removed, clean exit);
 #   3. warmth: the daemon's p50 request latency must beat one-shot
-#      `vhdlc compile` p50 — the reason the daemon exists;
+#      `vhdlc compile` p50 — the reason the daemon exists — and the
+#      daemon's live heap must hold steady across 50 further warm
+#      requests (a leaky worker fails here before it pages);
 #   4. event log: after the drain, the JSONL log must be well-formed —
 #      every line a {"ts":...,"ev":...} object, accept request ids
 #      strictly monotone, start/finish pairs balanced — and `vhdlc
@@ -120,6 +122,24 @@ oneshot_p50=$(
 [ "$warm_p50" -lt "$oneshot_p50" ] \
   || fail "warm p50 (${warm_p50}us) not below one-shot p50 (${oneshot_p50}us)"
 
+# ---- 3b. steady heap: 50 warm requests must not grow the live heap -------
+# (the daemon is warm after the p50 burst above, so major-heap growth
+# here is a leak, not cache warm-up; 15% headroom absorbs GC timing)
+live_words() {
+  "$VHDLC" request --socket "$SOCK" --stats --json \
+    | sed -n 's/.*"live_words":\([0-9][0-9]*\).*/\1/p'
+}
+heap_before=$(live_words)
+[ -n "$heap_before" ] || fail "stats JSON carries no heap.live_words"
+i=0
+while [ $i -lt 50 ]; do
+  "$VHDLC" request --socket "$SOCK" "$TMP/u.vhd" > /dev/null
+  i=$((i + 1))
+done
+heap_after=$(live_words)
+[ $((heap_after * 100)) -le $((heap_before * 115)) ] \
+  || fail "heap not steady across 50 warm requests (live words ${heap_before} -> ${heap_after})"
+
 # ---- 5a. overhead: full-observability daemon vs bare daemon --------------
 # (measured before the drain so both daemons are equally warm; verdict
 # computed below once the bare daemon has answered its burst.  The bare
@@ -186,4 +206,4 @@ grep -q "^event log:" "$TMP/analyze.out" \
 grep -q "finishes" "$TMP/analyze.out" \
   || fail "vhdlc analyze output missing the finish count"
 
-echo "serve_smoke: OK ($SHOTS chaos shots, zero deaths; warm p50 ${warm_p50}us vs one-shot ${oneshot_p50}us; events p50 ${events_p50}us vs bare p50 ${plain_p50}us)"
+echo "serve_smoke: OK ($SHOTS chaos shots, zero deaths; warm p50 ${warm_p50}us vs one-shot ${oneshot_p50}us; events p50 ${events_p50}us vs bare p50 ${plain_p50}us; heap ${heap_before}w -> ${heap_after}w over 50 warm requests)"
